@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation (paper section 2.4): integration-table size and policy.
+ * The loads-only division of labor halves the required IT size and
+ * cuts its bandwidth while keeping peak collapsing rates. This sweep
+ * measures elimination rate, IT accesses and speedup across table
+ * sizes for the loads-only and full-IT policies.
+ */
+#include "bench_util.hpp"
+
+using namespace reno;
+using namespace reno::bench;
+
+int
+main()
+{
+    banner("Ablation: integration table size and policy",
+           "RENO TR MS-CIS-04-28 / ISCA 2005, section 2.4 claims");
+
+    const std::vector<unsigned> sizes = {128, 256, 512, 1024};
+
+    for (const auto &[suite_name, workloads] : suites()) {
+        TextTable t;
+        t.header({"policy", "IT entries", "speedup%", "loads elim%",
+                  "IT accesses/1k insts"});
+        for (const bool loads_only : {true, false}) {
+            for (const unsigned entries : sizes) {
+                std::vector<double> speedups, load_elims, accesses;
+                for (const Workload *w : workloads) {
+                    const std::uint64_t base =
+                        runWorkload(*w, CoreParams::fourWide())
+                            .sim.cycles;
+                    CoreParams p;
+                    p.reno = loads_only ? RenoConfig::full()
+                                        : RenoConfig::fullIt();
+                    p.reno.it.entries = entries;
+                    const SimResult r = runWorkload(*w, p).sim;
+                    speedups.push_back(
+                        speedupPercent(base, r.cycles));
+                    load_elims.push_back(
+                        (r.elimFraction(ElimKind::Cse) +
+                         r.elimFraction(ElimKind::Ra)) * 100);
+                    accesses.push_back(1000.0 * double(r.itAccesses) /
+                                       double(r.retired));
+                }
+                t.row({loads_only ? "loads-only" : "full",
+                       strprintf("%u", entries),
+                       fmtDouble(amean(speedups), 1),
+                       fmtDouble(amean(load_elims), 1),
+                       fmtDouble(amean(accesses), 0)});
+            }
+        }
+        std::printf("\n%s:\n", suite_name.c_str());
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: suite
+ * iteration with per-suite mean rows, and cached baseline runs.
+ */
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+
+namespace reno::bench
+{
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s)\n", paper_ref.c_str());
+    std::printf("==================================================\n");
+}
+
+/** Workloads of a suite plus the suite label. */
+inline std::vector<std::pair<std::string,
+                             std::vector<const Workload *>>>
+suites()
+{
+    return {
+        {"SPECint-like", suiteWorkloads("spec")},
+        {"MediaBench-like", suiteWorkloads("media")},
+    };
+}
+
+/** Cache of simulation results keyed by (workload, config name). */
+class RunCache
+{
+  public:
+    const SimResult &
+    get(const Workload &w, const std::string &key,
+        const CoreParams &params)
+    {
+        const std::string id = w.name + "/" + key;
+        auto it = cache_.find(id);
+        if (it == cache_.end())
+            it = cache_.emplace(id, runWorkload(w, params).sim).first;
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, SimResult> cache_;
+};
+
+} // namespace reno::bench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 8 (bottom): percentage speedup over the RENO-less baseline
+ * for the cumulative configurations ME, ME+CF and full RENO, on the
+ * 4-wide and 6-wide machines.
+ *
+ * Paper shape targets: full RENO averages +8% on SPECint and +13% on
+ * MediaBench at 4-wide; lower (6% / 11%) at 6-wide; ME and ME+CF
+ * alone deliver roughly half the benefit.
+ */
+#include "bench_util.hpp"
+
+using namespace reno;
+using namespace reno::bench;
+
+int
+main()
+{
+    banner("Figure 8 (bottom): % speedup over baseline",
+           "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 8 bottom");
+
+    for (const unsigned width : {4u, 6u}) {
+        const CoreParams machine = width == 6 ? CoreParams::sixWide()
+                                              : CoreParams::fourWide();
+        const auto configs = renoBuildup(machine);
+        std::printf("\n--- %u-wide machine ---\n", width);
+        for (const auto &[suite_name, workloads] : suites()) {
+            TextTable t;
+            t.header({"benchmark", "ME", "ME+CF", "RENO"});
+            std::vector<double> mean[3];
+            for (const Workload *w : workloads) {
+                const std::uint64_t base =
+                    runWorkload(*w, configs[0].params).sim.cycles;
+                std::vector<std::string> row{w->name};
+                for (int c = 1; c <= 3; ++c) {
+                    const std::uint64_t cyc =
+                        runWorkload(*w, configs[c].params).sim.cycles;
+                    const double s = speedupPercent(base, cyc);
+                    mean[c - 1].push_back(s);
+                    row.push_back(fmtDouble(s, 1));
+                }
+                t.row(row);
+            }
+            t.row({"amean", fmtDouble(amean(mean[0]), 1),
+                   fmtDouble(amean(mean[1]), 1),
+                   fmtDouble(amean(mean[2]), 1)});
+            std::printf("\n%s (%% speedup):\n", suite_name.c_str());
+            t.print();
+        }
+    }
+    return 0;
+}

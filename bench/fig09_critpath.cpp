@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9: critical-path breakdown (fetch / alu exec / load exec /
+ * load mem / commit) for the baseline, ME+CF, and full RENO, on a
+ * selection of benchmarks from each suite (the paper plots 8-9 per
+ * suite).
+ *
+ * Paper shape targets: MediaBench is markedly more ALU-critical than
+ * SPECint; SPECint is more load/memory-critical; RENO shrinks the
+ * exec components and often grows the relative fetch component.
+ */
+#include "bench_util.hpp"
+
+using namespace reno;
+using namespace reno::bench;
+
+namespace
+{
+
+void
+runSelection(const std::vector<std::string> &names)
+{
+    const std::vector<std::pair<std::string, RenoConfig>> configs = {
+        {"BASE", RenoConfig::baseline()},
+        {"ME+CF", RenoConfig::meCf()},
+        {"RENO", RenoConfig::full()},
+    };
+    TextTable t;
+    t.header({"benchmark", "config", "fetch%", "alu%", "load%",
+              "mem%", "commit%"});
+    for (const std::string &name : names) {
+        const Workload &w = workloadByName(name);
+        for (const auto &[cfg_name, reno_cfg] : configs) {
+            CoreParams params;
+            params.reno = reno_cfg;
+            CriticalPathAnalyzer cpa(1'000'000, params.robEntries,
+                                     params.iqEntries);
+            runWorkload(w, params, &cpa);
+            const auto b = cpa.breakdown();
+            t.row({name, cfg_name, fmtDouble(b[0] * 100, 1),
+                   fmtDouble(b[1] * 100, 1), fmtDouble(b[2] * 100, 1),
+                   fmtDouble(b[3] * 100, 1),
+                   fmtDouble(b[4] * 100, 1)});
+        }
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 9: critical-path breakdown",
+           "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 9");
+
+    // The paper's Figure 9 selections: crafty, eon.k, gap, gzip,
+    // parser, perl.s, vortex, vpr.r / adpcm.de, epic, g721.en,
+    // gsm.de, jpg.de, mesa.m, mesa.t, mpg2.en, pegw.en.
+    std::printf("\nSPECint-like selection:\n");
+    runSelection({"crafty", "eon.k", "gap", "gzip", "parser",
+                  "perl.s", "vortex", "vpr.r"});
+    std::printf("\nMediaBench-like selection:\n");
+    runSelection({"adpcm.dec", "epic", "g721.enc", "gsm.dec",
+                  "jpeg.dec", "mesa.m", "mesa.t", "mpeg2.enc",
+                  "pegw.enc"});
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11 (top): RENO compensating for physical register file
+ * reductions. Performance of {96, 112, 128, 160} physical registers
+ * under BASE, ME+CF, and full RENO, normalized to the 160-register
+ * RENO-less baseline (= 100).
+ *
+ * Paper shape targets: ME+CF alone compensates for a reduction from
+ * 160 to 112 registers; adding CSE+RA tolerates 96.
+ */
+#include "bench_util.hpp"
+
+using namespace reno;
+using namespace reno::bench;
+
+int
+main()
+{
+    banner("Figure 11 (top): RENO vs physical register file size",
+           "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 11 top");
+
+    const std::vector<std::pair<std::string, RenoConfig>> configs = {
+        {"BASE", RenoConfig::baseline()},
+        {"CF+ME", RenoConfig::meCf()},
+        {"RA+CSE", RenoConfig::full()},
+    };
+    const std::vector<unsigned> sizes = {96, 112, 128, 160};
+
+    for (const auto &[suite_name, workloads] : suites()) {
+        TextTable t;
+        std::vector<std::string> header{"config"};
+        for (const unsigned s : sizes)
+            header.push_back(strprintf("%u pregs", s));
+        t.header(header);
+
+        // Reference: 160-preg RENO-less baseline.
+        std::map<std::string, std::uint64_t> ref;
+        for (const Workload *w : workloads) {
+            CoreParams p;
+            ref[w->name] = runWorkload(*w, p).sim.cycles;
+        }
+
+        for (const auto &[cfg_name, reno_cfg] : configs) {
+            std::vector<std::string> row{cfg_name};
+            for (const unsigned size : sizes) {
+                std::vector<double> rel;
+                for (const Workload *w : workloads) {
+                    CoreParams p;
+                    p.numPregs = size;
+                    p.reno = reno_cfg;
+                    const std::uint64_t cyc =
+                        runWorkload(*w, p).sim.cycles;
+                    rel.push_back(100.0 * double(ref[w->name]) /
+                                  double(cyc));
+                }
+                row.push_back(fmtDouble(amean(rel), 1));
+            }
+            t.row(row);
+        }
+        std::printf("\n%s (performance, 160-preg baseline = 100):\n",
+                    suite_name.c_str());
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 12: RENO with a 2-cycle wakeup/select scheduling loop.
+ * Performance of the 1-cycle and 2-cycle schedulers under BASE, CF+ME
+ * and full RENO, normalized to the 1-cycle RENO-less baseline (=100).
+ *
+ * Paper shape targets: a 2-cycle loop costs the baseline ~7% (SPEC)
+ * and ~11% (MediaBench); RENO compensates for the loss on SPEC and
+ * even gains ~2.5% on MediaBench, by collapsing single-cycle
+ * operations out of the dataflow graph rather than fusing them.
+ */
+#include "bench_util.hpp"
+
+using namespace reno;
+using namespace reno::bench;
+
+int
+main()
+{
+    banner("Figure 12: RENO with a 2-cycle wakeup-select loop",
+           "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 12");
+
+    const std::vector<std::pair<std::string, RenoConfig>> configs = {
+        {"BASE", RenoConfig::baseline()},
+        {"CF+ME", RenoConfig::meCf()},
+        {"RA+CSE", RenoConfig::full()},
+    };
+
+    for (const auto &[suite_name, workloads] : suites()) {
+        TextTable t;
+        t.header({"config", "1-cycle", "2-cycle"});
+
+        std::map<std::string, std::uint64_t> ref;
+        for (const Workload *w : workloads)
+            ref[w->name] =
+                runWorkload(*w, CoreParams::fourWide()).sim.cycles;
+
+        for (const auto &[cfg_name, reno_cfg] : configs) {
+            std::vector<std::string> row{cfg_name};
+            for (const unsigned sched : {1u, 2u}) {
+                std::vector<double> rel;
+                for (const Workload *w : workloads) {
+                    CoreParams p;
+                    p.schedLoop = sched;
+                    p.reno = reno_cfg;
+                    rel.push_back(100.0 * double(ref[w->name]) /
+                                  double(runWorkload(*w, p).sim.cycles));
+                }
+                row.push_back(fmtDouble(amean(rel), 1));
+            }
+            t.row(row);
+        }
+        std::printf("\n%s (performance, 1-cycle baseline = 100):\n",
+                    suite_name.c_str());
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's own components:
+ * renamer throughput, integration-table lookup, cache access, branch
+ * prediction and functional emulation speed. These measure the
+ * simulator (host performance), not the simulated machine.
+ */
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "branch/predictor.hpp"
+#include "emu/emulator.hpp"
+#include "mem/cache.hpp"
+#include "reno/renamer.hpp"
+#include "uarch/core.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace reno;
+
+static void
+BM_RenamerFoldChain(benchmark::State &state)
+{
+    RenoRenamer ren(RenoConfig::meCf(), 256);
+    std::uint64_t vals[NumLogRegs] = {};
+    ren.initialize(vals);
+    const Instruction addi = Instruction::ri(Opcode::ADDI, 2, 1, 1);
+    std::uint64_t result = 0;
+    for (auto _ : state) {
+        ren.beginGroup();
+        // Keep the displacement small so folding always succeeds.
+        const RenameOut out =
+            ren.rename(RenameIn{addi, ++result & 0xff});
+        benchmark::DoNotOptimize(out);
+        ren.retire(out);
+        // Reset the chain occasionally to avoid overflow cancels.
+        if ((result & 0xff) == 0) {
+            const RenameOut reset = ren.rename(
+                RenameIn{Instruction::rr(Opcode::ADD, 1, 1, 1), 0});
+            ren.retire(reset);
+            ren.rename(RenameIn{Instruction::rr(Opcode::ADD, 2, 1, 1),
+                                0});
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RenamerFoldChain);
+
+static void
+BM_IntegrationTableLookup(benchmark::State &state)
+{
+    IntegrationTable it(ItParams{512, 2});
+    for (unsigned i = 0; i < 256; ++i) {
+        ItEntry e;
+        e.op = Opcode::LDQ;
+        e.imm = static_cast<std::int32_t>(i * 8);
+        e.in1 = MapEntry{static_cast<PhysReg>(i % 64), 0};
+        e.out = MapEntry{static_cast<PhysReg>(i % 64 + 64), 0};
+        it.insert(e);
+    }
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(it.lookup(
+            Opcode::LDQ, static_cast<std::int32_t>((i % 256) * 8),
+            MapEntry{static_cast<PhysReg>(i % 64), 0}, MapEntry{}));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntegrationTableLookup);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemHierarchy mem;
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.dataAccess(addr, now, false));
+        addr = (addr + 32) & 0xffff;
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bp;
+    const Instruction b = Instruction::branch(Opcode::BNE, 1, 4);
+    Addr pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(pc, b));
+        bp.update(pc, b, taken, taken ? pc + 20 : pc + 4);
+        pc = 0x1000 + ((pc + 4) & 0xfff);
+        taken = !taken;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+static void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    const Program prog = assemble(workloadByName("gsm.dec").source);
+    for (auto _ : state) {
+        Emulator emu(prog);
+        benchmark::DoNotOptimize(emu.run());
+    }
+    state.SetItemsProcessed(state.iterations() * 317245);
+}
+BENCHMARK(BM_FunctionalEmulation)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CycleSimulation(benchmark::State &state)
+{
+    const Program prog = assemble(workloadByName("gsm.dec").source);
+    for (auto _ : state) {
+        Emulator emu(prog);
+        CoreParams params;
+        params.reno = RenoConfig::full();
+        Core core(params, emu);
+        benchmark::DoNotOptimize(core.run().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 317245);
+}
+BENCHMARK(BM_CycleSimulation)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Renaming trace: steps the instruction sequences from the paper's
+ * Figures 1, 2, 4, 3 and 5 through the RENO renamer and prints the
+ * map-table transitions, reproducing the tables in the paper.
+ *
+ * Run: ./build/examples/renaming_trace
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "isa/regs.hpp"
+#include "reno/renamer.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+/** Print a subset of the map table as "r2->[p4:0]" pairs. */
+std::string
+mapString(const RenoRenamer &ren, const std::vector<unsigned> &regs)
+{
+    std::string out;
+    for (const unsigned r : regs) {
+        const MapEntry e =
+            ren.mapTable().get(static_cast<LogReg>(r));
+        if (!out.empty())
+            out += ", ";
+        out += strprintf("r%u->[p%u:%d]", r,
+                         static_cast<unsigned>(e.preg),
+                         static_cast<int>(e.disp));
+    }
+    return out;
+}
+
+void
+trace(RenoRenamer &ren, const std::vector<unsigned> &shown,
+      const Instruction &inst, std::uint64_t result)
+{
+    ren.beginGroup();
+    const RenameOut out = ren.rename(RenameIn{inst, result});
+    const char *kind = "";
+    switch (out.elim) {
+      case ElimKind::None: kind = "executed"; break;
+      case ElimKind::Move: kind = "ELIMINATED (move)"; break;
+      case ElimKind::Fold: kind = "FOLDED (constant folding)"; break;
+      case ElimKind::Cse:  kind = "ELIMINATED (CSE)"; break;
+      case ElimKind::Ra:   kind = "BYPASSED (memory bypassing)"; break;
+    }
+    std::printf("  %-22s %-28s map: %s\n",
+                disassemble(inst).c_str(), kind,
+                mapString(ren, shown).c_str());
+}
+
+void
+header(const char *title)
+{
+    std::printf("\n%s\n", title);
+    for (size_t i = 0; i < std::string(title).size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::uint64_t vals[NumLogRegs] = {};
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        vals[r] = 100 * r;
+
+    // ---- Figure 1: dynamic move elimination --------------------------
+    {
+        header("Figure 1: dynamic move elimination (RENO_ME)");
+        RenoRenamer ren(RenoConfig::meOnly(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {1, 2, 3, 4};
+        std::printf("  initial:%54s%s\n", "",
+                    mapString(ren, shown).c_str());
+        trace(ren, shown, Instruction::rr(Opcode::ADD, 3, 1, 2), 300);
+        trace(ren, shown, Instruction::move(2, 3), 300);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 4, 2, 8), 7);
+    }
+
+    // ---- Figure 2: dynamic constant folding --------------------------
+    {
+        header("Figure 2: dynamic constant folding (RENO_CF)");
+        RenoRenamer ren(RenoConfig::meCf(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {1, 2, 3, 4};
+        trace(ren, shown, Instruction::rr(Opcode::ADD, 3, 1, 2), 300);
+        trace(ren, shown, Instruction::ri(Opcode::ADDI, 2, 3, 4), 304);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 4, 2, 8), 9);
+    }
+
+    // ---- Figure 4: folding chains -------------------------------------
+    {
+        header("Figure 4: folding a chain of additions");
+        RenoRenamer ren(RenoConfig::meCf(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {1, 2, 4, 8};
+        trace(ren, shown, Instruction::ri(Opcode::ADDI, 2, 1, 5), 105);
+        trace(ren, shown, Instruction::ri(Opcode::ADDI, 4, 2, 6), 111);
+        trace(ren, shown, Instruction::rr(Opcode::OR, 8, 4, 1),
+              111 | 100);
+    }
+
+    // ---- Figure 3 top: common subexpression elimination ----------------
+    {
+        header("Figure 3 (top): redundant load elimination (RENO_CSE)");
+        RenoRenamer ren(RenoConfig::fullIt(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {1, 3, 4};
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 3, 1, 8), 42);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 4, 1, 8), 42);
+        trace(ren, shown, Instruction::rr(Opcode::ADD, 1, 3, 3), 84);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 3, 1, 8), 55);
+    }
+
+    // ---- Figure 3 bottom: speculative memory bypassing -----------------
+    {
+        header("Figure 3 (bottom): speculative memory bypassing "
+               "(RENO_RA)");
+        RenoRenamer ren(RenoConfig::integrationOnly(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {RegSp, 1, 2};
+        trace(ren, shown,
+              Instruction::mem(Opcode::STQ, 2, RegSp, 8), 0);
+        trace(ren, shown,
+              Instruction::ri(Opcode::ADDI, RegSp, RegSp, -16),
+              100 * RegSp - 16);
+        trace(ren, shown, Instruction::rr(Opcode::ADD, 2, 1, 1), 200);
+        trace(ren, shown,
+              Instruction::ri(Opcode::ADDI, RegSp, RegSp, 16),
+              100 * RegSp);
+        trace(ren, shown,
+              Instruction::mem(Opcode::LDQ, 2, RegSp, 8), 200);
+    }
+
+    // ---- Figure 5: CF and CSE together ----------------------------------
+    {
+        header("Figure 5: constant folding and CSE together");
+        RenoRenamer ren(RenoConfig::full(), 64);
+        ren.initialize(vals);
+        const std::vector<unsigned> shown = {1, 3, 4};
+        trace(ren, shown, Instruction::ri(Opcode::ADDI, 1, 1, 4), 104);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 3, 1, 8), 77);
+        trace(ren, shown, Instruction::mem(Opcode::LDQ, 4, 1, 8), 77);
+    }
+
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Assembly runner: assemble a .s file from disk, execute it on the
+ * functional emulator, and (optionally) simulate it on the timing
+ * core with a chosen RENO configuration.
+ *
+ * Usage:
+ *   run_asm program.s                 # functional run only
+ *   run_asm --sim program.s           # + timing simulation (full RENO)
+ *   run_asm --sim --config base x.s   # + chosen configuration
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "emu/emulator.hpp"
+#include "uarch/core.hpp"
+
+using namespace reno;
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string config = "reno";
+    bool sim = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sim") {
+            sim = true;
+        } else if (arg == "--config") {
+            if (i + 1 >= argc)
+                fatal("--config needs a value");
+            config = argv[++i];
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        fatal("usage: run_asm [--sim] [--config <name>] program.s");
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open %s", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    Program prog;
+    try {
+        prog = assemble(ss.str());
+    } catch (const AsmError &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+    std::printf("assembled %zu instructions, %zu data bytes\n",
+                prog.text.size(), prog.data.size());
+
+    Emulator emu(prog);
+    if (!sim) {
+        emu.run();
+        std::printf("output: %s\n", emu.output().c_str());
+        std::printf("retired %llu instructions, exit code %llu\n",
+                    static_cast<unsigned long long>(emu.instCount()),
+                    static_cast<unsigned long long>(emu.exitCode()));
+        return static_cast<int>(emu.exitCode());
+    }
+
+    CoreParams params;
+    if (config == "base")
+        params.reno = RenoConfig::baseline();
+    else if (config == "me")
+        params.reno = RenoConfig::meOnly();
+    else if (config == "mecf")
+        params.reno = RenoConfig::meCf();
+    else if (config == "reno")
+        params.reno = RenoConfig::full();
+    else
+        fatal("unknown config '%s'", config.c_str());
+
+    Core core(params, emu);
+    const SimResult r = core.run();
+    std::printf("output: %s\n", emu.output().c_str());
+    std::printf("cycles=%llu IPC=%.3f eliminated=%.1f%% "
+                "(ME %.1f%% CF %.1f%% CSE+RA %.1f%%)\n",
+                static_cast<unsigned long long>(r.cycles), r.ipc(),
+                r.elimFraction() * 100,
+                r.elimFraction(ElimKind::Move) * 100,
+                r.elimFraction(ElimKind::Fold) * 100,
+                (r.elimFraction(ElimKind::Cse) +
+                 r.elimFraction(ElimKind::Ra)) * 100);
+    return static_cast<int>(emu.exitCode());
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Workload explorer: run any registered workload (or a whole suite)
+ * on a chosen machine configuration and print detailed statistics,
+ * including functional-vs-timing state cross-checks and an optional
+ * critical-path breakdown.
+ *
+ * Usage:
+ *   workload_explorer [options] <workload|spec|media|all>
+ * Options:
+ *   --config base|me|mecf|reno|fullit|integ|loadsinteg   (default reno)
+ *   --width 4|6              machine width        (default 4)
+ *   --pregs N                physical registers   (default 160)
+ *   --schedloop N            wakeup/select cycles (default 1)
+ *   --critpath               print the critical-path breakdown
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+#include "harness/experiment.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+RenoConfig
+configByName(const std::string &name)
+{
+    if (name == "base")
+        return RenoConfig::baseline();
+    if (name == "me")
+        return RenoConfig::meOnly();
+    if (name == "mecf")
+        return RenoConfig::meCf();
+    if (name == "reno")
+        return RenoConfig::full();
+    if (name == "fullit")
+        return RenoConfig::fullIt();
+    if (name == "integ")
+        return RenoConfig::integrationOnly();
+    if (name == "loadsinteg")
+        return RenoConfig::loadsIntegrationOnly();
+    fatal("unknown config '%s'", name.c_str());
+}
+
+void
+runOne(const Workload &w, const CoreParams &params, bool critpath)
+{
+    // Functional reference.
+    const RunOutput ref = runFunctional(w);
+
+    CriticalPathAnalyzer cpa;
+    const RunOutput out =
+        runWorkload(w, params, critpath ? &cpa : nullptr);
+    const SimResult &r = out.sim;
+
+    const bool state_ok =
+        out.output == ref.output && out.memDigest == ref.memDigest;
+
+    std::printf("%-10s %-6s insts=%-8llu cycles=%-9llu IPC=%5.3f "
+                "elim=%5.1f%% (ME %4.1f%% CF %4.1f%% CSE+RA %4.1f%%) "
+                "bpmr=%4.1f%% dc-miss=%llu viol=%llu misint=%llu %s\n",
+                w.name.c_str(), w.suite.c_str(),
+                static_cast<unsigned long long>(r.retired),
+                static_cast<unsigned long long>(r.cycles), r.ipc(),
+                r.elimFraction() * 100.0,
+                r.elimFraction(ElimKind::Move) * 100.0,
+                r.elimFraction(ElimKind::Fold) * 100.0,
+                (r.elimFraction(ElimKind::Cse) +
+                 r.elimFraction(ElimKind::Ra)) * 100.0,
+                r.bpLookups
+                    ? 100.0 * double(r.bpMispredicts) / double(r.bpLookups)
+                    : 0.0,
+                static_cast<unsigned long long>(r.dcacheMisses),
+                static_cast<unsigned long long>(r.violationSquashes),
+                static_cast<unsigned long long>(r.misintegrationFlushes),
+                state_ok ? "state-ok" : "STATE-MISMATCH");
+
+    if (critpath) {
+        const auto b = cpa.breakdown();
+        std::printf("           critpath: fetch %.1f%% alu %.1f%% "
+                    "load %.1f%% mem %.1f%% commit %.1f%%\n",
+                    b[0] * 100, b[1] * 100, b[2] * 100, b[3] * 100,
+                    b[4] * 100);
+    }
+    if (!state_ok)
+        std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string target = "all";
+    std::string config = "reno";
+    unsigned width = 4;
+    unsigned pregs = 160;
+    unsigned schedloop = 1;
+    bool critpath = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--config")
+            config = next();
+        else if (arg == "--width")
+            width = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--pregs")
+            pregs = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--schedloop")
+            schedloop = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--critpath")
+            critpath = true;
+        else
+            target = arg;
+    }
+
+    CoreParams params =
+        width == 6 ? CoreParams::sixWide() : CoreParams::fourWide();
+    params.numPregs = pregs;
+    params.schedLoop = schedloop;
+    params.reno = configByName(config);
+
+    if (target == "all" || target == "spec" || target == "media") {
+        for (const Workload &w : allWorkloads()) {
+            if (target == "all" || w.suite == target)
+                runOne(w, params, critpath);
+        }
+    } else {
+        runOne(workloadByName(target), params, critpath);
+    }
+    return 0;
+}

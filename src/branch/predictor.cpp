@@ -1,0 +1,163 @@
+#include "branch/predictor.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params)
+    : params_(params),
+      bimodal_(params.bimodalEntries, 1),
+      gshare_(params.gshareEntries, 1),
+      chooser_(params.chooserEntries, 2),
+      btb_(static_cast<size_t>(params.btbEntries)),
+      ras_(params.rasEntries, 0)
+{
+}
+
+unsigned
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) % params_.bimodalEntries);
+}
+
+unsigned
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    const std::uint64_t hist =
+        history_ & ((std::uint64_t{1} << params_.historyBits) - 1);
+    return static_cast<unsigned>(((pc >> 2) ^ hist) %
+                                 params_.gshareEntries);
+}
+
+unsigned
+BranchPredictor::chooserIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) % params_.chooserEntries);
+}
+
+bool
+BranchPredictor::lookupDirection(Addr pc) const
+{
+    const bool use_gshare = chooser_[chooserIndex(pc)] >= 2;
+    const std::uint8_t counter = use_gshare ? gshare_[gshareIndex(pc)]
+                                            : bimodal_[bimodalIndex(pc)];
+    return counter >= 2;
+}
+
+void
+BranchPredictor::trainDirection(Addr pc, bool taken)
+{
+    const bool bim_correct = (bimodal_[bimodalIndex(pc)] >= 2) == taken;
+    const bool gsh_correct = (gshare_[gshareIndex(pc)] >= 2) == taken;
+    if (bim_correct != gsh_correct)
+        bump(chooser_[chooserIndex(pc)], gsh_correct);
+    bump(bimodal_[bimodalIndex(pc)], taken);
+    bump(gshare_[gshareIndex(pc)], taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+bool
+BranchPredictor::btbLookup(Addr pc, Addr &target) const
+{
+    const unsigned sets = params_.btbEntries / params_.btbAssoc;
+    const unsigned set = static_cast<unsigned>((pc >> 2) % sets);
+    for (unsigned w = 0; w < params_.btbAssoc; ++w) {
+        const BtbEntry &e = btb_[set * params_.btbAssoc + w];
+        if (e.valid && e.tag == pc) {
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    const unsigned sets = params_.btbEntries / params_.btbAssoc;
+    const unsigned set = static_cast<unsigned>((pc >> 2) % sets);
+    BtbEntry *victim = nullptr;
+    for (unsigned w = 0; w < params_.btbAssoc; ++w) {
+        BtbEntry &e = btb_[set * params_.btbAssoc + w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lruStamp = ++btbLru_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lruStamp = ++btbLru_;
+}
+
+Prediction
+BranchPredictor::predict(Addr pc, const Instruction &inst)
+{
+    ++lookups_;
+    Prediction pred;
+    const Addr fall_through = pc + 4;
+    const Addr direct_target =
+        pc + 4 + static_cast<Addr>(static_cast<std::int64_t>(inst.imm) * 4);
+
+    switch (inst.info().cls) {
+      case InstClass::CtrlCond:
+        pred.taken = lookupDirection(pc);
+        pred.target = pred.taken ? direct_target : fall_through;
+        pred.targetValid = true;
+        break;
+      case InstClass::CtrlUncond:
+        pred.taken = true;
+        pred.target = direct_target;
+        pred.targetValid = true;
+        break;
+      case InstClass::CtrlCall: {
+        pred.taken = true;
+        // Push the return address.
+        ras_[rasTop_ % params_.rasEntries] = fall_through;
+        ++rasTop_;
+        if (inst.op == Opcode::BSR) {
+            pred.target = direct_target;
+            pred.targetValid = true;
+        } else {
+            pred.targetValid = btbLookup(pc, pred.target);
+        }
+        break;
+      }
+      case InstClass::CtrlRet:
+        pred.taken = true;
+        if (inst.ra == RegRa && rasTop_ > 0) {
+            --rasTop_;
+            pred.target = ras_[rasTop_ % params_.rasEntries];
+            pred.targetValid = true;
+        } else {
+            pred.targetValid = btbLookup(pc, pred.target);
+        }
+        break;
+      default:
+        panic("predict() on non-control instruction");
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, const Instruction &inst, bool taken,
+                        Addr target)
+{
+    if (inst.info().cls == InstClass::CtrlCond)
+        trainDirection(pc, taken);
+    // Indirect targets live in the BTB.
+    if (inst.op == Opcode::JSR ||
+        (inst.op == Opcode::JMP && inst.ra != RegRa)) {
+        btbInsert(pc, target);
+    }
+}
+
+} // namespace reno

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Front-end branch prediction: a hybrid (bimodal + gshare + chooser)
+ * direction predictor with a 16Kbit budget, a 2K-entry 4-way BTB and a
+ * 32-entry return address stack, matching the paper's configuration.
+ *
+ * The core does not simulate wrong-path fetch (stall-until-resolve),
+ * so predictions are made and trained in correct-path order; a
+ * misprediction is charged as a front-end redirect bubble.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace reno
+{
+
+/** Outcome of a lookup. */
+struct Prediction {
+    bool taken = false;
+    Addr target = 0;
+    bool targetValid = false;  //!< BTB/RAS produced a target
+};
+
+/** Configuration of the hybrid predictor. */
+struct BranchPredParams {
+    unsigned bimodalEntries = 4096;   //!< 2-bit counters (8Kb)
+    unsigned gshareEntries = 2048;    //!< 2-bit counters (4Kb)
+    unsigned chooserEntries = 2048;   //!< 2-bit counters (4Kb)
+    unsigned historyBits = 11;
+    unsigned btbEntries = 2048;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+};
+
+/** Hybrid direction predictor + BTB + RAS. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredParams &params = {});
+
+    /**
+     * Predict the control instruction at @p pc. Speculatively updates
+     * the RAS (push on call, pop on return).
+     */
+    Prediction predict(Addr pc, const Instruction &inst);
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, const Instruction &inst, bool taken, Addr target);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t dirMispredicts() const { return dirMispredicts_; }
+    std::uint64_t targetMispredicts() const { return targetMispredicts_; }
+
+    /** Record a misprediction (counted by the core at resolve time). */
+    void noteDirMispredict() { ++dirMispredicts_; }
+    void noteTargetMispredict() { ++targetMispredicts_; }
+
+  private:
+    struct BtbEntry {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    static void
+    bump(std::uint8_t &counter, bool up)
+    {
+        if (up && counter < 3)
+            ++counter;
+        else if (!up && counter > 0)
+            --counter;
+    }
+
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned gshareIndex(Addr pc) const;
+    unsigned chooserIndex(Addr pc) const;
+
+    bool lookupDirection(Addr pc) const;
+    void trainDirection(Addr pc, bool taken);
+
+    bool btbLookup(Addr pc, Addr &target) const;
+    void btbInsert(Addr pc, Addr target);
+
+    BranchPredParams params_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> chooser_;
+    std::uint64_t history_ = 0;
+
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btbLru_ = 0;
+
+    std::vector<Addr> ras_;
+    unsigned rasTop_ = 0;  //!< index of next push slot
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t dirMispredicts_ = 0;
+    std::uint64_t targetMispredicts_ = 0;
+};
+
+} // namespace reno

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * simulator bugs (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace reno
+{
+
+/** Print a formatted message and abort; use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** vsnprintf into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** snprintf into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace reno

@@ -1,0 +1,39 @@
+#include "common/stats.hpp"
+
+namespace reno
+{
+
+Counter &
+StatGroup::add(const std::string &name)
+{
+    auto [it, inserted] = counters_.try_emplace(name);
+    if (inserted)
+        order_.push_back(name);
+    return it->second;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_)
+        out.emplace_back(name, counters_.at(name).value());
+    return out;
+}
+
+} // namespace reno

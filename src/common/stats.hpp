@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters grouped under a
+ * StatGroup, with registration so whole groups can be dumped or reset.
+ * Modeled loosely on gem5's stats but deliberately minimal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reno
+{
+
+class StatGroup;
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { value_ += 1; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A group of named counters. Modules embed a StatGroup and register
+ * their counters against it; the harness dumps groups after a run.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p name; returns a reference to use. */
+    Counter &add(const std::string &name);
+
+    /** Zero every registered counter. */
+    void resetAll();
+
+    /** Value of a registered counter (0 if absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All (name, value) pairs in registration order. */
+    std::vector<std::pair<std::string, std::uint64_t>> dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::string> order_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace reno

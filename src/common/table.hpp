@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print the
+ * rows/series corresponding to the paper's figures.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace reno
+{
+
+/**
+ * Simple column-aligned text table. Columns are sized to fit; numeric
+ * cells should be pre-formatted by the caller.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the whole table, header separator included. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a fraction as a percentage string, e.g. 0.123 -> "12.3". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace reno

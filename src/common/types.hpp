@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the RENO
+ * simulator: addresses, cycle counts, register indices.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace reno
+{
+
+/** Byte address in the simulated machine's address space. */
+using Addr = std::uint64_t;
+
+/** Simulated-core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (monotonic on the correct path). */
+using InstSeq = std::uint64_t;
+
+/** Logical (architectural) register index, 0..NumLogRegs-1. */
+using LogReg = std::uint8_t;
+
+/** Physical register index. */
+using PhysReg = std::uint16_t;
+
+/** Number of architectural integer registers (Alpha-like). */
+constexpr unsigned NumLogRegs = 32;
+
+/** The hardwired zero register (Alpha r31). */
+constexpr LogReg RegZero = 31;
+
+/** Stack pointer (Alpha r30). */
+constexpr LogReg RegSp = 30;
+
+/** Return address / link register (Alpha r26). */
+constexpr LogReg RegRa = 26;
+
+/** Return-value register (Alpha v0 = r0). */
+constexpr LogReg RegV0 = 0;
+
+/** First argument register (Alpha a0 = r16). */
+constexpr LogReg RegA0 = 16;
+
+/** Frame pointer (Alpha fp = r15). */
+constexpr LogReg RegFp = 15;
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg InvalidPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no cycle yet" / "not scheduled". */
+constexpr Cycle InvalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sign-extend the low @p bits bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    const std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+    const std::uint64_t sign = 1ULL << (bits - 1);
+    const std::uint64_t v = value & mask;
+    return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+/** True iff @p value fits in a signed @p bits-bit field. */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned bits)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace reno

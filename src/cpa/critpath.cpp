@@ -1,0 +1,224 @@
+#include "cpa/critpath.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+const char *
+cpBucketName(CpBucket bucket)
+{
+    switch (bucket) {
+      case CpBucket::Fetch:    return "fetch";
+      case CpBucket::AluExec:  return "alu_exec";
+      case CpBucket::LoadExec: return "load_exec";
+      case CpBucket::LoadMem:  return "load_mem";
+      case CpBucket::Commit:   return "commit";
+      default:                 return "?";
+    }
+}
+
+CriticalPathAnalyzer::CriticalPathAnalyzer(size_t chunk_size,
+                                           unsigned window,
+                                           unsigned iq_window)
+    : chunkSize_(chunk_size), window_(window), iqWindow_(iq_window)
+{
+    chunk_.reserve(chunk_size);
+}
+
+void
+CriticalPathAnalyzer::onRetire(const DynInst &inst)
+{
+    Record rec;
+    rec.seq = inst.seq;
+    rec.f = inst.renameCycle;
+    rec.e = inst.completeCycle;
+    rec.c = inst.retireCycle;
+    rec.i = inst.issued ? inst.issueCycle : rec.f;
+    rec.cls = inst.inst().info().cls;
+    rec.memLevel = inst.memLevel;
+    rec.eliminated = inst.ren.eliminated();
+    rec.issueDom = inst.issueDom;
+    rec.domProducer = inst.domProducer;
+    rec.redirectFrom = inst.redirectFrom;
+    rec.commitDom = inst.commitDom;
+
+    if (chunk_.empty())
+        firstSeq_ = rec.seq;
+    chunk_.push_back(rec);
+    if (chunk_.size() >= chunkSize_)
+        processChunk();
+}
+
+void
+CriticalPathAnalyzer::finish()
+{
+    processChunk();
+}
+
+CpBucket
+CriticalPathAnalyzer::execBucket(const Record &rec) const
+{
+    if (rec.cls == InstClass::Load) {
+        if (rec.memLevel == MemLevel::Memory)
+            return CpBucket::LoadMem;
+        return CpBucket::LoadExec;
+    }
+    return CpBucket::AluExec;
+}
+
+void
+CriticalPathAnalyzer::processChunk()
+{
+    if (chunk_.empty())
+        return;
+
+    enum class Node { F, I, E, C };
+
+    auto add = [this](CpBucket bucket, Cycle from, Cycle to) {
+        if (to > from)
+            buckets_[static_cast<unsigned>(bucket)] += to - from;
+    };
+    auto index_of = [this](InstSeq seq) -> long {
+        // Retirement is in program order and every fetched instruction
+        // retires exactly once, so seqs within a chunk are contiguous.
+        if (seq < firstSeq_ || seq >= firstSeq_ + chunk_.size())
+            return -1;
+        return static_cast<long>(seq - firstSeq_);
+    };
+
+    long idx = static_cast<long>(chunk_.size()) - 1;
+    Node node = Node::C;
+    bool walking = true;
+
+    while (walking && idx >= 0) {
+        const Record &rec = chunk_[static_cast<size_t>(idx)];
+        switch (node) {
+          case Node::C:
+            if (rec.commitDom == CommitDom::SelfComplete || idx == 0) {
+                add(CpBucket::Commit, rec.e, rec.c);
+                node = Node::E;
+            } else {
+                const Record &prev = chunk_[static_cast<size_t>(idx - 1)];
+                add(CpBucket::Commit, prev.c, rec.c);
+                --idx;
+            }
+            break;
+          case Node::E:
+            if (rec.eliminated) {
+                add(CpBucket::Fetch, rec.f, rec.e);
+                node = Node::F;
+            } else {
+                add(execBucket(rec), rec.i, rec.e);
+                node = Node::I;
+            }
+            break;
+          case Node::I:
+            switch (rec.issueDom) {
+              case IssueDom::Dispatch:
+                add(CpBucket::Fetch, rec.f, rec.i);
+                node = Node::F;
+                break;
+              case IssueDom::Src0:
+              case IssueDom::Src1:
+              case IssueDom::MemDep: {
+                const long pidx = index_of(rec.domProducer);
+                if (pidx < 0) {
+                    add(CpBucket::Fetch, rec.f, rec.i);
+                    node = Node::F;
+                } else {
+                    const Record &prod =
+                        chunk_[static_cast<size_t>(pidx)];
+                    // Wait-for-producer edge: attribute the (small)
+                    // scheduling gap to the consumer's class.
+                    add(execBucket(rec), prod.e, rec.i);
+                    idx = pidx;
+                    node = Node::E;
+                }
+                break;
+              }
+              case IssueDom::Contention:
+                add(execBucket(rec), rec.f, rec.i);
+                node = Node::F;
+                break;
+            }
+            break;
+          case Node::F: {
+            // Pick the last-arriving in-order constraint: the previous
+            // fetch (bandwidth), the finite window (retirement of the
+            // instruction ROB-size older), or a misprediction redirect
+            // (the branch's execution). All edge weights land in the
+            // paper's "fetch" bucket; the choice matters because the
+            // walk continues from different nodes.
+            const long widx = idx - static_cast<long>(window_);
+            const long qidx = idx - static_cast<long>(iqWindow_);
+            const Cycle prev_f =
+                idx > 0 ? chunk_[static_cast<size_t>(idx - 1)].f : 0;
+            Cycle window_t = 0;
+            if (widx >= 0)
+                window_t = chunk_[static_cast<size_t>(widx)].c;
+            Cycle iq_t = 0;
+            if (qidx >= 0)
+                iq_t = chunk_[static_cast<size_t>(qidx)].i;
+            Cycle redirect_t = 0;
+            long bidx = -1;
+            if (rec.redirectFrom) {
+                bidx = index_of(rec.redirectFrom);
+                if (bidx >= 0)
+                    redirect_t = chunk_[static_cast<size_t>(bidx)].e;
+            }
+            // Only constraints that plausibly bound this rename time
+            // are eligible (within the front-end refill distance).
+            const bool win_ok = widx >= 0 && window_t + 4 >= rec.f &&
+                                window_t >= prev_f;
+            const bool iq_ok = qidx >= 0 && iq_t + 4 >= rec.f &&
+                               iq_t >= prev_f;
+            const bool red_ok = bidx >= 0 && redirect_t >= prev_f;
+            if (red_ok && redirect_t >= window_t && redirect_t >= iq_t) {
+                add(CpBucket::Fetch, redirect_t, rec.f);
+                idx = bidx;
+                node = Node::E;
+            } else if (win_ok && window_t >= iq_t) {
+                add(CpBucket::Fetch, window_t, rec.f);
+                idx = widx;
+                node = Node::C;
+            } else if (iq_ok) {
+                add(CpBucket::Fetch, iq_t, rec.f);
+                idx = qidx;
+                node = Node::I;
+            } else if (idx == 0) {
+                walking = false;
+            } else {
+                add(CpBucket::Fetch, prev_f, rec.f);
+                --idx;
+            }
+            break;
+          }
+        }
+    }
+
+    chunk_.clear();
+}
+
+std::uint64_t
+CriticalPathAnalyzer::totalWeight() const
+{
+    std::uint64_t sum = 0;
+    for (const auto w : buckets_)
+        sum += w;
+    return sum;
+}
+
+std::array<double, NumCpBuckets>
+CriticalPathAnalyzer::breakdown() const
+{
+    std::array<double, NumCpBuckets> out{};
+    const double total = static_cast<double>(totalWeight());
+    if (total > 0) {
+        for (unsigned b = 0; b < NumCpBuckets; ++b)
+            out[b] = static_cast<double>(buckets_[b]) / total;
+    }
+    return out;
+}
+
+} // namespace reno

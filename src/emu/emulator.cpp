@@ -1,0 +1,224 @@
+#include "emu/emulator.hpp"
+
+#include <climits>
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+std::uint64_t
+evalAlu(Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const std::uint64_t immS =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(imm));
+    const std::uint64_t immZ = static_cast<std::uint64_t>(imm) & 0xffff;
+    const auto sb = static_cast<std::int64_t>(b);
+
+    switch (op) {
+      case Opcode::ADD:  return a + b;
+      case Opcode::SUB:  return a - b;
+      case Opcode::MUL:  return a * b;
+      case Opcode::DIV:
+        // Divide by zero yields 0; INT64_MIN / -1 wraps to itself
+        // (the C++ expression would overflow and trap).
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return static_cast<std::uint64_t>(sa);
+        return static_cast<std::uint64_t>(sa / sb);
+      case Opcode::DIVU: return b == 0 ? 0 : a / b;
+      case Opcode::REM:
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return 0;
+        return static_cast<std::uint64_t>(sa % sb);
+      case Opcode::AND:  return a & b;
+      case Opcode::OR:   return a | b;
+      case Opcode::XOR:  return a ^ b;
+      case Opcode::BIC:  return a & ~b;
+      case Opcode::SLL:  return a << (b & 63);
+      case Opcode::SRL:  return a >> (b & 63);
+      case Opcode::SRA:  return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::SEQ:  return a == b ? 1 : 0;
+      case Opcode::SLT:  return sa < sb ? 1 : 0;
+      case Opcode::SLE:  return sa <= sb ? 1 : 0;
+      case Opcode::SLTU: return a < b ? 1 : 0;
+      case Opcode::SLEU: return a <= b ? 1 : 0;
+      case Opcode::ADDI: return a + immS;
+      case Opcode::MULI: return a * immS;
+      case Opcode::ANDI: return a & immZ;
+      case Opcode::ORI:  return a | immZ;
+      case Opcode::XORI: return a ^ immZ;
+      case Opcode::SLLI: return a << (imm & 63);
+      case Opcode::SRLI: return a >> (imm & 63);
+      case Opcode::SRAI: return static_cast<std::uint64_t>(sa >> (imm & 63));
+      case Opcode::SEQI: return a == immS ? 1 : 0;
+      case Opcode::SLTI: return sa < static_cast<std::int64_t>(imm) ? 1 : 0;
+      case Opcode::SLEI: return sa <= static_cast<std::int64_t>(imm) ? 1 : 0;
+      case Opcode::SLTUI: return a < immS ? 1 : 0;
+      case Opcode::SLEUI: return a <= immS ? 1 : 0;
+      case Opcode::LUI:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(imm) << 16);
+      default:
+        panic("evalAlu: opcode %s is not an ALU operation",
+              std::string(mnemonic(op)).c_str());
+    }
+}
+
+Emulator::Emulator(const Program &prog, Options opts)
+    : prog_(prog), opts_(opts), randState_(opts.randSeed)
+{
+    // Load text and data images.
+    for (size_t i = 0; i < prog.text.size(); ++i)
+        mem_.write(prog.textBase + i * 4, prog.text[i], 4);
+    if (!prog.data.empty())
+        mem_.load(prog.dataBase, prog.data.data(), prog.data.size());
+    state_.pc = prog.entry;
+    state_.setReg(RegSp, opts.stackTop);
+}
+
+std::uint64_t
+Emulator::doSyscall()
+{
+    const std::uint64_t num = state_.reg(RegV0);
+    const std::uint64_t a0 = state_.reg(RegA0);
+    switch (num) {
+      case SysExit:
+        done_ = true;
+        exitCode_ = a0;
+        return 0;
+      case SysPrintInt:
+        output_ += strprintf("%lld",
+                             static_cast<long long>(a0));
+        return 0;
+      case SysPrintStr:
+        output_ += mem_.readString(a0);
+        return 0;
+      case SysPrintChar:
+        output_ += static_cast<char>(a0);
+        return 0;
+      case SysClock:
+        return instCount_;
+      case SysRand:
+        randState_ = randState_ * 6364136223846793005ULL +
+                     1442695040888963407ULL;
+        return randState_ >> 16;
+      default:
+        fatal("unknown syscall %llu at pc 0x%llx",
+              static_cast<unsigned long long>(num),
+              static_cast<unsigned long long>(state_.pc));
+    }
+}
+
+ExecRecord
+Emulator::step()
+{
+    if (done_)
+        panic("Emulator::step after exit");
+    if (instCount_ >= opts_.maxInsts)
+        fatal("emulator exceeded %llu instructions (runaway program?)",
+              static_cast<unsigned long long>(opts_.maxInsts));
+    if (!prog_.inText(state_.pc))
+        fatal("pc 0x%llx outside text segment",
+              static_cast<unsigned long long>(state_.pc));
+
+    ExecRecord rec;
+    rec.pc = state_.pc;
+    rec.inst = prog_.instAt(state_.pc);
+    const Instruction &inst = rec.inst;
+    const unsigned nsrc = inst.numSrcs();
+    for (unsigned i = 0; i < nsrc; ++i)
+        rec.srcVal[i] = state_.reg(inst.src(i));
+
+    Addr npc = rec.pc + 4;
+    const Addr branch_target =
+        rec.pc + 4 + static_cast<Addr>(
+            static_cast<std::int64_t>(inst.imm) * 4);
+
+    switch (inst.info().cls) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+        rec.result = evalAlu(inst.op, rec.srcVal[0], rec.srcVal[1],
+                             inst.imm);
+        state_.setReg(inst.rc, rec.result);
+        break;
+      case InstClass::Load: {
+        rec.effAddr = rec.srcVal[0] +
+                      static_cast<Addr>(
+                          static_cast<std::int64_t>(inst.imm));
+        std::uint64_t v = mem_.read(rec.effAddr, inst.info().memSize);
+        if (inst.info().signedLoad)
+            v = static_cast<std::uint64_t>(
+                signExtend(v, inst.info().memSize * 8));
+        rec.result = v;
+        state_.setReg(inst.rc, v);
+        break;
+      }
+      case InstClass::Store:
+        rec.effAddr = rec.srcVal[0] +
+                      static_cast<Addr>(
+                          static_cast<std::int64_t>(inst.imm));
+        rec.storeData = rec.srcVal[1];
+        mem_.write(rec.effAddr, rec.storeData, inst.info().memSize);
+        break;
+      case InstClass::CtrlCond: {
+        const auto v = static_cast<std::int64_t>(rec.srcVal[0]);
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::BEQ: taken = v == 0; break;
+          case Opcode::BNE: taken = v != 0; break;
+          case Opcode::BLT: taken = v < 0; break;
+          case Opcode::BGE: taken = v >= 0; break;
+          case Opcode::BLE: taken = v <= 0; break;
+          case Opcode::BGT: taken = v > 0; break;
+          default: panic("bad conditional branch");
+        }
+        if (taken)
+            npc = branch_target;
+        rec.taken = taken;
+        break;
+      }
+      case InstClass::CtrlUncond:
+        npc = branch_target;
+        rec.taken = true;
+        break;
+      case InstClass::CtrlCall:
+        rec.result = rec.pc + 4;
+        state_.setReg(inst.rc, rec.result);
+        npc = inst.op == Opcode::BSR ? branch_target
+                                     : (rec.srcVal[0] & ~Addr{3});
+        rec.taken = true;
+        break;
+      case InstClass::CtrlRet:
+        npc = rec.srcVal[0] & ~Addr{3};
+        rec.taken = true;
+        break;
+      case InstClass::Syscall: {
+        const std::uint64_t ret = doSyscall();
+        rec.result = ret;
+        state_.setReg(RegV0, ret);
+        break;
+      }
+    }
+
+    state_.pc = npc;
+    rec.npc = npc;
+    rec.exited = done_;
+    ++instCount_;
+    return rec;
+}
+
+std::uint64_t
+Emulator::run()
+{
+    while (!done_)
+        step();
+    return instCount_;
+}
+
+} // namespace reno

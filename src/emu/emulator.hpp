@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Functional emulator for the RENO ISA.
+ *
+ * Runs programs architecturally, one instruction per step(). The
+ * timing core uses it as an oracle: each step yields an ExecRecord
+ * with the instruction's source values, result, effective address and
+ * next pc, which the cycle-level model then schedules (SimpleScalar
+ * style functional-first simulation).
+ *
+ * System calls (v0 = number, a0.. = arguments):
+ *   0 exit(a0)
+ *   1 print_int(a0)     appends decimal to the captured output
+ *   2 print_str(a0)     a0 = address of NUL-terminated string
+ *   3 print_char(a0)
+ *   4 clock()           v0 = retired instruction count (deterministic)
+ *   5 rand()            v0 = next value of a deterministic LCG
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace reno
+{
+
+/** Syscall numbers. */
+enum : std::uint64_t {
+    SysExit = 0,
+    SysPrintInt = 1,
+    SysPrintStr = 2,
+    SysPrintChar = 3,
+    SysClock = 4,
+    SysRand = 5,
+};
+
+/** Architectural register file + pc. */
+struct ArchState {
+    std::uint64_t regs[NumLogRegs] = {};
+    Addr pc = 0;
+
+    std::uint64_t
+    reg(LogReg r) const
+    {
+        return r == RegZero ? 0 : regs[r];
+    }
+
+    void
+    setReg(LogReg r, std::uint64_t v)
+    {
+        if (r != RegZero)
+            regs[r] = v;
+    }
+};
+
+/** Everything the timing model needs to know about one executed inst. */
+struct ExecRecord {
+    Instruction inst;
+    Addr pc = 0;
+    Addr npc = 0;              //!< actual next pc (branch outcome)
+    std::uint64_t srcVal[2] = {0, 0};
+    std::uint64_t result = 0;  //!< destination value (if any)
+    Addr effAddr = 0;          //!< memory ops: effective address
+    std::uint64_t storeData = 0;
+    bool taken = false;        //!< control: did the pc redirect?
+    bool exited = false;       //!< this instruction ended the program
+};
+
+/** Evaluate a non-memory, non-control operation (shared with tests). */
+std::uint64_t evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
+                      std::int32_t imm);
+
+/** The functional emulator. */
+class Emulator
+{
+  public:
+    struct Options {
+        Addr stackTop = DefaultStackTop;
+        std::uint64_t maxInsts = 100'000'000;  //!< runaway guard
+        std::uint64_t randSeed = 1;
+    };
+
+    explicit Emulator(const Program &prog, Options opts);
+    explicit Emulator(const Program &prog) : Emulator(prog, Options{}) {}
+
+    /** Execute one instruction. Invalid after done(). */
+    ExecRecord step();
+
+    /** Run to exit (or maxInsts); returns retired instruction count. */
+    std::uint64_t run();
+
+    bool done() const { return done_; }
+
+    /** Exit code passed to the exit syscall (0 if still running). */
+    std::uint64_t exitCode() const { return exitCode_; }
+
+    std::uint64_t instCount() const { return instCount_; }
+    const ArchState &state() const { return state_; }
+    ArchState &state() { return state_; }
+    const SparseMemory &memory() const { return mem_; }
+    SparseMemory &memory() { return mem_; }
+    const std::string &output() const { return output_; }
+    const Program &program() const { return prog_; }
+
+  private:
+    std::uint64_t doSyscall();
+
+    const Program &prog_;
+    Options opts_;
+    ArchState state_;
+    SparseMemory mem_;
+    std::string output_;
+    std::uint64_t instCount_ = 0;
+    std::uint64_t exitCode_ = 0;
+    std::uint64_t randState_;
+    bool done_ = false;
+};
+
+} // namespace reno

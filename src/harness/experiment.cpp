@@ -1,0 +1,94 @@
+#include "harness/experiment.hpp"
+
+#include "asm/assembler.hpp"
+#include "common/log.hpp"
+#include "emu/emulator.hpp"
+
+namespace reno
+{
+
+CoreParams
+withReno(CoreParams params, const RenoConfig &reno)
+{
+    params.reno = reno;
+    return params;
+}
+
+std::vector<NamedConfig>
+renoBuildup(const CoreParams &base)
+{
+    return {
+        {"BASE", withReno(base, RenoConfig::baseline())},
+        {"ME", withReno(base, RenoConfig::meOnly())},
+        {"ME+CF", withReno(base, RenoConfig::meCf())},
+        {"RENO", withReno(base, RenoConfig::full())},
+    };
+}
+
+std::vector<NamedConfig>
+divisionOfLabor(const CoreParams &base)
+{
+    return {
+        {"RENO", withReno(base, RenoConfig::full())},
+        {"RENO+FullInteg", withReno(base, RenoConfig::fullIt())},
+        {"FullInteg", withReno(base, RenoConfig::integrationOnly())},
+        {"LoadsInteg", withReno(base, RenoConfig::loadsIntegrationOnly())},
+    };
+}
+
+RunOutput
+runWorkload(const Workload &workload, const CoreParams &params,
+            CriticalPathAnalyzer *cpa)
+{
+    const Program prog = assemble(workload.source);
+    Emulator::Options opts;
+    opts.randSeed = workload.seed;
+    Emulator emu(prog, opts);
+    Core core(params, emu);
+    if (cpa)
+        core.setRetireListener(cpa);
+    RunOutput out;
+    out.sim = core.run();
+    if (cpa)
+        cpa->finish();
+    out.output = emu.output();
+    out.memDigest = emu.memory().digest();
+    out.emuInsts = emu.instCount();
+    return out;
+}
+
+RunOutput
+runFunctional(const Workload &workload)
+{
+    const Program prog = assemble(workload.source);
+    Emulator::Options opts;
+    opts.randSeed = workload.seed;
+    Emulator emu(prog, opts);
+    RunOutput out;
+    out.emuInsts = emu.run();
+    out.output = emu.output();
+    out.memDigest = emu.memory().digest();
+    return out;
+}
+
+double
+speedupPercent(std::uint64_t base_cycles, std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return 0.0;
+    return (static_cast<double>(base_cycles) /
+            static_cast<double>(cycles) - 1.0) * 100.0;
+}
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace reno

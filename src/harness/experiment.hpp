@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment harness: named machine configurations matching the
+ * paper's evaluation section, a one-call workload runner, and the
+ * aggregation helpers the per-figure benchmark binaries share.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpa/critpath.hpp"
+#include "uarch/core.hpp"
+#include "uarch/params.hpp"
+#include "workloads/workloads.hpp"
+
+namespace reno
+{
+
+/** A machine configuration with a display name. */
+struct NamedConfig {
+    std::string name;
+    CoreParams params;
+};
+
+/** Everything a single simulation run produces. */
+struct RunOutput {
+    SimResult sim;
+    std::string output;           //!< program's printed output
+    std::uint64_t memDigest = 0;  //!< final memory digest
+    std::uint64_t emuInsts = 0;   //!< functional instruction count
+};
+
+/** Apply a RENO configuration to a core configuration. */
+CoreParams withReno(CoreParams params, const RenoConfig &reno);
+
+/**
+ * The paper's cumulative RENO build-up: BASE, +ME, +ME+CF, full RENO
+ * (ME+CF+CSE+RA with a loads-only IT), on top of @p base.
+ */
+std::vector<NamedConfig> renoBuildup(const CoreParams &base);
+
+/** Figure 10's four division-of-labor configurations. */
+std::vector<NamedConfig> divisionOfLabor(const CoreParams &base);
+
+/** Run @p workload on @p params; optionally attach a CPA. */
+RunOutput runWorkload(const Workload &workload, const CoreParams &params,
+                      CriticalPathAnalyzer *cpa = nullptr);
+
+/** Run just the functional emulator (reference state / output). */
+RunOutput runFunctional(const Workload &workload);
+
+/** Percentage speedup of @p cycles against @p base_cycles. */
+double speedupPercent(std::uint64_t base_cycles, std::uint64_t cycles);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &xs);
+
+} // namespace reno

@@ -1,0 +1,59 @@
+#include "isa/regs.hpp"
+
+#include <array>
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, NumLogRegs> abiNames = {
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+    "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero",
+};
+
+} // namespace
+
+std::string
+regName(LogReg reg)
+{
+    return strprintf("r%u", static_cast<unsigned>(reg));
+}
+
+std::string
+regAbiName(LogReg reg)
+{
+    if (reg >= NumLogRegs)
+        panic("regAbiName: bad register %u", static_cast<unsigned>(reg));
+    return std::string(abiNames[reg]);
+}
+
+unsigned
+parseRegName(std::string_view name)
+{
+    if (name.size() >= 2 && name[0] == 'r') {
+        unsigned value = 0;
+        bool all_digits = true;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (name[i] < '0' || name[i] > '9') {
+                all_digits = false;
+                break;
+            }
+            value = value * 10 + static_cast<unsigned>(name[i] - '0');
+        }
+        if (all_digits && value < NumLogRegs)
+            return value;
+    }
+    for (unsigned i = 0; i < NumLogRegs; ++i) {
+        if (abiNames[i] == name)
+            return i;
+    }
+    return NumLogRegs;
+}
+
+} // namespace reno

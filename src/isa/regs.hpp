@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Architectural register names and ABI aliases (Alpha calling
+ * convention): v0=r0, t0-t7=r1-r8, s0-s5=r9-r14, fp=r15, a0-a5=r16-r21,
+ * t8-t11=r22-r25, ra=r26, pv=r27, at=r28, gp=r29, sp=r30, zero=r31.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Canonical name for a register ("r7"). */
+std::string regName(LogReg reg);
+
+/** ABI alias name ("t6" for r7, "sp" for r30). */
+std::string regAbiName(LogReg reg);
+
+/**
+ * Parse a register name or ABI alias; returns NumLogRegs on failure.
+ * Accepts "r0".."r31" and all Alpha aliases.
+ */
+unsigned parseRegName(std::string_view name);
+
+} // namespace reno

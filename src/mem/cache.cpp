@@ -1,0 +1,188 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+Cache::Cache(const CacheParams &params, NextLevel next, void *next_ctx)
+    : params_(params), next_(next), nextCtx_(next_ctx)
+{
+    if (params_.blockBytes == 0 || params_.assoc == 0)
+        fatal("cache %s: bad geometry", params_.name.c_str());
+    numSets_ = params_.sizeBytes / (params_.blockBytes * params_.assoc);
+    if (numSets_ == 0)
+        fatal("cache %s: size smaller than one set", params_.name.c_str());
+    lines_.resize(static_cast<size_t>(numSets_) * params_.assoc);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr block = blockAddr(addr);
+    const unsigned set = setIndex(block);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == block)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr block)
+{
+    const unsigned set = setIndex(block);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == block)
+            return;  // already present (merged fill)
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->lruStamp = ++lruClock_;
+}
+
+Cycle
+Cache::access(Addr addr, Cycle now, bool is_write)
+{
+    (void)is_write;  // write-allocate; no dirty tracking
+    const Addr block = blockAddr(addr);
+    const unsigned set = setIndex(block);
+
+    // Retire MSHRs whose fills have landed (timing bookkeeping only;
+    // the tag array is updated eagerly at miss time).
+    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+        if (it->second <= now)
+            it = mshrs_.erase(it);
+        else
+            ++it;
+    }
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == block) {
+            line.lruStamp = ++lruClock_;
+            // The block may still be in flight: an access before the
+            // fill completes merges into the outstanding miss.
+            if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+                ++mshrMerges_;
+                return it->second + params_.latency;
+            }
+            ++hits_;
+            return now + params_.latency;
+        }
+    }
+    ++misses_;
+
+    // All MSHRs busy: wait for the earliest one to retire first.
+    Cycle start = now;
+    if (mshrs_.size() >= params_.numMshrs) {
+        Cycle earliest = InvalidCycle;
+        for (const auto &[blk, fill_cycle] : mshrs_) {
+            if (fill_cycle < earliest)
+                earliest = fill_cycle;
+        }
+        for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+            if (it->second <= earliest)
+                it = mshrs_.erase(it);
+            else
+                ++it;
+        }
+        start = std::max(start, earliest);
+    }
+
+    const Cycle fill_done =
+        next_(nextCtx_, block * params_.blockBytes, start + params_.latency);
+    mshrs_[block] = fill_done;
+    // Eager tag fill: the line is installed (and a victim evicted) at
+    // miss time; the MSHR entry carries the timing.
+    fill(block);
+    return fill_done + params_.latency;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    mshrs_.clear();
+}
+
+MemHierarchy::MemHierarchy(const Params &params)
+    : params_(params),
+      l2_(params.l2, &MemHierarchy::memEntry, this),
+      icache_(params.icache, &MemHierarchy::l2Entry, this),
+      dcache_(params.dcache, &MemHierarchy::l2Entry, this),
+      l2BlockBytes_(params.l2.blockBytes)
+{
+}
+
+std::uint64_t
+MemHierarchy::l2Entry(void *ctx, Addr block_addr, Cycle now)
+{
+    auto *self = static_cast<MemHierarchy *>(ctx);
+    return self->l2_.access(block_addr, now, false);
+}
+
+std::uint64_t
+MemHierarchy::memEntry(void *ctx, Addr block_addr, Cycle now)
+{
+    (void)block_addr;
+    auto *self = static_cast<MemHierarchy *>(ctx);
+    return self->memoryAccess(now);
+}
+
+Cycle
+MemHierarchy::memoryAccess(Cycle now)
+{
+    // One L2 block crosses the bus in blockBytes / busBytes beats, each
+    // taking busClockDivider core cycles.
+    const unsigned beats =
+        (l2BlockBytes_ + params_.memory.busBytes - 1) /
+        params_.memory.busBytes;
+    const unsigned transfer = beats * params_.memory.busClockDivider;
+
+    const Cycle start = std::max(now, busFreeCycle_);
+    const Cycle done = start + params_.memory.accessLatency + transfer;
+    busFreeCycle_ = done;
+    return done;
+}
+
+bool
+MemHierarchy::l2Probe(Addr addr) const
+{
+    return l2_.probe(addr);
+}
+
+Cycle
+MemHierarchy::fetchAccess(Addr pc, Cycle now)
+{
+    return icache_.access(pc, now, false);
+}
+
+Cycle
+MemHierarchy::dataAccess(Addr addr, Cycle now, bool is_write)
+{
+    return dcache_.access(addr, now, is_write);
+}
+
+void
+MemHierarchy::flush()
+{
+    icache_.flush();
+    dcache_.flush();
+    l2_.flush();
+    busFreeCycle_ = 0;
+}
+
+} // namespace reno

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Timing-only cache and memory-hierarchy models.
+ *
+ * The hierarchy reproduces the paper's configuration (section 4.1):
+ * 16KB 2-way 32B 1-cycle I$, 32KB 2-way 32B 2-cycle D$, 512KB 4-way
+ * 64B 10-cycle L2, 100-cycle main memory reached over a 16B bus
+ * clocked at one quarter of the core frequency, and a maximum of 16
+ * outstanding misses (MSHRs).
+ *
+ * The models carry no data (data lives in SparseMemory); an access
+ * returns the cycle at which its data is available.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams {
+    std::string name = "cache";
+    unsigned sizeBytes = 16 * 1024;
+    unsigned assoc = 2;
+    unsigned blockBytes = 32;
+    unsigned latency = 1;       //!< access latency in cycles
+    unsigned numMshrs = 16;     //!< max outstanding misses
+};
+
+/**
+ * A set-associative, LRU, timing-only cache with MSHR-based miss
+ * merging. Misses are forwarded to a "next level" latency callback.
+ */
+class Cache
+{
+  public:
+    using NextLevel = std::uint64_t (*)(void *ctx, Addr block_addr,
+                                        Cycle now);
+
+    Cache(const CacheParams &params, NextLevel next, void *next_ctx);
+
+    /**
+     * Access @p addr at @p now; returns the cycle the data is ready.
+     * Writes allocate like reads (write-allocate); the model tracks no
+     * dirty state (write-back traffic is not modeled).
+     */
+    Cycle access(Addr addr, Cycle now, bool is_write);
+
+    /** True iff @p addr would hit right now (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all blocks and forget outstanding misses. */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t mshrMerges() const { return mshrMerges_; }
+
+  private:
+    struct Line {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Addr blockAddr(Addr addr) const { return addr / params_.blockBytes; }
+    unsigned setIndex(Addr block) const { return block % numSets_; }
+
+    /** Install @p block, evicting LRU. */
+    void fill(Addr block);
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines_;      //!< numSets_ * assoc
+    std::uint64_t lruClock_ = 0;
+
+    /** Outstanding misses: block -> fill-complete cycle. */
+    std::map<Addr, Cycle> mshrs_;
+
+    NextLevel next_;
+    void *nextCtx_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t mshrMerges_ = 0;
+};
+
+/** Main-memory + bus timing parameters. */
+struct MemoryParams {
+    unsigned accessLatency = 100;  //!< DRAM access cycles
+    unsigned busBytes = 16;        //!< bus width
+    unsigned busClockDivider = 4;  //!< bus runs at core clock / divider
+};
+
+/**
+ * The full hierarchy used by the core: I$ and D$ both backed by a
+ * shared L2, which is backed by main memory over a contended bus.
+ */
+class MemHierarchy
+{
+  public:
+    struct Params {
+        CacheParams icache{"icache", 16 * 1024, 2, 32, 1, 16};
+        CacheParams dcache{"dcache", 32 * 1024, 2, 32, 2, 16};
+        CacheParams l2{"l2", 512 * 1024, 4, 64, 10, 16};
+        MemoryParams memory;
+    };
+
+    explicit MemHierarchy(const Params &params);
+    MemHierarchy() : MemHierarchy(Params{}) {}
+
+    /** Instruction fetch of the block containing @p pc. */
+    Cycle fetchAccess(Addr pc, Cycle now);
+
+    /** Data access. */
+    Cycle dataAccess(Addr addr, Cycle now, bool is_write);
+
+    /** Would a load of @p addr hit in the D$ right now? */
+    bool dcacheProbe(Addr addr) const { return dcache_.probe(addr); }
+    /** Would it hit in the L2? */
+    bool l2Probe(Addr addr) const;
+
+    void flush();
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    static std::uint64_t l2Entry(void *ctx, Addr block_addr, Cycle now);
+    static std::uint64_t memEntry(void *ctx, Addr block_addr, Cycle now);
+
+    Cycle memoryAccess(Cycle now);
+
+    Params params_;
+    Cache l2_;
+    Cache icache_;
+    Cache dcache_;
+    Cycle busFreeCycle_ = 0;
+    unsigned l2BlockBytes_;
+};
+
+} // namespace reno

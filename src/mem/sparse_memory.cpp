@@ -1,0 +1,93 @@
+#include "mem/sparse_memory.hpp"
+
+#include <string>
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> PageBits);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    auto [it, inserted] = pages_.try_emplace(addr >> PageBits);
+    if (inserted)
+        it->second.assign(PageSize, 0);
+    return it->second;
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (PageSize - 1)] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    getPage(addr)[addr & (PageSize - 1)] = value;
+}
+
+std::uint64_t
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= std::uint64_t{readByte(addr + i)} << (8 * i);
+    return value;
+}
+
+void
+SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+SparseMemory::load(Addr base, const std::uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        writeByte(base + i, data[i]);
+}
+
+std::string
+SparseMemory::readString(Addr addr) const
+{
+    std::string out;
+    for (Addr a = addr; a < addr + 65536; ++a) {
+        const char c = static_cast<char>(readByte(a));
+        if (c == '\0')
+            return out;
+        out += c;
+    }
+    panic("readString: unterminated string at 0x%llx",
+          static_cast<unsigned long long>(addr));
+}
+
+std::uint64_t
+SparseMemory::digest() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+    };
+    for (const auto &[page_num, page] : pages_) {
+        for (unsigned i = 0; i < 8; ++i)
+            mix(static_cast<std::uint8_t>(page_num >> (8 * i)));
+        for (std::uint8_t b : page)
+            mix(b);
+    }
+    return h;
+}
+
+} // namespace reno

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse functional memory: a 4KB-page map over a 64-bit address
+ * space. Holds the architectural memory contents; the cache models in
+ * cache.hpp are timing-only and read their data from here (oracle
+ * style, as in SimpleScalar).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Byte-addressable sparse memory with on-demand page allocation. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned PageBits = 12;
+    static constexpr Addr PageSize = Addr{1} << PageBits;
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Little-endian multi-byte access, @p size in {1, 2, 4, 8}. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Copy a buffer into memory (program loading). */
+    void load(Addr base, const std::uint8_t *data, size_t len);
+
+    /** Read a NUL-terminated string (bounded at 64KB). */
+    std::string readString(Addr addr) const;
+
+    /**
+     * FNV-1a digest over all allocated pages, including each page's
+     * address. Used by tests to compare final memory states between
+     * the emulator and the timing core.
+     */
+    std::uint64_t digest() const;
+
+    /** Number of allocated 4KB pages. */
+    size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::map<Addr, Page> pages_;
+};
+
+} // namespace reno

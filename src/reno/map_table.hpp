@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The RENO extended map table (paper section 2.3): each logical
+ * register maps to a [physical register : displacement] pair. A
+ * conventional renamer is the special case where every displacement is
+ * zero. Displacements are 16 bits wide (Alpha-style immediates).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** One map-table entry: [p : d]. Meaning: value = R[p] + d. */
+struct MapEntry {
+    PhysReg preg = InvalidPhysReg;
+    std::int16_t disp = 0;
+
+    bool operator==(const MapEntry &other) const = default;
+};
+
+/** The logical-to-physical map table. */
+class MapTable
+{
+  public:
+    MapTable()
+    {
+        entries_.fill(MapEntry{});
+    }
+
+    const MapEntry &
+    get(LogReg reg) const
+    {
+        return entries_[reg];
+    }
+
+    void
+    set(LogReg reg, MapEntry entry)
+    {
+        entries_[reg] = entry;
+    }
+
+  private:
+    std::array<MapEntry, NumLogRegs> entries_;
+};
+
+/**
+ * Conservative displacement-overflow check (paper section 3.2): the
+ * hardware examines the upper two bits of the existing map-table
+ * displacement and of the instruction immediate; if both operands are
+ * "small" (sign bit equals bit 14, i.e. each lies in [-2^14, 2^14-1])
+ * the 16-bit sum cannot overflow and folding is allowed. When either
+ * operand is zero the sum is the other operand and cannot overflow
+ * regardless of magnitude; the zero-detects are free (the map table
+ * already tracks a displacement-is-zero bit and a zero immediate is a
+ * register move), and without this case every `li rd, 32767`-style
+ * large-constant materialization would be refused.
+ */
+inline bool
+foldSafeConservative(std::int32_t disp, std::int32_t imm)
+{
+    if (disp == 0 || imm == 0)
+        return true;
+    const auto small = [](std::int32_t v) {
+        return v >= -16384 && v <= 16383;
+    };
+    return small(disp) && small(imm);
+}
+
+/** Exact overflow check (ablation alternative). */
+inline bool
+foldSafeExact(std::int32_t disp, std::int32_t imm)
+{
+    const std::int32_t sum = disp + imm;
+    return sum >= -32768 && sum <= 32767;
+}
+
+} // namespace reno

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-dynamic-instruction state carried through the timing pipeline.
+ * A DynInst is created at fetch from the functional emulator's
+ * ExecRecord (oracle values) and lives until retirement; on a squash
+ * it is recycled into the fetch buffer for replay.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "emu/emulator.hpp"
+#include "reno/renamer.hpp"
+
+namespace reno
+{
+
+/** Critical-path dominator classes recorded for the analyzer. */
+enum class IssueDom : std::uint8_t {
+    Dispatch,   //!< front-end delivery determined issue time
+    Src0,       //!< waiting on source 0's producer
+    Src1,       //!< waiting on source 1's producer
+    MemDep,     //!< waiting on a store (forwarding or store set)
+    Contention, //!< ready but lost issue arbitration
+};
+
+enum class CommitDom : std::uint8_t {
+    SelfComplete,  //!< retired as soon as it completed
+    PrevCommit,    //!< waited for older instructions / commit width
+    RetirePort,    //!< waited for the store retirement port
+};
+
+/** Which level serviced a load (for critical-path bucketing). */
+enum class MemLevel : std::uint8_t { None, L1, L2, Memory, Forwarded };
+
+/** One in-flight dynamic instruction. */
+struct DynInst {
+    ExecRecord rec;
+    InstSeq seq = 0;
+
+    // --- fetch state --------------------------------------------------
+    Cycle fetchCycle = 0;
+    Cycle fetchReady = 0;        //!< cycle it can enter rename
+    bool mispredicted = false;   //!< fetch-time prediction was wrong
+    bool stallsFetch = false;    //!< currently blocking new fetch
+    /** Branch whose misprediction redirect this fetch followed
+     *  (0 = none); used for the critical-path redirect edge. */
+    InstSeq redirectFrom = 0;
+
+    // --- rename state --------------------------------------------------
+    bool renamed = false;
+    Cycle renameCycle = InvalidCycle;
+    Cycle readyEarliest = InvalidCycle;  //!< dispatch-done cycle
+    RenameOut ren;
+    bool inIq = false;
+    bool inLq = false;
+    bool inSq = false;
+    unsigned storeSet = ~0U;     //!< store-set id for stores
+
+    // --- execute state --------------------------------------------------
+    bool issued = false;
+    Cycle issueCycle = InvalidCycle;
+    Cycle completeCycle = InvalidCycle;
+    MemLevel memLevel = MemLevel::None;
+    IssueDom issueDom = IssueDom::Dispatch;
+    InstSeq domProducer = 0;
+
+    // --- retire state ---------------------------------------------------
+    Cycle retireCycle = InvalidCycle;
+    CommitDom commitDom = CommitDom::SelfComplete;
+
+    const Instruction &inst() const { return rec.inst; }
+    bool isLoadInst() const { return isLoad(rec.inst.op); }
+    bool isStoreInst() const { return isStore(rec.inst.op); }
+
+    bool
+    completed(Cycle now) const
+    {
+        return completeCycle != InvalidCycle && completeCycle <= now;
+    }
+
+    /** Does [effAddr, effAddr+size) overlap @p other's access? */
+    bool
+    memOverlaps(const DynInst &other) const
+    {
+        const Addr a0 = rec.effAddr;
+        const Addr a1 = a0 + inst().info().memSize;
+        const Addr b0 = other.rec.effAddr;
+        const Addr b1 = b0 + other.inst().info().memSize;
+        return a0 < b1 && b0 < a1;
+    }
+
+    /** Reset timing state for replay after a squash. */
+    void
+    resetForReplay()
+    {
+        mispredicted = false;
+        stallsFetch = false;
+        redirectFrom = 0;
+        renamed = false;
+        renameCycle = InvalidCycle;
+        readyEarliest = InvalidCycle;
+        ren = RenameOut{};
+        inIq = inLq = inSq = false;
+        storeSet = ~0U;
+        issued = false;
+        issueCycle = InvalidCycle;
+        completeCycle = InvalidCycle;
+        memLevel = MemLevel::None;
+        issueDom = IssueDom::Dispatch;
+        domProducer = 0;
+        retireCycle = InvalidCycle;
+        commitDom = CommitDom::SelfComplete;
+    }
+};
+
+} // namespace reno

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Core configuration, defaulting to the paper's 4-wide machine
+ * (section 4.1):
+ *
+ *   13-stage pipeline (1 bpred, 2 I$, 1 decode, 2 rename, 1 dispatch,
+ *   1 schedule, 2 register read, 1 execute, 1 complete, 1 retire),
+ *   128-entry ROB, 50-entry issue queue, 48-entry load buffer,
+ *   24-entry store buffer, 160 physical registers. The 4-wide
+ *   configuration issues up to 3 integer operations, 1 FP, 1 load and
+ *   1 store per cycle; the 6-wide one 4, 2, 2 and 1.
+ *
+ * (The RENO ISA is integer-only, so the FP issue slots are unused;
+ * they are kept in the structure for configuration fidelity.)
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "branch/predictor.hpp"
+#include "mem/cache.hpp"
+#include "reno/renamer.hpp"
+
+namespace reno
+{
+
+/** Per-class and total issue bandwidth. */
+struct IssueWidths {
+    unsigned intOps = 3;   //!< integer ALU/mul/div/branch slots
+    unsigned loads = 1;
+    unsigned stores = 1;
+    unsigned fp = 1;       //!< unused by the integer-only ISA
+    unsigned total = 6;
+};
+
+/** Full machine configuration. */
+struct CoreParams {
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned commitWidth = 4;
+    IssueWidths issue;
+
+    unsigned robEntries = 128;
+    unsigned iqEntries = 50;
+    unsigned lqEntries = 48;
+    unsigned sqEntries = 24;
+    unsigned numPregs = 160;
+    unsigned fetchBufEntries = 16;
+
+    /** Front-end depth: bpred + 2x I$ + decode. */
+    unsigned frontDepth = 4;
+    /** Rename-to-schedule depth: second rename stage + dispatch +
+     *  schedule. */
+    unsigned renameDepth = 3;
+    /** Wakeup/select scheduling loop: 1 = back-to-back dependent
+     *  single-cycle ops; 2 = the pipelined scheduler of Figure 12. */
+    unsigned schedLoop = 1;
+    /** Register read + execute + redirect cycles between a branch's
+     *  completion and fetch resumption. */
+    unsigned branchResolveExtra = 3;
+
+    /** Store-set memory dependence predictor (64-entry LFST). */
+    unsigned ssitEntries = 4096;
+    unsigned numStoreSets = 64;
+
+    BranchPredParams bpred;
+    MemHierarchy::Params mem;
+    RenoConfig reno;
+
+    /**
+     * When true (default), fusing a deferred register-immediate
+     * addition to an add-like consumer is free via 3-input carry-save
+     * adders; shifts/multiplies/divides and dual-displacement ALU ops
+     * pay one cycle (paper section 3.3). When false, *every* fused
+     * operation pays one cycle (the paper's 2-cycle-fusion ablation).
+     */
+    bool freeAddAddFusion = true;
+
+    std::uint64_t maxCycles = 2'000'000'000ULL;
+
+    /** The paper's 4-wide baseline. */
+    static CoreParams fourWide() { return CoreParams{}; }
+
+    /** The paper's 6-wide machine. */
+    static CoreParams
+    sixWide()
+    {
+        CoreParams p;
+        p.fetchWidth = p.renameWidth = p.commitWidth = 6;
+        p.issue = IssueWidths{4, 2, 1, 2, 9};
+        return p;
+    }
+
+    /** Reduced issue-width configurations of Figure 11 (bottom). */
+    static CoreParams
+    issueReduced(unsigned int_ops, unsigned total)
+    {
+        CoreParams p;
+        p.issue.intOps = int_ops;
+        p.issue.total = total;
+        return p;
+    }
+};
+
+} // namespace reno

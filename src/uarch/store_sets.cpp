@@ -1,0 +1,70 @@
+#include "uarch/store_sets.hpp"
+
+namespace reno
+{
+
+StoreSets::StoreSets(unsigned ssit_entries, unsigned num_sets)
+    : ssit_(ssit_entries), lfst_(num_sets)
+{
+}
+
+unsigned
+StoreSets::setOf(Addr pc) const
+{
+    const SsitEntry &e = ssit_[index(pc)];
+    return e.valid ? e.set : InvalidSet;
+}
+
+unsigned
+StoreSets::storeDispatched(Addr pc, InstSeq seq)
+{
+    const unsigned set = setOf(pc);
+    if (set == InvalidSet)
+        return InvalidSet;
+    lfst_[set] = LfstEntry{true, seq};
+    return set;
+}
+
+void
+StoreSets::storeInactive(unsigned set, InstSeq seq)
+{
+    if (set == InvalidSet)
+        return;
+    if (lfst_[set].valid && lfst_[set].seq == seq)
+        lfst_[set].valid = false;
+}
+
+InstSeq
+StoreSets::lastStore(unsigned set) const
+{
+    return lfst_[set].seq;
+}
+
+bool
+StoreSets::hasLastStore(unsigned set) const
+{
+    return set != InvalidSet && lfst_[set].valid;
+}
+
+void
+StoreSets::trainViolation(Addr load_pc, Addr store_pc)
+{
+    ++trained_;
+    SsitEntry &load_e = ssit_[index(load_pc)];
+    SsitEntry &store_e = ssit_[index(store_pc)];
+    if (!load_e.valid && !store_e.valid) {
+        const unsigned set = nextSet_;
+        nextSet_ = (nextSet_ + 1) % static_cast<unsigned>(lfst_.size());
+        load_e = SsitEntry{true, set};
+        store_e = SsitEntry{true, set};
+    } else if (load_e.valid && !store_e.valid) {
+        store_e = SsitEntry{true, load_e.set};
+    } else if (!load_e.valid && store_e.valid) {
+        load_e = SsitEntry{true, store_e.set};
+    } else {
+        // Both assigned: merge the load into the store's set.
+        load_e.set = store_e.set;
+    }
+}
+
+} // namespace reno

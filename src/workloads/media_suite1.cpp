@@ -1,0 +1,745 @@
+/**
+ * @file
+ * MediaBench-like kernels, part 1: ADPCM speech codecs and the
+ * epic/unepic wavelet image coder.
+ */
+#include "workloads/workload_sources.hpp"
+
+namespace reno::workloads
+{
+
+/**
+ * adpcm.enc-like: IMA ADPCM encoder with the standard 89-entry step
+ * table and index adaptation, over a synthetic speech-like waveform.
+ */
+const char *const media_adpcm_enc = R"(
+# IMA ADPCM encoder kernel
+        .data
+step:   .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+        .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+        .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+        .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+        .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+        .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+        .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+        .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+        .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+idxadj: .word -1, -1, -1, -1, 2, 4, 6, 8
+pcm:    .space 32768          # 4096 samples x 8B
+out:    .space 4096
+        .text
+_start:
+        # synthesize waveform: rampy triangle + noise
+        la   s0, pcm
+        li   s1, 4096
+        li   t0, 0
+        li   t3, 0            # phase
+wave:
+        andi t1, t0, 255
+        slti t2, t1, 128
+        beq  t2, downs
+        slli t3, t1, 6        # rising
+        j    putw
+downs:
+        subi t4, t1, 255
+        sub  t4, zero, t4
+        slli t3, t4, 6        # falling
+putw:
+        li   v0, 5
+        syscall
+        andi t4, v0, 511
+        add  t3, t3, t4
+        subi t3, t3, 8448     # center
+        slli t5, t0, 3
+        add  t6, s0, t5
+        stq  t3, 0(t6)
+        addi t0, t0, 1
+        slt  t7, t0, s1
+        bne  t7, wave
+
+        # encode
+        li   s2, 0            # valpred
+        li   s3, 0            # index
+        li   s4, 0            # sample number
+        li   s5, 0            # checksum
+        la   fp, out
+enc:
+        slli t0, s4, 3
+        add  t0, s0, t0
+        ldq  t1, 0(t0)        # sample
+        # diff = sample - valpred; sign and magnitude, branchless
+        sub  t2, t1, s2
+        srai t10, t2, 63      # all-ones if diff < 0
+        xor  t2, t2, t10
+        sub  t2, t2, t10      # |diff|
+        andi t3, t10, 8       # code = sign bit
+        # step = step[index]
+        la   t4, step
+        slli t5, s3, 2
+        add  t4, t4, t5
+        ldl  t6, 0(t4)        # step
+        # quantize 3 bits and reconstruct vpdiff with branchless masks
+        srli t9, t6, 3        # vpdiff = step>>3
+        sle  t7, t6, t2       # diff >= step
+        slli t8, t7, 2
+        or   t3, t3, t8
+        sub  t7, zero, t7
+        and  t7, t6, t7
+        sub  t2, t2, t7
+        add  t9, t9, t7
+        srli t11, t6, 1
+        sle  t7, t11, t2
+        slli t8, t7, 1
+        or   t3, t3, t8
+        sub  t7, zero, t7
+        and  t7, t11, t7
+        sub  t2, t2, t7
+        add  t9, t9, t7
+        srli t11, t6, 2
+        sle  t7, t11, t2
+        or   t3, t3, t7
+        sub  t7, zero, t7
+        and  t7, t11, t7
+        add  t9, t9, t7
+        # valpred += sign ? -vpdiff : vpdiff; clamp to [-32768, 32767]
+        xor  t7, t9, t10
+        sub  t7, t7, t10
+        add  s2, s2, t7
+        li   t7, 32767
+        slt  t8, t7, s2
+        sub  t8, zero, t8
+        and  t11, t7, t8
+        bic  s2, s2, t8
+        or   s2, s2, t11
+        li   t7, -32768
+        slt  t8, s2, t7
+        sub  t8, zero, t8
+        and  t11, t7, t8
+        bic  s2, s2, t8
+        or   s2, s2, t11
+        # index += idxadj[code & 7], clamp to [0, 88], branchless
+        la   t4, idxadj
+        andi t7, t3, 7
+        slli t7, t7, 2
+        add  t4, t4, t7
+        ldl  t8, 0(t4)
+        add  s3, s3, t8
+        srai t7, s3, 63
+        bic  s3, s3, t7
+        li   t7, 88
+        slt  t8, t7, s3
+        sub  t8, zero, t8
+        and  t11, t7, t8
+        bic  s3, s3, t8
+        or   s3, s3, t11
+        # emit code
+        add  t0, fp, s4
+        stb  t3, 0(t0)
+        add  s5, s5, t3
+        addi s4, s4, 1
+        slt  t7, s4, s1
+        bne  t7, enc
+
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * adpcm.dec-like: the matching IMA ADPCM decoder, driven by codes
+ * generated with the same quantizer.
+ */
+const char *const media_adpcm_dec = R"(
+# IMA ADPCM decoder kernel
+        .data
+step:   .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+        .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+        .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+        .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+        .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+        .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+        .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+        .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+        .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+idxadj: .word -1, -1, -1, -1, 2, 4, 6, 8
+codes:  .space 8192
+outp:   .space 65536
+        .text
+_start:
+        # synthesize a code stream
+        la   s0, codes
+        li   s1, 8192
+        li   t0, 0
+genc:
+        li   v0, 5
+        syscall
+        andi t1, v0, 15
+        add  t2, s0, t0
+        stb  t1, 0(t2)
+        addi t0, t0, 1
+        slt  t3, t0, s1
+        bne  t3, genc
+
+        # decode
+        li   s2, 0            # valpred
+        li   s3, 0            # index
+        li   s4, 0            # position
+        li   s5, 0            # checksum
+        la   fp, outp
+dec:
+        add  t0, s0, s4
+        ldbu t1, 0(t0)        # code
+        la   t2, step
+        slli t3, s3, 2
+        add  t2, t2, t3
+        ldl  t4, 0(t2)        # step
+        # vpdiff = step>>3 plus masked contributions, branchless
+        srli t5, t4, 3
+        srli t6, t1, 2
+        andi t6, t6, 1
+        sub  t6, zero, t6
+        and  t6, t4, t6
+        add  t5, t5, t6
+        srli t7, t4, 1
+        srli t6, t1, 1
+        andi t6, t6, 1
+        sub  t6, zero, t6
+        and  t6, t7, t6
+        add  t5, t5, t6
+        srli t7, t4, 2
+        andi t6, t1, 1
+        sub  t6, zero, t6
+        and  t6, t7, t6
+        add  t5, t5, t6
+        # apply the sign (code bit 3) and clamp, branchless
+        srli t6, t1, 3
+        andi t6, t6, 1
+        sub  t6, zero, t6
+        xor  t7, t5, t6
+        sub  t7, t7, t6
+        add  s2, s2, t7
+        li   t6, 32767
+        slt  t7, t6, s2
+        sub  t7, zero, t7
+        and  t8, t6, t7
+        bic  s2, s2, t7
+        or   s2, s2, t8
+        li   t6, -32768
+        slt  t7, s2, t6
+        sub  t7, zero, t7
+        and  t8, t6, t7
+        bic  s2, s2, t7
+        or   s2, s2, t8
+        # index adapt, clamp to [0, 88], branchless
+        la   t2, idxadj
+        andi t6, t1, 7
+        slli t6, t6, 2
+        add  t2, t2, t6
+        ldl  t7, 0(t2)
+        add  s3, s3, t7
+        srai t6, s3, 63
+        bic  s3, s3, t6
+        li   t6, 88
+        slt  t7, t6, s3
+        sub  t7, zero, t7
+        and  t8, t6, t7
+        bic  s3, s3, t7
+        or   s3, s3, t8
+        # store sample
+        slli t0, s4, 3
+        add  t0, fp, t0
+        stq  s2, 0(t0)
+        xor  s5, s5, s2
+        addi s4, s4, 1
+        slt  t6, s4, s1
+        bne  t6, dec
+
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * epic-like: pyramid image coder: repeated Haar-style analysis passes
+ * (average/difference filter bank) over a 1D signal plus dead-zone
+ * quantization.
+ */
+const char *const media_epic = R"(
+# epic-like wavelet analysis kernel
+        .data
+sig:    .space 32768          # 4096 samples
+tmp:    .space 32768
+        .text
+
+# haar_pass(a0 = buffer, a1 = length): in-place via tmp
+# lows to [0, n/2), highs to [n/2, n)
+haar_pass:
+        la   t0, tmp
+        srli t1, a1, 1        # half
+        li   t2, 0            # pair index
+hp1:
+        slli t3, t2, 4        # byte offset of pair (2 x 8B)
+        add  t4, a0, t3
+        ldq  t5, 0(t4)        # even
+        ldq  t6, 8(t4)        # odd
+        add  t7, t5, t6
+        srai t7, t7, 1        # avg
+        sub  t8, t5, t6       # diff
+        slli t9, t2, 3
+        add  t4, t0, t9
+        stq  t7, 0(t4)        # low -> tmp[i]
+        slli t9, t1, 3
+        add  t4, t4, t9
+        stq  t8, 0(t4)        # high -> tmp[half+i]
+        addi t2, t2, 1
+        slt  t9, t2, t1
+        bne  t9, hp1
+        # copy back
+        li   t2, 0
+hp2:
+        slli t3, t2, 3
+        add  t4, t0, t3
+        ldq  t5, 0(t4)
+        add  t6, a0, t3
+        stq  t5, 0(t6)
+        addi t2, t2, 1
+        slt  t7, t2, a1
+        bne  t7, hp2
+        ret
+
+_start:
+        # build signal: smooth base + texture
+        la   s0, sig
+        li   s1, 4096
+        li   t0, 0
+bs:
+        andi t1, t0, 511
+        muli t2, t1, 13
+        li   v0, 5
+        syscall
+        andi t3, v0, 63
+        add  t2, t2, t3
+        slli t4, t0, 3
+        add  t5, s0, t4
+        stq  t2, 0(t5)
+        addi t0, t0, 1
+        slt  t6, t0, s1
+        bne  t6, bs
+
+        # 5 pyramid levels
+        li   s2, 5
+        mov  s3, s1           # current length
+pyr:
+        mov  a0, s0
+        mov  a1, s3
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call haar_pass
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        srli s3, s3, 1
+        subi s2, s2, 1
+        bne  s2, pyr
+
+        # dead-zone quantize all coefficients, checksum
+        li   t0, 0
+        li   s4, 0
+qz:
+        slli t1, t0, 3
+        add  t2, s0, t1
+        ldq  t3, 0(t2)
+        bge  t3, qpos
+        sub  t3, zero, t3
+        srai t3, t3, 3
+        sub  t3, zero, t3
+        j    qstore
+qpos:
+        srai t3, t3, 3
+qstore:
+        stq  t3, 0(t2)
+        add  s4, s4, t3
+        addi t0, t0, 1
+        slt  t4, t0, s1
+        bne  t4, qz
+
+        andi s4, s4, 65535
+        li   v0, 1
+        mov  a0, s4
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * unepic-like: the inverse pyramid: dequantize then synthesis passes
+ * reconstructing the signal, with a reconstruction-error checksum.
+ */
+const char *const media_unepic = R"(
+# unepic-like wavelet synthesis kernel
+        .data
+coef:   .space 32768          # 4096 coefficients
+tmp:    .space 32768
+        .text
+
+# haar_unpass(a0 = buffer, a1 = full length of this level)
+# inverse of the analysis pass: lows in [0,n/2), highs in [n/2,n)
+haar_unpass:
+        la   t0, tmp
+        srli t1, a1, 1
+        li   t2, 0
+up1:
+        slli t3, t2, 3
+        add  t4, a0, t3
+        ldq  t5, 0(t4)        # low
+        slli t6, t1, 3
+        add  t4, t4, t6
+        ldq  t7, 0(t4)        # high
+        # even = low + ((high+1)>>1), odd = even - high
+        addi t8, t7, 1
+        srai t8, t8, 1
+        add  t8, t5, t8
+        sub  t9, t8, t7
+        slli t3, t2, 4
+        add  t4, t0, t3
+        stq  t8, 0(t4)
+        stq  t9, 8(t4)
+        addi t2, t2, 1
+        slt  t6, t2, t1
+        bne  t6, up1
+        li   t2, 0
+up2:
+        slli t3, t2, 3
+        add  t4, t0, t3
+        ldq  t5, 0(t4)
+        add  t6, a0, t3
+        stq  t5, 0(t6)
+        addi t2, t2, 1
+        slt  t7, t2, a1
+        bne  t7, up2
+        ret
+
+_start:
+        # synthesize quantized coefficients (sparse: many zeros)
+        la   s0, coef
+        li   s1, 4096
+        li   t0, 0
+gc:
+        li   v0, 5
+        syscall
+        andi t1, v0, 7
+        bne  t1, zerocoef     # 7/8 zero
+        srli t2, v0, 8
+        andi t2, t2, 255
+        subi t2, t2, 128
+        j    putc
+zerocoef:
+        li   t2, 0
+putc:
+        slli t3, t0, 3
+        add  t4, s0, t3
+        stq  t2, 0(t4)
+        addi t0, t0, 1
+        slt  t5, t0, s1
+        bne  t5, gc
+
+        # dequantize (x8)
+        li   t0, 0
+dq:
+        slli t1, t0, 3
+        add  t2, s0, t1
+        ldq  t3, 0(t2)
+        slli t3, t3, 3
+        stq  t3, 0(t2)
+        addi t0, t0, 1
+        slt  t4, t0, s1
+        bne  t4, dq
+
+        # 5 synthesis levels, smallest first
+        li   s2, 5
+        li   s3, 256          # level length = 4096 >> 4
+synth:
+        mov  a0, s0
+        mov  a1, s3
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call haar_unpass
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        slli s3, s3, 1
+        subi s2, s2, 1
+        bne  s2, synth
+
+        # checksum reconstruction
+        li   t0, 0
+        li   s4, 0
+ckr:
+        slli t1, t0, 3
+        add  t2, s0, t1
+        ldq  t3, 0(t2)
+        xor  s4, s4, t3
+        add  s4, s4, t0
+        addi t0, t0, 1
+        slt  t4, t0, s1
+        bne  t4, ckr
+
+        andi s4, s4, 65535
+        li   v0, 1
+        mov  a0, s4
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * g721.enc-like: simplified G.721 ADPCM with a two-pole/six-zero
+ * adaptive predictor updated by sign-sign LMS (shift-based), encoding
+ * a synthetic signal.
+ */
+const char *const media_g721_enc = R"(
+# G.721-flavor encoder kernel
+        .data
+zcoef:  .space 48             # 6 zero coefficients
+zhist:  .space 48             # last 6 quantized diffs
+pcm:    .space 16384          # 2048 samples
+        .text
+_start:
+        # input signal
+        la   s0, pcm
+        li   s1, 2048
+        li   t0, 0
+        li   t1, 0
+gin:
+        li   v0, 5
+        syscall
+        andi t2, v0, 2047
+        subi t2, t2, 1024
+        # smooth: x = (3*prev + sample) >> 2
+        muli t3, t1, 3
+        add  t3, t3, t2
+        srai t3, t3, 2
+        mov  t1, t3
+        slli t4, t0, 3
+        add  t5, s0, t4
+        stq  t3, 0(t5)
+        addi t0, t0, 1
+        slt  t6, t0, s1
+        bne  t6, gin
+
+        li   s2, 0            # sample idx
+        li   s3, 0            # checksum
+        la   s4, zcoef
+        la   s5, zhist
+enc:
+        # prediction: sum of coef[i]*hist[i] >> 14
+        li   t0, 0
+        li   t1, 0            # acc
+pr:
+        slli t2, t0, 3
+        add  t3, s4, t2
+        ldq  t4, 0(t3)
+        add  t3, s5, t2
+        ldq  t5, 0(t3)
+        mul  t6, t4, t5
+        add  t1, t1, t6
+        addi t0, t0, 1
+        slti t7, t0, 6
+        bne  t7, pr
+        srai t1, t1, 14       # prediction
+        # diff and 4-bit quantize by shifts
+        slli t2, s2, 3
+        add  t3, s0, t2
+        ldq  t4, 0(t3)        # sample
+        # diff: sign mask and magnitude, branchless
+        sub  t5, t4, t1       # diff
+        srai t10, t5, 63      # all-ones if diff < 0
+        xor  t5, t5, t10
+        sub  t5, t5, t10      # |diff|
+        andi t6, t10, 8       # code sign bit
+        # magnitude bits from 3 threshold compares, branchless:
+        # mag = 7 - (lt64 + 2*lt256 + 4*lt1024)
+        slti t8, t5, 64
+        slti t9, t5, 256
+        slli t9, t9, 1
+        add  t8, t8, t9
+        slti t9, t5, 1024
+        slli t9, t9, 2
+        add  t8, t8, t9
+        li   t7, 7
+        sub  t7, t7, t8
+        or   t6, t6, t7       # code
+        add  s3, s3, t6
+        # reconstructed diff dq = +-(mag << 6), branchless
+        slli t9, t7, 6
+        xor  t9, t9, t10
+        sub  t9, t9, t10
+        # sign-sign LMS update of 6 zero coefficients, branchless
+        li   t0, 0
+lms:
+        slli t2, t0, 3
+        add  t3, s5, t2
+        ldq  t4, 0(t3)        # hist
+        add  t5, s4, t2
+        ldq  t7, 0(t5)        # coef
+        # delta = sign-agreement(+32/-32), zeroed if dq or hist is 0
+        xor  t8, t9, t4
+        srai t8, t8, 63
+        li   t11, 32
+        xor  t11, t11, t8
+        sub  t11, t11, t8     # +-32
+        seq  t8, t9, zero
+        seq  t2, t4, zero
+        or   t8, t8, t2
+        subi t8, t8, 1        # all-ones if both nonzero
+        and  t11, t11, t8
+        add  t7, t7, t11
+        # leak: coef -= coef >> 8
+        srai t8, t7, 8
+        sub  t7, t7, t8
+        stq  t7, 0(t5)
+        addi t0, t0, 1
+        slti t8, t0, 6
+        bne  t8, lms
+        # shift history, insert dq
+        li   t0, 5
+hsh:
+        beq  t0, hdone
+        slli t2, t0, 3
+        add  t3, s5, t2
+        ldq  t4, -8(t3)
+        stq  t4, 0(t3)
+        subi t0, t0, 1
+        j    hsh
+hdone:
+        stq  t9, 0(s5)
+        addi s2, s2, 1
+        slt  t8, s2, s1
+        bne  t8, enc
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * g721.dec-like: the matching decoder: inverse quantizer plus the same
+ * adaptive predictor reconstructing samples from a code stream.
+ */
+const char *const media_g721_dec = R"(
+# G.721-flavor decoder kernel
+        .data
+zcoef:  .space 48
+zhist:  .space 48
+codes:  .space 2048
+        .text
+_start:
+        # code stream
+        la   s0, codes
+        li   s1, 2048
+        li   t0, 0
+gcs:
+        li   v0, 5
+        syscall
+        andi t1, v0, 15
+        add  t2, s0, t0
+        stb  t1, 0(t2)
+        addi t0, t0, 1
+        slt  t3, t0, s1
+        bne  t3, gcs
+
+        li   s2, 0            # idx
+        li   s3, 0            # checksum
+        la   s4, zcoef
+        la   s5, zhist
+dec:
+        # prediction
+        li   t0, 0
+        li   t1, 0
+pr:
+        slli t2, t0, 3
+        add  t3, s4, t2
+        ldq  t4, 0(t3)
+        add  t3, s5, t2
+        ldq  t5, 0(t3)
+        mul  t6, t4, t5
+        add  t1, t1, t6
+        addi t0, t0, 1
+        slti t7, t0, 6
+        bne  t7, pr
+        srai t1, t1, 14
+        # inverse quantize code, branchless sign application
+        add  t2, s0, s2
+        ldbu t3, 0(t2)
+        andi t4, t3, 7
+        slli t9, t4, 6
+        srli t4, t3, 3
+        andi t4, t4, 1
+        sub  t4, zero, t4
+        xor  t9, t9, t4
+        sub  t9, t9, t4
+        add  t5, t1, t9       # sample = pred + dq
+        xor  s3, s3, t5
+        # LMS update (same as encoder), branchless
+        li   t0, 0
+lms:
+        slli t2, t0, 3
+        add  t3, s5, t2
+        ldq  t4, 0(t3)        # hist
+        add  t6, s4, t2
+        ldq  t7, 0(t6)        # coef
+        xor  t8, t9, t4
+        srai t8, t8, 63
+        li   t11, 32
+        xor  t11, t11, t8
+        sub  t11, t11, t8     # +-32
+        seq  t8, t9, zero
+        seq  t2, t4, zero
+        or   t8, t8, t2
+        subi t8, t8, 1        # all-ones if both nonzero
+        and  t11, t11, t8
+        add  t7, t7, t11
+        srai t8, t7, 8
+        sub  t7, t7, t8
+        stq  t7, 0(t6)
+        addi t0, t0, 1
+        slti t8, t0, 6
+        bne  t8, lms
+        # history shift
+        li   t0, 5
+hsh:
+        beq  t0, hdone
+        slli t2, t0, 3
+        add  t3, s5, t2
+        ldq  t4, -8(t3)
+        stq  t4, 0(t3)
+        subi t0, t0, 1
+        j    hsh
+hdone:
+        stq  t9, 0(s5)
+        addi s2, s2, 1
+        slt  t8, s2, s1
+        bne  t8, dec
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace reno::workloads

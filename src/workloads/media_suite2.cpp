@@ -1,0 +1,868 @@
+/**
+ * @file
+ * MediaBench-like kernels, part 2: GSM speech coding (lattice
+ * filters), JPEG DCT/IDCT, and mesa-style fixed-point vertex
+ * transformation.
+ */
+#include "workloads/workload_sources.hpp"
+
+namespace reno::workloads
+{
+
+/**
+ * gsm.enc-like: short-term LPC analysis: per-frame autocorrelation
+ * (fixed-point MACs) followed by a 4-stage lattice analysis filter,
+ * the hot loops of GSM 06.10 encoding.
+ */
+const char *const media_gsm_enc = R"(
+# GSM-flavor short-term analysis kernel
+        .data
+speech: .space 25600          # 20 frames x 160 samples x 8B
+refl:   .space 32             # 4 reflection coefficients
+dacc:   .space 64             # autocorrelation lags 0..7
+        .text
+
+# autocorr(a0 = frame base): fills dacc[0..7]
+autocorr:
+        li   t0, 0            # lag
+acl:
+        li   t1, 0            # acc
+        mov  t2, t0           # j = lag
+acj:
+        slli t3, t2, 3
+        add  t4, a0, t3
+        ldq  t5, 0(t4)        # x[j]
+        sub  t6, t2, t0
+        slli t3, t6, 3
+        add  t4, a0, t3
+        ldq  t7, 0(t4)        # x[j-lag]
+        mul  t8, t5, t7
+        srai t8, t8, 8
+        add  t1, t1, t8
+        addi t2, t2, 1
+        slti t9, t2, 160
+        bne  t9, acj
+        la   t3, dacc
+        slli t4, t0, 3
+        add  t3, t3, t4
+        stq  t1, 0(t3)
+        addi t0, t0, 1
+        slti t9, t0, 8
+        bne  t9, acl
+        ret
+
+# lattice(a0 = frame base): 4-stage analysis with refl coefficients,
+# returns residual energy in v0
+lattice:
+        li   t0, 1            # sample index
+        li   v0, 0            # energy
+lsample:
+        slli t1, t0, 3
+        add  t2, a0, t1
+        ldq  t3, 0(t2)        # f = x[i]
+        ldq  t4, -8(t2)       # b = x[i-1]
+        li   t5, 0            # stage
+lstage:
+        la   t6, refl
+        slli t7, t5, 3
+        add  t6, t6, t7
+        ldq  t8, 0(t6)        # k
+        # f' = f - (k*b >> 10); b' = b - (k*f >> 10)
+        mul  t9, t8, t4
+        srai t9, t9, 10
+        sub  t9, t3, t9
+        mul  t7, t8, t3
+        srai t7, t7, 10
+        sub  t4, t4, t7
+        mov  t3, t9
+        addi t5, t5, 1
+        slti t7, t5, 4
+        bne  t7, lstage
+        # accumulate |f|
+        bge  t3, labs
+        sub  t3, zero, t3
+labs:
+        add  v0, v0, t3
+        addi t0, t0, 1
+        slti t7, t0, 160
+        bne  t7, lsample
+        ret
+
+_start:
+        # synthesize speech: decaying sine-ish via quadratic ramps
+        la   s0, speech
+        li   s1, 3200         # total samples
+        li   t0, 0
+gen:
+        andi t1, t0, 127
+        subi t2, t1, 64
+        mul  t3, t2, t2
+        srai t3, t3, 3
+        subi t3, t3, 256
+        li   v0, 5
+        syscall
+        andi t4, v0, 127
+        add  t3, t3, t4
+        slli t5, t0, 3
+        add  t6, s0, t5
+        stq  t3, 0(t6)
+        addi t0, t0, 1
+        slt  t7, t0, s1
+        bne  t7, gen
+
+        # per-frame processing
+        li   s2, 0            # frame
+        li   s3, 0            # checksum
+frame:
+        muli t0, s2, 1280     # frame byte offset (160 x 8)
+        add  s4, s0, t0       # frame base
+        mov  a0, s4
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call autocorr
+        # reflection coefficients from lag ratios:
+        # k[i] = (acf[i+1] << 10) / (acf[0] + 1 + i)
+        la   t0, dacc
+        ldq  t1, 0(t0)        # acf[0]
+        li   t2, 0
+mkrefl:
+        addi t3, t2, 1
+        slli t4, t3, 3
+        add  t5, t0, t4
+        ldq  t6, 0(t5)        # acf[i+1]
+        slli t6, t6, 10
+        add  t7, t1, t3
+        beq  t7, divz
+        div  t6, t6, t7
+        j    okd
+divz:
+        li   t6, 0
+okd:
+        # clamp to +-900
+        li   t7, 900
+        sle  t8, t6, t7
+        bne  t8, ck1
+        mov  t6, t7
+ck1:
+        li   t7, -900
+        sle  t8, t7, t6
+        bne  t8, ck2
+        mov  t6, t7
+ck2:
+        la   t8, refl
+        slli t9, t2, 3
+        add  t8, t8, t9
+        stq  t6, 0(t8)
+        addi t2, t2, 1
+        slti t9, t2, 4
+        bne  t9, mkrefl
+        mov  a0, s4
+        call lattice
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        add  s3, s3, v0
+        addi s2, s2, 1
+        slti t0, s2, 20
+        bne  t0, frame
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * gsm.dec-like: short-term synthesis: the inverse lattice filter
+ * reconstructing speech from residual + reflection coefficients.
+ */
+const char *const media_gsm_dec = R"(
+# GSM-flavor short-term synthesis kernel
+        .data
+resid:  .space 25600          # 20 frames x 160 x 8B residual
+outbuf: .space 25600
+refl:   .space 32
+v:      .space 40             # lattice memory (5 taps)
+        .text
+
+# synth(a0 = residual frame, a1 = output frame)
+synth:
+        li   t0, 0            # sample
+ssample:
+        slli t1, t0, 3
+        add  t2, a0, t1
+        ldq  t3, 0(t2)        # sri = residual
+        # backward pass through 4 stages
+        li   t4, 3            # stage
+sstage:
+        la   t5, refl
+        slli t6, t4, 3
+        add  t5, t5, t6
+        ldq  t7, 0(t5)        # k
+        la   t8, v
+        slli t6, t4, 3
+        add  t8, t8, t6
+        ldq  t9, 0(t8)        # v[stage]
+        # sri = sri - (k * v[i] >> 10)
+        mul  t2, t7, t9
+        srai t2, t2, 10
+        sub  t3, t3, t2
+        # v[i+1] = v[i] + (k * sri >> 10)
+        mul  t2, t7, t3
+        srai t2, t2, 10
+        add  t2, t9, t2
+        stq  t2, 8(t8)
+        subi t4, t4, 1
+        bge  t4, sstage
+        # v[0] = sri; out = sri
+        la   t8, v
+        stq  t3, 0(t8)
+        slli t1, t0, 3
+        add  t2, a1, t1
+        stq  t3, 0(t2)
+        addi t0, t0, 1
+        slti t4, t0, 160
+        bne  t4, ssample
+        ret
+
+_start:
+        # synthesize residual and coefficients
+        la   s0, resid
+        li   s1, 3200
+        li   t0, 0
+gr:
+        li   v0, 5
+        syscall
+        andi t1, v0, 255
+        subi t1, t1, 128
+        slli t2, t0, 3
+        add  t3, s0, t2
+        stq  t1, 0(t3)
+        addi t0, t0, 1
+        slt  t4, t0, s1
+        bne  t4, gr
+        la   t0, refl
+        li   t1, 300
+        stq  t1, 0(t0)
+        li   t1, -200
+        stq  t1, 8(t0)
+        li   t1, 120
+        stq  t1, 16(t0)
+        li   t1, -60
+        stq  t1, 24(t0)
+
+        la   s2, outbuf
+        li   s3, 0            # frame
+        li   s4, 0            # checksum
+dframe:
+        muli t0, s3, 1280
+        add  a0, s0, t0
+        add  a1, s2, t0
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call synth
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        # checksum a few samples of the frame
+        muli t0, s3, 1280
+        add  t1, s2, t0
+        ldq  t2, 0(t1)
+        ldq  t3, 632(t1)
+        ldq  t4, 1272(t1)
+        add  s4, s4, t2
+        xor  s4, s4, t3
+        add  s4, s4, t4
+        addi s3, s3, 1
+        slti t0, s3, 20
+        bne  t0, dframe
+
+        andi s4, s4, 65535
+        li   v0, 1
+        mov  a0, s4
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * jpeg.enc-like: 8x8 forward integer DCT (separable, butterfly-style
+ * with small multipliers) plus quantization over 64 image blocks.
+ */
+const char *const media_jpeg_enc = R"(
+# JPEG-flavor forward DCT + quantize kernel
+        .data
+img:    .space 32768          # 64 blocks x 64 coefficients x 8B
+qtab:   .quad 16, 11, 10, 16, 24, 40, 51, 61
+        .text
+
+# dct8(a0 = base of 8 values spaced a1 bytes apart) in-place
+dct8:
+        # load x0..x7 into t0..t7
+        mov  t8, a0
+        ldq  t0, 0(t8)
+        add  t8, t8, a1
+        ldq  t1, 0(t8)
+        add  t8, t8, a1
+        ldq  t2, 0(t8)
+        add  t8, t8, a1
+        ldq  t3, 0(t8)
+        add  t8, t8, a1
+        ldq  t4, 0(t8)
+        add  t8, t8, a1
+        ldq  t5, 0(t8)
+        add  t8, t8, a1
+        ldq  t6, 0(t8)
+        add  t8, t8, a1
+        ldq  t7, 0(t8)
+        # butterfly stage 1: s = x_i + x_{7-i}, d = x_i - x_{7-i}
+        add  t9, t0, t7       # s0
+        sub  t7, t0, t7       # d0
+        mov  t0, t9
+        add  t9, t1, t6       # s1
+        sub  t6, t1, t6       # d1
+        mov  t1, t9
+        add  t9, t2, t5       # s2
+        sub  t5, t2, t5       # d2
+        mov  t2, t9
+        add  t9, t3, t4       # s3
+        sub  t4, t3, t4       # d3
+        mov  t3, t9
+        # even part: X0 = s0+s1+s2+s3, X4 = s0-s1-s2+s3 etc (scaled)
+        add  t9, t0, t3
+        add  t8, t1, t2
+        # store X0 = (e0 + e1)
+        add  t9, t9, t8
+        stq  t9, 0(a0)
+        # X4 = e0 - e1
+        add  t9, t0, t3
+        sub  t9, t9, t8
+        sub  t8, t0, t3
+        muli t8, t8, 17       # ~cos scaling
+        srai t8, t8, 4
+        # write X2, X4, X6 along the stride
+        slli t0, a1, 1        # 2*stride
+        add  t3, a0, t0
+        stq  t8, 0(t3)        # X2
+        slli t8, a1, 2
+        add  t3, a0, t8
+        stq  t9, 0(t3)        # X4
+        sub  t9, t1, t2
+        muli t9, t9, 7
+        srai t9, t9, 4
+        add  t8, t0, t8       # wait: 2s+4s = 6*stride
+        add  t3, a0, t8
+        stq  t9, 0(t3)        # X6
+        # odd part: combinations of d0..d3 with small muls
+        muli t9, t7, 13
+        muli t8, t6, 11
+        add  t9, t9, t8
+        muli t8, t5, 6
+        add  t9, t9, t8
+        muli t8, t4, 3
+        add  t9, t9, t8
+        srai t9, t9, 4
+        add  t3, a0, a1
+        stq  t9, 0(t3)        # X1
+        muli t9, t7, 11
+        muli t8, t6, 3
+        sub  t9, t9, t8
+        muli t8, t5, 13
+        sub  t9, t9, t8
+        muli t8, t4, 6
+        sub  t9, t9, t8
+        srai t9, t9, 4
+        muli t8, a1, 3
+        add  t3, a0, t8
+        stq  t9, 0(t3)        # X3
+        muli t9, t7, 6
+        muli t8, t6, 13
+        sub  t9, t9, t8
+        muli t8, t5, 3
+        add  t9, t9, t8
+        muli t8, t4, 11
+        add  t9, t9, t8
+        srai t9, t9, 4
+        muli t8, a1, 5
+        add  t3, a0, t8
+        stq  t9, 0(t3)        # X5
+        muli t9, t7, 3
+        muli t8, t6, 6
+        sub  t9, t9, t8
+        muli t8, t5, 11
+        add  t9, t9, t8
+        muli t8, t4, 13
+        sub  t9, t9, t8
+        srai t9, t9, 4
+        muli t8, a1, 7
+        add  t3, a0, t8
+        stq  t9, 0(t3)        # X7
+        ret
+
+_start:
+        # synthesize image blocks: gradient + noise
+        la   s0, img
+        li   t0, 0            # linear index over 4096 entries
+gi:
+        andi t1, t0, 63
+        andi t2, t1, 7        # x
+        srli t3, t1, 3        # y
+        slli t4, t2, 2
+        slli t5, t3, 3
+        add  t4, t4, t5
+        li   v0, 5
+        syscall
+        andi t5, v0, 31
+        add  t4, t4, t5
+        subi t4, t4, 64
+        slli t5, t0, 3
+        add  t6, s0, t5
+        stq  t4, 0(t6)
+        addi t0, t0, 1
+        slti t7, t0, 4096
+        bne  t7, gi
+
+        # per block: 8 row DCTs, 8 column DCTs, quantize
+        li   s1, 0            # block
+        li   s2, 0            # checksum
+blk:
+        slli t0, s1, 9        # block byte offset (64 x 8)
+        add  s3, s0, t0       # block base
+        # rows: stride 8 bytes, bases 0, 64, 128, ...
+        li   s4, 0
+rows:
+        slli t0, s4, 6
+        add  a0, s3, t0
+        li   a1, 8
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call dct8
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        addi s4, s4, 1
+        slti t0, s4, 8
+        bne  t0, rows
+        # columns: stride 64 bytes, bases 0, 8, 16, ...
+        li   s4, 0
+cols:
+        slli t0, s4, 3
+        add  a0, s3, t0
+        li   a1, 64
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call dct8
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        addi s4, s4, 1
+        slti t0, s4, 8
+        bne  t0, cols
+        # quantize: coefficient (y,x) by qtab[x] << (y >= 4)
+        li   s4, 0
+qz:
+        andi t0, s4, 7        # x
+        la   t1, qtab
+        slli t2, t0, 3
+        add  t1, t1, t2
+        ldq  t3, 0(t1)        # q
+        srli t4, s4, 3        # y
+        slti t5, t4, 4
+        bne  t5, qlow
+        slli t3, t3, 1
+qlow:
+        slli t6, s4, 3
+        add  t7, s3, t6
+        ldq  t8, 0(t7)
+        div  t8, t8, t3
+        stq  t8, 0(t7)
+        add  s2, s2, t8
+        addi s4, s4, 1
+        slti t0, s4, 64
+        bne  t0, qz
+        addi s1, s1, 1
+        slti t0, s1, 64
+        bne  t0, blk
+
+        andi s2, s2, 65535
+        li   v0, 1
+        mov  a0, s2
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * jpeg.dec-like: dequantization plus separable 8x8 inverse transform
+ * (butterfly with small multipliers) over 64 coefficient blocks, with
+ * final clamp to pixel range.
+ */
+const char *const media_jpeg_dec = R"(
+# JPEG-flavor dequantize + IDCT kernel
+        .data
+coefs:  .space 32768          # 64 blocks x 64 x 8B
+qtab:   .quad 16, 11, 10, 16, 24, 40, 51, 61
+        .text
+
+# idct8(a0 = base, a1 = stride): crude inverse butterfly
+idct8:
+        mov  t8, a0
+        ldq  t0, 0(t8)
+        add  t8, t8, a1
+        ldq  t1, 0(t8)
+        add  t8, t8, a1
+        ldq  t2, 0(t8)
+        add  t8, t8, a1
+        ldq  t3, 0(t8)
+        add  t8, t8, a1
+        ldq  t4, 0(t8)
+        add  t8, t8, a1
+        ldq  t5, 0(t8)
+        add  t8, t8, a1
+        ldq  t6, 0(t8)
+        add  t8, t8, a1
+        ldq  t7, 0(t8)
+        # even: e0 = x0 + x4, e1 = x0 - x4, e2 = x2 + (x6>>1),
+        #       e3 = (x2>>1) - x6
+        add  t8, t0, t4
+        sub  t9, t0, t4
+        srai t0, t6, 1
+        add  t0, t2, t0       # e2
+        srai t4, t2, 1
+        sub  t4, t4, t6       # e3
+        add  t2, t8, t0       # s0 = e0 + e2
+        sub  t6, t8, t0       # s3 = e0 - e2
+        add  t8, t9, t4       # s1 = e1 + e3
+        sub  t9, t9, t4       # s2 = e1 - e3
+        # odd: o0..o3 from x1,x3,x5,x7 with small muls
+        muli t0, t1, 13
+        muli t4, t3, 11
+        add  t0, t0, t4
+        muli t4, t5, 6
+        add  t0, t0, t4
+        muli t4, t7, 3
+        add  t0, t0, t4
+        srai t0, t0, 4        # o0
+        muli t4, t1, 11
+        stq  t0, 0(a0)        # hold o0 temporarily in row 0 slot
+        muli t0, t3, 3
+        sub  t4, t4, t0
+        muli t0, t5, 13
+        sub  t4, t4, t0
+        muli t0, t7, 6
+        sub  t4, t4, t0
+        srai t4, t4, 4        # o1
+        muli t0, t1, 6
+        muli t1, t3, 13
+        sub  t0, t0, t1
+        muli t1, t5, 3
+        add  t0, t0, t1
+        muli t1, t7, 11
+        add  t0, t0, t1
+        srai t0, t0, 4        # o2
+        # y_i = s_i + o_i, y_{7-i} = s_i - o_i (o3 approximated by o2>>1)
+        ldq  t1, 0(a0)        # o0 back
+        add  t3, t2, t1       # y0
+        sub  t5, t2, t1       # y7
+        add  t7, t8, t4       # y1
+        sub  t1, t8, t4       # y6
+        add  t2, t9, t0       # y2
+        sub  t8, t9, t0       # y5
+        srai t0, t0, 1        # o3
+        add  t4, t6, t0       # y3
+        sub  t9, t6, t0       # y4
+        # store back along stride
+        stq  t3, 0(a0)
+        mov  t6, a0
+        add  t6, t6, a1
+        stq  t7, 0(t6)
+        add  t6, t6, a1
+        stq  t2, 0(t6)
+        add  t6, t6, a1
+        stq  t4, 0(t6)
+        add  t6, t6, a1
+        stq  t9, 0(t6)
+        add  t6, t6, a1
+        stq  t8, 0(t6)
+        add  t6, t6, a1
+        stq  t1, 0(t6)
+        add  t6, t6, a1
+        stq  t5, 0(t6)
+        ret
+
+_start:
+        # synthesize sparse quantized coefficients
+        la   s0, coefs
+        li   t0, 0
+gc:
+        li   v0, 5
+        syscall
+        andi t1, v0, 7
+        beq  t1, nz
+        li   t2, 0
+        j    put
+nz:
+        srli t2, v0, 8
+        andi t2, t2, 63
+        subi t2, t2, 32
+put:
+        slli t3, t0, 3
+        add  t4, s0, t3
+        stq  t2, 0(t4)
+        addi t0, t0, 1
+        slti t5, t0, 4096
+        bne  t5, gc
+
+        li   s1, 0            # block
+        li   s2, 0            # checksum
+blk:
+        slli t0, s1, 9
+        add  s3, s0, t0
+        # dequantize
+        li   s4, 0
+dq:
+        andi t0, s4, 7
+        la   t1, qtab
+        slli t2, t0, 3
+        add  t1, t1, t2
+        ldq  t3, 0(t1)
+        slli t6, s4, 3
+        add  t7, s3, t6
+        ldq  t8, 0(t7)
+        mul  t8, t8, t3
+        stq  t8, 0(t7)
+        addi s4, s4, 1
+        slti t0, s4, 64
+        bne  t0, dq
+        # row and column passes
+        li   s4, 0
+irows:
+        slli t0, s4, 6
+        add  a0, s3, t0
+        li   a1, 8
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call idct8
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        addi s4, s4, 1
+        slti t0, s4, 8
+        bne  t0, irows
+        li   s4, 0
+icols:
+        slli t0, s4, 3
+        add  a0, s3, t0
+        li   a1, 64
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call idct8
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        addi s4, s4, 1
+        slti t0, s4, 8
+        bne  t0, icols
+        # clamp to [0, 255] after level shift, checksum
+        li   s4, 0
+cl:
+        slli t0, s4, 3
+        add  t1, s3, t0
+        ldq  t2, 0(t1)
+        srai t2, t2, 6
+        addi t2, t2, 128
+        bge  t2, cln
+        li   t2, 0
+cln:
+        li   t3, 255
+        sle  t4, t2, t3
+        bne  t4, clh
+        mov  t2, t3
+clh:
+        stq  t2, 0(t1)
+        add  s2, s2, t2
+        addi s4, s4, 1
+        slti t0, s4, 64
+        bne  t0, cl
+        addi s1, s1, 1
+        slti t0, s1, 64
+        bne  t0, blk
+
+        andi s2, s2, 65535
+        li   v0, 1
+        mov  a0, s2
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * mesa-like: fixed-point (16.16) 4x4 matrix vertex transformation
+ * with Newton-Raphson reciprocal for the perspective divide and a
+ * viewport clip test, over three "objects" (matrices).
+ */
+const char *const media_mesa = R"(
+# mesa-flavor vertex transform kernel
+        .data
+verts:  .space 24576          # 1024 vertices x 24B {x, y, z}
+matrix: .space 128            # 4x4 of 16.16
+        .text
+
+# recip(a0, 16.16) -> v0 ~ (1<<32)/a0 via Newton iterations.
+# a0 is in [1.0, 1.5); the divide-free linear seed 48/17 - 32/17*x is
+# accurate enough that three iterations converge (a compiler-visible
+# fixed-point idiom; no divider involved).
+recip:
+        li   t0, 185043       # 48/17 in 16.16
+        li   t1, 123362       # 32/17 in 16.16
+        mul  t1, t1, a0
+        srai t1, t1, 16
+        sub  v0, t0, t1       # seed
+        li   t1, 3            # iterations
+rloop:
+        # v = v * (2<<16 - (a*v >> 16)) >> 16
+        mul  t2, a0, v0
+        srai t2, t2, 16
+        li   t3, 131072
+        sub  t3, t3, t2
+        mul  v0, v0, t3
+        srai v0, v0, 16
+        subi t1, t1, 1
+        bne  t1, rloop
+        ret
+
+_start:
+        # vertices
+        la   s0, verts
+        li   s1, 1024
+        li   t0, 0
+gv:
+        li   v0, 5
+        syscall
+        andi t1, v0, 65535
+        subi t1, t1, 32768    # x in 16.16-ish
+        srli t2, v0, 16
+        andi t2, t2, 65535
+        subi t2, t2, 32768    # y
+        srli t3, v0, 32
+        andi t3, t3, 32767
+        li   t7, 65536
+        add  t3, t3, t7       # z > 1.0
+        muli t4, t0, 24
+        add  t5, s0, t4
+        stq  t1, 0(t5)
+        stq  t2, 8(t5)
+        stq  t3, 16(t5)
+        addi t0, t0, 1
+        slt  t6, t0, s1
+        bne  t6, gv
+
+        li   s5, 0            # checksum (clip-accept count)
+        li   s4, 0            # object
+obj:
+        # build object matrix: diagonal-ish with object-dependent skew
+        la   t0, matrix
+        li   t1, 0
+gm:
+        li   t2, 0
+        andi t3, t1, 5
+        bne  t3, offdiag
+        li   t2, 60000
+        slli t4, s4, 12
+        add  t2, t2, t4
+offdiag:
+        andi t3, t1, 3
+        subi t3, t3, 1
+        bne  t3, putm
+        li   t2, 9000
+putm:
+        slli t3, t1, 3
+        add  t4, t0, t3
+        stq  t2, 0(t4)
+        addi t1, t1, 1
+        slti t3, t1, 16
+        bne  t3, gm
+
+        # transform all vertices; the matrix base is loop-invariant and
+        # the vertex pointer is strength-reduced to an increment.
+        li   s2, 0            # vertex index
+        li   s3, 0
+        la   fp, matrix
+        mov  t1, s0           # vertex pointer
+tv:
+        ldq  t2, 0(t1)        # x
+        ldq  t3, 8(t1)        # y
+        ldq  t4, 16(t1)       # z
+        addi t1, t1, 24
+        # tx = (m00*x + m01*y + m02*z) >> 16  (+ m03)
+        mov  t5, fp
+        ldq  t6, 0(t5)
+        mul  t7, t6, t2
+        ldq  t6, 8(t5)
+        mul  t8, t6, t3
+        add  t7, t7, t8
+        ldq  t6, 16(t5)
+        mul  t8, t6, t4
+        add  t7, t7, t8
+        srai t7, t7, 16       # tx
+        # ty
+        ldq  t6, 32(t5)
+        mul  t8, t6, t2
+        ldq  t6, 40(t5)
+        mul  t9, t6, t3
+        add  t8, t8, t9
+        ldq  t6, 48(t5)
+        mul  t9, t6, t4
+        add  t8, t8, t9
+        srai t8, t8, 16       # ty
+        # tw = z (simplified projective w)
+        mov  a0, t4
+        subi sp, sp, 40
+        stq  ra, 0(sp)
+        stq  t7, 8(sp)
+        stq  t8, 16(sp)
+        stq  t1, 24(sp)
+        call recip
+        ldq  t1, 24(sp)
+        ldq  t8, 16(sp)
+        ldq  t7, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 40
+        # screen coords: sx = tx * rw >> 16, sy = ty * rw >> 16
+        mul  t7, t7, v0
+        srai t7, t7, 16
+        mul  t8, t8, v0
+        srai t8, t8, 16
+        # clip test |sx| < 32768, |sy| < 32768, branchless
+        srai t9, t7, 63
+        xor  t7, t7, t9
+        sub  t7, t7, t9       # |sx|
+        srai t9, t8, 63
+        xor  t8, t8, t9
+        sub  t8, t8, t9       # |sy|
+        li   t9, 32768
+        slt  t2, t7, t9
+        slt  t3, t8, t9
+        and  t2, t2, t3
+        add  s5, s5, t2       # accept count
+        sub  t3, zero, t2
+        and  t3, t7, t3
+        add  s3, s3, t3       # accumulate accepted |sx|
+        addi s2, s2, 1
+        slt  t0, s2, s1
+        bne  t0, tv
+        addi s4, s4, 1
+        slti t0, s4, 3
+        bne  t0, obj
+
+        add  s5, s5, s3
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace reno::workloads

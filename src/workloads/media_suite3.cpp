@@ -1,0 +1,544 @@
+/**
+ * @file
+ * MediaBench-like kernels, part 3: MPEG-2 motion estimation and
+ * compensation, pegwit-style carry-less (GF(2)) field arithmetic, and
+ * ghostscript-style scanline rasterization.
+ */
+#include "workloads/workload_sources.hpp"
+
+namespace reno::workloads
+{
+
+/**
+ * mpeg2.enc-like: full-search SAD motion estimation: 16x16 macroblocks
+ * against a +-4 pixel reference window (the dominant loop of MPEG-2
+ * encoding).
+ */
+const char *const media_mpeg2_enc = R"(
+# MPEG2-flavor SAD motion search kernel
+        .data
+ref:    .space 6144           # 96x64 reference luma
+cur:    .space 6144           # 96x64 current luma
+        .text
+
+# sad16(a0 = cur block base, a1 = ref block base) -> v0
+# both frames have stride 96; compares a 16x16 block
+sad16:
+        li   v0, 0
+        li   t0, 0            # row
+srow:
+        li   t1, 0            # col
+scol:
+        add  t2, a0, t1
+        ldbu t3, 0(t2)
+        add  t2, a1, t1
+        ldbu t4, 0(t2)
+        sub  t5, t3, t4
+        bge  t5, sabs
+        sub  t5, zero, t5
+sabs:
+        add  v0, v0, t5
+        addi t1, t1, 1
+        slti t6, t1, 16
+        bne  t6, scol
+        addi a0, a0, 96       # next row
+        addi a1, a1, 96
+        addi t0, t0, 1
+        slti t6, t0, 16
+        bne  t6, srow
+        ret
+
+_start:
+        # synthesize frames: ref random-smooth, cur = ref shifted by
+        # (2, 1) plus noise, so the search has a true optimum
+        la   s0, ref
+        li   t0, 0
+        li   t3, 128
+gf:
+        li   v0, 5
+        syscall
+        andi t1, v0, 31
+        subi t1, t1, 16
+        add  t3, t3, t1
+        andi t3, t3, 255
+        add  t2, s0, t0
+        stb  t3, 0(t2)
+        addi t0, t0, 1
+        slti t4, t0, 6144
+        bne  t4, gf
+        la   s1, cur
+        li   t0, 0
+gc:
+        # cur[y][x] = ref[y+1][x+2] for interior, else ref value
+        li   t1, 96
+        div  t2, t0, t1       # y  (divide keeps the div unit busy)
+        rem  t3, t0, t1       # x
+        slti t4, t2, 63
+        beq  t4, edge
+        slti t4, t3, 94
+        beq  t4, edge
+        addi t5, t2, 1
+        muli t5, t5, 96
+        addi t6, t3, 2
+        add  t5, t5, t6
+        add  t5, s0, t5
+        ldbu t7, 0(t5)
+        j    putc
+edge:
+        add  t5, s0, t0
+        ldbu t7, 0(t5)
+putc:
+        add  t8, s1, t0
+        stb  t7, 0(t8)
+        addi t0, t0, 1
+        slti t4, t0, 6144
+        bne  t4, gc
+
+        # search: 4 macroblocks, window +-2 in x and y
+        li   s2, 0            # block index
+        li   s3, 0            # checksum (sum of best SADs + MVs)
+mb:
+        # block top-left: x = 16 + (b & 3) * 16, y = 8 + (b >> 2) * 16
+        andi t0, s2, 3
+        slli t0, t0, 4
+        addi t0, t0, 16
+        srli t1, s2, 2
+        slli t1, t1, 4
+        addi t1, t1, 8
+        muli t2, t1, 96
+        add  t2, t2, t0
+        la   t3, cur
+        add  s4, t3, t2       # cur base
+        la   t3, ref
+        add  s5, t3, t2       # ref base (0,0 candidate)
+        li   fp, 99999        # best SAD
+        li   t9, 0            # best mv code
+        # dy loop
+        li   a2, -2
+dy:
+        # dx loop
+        li   a3, -2
+dx:
+        muli t0, a2, 96
+        add  t0, t0, a3
+        add  a1, s5, t0
+        mov  a0, s4
+        subi sp, sp, 48
+        stq  ra, 0(sp)
+        stq  a2, 8(sp)
+        stq  a3, 16(sp)
+        stq  t9, 24(sp)
+        stq  s4, 32(sp)
+        stq  s5, 40(sp)
+        call sad16
+        ldq  s5, 40(sp)
+        ldq  s4, 32(sp)
+        ldq  t9, 24(sp)
+        ldq  a3, 16(sp)
+        ldq  a2, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 48
+        slt  t0, v0, fp
+        beq  t0, worse
+        mov  fp, v0
+        addi t1, a2, 2
+        slli t1, t1, 4
+        addi t2, a3, 2
+        add  t9, t1, t2       # mv code
+worse:
+        addi a3, a3, 1
+        slei t0, a3, 2
+        bne  t0, dx
+        addi a2, a2, 1
+        slei t0, a2, 2
+        bne  t0, dy
+        add  s3, s3, fp
+        add  s3, s3, t9
+        addi s2, s2, 1
+        slti t0, s2, 4
+        bne  t0, mb
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * mpeg2.dec-like: motion compensation: copy predicted blocks at a
+ * motion vector, add residual, saturate to pixel range (the decoder's
+ * hot loop).
+ */
+const char *const media_mpeg2_dec = R"(
+# MPEG2-flavor motion compensation kernel
+        .data
+ref:    .space 6144           # 96x64 reference
+out:    .space 6144
+resid:  .space 16384          # residuals, 2 bytes logical -> 8B slots not needed
+mvs:    .space 512            # 32 blocks x {dx, dy} 8B each
+        .text
+_start:
+        # reference frame
+        la   s0, ref
+        li   t0, 0
+        li   t3, 90
+gr:
+        li   v0, 5
+        syscall
+        andi t1, v0, 15
+        add  t3, t3, t1
+        subi t3, t3, 7
+        andi t3, t3, 255
+        add  t2, s0, t0
+        stb  t3, 0(t2)
+        addi t0, t0, 1
+        slti t4, t0, 6144
+        bne  t4, gr
+        # residuals in [-32, 31]
+        la   s1, resid
+        li   t0, 0
+gres:
+        li   v0, 5
+        syscall
+        andi t1, v0, 63
+        add  t2, s1, t0
+        stb  t1, 0(t2)
+        addi t0, t0, 1
+        slti t4, t0, 8192
+        bne  t4, gres
+        # motion vectors in [-3, 3]
+        la   s2, mvs
+        li   t0, 0
+gmv:
+        li   v0, 5
+        syscall
+        andi t1, v0, 7
+        subi t1, t1, 3
+        srli t2, v0, 8
+        andi t2, t2, 7
+        subi t2, t2, 3
+        slli t3, t0, 4
+        add  t4, s2, t3
+        stq  t1, 0(t4)        # dx
+        stq  t2, 8(t4)        # dy
+        addi t0, t0, 1
+        slti t5, t0, 16
+        bne  t5, gmv
+
+        # compensate 16 8x8 blocks, 8 repetitions (frames)
+        la   s3, out
+        li   s5, 0            # checksum
+        li   fp, 0            # frame counter
+fr:
+        li   s4, 0            # block
+cb:
+        # block origin: x = 8 + (b & 3) * 8, y = 8 + (b >> 2) * 8
+        andi t0, s4, 3
+        slli t0, t0, 3
+        addi t0, t0, 8
+        srli t1, s4, 2
+        slli t1, t1, 3
+        addi t1, t1, 8
+        # mv
+        slli t2, s4, 4
+        add  t3, s2, t2
+        ldq  t4, 0(t3)        # dx
+        ldq  t5, 8(t3)        # dy
+        # predicted source origin
+        add  t6, t1, t5
+        muli t6, t6, 96
+        add  t6, t6, t0
+        add  t6, t6, t4       # ref offset
+        muli t7, t1, 96
+        add  t7, t7, t0       # out offset
+        # residual base for this block
+        slli t8, s4, 6        # 64 bytes per block
+        # 8x8 loop
+        li   a0, 0            # row
+mrow:
+        li   a1, 0            # col
+mcol:
+        muli t9, a0, 96
+        add  t2, t9, a1
+        add  t3, t6, t2
+        add  t3, s0, t3
+        ldbu t2, 0(t3)        # predicted pixel
+        slli t3, a0, 3
+        add  t3, t3, a1
+        add  t3, t3, t8
+        add  t3, s1, t3
+        ldbu a2, 0(t3)        # residual byte (biased)
+        subi a2, a2, 32
+        add  t2, t2, a2
+        bge  t2, mc0
+        li   t2, 0
+mc0:
+        li   a2, 255
+        sle  t3, t2, a2
+        bne  t3, mc1
+        mov  t2, a2
+mc1:
+        muli t9, a0, 96
+        add  t3, t9, a1
+        add  t3, t7, t3
+        add  t3, s3, t3
+        stb  t2, 0(t3)
+        add  s5, s5, t2
+        addi a1, a1, 1
+        slti t9, a1, 8
+        bne  t9, mcol
+        addi a0, a0, 1
+        slti t9, a0, 8
+        bne  t9, mrow
+        addi s4, s4, 1
+        slti t9, s4, 16
+        bne  t9, cb
+        addi fp, fp, 1
+        slti t9, fp, 8
+        bne  t9, fr
+
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * pegwit-like: GF(2^16) polynomial arithmetic: carry-less multiply by
+ * shift/xor with reduction, and field exponentiation, the flavor of
+ * pegwit's elliptic-curve operations over GF(2^255).
+ */
+const char *const media_pegwit = R"(
+# pegwit-flavor GF(2^16) arithmetic kernel
+        .text
+
+# gfmul(a0, a1) -> v0 : carry-less multiply mod x^16+x^5+x^3+x+1.
+# Branchless (constant-time) inner loop, as crypto code is compiled:
+# the conditional xor and the reduction are mask selects.
+gfmul:
+        li   v0, 0
+        mov  t0, a0
+        mov  t1, a1
+        li   t2, 16           # bits
+        li   t6, 65535
+gm:
+        andi t3, t1, 1
+        sub  t3, zero, t3     # all-ones if exponent bit set
+        and  t4, t0, t3
+        xor  v0, v0, t4
+        srli t1, t1, 1
+        slli t0, t0, 1
+        # reduce if bit 16 set: t0 ^= 43 under mask, then drop bit 16
+        srli t4, t0, 16
+        andi t4, t4, 1
+        sub  t4, zero, t4
+        andi t5, t4, 43      # x^5+x^3+x+1
+        xor  t0, t0, t5
+        and  t0, t0, t6
+        subi t2, t2, 1
+        bne  t2, gm
+        ret
+
+# gfpow(a0 = base, a1 = exponent) -> v0, square-and-multiply
+gfpow:
+        subi sp, sp, 32
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        stq  s2, 24(sp)
+        mov  s0, a0           # base
+        mov  s1, a1           # exp
+        li   s2, 1            # result
+pw:
+        beq  s1, pwdone
+        # Always multiply; keep the product only when the exponent bit
+        # is set (branchless select, constant-time style).
+        mov  a0, s2
+        mov  a1, s0
+        call gfmul
+        andi t0, s1, 1
+        sub  t0, zero, t0
+        and  t1, v0, t0
+        bic  t2, s2, t0
+        or   s2, t1, t2
+        mov  a0, s0
+        mov  a1, s0
+        call gfmul
+        mov  s0, v0
+        srli s1, s1, 1
+        j    pw
+pwdone:
+        mov  v0, s2
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        ldq  s1, 16(sp)
+        ldq  s2, 24(sp)
+        addi sp, sp, 32
+        ret
+
+_start:
+        # "key agreement": fixed generator raised to random exponents,
+        # then pairwise shared values, accumulated as a checksum
+        li   s3, 0            # checksum
+        li   s4, 70           # rounds
+        li   s5, 4919         # generator element
+kr:
+        li   v0, 5
+        syscall
+        andi t0, v0, 16383
+        addi t0, t0, 3        # private exponent
+        mov  a0, s5
+        mov  a1, t0
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  t0, 8(sp)
+        call gfpow
+        ldq  t0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        # fold the "public value" into the checksum, vary generator
+        add  s3, s3, v0
+        xori t1, v0, 291
+        beq  t1, keepg
+        mov  s5, t1
+keepg:
+        subi s4, s4, 1
+        bne  s4, kr
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * gs-like: scanline polygon rasterization with fixed-point edge
+ * stepping into a byte framebuffer (ghostscript page-rendering
+ * flavor).
+ */
+const char *const media_gs = R"(
+# ghostscript-flavor scanline fill kernel
+        .data
+fb:     .space 16384          # 128x128 framebuffer
+        .text
+
+# fill_triangle(a0 = x0, a1 = y0, a2 = x1, a3 = y1, a4 = x2, a5 = y2)
+# flat rasterizer: top vertex (x0, y0), bottom edge y1 == y2 assumed,
+# fixed-point 8.8 edge stepping, fills with color from fp
+fill_triangle:
+        # left slope = ((x1 - x0) << 8) / (y1 - y0); same for right
+        sub  t0, a3, a1       # dy
+        ble  t0, ftout        # degenerate
+        sub  t1, a2, a0
+        slli t1, t1, 8
+        div  t1, t1, t0       # left step
+        sub  t2, a4, a0
+        slli t2, t2, 8
+        div  t2, t2, t0       # right step
+        slli t3, a0, 8        # xl 8.8
+        mov  t4, t3           # xr 8.8
+        mov  t5, a1           # y
+frow:
+        srai t6, t3, 8        # xl int
+        srai t7, t4, 8        # xr int
+        # clamp to [0, 127]
+        bge  t6, fl0
+        li   t6, 0
+fl0:
+        li   t8, 127
+        sle  t9, t7, t8
+        bne  t9, fl1
+        mov  t7, t8
+fl1:
+        # fill span
+        slli t8, t5, 7        # y * 128
+        la   t9, fb
+        add  t8, t9, t8
+        mov  t9, t6
+span:
+        sle  a2, t9, t7       # reuse a2 as temp (saved by caller)
+        beq  a2, spandone
+        add  a2, t8, t9
+        stb  fp, 0(a2)
+        addi t9, t9, 1
+        j    span
+spandone:
+        add  t3, t3, t1
+        add  t4, t4, t2
+        addi t5, t5, 1
+        sle  a2, t5, a3
+        bne  a2, frow
+ftout:
+        ret
+
+_start:
+        li   s0, 40           # triangles
+        li   s1, 0            # checksum
+tri:
+        # random top vertex and base
+        li   v0, 5
+        syscall
+        andi a0, v0, 127      # x0
+        srli t0, v0, 8
+        andi a1, t0, 63       # y0 in top half
+        srli t0, v0, 16
+        andi t1, t0, 63
+        addi a3, a1, 1
+        add  a3, a3, t1       # y1 = y0 + 1 + r, <= 127
+        li   t2, 127
+        sle  t3, a3, t2
+        bne  t3, yok
+        mov  a3, t2
+yok:
+        srli t0, v0, 24
+        andi a2, t0, 127      # x1
+        srli t0, v0, 32
+        andi a4, t0, 127      # x2
+        # order x1 <= x2
+        sle  t3, a2, a4
+        bne  t3, xok
+        mov  t4, a2
+        mov  a2, a4
+        mov  a4, t4
+xok:
+        mov  a5, a3           # y2 = y1 (flat bottom)
+        andi fp, s0, 255      # color
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call fill_triangle
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        subi s0, s0, 1
+        bne  s0, tri
+
+        # checksum framebuffer
+        la   t0, fb
+        li   t1, 0
+        li   s1, 0
+fbsum:
+        ldbu t2, 0(t0)
+        add  s1, s1, t2
+        addi t0, t0, 1
+        addi t1, t1, 1
+        slti t3, t1, 16384
+        bne  t3, fbsum
+
+        andi s1, s1, 65535
+        li   v0, 1
+        mov  a0, s1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace reno::workloads

@@ -1,0 +1,216 @@
+#include "workloads/randprog.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace reno
+{
+
+namespace
+{
+
+/** Temporary registers the generator computes with. */
+const char *const tempRegs[] = {"t0", "t1", "t2", "t3", "t4", "t5",
+                                "t6", "t7", "t8", "t9"};
+constexpr unsigned NumTemps = 10;
+
+const char *
+pickTemp(Rng &rng)
+{
+    return tempRegs[rng.below(NumTemps)];
+}
+
+/**
+ * Emit one random operation. Register t10 permanently holds the
+ * scratch-buffer base; t11 is reserved as an address temporary.
+ * @p skip_label_counter names forward-skip labels uniquely.
+ */
+void
+emitRandomOp(std::string &out, Rng &rng, unsigned &skip_counter,
+             const std::string &label_prefix)
+{
+    const char *a = pickTemp(rng);
+    const char *b = pickTemp(rng);
+    const char *d = pickTemp(rng);
+    switch (rng.below(18)) {
+      case 0:
+        out += strprintf("        add  %s, %s, %s\n", d, a, b);
+        break;
+      case 1:
+        out += strprintf("        sub  %s, %s, %s\n", d, a, b);
+        break;
+      case 2:
+        out += strprintf("        xor  %s, %s, %s\n", d, a, b);
+        break;
+      case 3:
+        out += strprintf("        and  %s, %s, %s\n", d, a, b);
+        break;
+      case 4:
+        out += strprintf("        mul  %s, %s, %s\n", d, a, b);
+        break;
+      case 5:
+        out += strprintf("        div  %s, %s, %s\n", d, a, b);
+        break;
+      case 6:  // the RENO_CF staple
+      case 7:
+        out += strprintf("        addi %s, %s, %lld\n", d, a,
+                         static_cast<long long>(rng.range(-512, 512)));
+        break;
+      case 8:  // the RENO_ME staple
+        out += strprintf("        mov  %s, %s\n", d, a);
+        break;
+      case 9:
+        out += strprintf("        slli %s, %s, %llu\n", d, a,
+                         static_cast<unsigned long long>(rng.below(8)));
+        break;
+      case 10: {  // masked load
+        out += strprintf("        andi t11, %s, 4088\n", a);
+        out += "        add  t11, t11, t10\n";
+        out += strprintf("        ldq  %s, %llu(t11)\n", d,
+                         static_cast<unsigned long long>(
+                             rng.below(2) * 8));
+        break;
+      }
+      case 11: {  // masked store
+        out += strprintf("        andi t11, %s, 4088\n", a);
+        out += "        add  t11, t11, t10\n";
+        out += strprintf("        stq  %s, 0(t11)\n", b);
+        break;
+      }
+      case 12: {  // compare + forward skip over a couple of ops
+        const std::string label =
+            strprintf("%s_skip%u", label_prefix.c_str(), skip_counter++);
+        out += strprintf("        andi t11, %s, 3\n", a);
+        out += strprintf("        beq  t11, %s\n", label.c_str());
+        out += strprintf("        addi %s, %s, 7\n", d, d);
+        out += strprintf("        xor  %s, %s, %s\n", b, b, a);
+        out += label + ":\n";
+        break;
+      }
+      case 13:
+        out += strprintf("        sltu %s, %s, %s\n", d, a, b);
+        break;
+      case 14: {  // partial-overlap pair: quad store, then a byte and
+                  // a sign-extending word load inside it (LSQ
+                  // forwarding and violation checks across sizes)
+        out += strprintf("        andi t11, %s, 4088\n", a);
+        out += "        add  t11, t11, t10\n";
+        out += strprintf("        stq  %s, 0(t11)\n", b);
+        out += strprintf("        ldbu %s, %llu(t11)\n", d,
+                         static_cast<unsigned long long>(
+                             rng.below(8)));
+        out += strprintf("        ldl  %s, %llu(t11)\n", a,
+                         static_cast<unsigned long long>(
+                             rng.below(2) * 4));
+        break;
+      }
+      case 15: {  // narrow store: byte or 32-bit word
+        out += strprintf("        andi t11, %s, 4088\n", a);
+        out += "        add  t11, t11, t10\n";
+        if (rng.below(2))
+            out += strprintf("        stb  %s, %llu(t11)\n", b,
+                             static_cast<unsigned long long>(
+                                 rng.below(8)));
+        else
+            out += strprintf("        stl  %s, %llu(t11)\n", b,
+                             static_cast<unsigned long long>(
+                                 rng.below(2) * 4));
+        break;
+      }
+      case 16:
+        out += strprintf("        srai %s, %s, %llu\n", d, a,
+                         static_cast<unsigned long long>(
+                             rng.below(16)));
+        break;
+      case 17:  // remainder (unpipelined divider path); the andi/ori
+                // guard keeps the divisor nonzero
+        out += strprintf("        ori  t11, %s, 1\n", b);
+        out += strprintf("        rem  %s, %s, t11\n", d, a);
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+generateRandomProgram(const RandProgParams &params)
+{
+    Rng rng(params.seed);
+    std::string out;
+
+    out += "# auto-generated random program (seed ";
+    out += strprintf("%llu)\n",
+                     static_cast<unsigned long long>(params.seed));
+    out += "        .data\n";
+    out += "scratch: .space 4608\n";
+    out += "        .text\n";
+
+    // Leaf functions: random bodies with proper frames. Each mixes a
+    // few temps into v0 so results flow back to the caller.
+    for (unsigned f = 0; f < params.numFuncs; ++f) {
+        unsigned skip = 0;
+        out += strprintf("func%u:\n", f);
+        out += "        subi sp, sp, 32\n";
+        out += "        stq  s0, 0(sp)\n";
+        out += "        stq  s1, 8(sp)\n";
+        out += "        mov  s0, a0\n";
+        out += "        mov  s1, a1\n";
+        out += strprintf("        mov  t0, s0\n");
+        out += strprintf("        mov  t1, s1\n");
+        for (unsigned i = 0; i < params.funcOps; ++i)
+            emitRandomOp(out, rng, skip, strprintf("f%u", f));
+        out += "        add  v0, t0, t1\n";
+        out += "        xor  v0, v0, t2\n";
+        out += "        ldq  s0, 0(sp)\n";
+        out += "        ldq  s1, 8(sp)\n";
+        out += "        addi sp, sp, 32\n";
+        out += "        ret\n\n";
+    }
+
+    // Main: initialize temps, loop with random body and calls.
+    out += "_start:\n";
+    out += "        la   t10, scratch\n";
+    for (unsigned t = 0; t < NumTemps; ++t) {
+        out += strprintf("        li   %s, %lld\n", tempRegs[t],
+                         static_cast<long long>(rng.range(-1000, 1000)));
+    }
+    out += strprintf("        li   s2, %u\n", params.iters);
+    out += "        li   s5, 0\n";
+    out += "main_loop:\n";
+    unsigned skip = 0;
+    for (unsigned i = 0; i < params.mainOps; ++i) {
+        if (params.numFuncs > 0 && rng.chance(10)) {
+            const unsigned f =
+                static_cast<unsigned>(rng.below(params.numFuncs));
+            out += strprintf("        mov  a0, %s\n", pickTemp(rng));
+            out += strprintf("        mov  a1, %s\n", pickTemp(rng));
+            out += "        subi sp, sp, 16\n";
+            out += "        stq  ra, 0(sp)\n";
+            out += "        stq  t10, 8(sp)\n";
+            out += strprintf("        call func%u\n", f);
+            out += "        ldq  t10, 8(sp)\n";
+            out += "        ldq  ra, 0(sp)\n";
+            out += "        addi sp, sp, 16\n";
+            out += "        add  s5, s5, v0\n";
+        } else {
+            emitRandomOp(out, rng, skip, "m");
+        }
+    }
+    // Fold the live temps into the checksum each iteration.
+    for (unsigned t = 0; t < NumTemps; t += 3)
+        out += strprintf("        xor  s5, s5, %s\n", tempRegs[t]);
+    out += "        subi s2, s2, 1\n";
+    out += "        bne  s2, main_loop\n";
+
+    out += "        li   v0, 1\n";
+    out += "        mov  a0, s5\n";
+    out += "        syscall\n";
+    out += "        li   v0, 0\n";
+    out += "        li   a0, 0\n";
+    out += "        syscall\n";
+    return out;
+}
+
+} // namespace reno

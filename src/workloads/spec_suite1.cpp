@@ -1,0 +1,523 @@
+/**
+ * @file
+ * SPEC-like integer kernels, part 1: compression and pointer-chasing
+ * categories (gzip-, bzip2-, mcf-, gcc-like).
+ */
+#include "workloads/workload_sources.hpp"
+
+namespace reno::workloads
+{
+
+/**
+ * gzip-like: LZ77 longest-match search over a sliding window with
+ * hash-head chains, the hot loop of deflate.
+ */
+const char *const spec_gzip = R"(
+# gzip-like LZ77 longest-match kernel
+        .data
+buf:    .space 4096          # input bytes
+head:   .space 2048          # 256-entry hash head table (8B each)
+prev:   .space 32768         # chain links, one per position
+bufp:   .quad 0              # global pointer to buf (reloaded per call)
+sum:    .quad 0
+
+        .text
+# match_at(a0 = pos, a1 = candidate) -> v0 = match length (max 8)
+match_at:
+        la   t0, bufp
+        ldq  t0, 0(t0)        # buffer base via global (CSE food)
+        add  t1, t0, a0
+        add  t2, t0, a1
+        li   v0, 0
+mml:
+        ldbu t3, 0(t1)
+        ldbu t4, 0(t2)
+        sub  t5, t3, t4
+        bne  t5, mmd
+        addi t1, t1, 1
+        addi t2, t2, 1
+        addi v0, v0, 1
+        slti t3, v0, 8
+        bne  t3, mml
+mmd:
+        ret
+
+_start:
+        la   t0, bufp         # publish the buffer pointer
+        la   t1, buf
+        stq  t1, 0(t0)
+        la   s0, buf          # s0 = buf
+        li   s1, 2048         # s1 = n
+        # fill buffer with pseudo-random but repetitive data
+        li   t0, 0            # i
+        li   t3, 0            # rolling value
+fill:
+        li   v0, 5
+        syscall               # v0 = rand
+        andi t1, v0, 15       # small alphabet -> long repeats
+        andi t2, v0, 7
+        beq  t2, skiprep      # sometimes repeat previous byte
+        mov  t1, t3
+skiprep:
+        mov  t3, t1
+        add  t4, s0, t0
+        stb  t1, 0(t4)
+        addi t0, t0, 1
+        slt  t5, t0, s1
+        bne  t5, fill
+
+        # init head table to -1
+        la   t0, head
+        li   t1, 256
+inith:
+        li   t2, -1
+        stq  t2, 0(t0)
+        addi t0, t0, 8
+        subi t1, t1, 1
+        bne  t1, inith
+
+        li   s2, 0            # pos
+        li   s3, 0            # total match length (checksum)
+        subi s4, s1, 8        # limit
+scan:
+        # hash = (buf[pos] ^ (buf[pos+1]<<3) ^ (buf[pos+2]<<6)) & 255
+        add  t0, s0, s2
+        ldbu t1, 0(t0)
+        ldbu t2, 1(t0)
+        ldbu t3, 2(t0)
+        slli t2, t2, 3
+        slli t3, t3, 6
+        xor  t1, t1, t2
+        xor  t1, t1, t3
+        andi t1, t1, 255
+        # chain head lookup
+        la   t4, head
+        slli t5, t1, 3
+        add  t4, t4, t5
+        ldq  t6, 0(t4)        # candidate position
+        stq  s2, 0(t4)        # head[hash] = pos
+        # record chain link
+        la   t7, prev
+        slli t8, s2, 3
+        add  t7, t7, t8
+        stq  t6, 0(t7)
+        # walk the chain (up to 4 candidates)
+        li   s5, 4            # tries
+        li   fp, 0            # best length
+chain:
+        blt  t6, endchain     # candidate == -1?
+        # match length at candidate (max 8), in a call w/ spills
+        mov  a0, s2
+        mov  a1, t6
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  t6, 8(sp)
+        call match_at
+        ldq  t6, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        slt  t3, fp, v0
+        beq  t3, nobest
+        mov  fp, v0           # new best
+nobest:
+        # follow chain
+        la   t7, prev
+        slli t8, t6, 3
+        add  t7, t7, t8
+        ldq  t6, 0(t7)
+        subi s5, s5, 1
+        bne  s5, chain
+endchain:
+        add  s3, s3, fp
+        addi s2, s2, 1
+        slt  t0, s2, s4
+        bne  t0, scan
+
+        li   v0, 1
+        mov  a0, s3
+        syscall               # print checksum
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * bzip2-like: move-to-front transform plus run-length accumulation,
+ * the core of the BWT entropy stage.
+ */
+const char *const spec_bzip2 = R"(
+# bzip2-like move-to-front + RLE kernel
+        .data
+mtf:    .space 256
+input:  .space 8192
+mtfp:   .quad 0               # global pointer to the mtf table
+        .text
+# rank_of(a0 = symbol) -> v0 = rank; moves symbol to front
+rank_of:
+        la   t2, mtfp
+        ldq  t2, 0(t2)        # table base via global (CSE food)
+        li   t3, 0            # rank
+rfind:
+        add  t4, t2, t3
+        ldbu t5, 0(t4)
+        sub  t6, t5, a0
+        beq  t6, rfound
+        addi t3, t3, 1
+        j    rfind
+rfound:
+        mov  t6, t3
+rshift:
+        beq  t6, rdone
+        add  t4, t2, t6
+        ldbu t5, -1(t4)
+        stb  t5, 0(t4)
+        subi t6, t6, 1
+        j    rshift
+rdone:
+        stb  a0, 0(t2)
+        mov  v0, t3
+        ret
+
+_start:
+        la   t0, mtfp
+        la   t1, mtf
+        stq  t1, 0(t0)
+        # init mtf table: mtf[i] = i
+        la   t0, mtf
+        li   t1, 0
+initm:
+        add  t2, t0, t1
+        stb  t1, 0(t2)
+        addi t1, t1, 1
+        slti t3, t1, 256
+        bne  t3, initm
+
+        # synthesize skewed input (small alphabet, runs)
+        la   s0, input
+        li   s1, 8192
+        li   t0, 0
+        li   t4, 0
+geninp:
+        li   v0, 5
+        syscall
+        andi t1, v0, 15       # 16-symbol alphabet
+        andi t2, v0, 3
+        bne  t2, keep         # 1/4 chance: new symbol
+        mov  t4, t1
+keep:
+        add  t3, s0, t0
+        stb  t4, 0(t3)
+        addi t0, t0, 1
+        slt  t5, t0, s1
+        bne  t5, geninp
+
+        li   s2, 0            # pos
+        li   s3, 0            # checksum
+        li   s4, 0            # run length of rank-0
+mtfloop:
+        add  t0, s0, s2
+        ldbu a0, 0(t0)        # symbol
+        # rank_of inlined (the compiler inlines this tiny hot function)
+        la   t2, mtfp
+        ldq  t2, 0(t2)        # table base via global (CSE food)
+        li   t3, 0            # rank
+rfind2:
+        add  t4, t2, t3
+        ldbu t5, 0(t4)
+        sub  t6, t5, a0
+        beq  t6, rfound2
+        addi t3, t3, 1
+        j    rfind2
+rfound2:
+        mov  t6, t3
+rshift2:
+        beq  t6, rdone2
+        add  t4, t2, t6
+        ldbu t5, -1(t4)
+        stb  t5, 0(t4)
+        subi t6, t6, 1
+        j    rshift2
+rdone2:
+        stb  a0, 0(t2)
+        # RLE of rank zero
+        bne  t3, nonzero
+        addi s4, s4, 1
+        j    next
+nonzero:
+        add  s3, s3, s4       # flush run
+        li   s4, 0
+        slli t7, t3, 1
+        add  s3, s3, t7
+next:
+        addi s2, s2, 1
+        slt  t0, s2, s1
+        bne  t0, mtfloop
+
+        add  s3, s3, s4
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * mcf-like: network-simplex flavored pointer chasing. Builds a node
+ * array with linked adjacency lists and repeatedly walks them
+ * relaxing costs (memory-latency bound).
+ */
+const char *const spec_mcf = R"(
+# mcf-like linked-list cost relaxation kernel
+        .data
+nodes:  .space 32768          # 1024 nodes x 32B {cost, arc_head, pad, pad}
+arcs:   .space 49152          # 2048 arcs  x 24B {to, cost, next}
+        .text
+_start:
+        li   s0, 1024          # num nodes
+        li   s1, 2048          # num arcs
+        # init node costs to large, arc lists empty
+        la   t0, nodes
+        li   t1, 0
+initn:
+        li   t2, 1000000
+        stq  t2, 0(t0)        # cost
+        li   t2, -1
+        stq  t2, 8(t0)        # arc head
+        addi t0, t0, 32
+        addi t1, t1, 1
+        slt  t3, t1, s0
+        bne  t3, initn
+        # build random arcs: arc i: from=rand%n, to=rand%n, cost=rand%97
+        li   t1, 0
+inita:
+        li   v0, 5
+        syscall
+        andi t2, v0, 1023     # from node
+        srli t3, v0, 10
+        andi t3, t3, 1023     # to node
+        srli t4, v0, 20
+        andi t4, t4, 127      # cost
+        # arc record
+        la   t5, arcs
+        muli t6, t1, 24
+        add  t5, t5, t6
+        stq  t3, 0(t5)        # to
+        stq  t4, 8(t5)        # cost
+        # push onto from's list
+        la   t7, nodes
+        slli t8, t2, 5
+        add  t7, t7, t8
+        ldq  t9, 8(t7)        # old head
+        stq  t9, 16(t5)       # arc->next = old head
+        stq  t1, 8(t7)        # node->head = arc index
+        addi t1, t1, 1
+        slt  t3, t1, s1
+        bne  t3, inita
+
+        # source node 0 cost = 0
+        la   t0, nodes
+        li   t1, 0
+        stq  t1, 0(t0)
+
+        # relaxation passes
+        li   s2, 12           # passes
+pass:
+        li   s3, 0            # node index
+        li   s4, 0            # improvements
+node:
+        mov  a0, s3
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call relax_node
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        add  s4, s4, v0
+        addi s3, s3, 1
+        slt  t0, s3, s0
+        bne  t0, node
+        subi s2, s2, 1
+        bne  s2, pass
+        j    after_pass
+
+# relax_node(a0 = node index) -> v0 = improvements made
+relax_node:
+        li   v0, 0
+        la   t0, nodes
+        slli t1, a0, 5
+        add  t0, t0, t1
+        ldq  t2, 0(t0)        # my cost
+        ldq  t3, 8(t0)        # arc head
+walk:
+        blt  t3, endwalk
+        la   t4, arcs
+        muli t5, t3, 24
+        add  t4, t4, t5
+        ldq  t6, 0(t4)        # to
+        ldq  t7, 8(t4)        # cost
+        add  t8, t2, t7       # new cost
+        la   t9, nodes
+        slli t5, t6, 5
+        add  t9, t9, t5
+        ldq  t5, 0(t9)        # to's cost
+        sle  t6, t5, t8
+        bne  t6, norelax
+        stq  t8, 0(t9)
+        addi v0, v0, 1
+norelax:
+        ldq  t3, 16(t4)       # next arc
+        j    walk
+endwalk:
+        ret
+after_pass:
+
+        # checksum: sum of node costs mod 2^16
+        li   s3, 0
+        li   s5, 0
+        la   t0, nodes
+cksum:
+        ldq  t1, 0(t0)
+        add  s5, s5, t1
+        addi t0, t0, 32
+        addi s3, s3, 1
+        slt  t2, s3, s0
+        bne  t2, cksum
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * gcc-like: string hashing into a chained symbol table with lookup /
+ * insert, exercising calls, spills and reloads around the hash helper.
+ */
+const char *const spec_gcc = R"(
+# gcc-like symbol table kernel
+        .data
+table:  .space 2048           # 256 buckets x 8B
+syms:   .space 65536          # symbol records: {name8B, count, next} x 24B
+names:  .space 8192           # 1024 names x 8B packed
+nsyms:  .quad 0
+        .text
+
+# t-hash(a0 = packed 8-byte name) -> v0 = bucket index
+hashname:
+        mov  t0, a0
+        li   t1, 0
+        li   t2, 8
+hloop:
+        andi t3, t0, 255
+        slli t4, t1, 2
+        add  t1, t1, t4       # h = h*5
+        add  t1, t1, t3       # + byte
+        srli t0, t0, 8
+        subi t2, t2, 1
+        bne  t2, hloop
+        andi v0, t1, 255
+        ret
+
+# lookup_insert(a0 = name) -> v0 = count after increment
+lookup_insert:
+        subi sp, sp, 32
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        mov  s0, a0           # save name
+        call hashname
+        mov  s1, v0           # bucket
+        la   t0, table
+        slli t1, s1, 3
+        add  t0, t0, t1       # &table[bucket]
+        ldq  t2, 0(t0)        # sym index (0 = empty, 1-based)
+search:
+        beq  t2, notfound
+        la   t3, syms
+        muli t4, t2, 24
+        add  t3, t3, t4
+        ldq  t5, 0(t3)        # name
+        sub  t6, t5, s0
+        beq  t6, hit
+        ldq  t2, 16(t3)       # next
+        j    search
+hit:
+        ldq  t7, 8(t3)
+        addi t7, t7, 1
+        stq  t7, 8(t3)
+        mov  v0, t7
+        j    liret
+notfound:
+        # allocate new symbol
+        la   t3, nsyms
+        ldq  t4, 0(t3)
+        addi t4, t4, 1
+        stq  t4, 0(t3)
+        la   t5, syms
+        muli t6, t4, 24
+        add  t5, t5, t6
+        stq  s0, 0(t5)        # name
+        li   t7, 1
+        stq  t7, 8(t5)        # count = 1
+        ldq  t8, 0(t0)
+        stq  t8, 16(t5)       # next = old head
+        stq  t4, 0(t0)        # head = new
+        li   v0, 1
+liret:
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        ldq  s1, 16(sp)
+        addi sp, sp, 32
+        ret
+
+_start:
+        # generate 1024 names from a pool of ~128 distinct values
+        la   s0, names
+        li   s1, 1024
+        li   t0, 0
+genn:
+        li   v0, 5
+        syscall
+        andi t1, v0, 127
+        muli t2, t1, 31337
+        slli t4, t1, 7
+        xor  t2, t2, t4
+        addi t2, t2, 12345
+        mov  t3, s0
+        slli t4, t0, 3
+        add  t3, t3, t4
+        stq  t2, 0(t3)
+        addi t0, t0, 1
+        slt  t5, t0, s1
+        bne  t5, genn
+
+        # 4 passes of lookup/insert over all names
+        li   s2, 4
+        li   s4, 0            # checksum
+passes:
+        li   s3, 0
+lkloop:
+        la   t0, names
+        slli t1, s3, 3
+        add  t0, t0, t1
+        ldq  a0, 0(t0)
+        call lookup_insert
+        add  s4, s4, v0
+        addi s3, s3, 1
+        slt  t2, s3, s1
+        bne  t2, lkloop
+        subi s2, s2, 1
+        bne  s2, passes
+
+        andi s4, s4, 65535
+        li   v0, 1
+        mov  a0, s4
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace reno::workloads

@@ -1,0 +1,1193 @@
+/**
+ * @file
+ * SPEC-like integer kernels, part 2: chess bitboards, fixed-point ray
+ * math, bignum arithmetic, parsing, interpreters, placement and
+ * routing (crafty-, eon-, gap-, parser-, perlbmk-, twolf-, vortex-,
+ * vpr-like).
+ */
+#include "workloads/workload_sources.hpp"
+
+namespace reno::workloads
+{
+
+/**
+ * crafty-like: bitboard manipulation. Generates pseudo-random 64-bit
+ * boards and computes population counts, LSB scans and shifted attack
+ * masks, the staple operations of bitboard chess engines.
+ */
+const char *const spec_crafty = R"(
+# crafty-like bitboard kernel. Like the real program, popcount and
+# first-one are table driven (256-entry byte tables), not bit-serial.
+        .data
+boards: .space 8192           # 1024 boards
+pctab:  .space 256            # popcount of each byte value
+fstab:  .space 256            # lowest-set-bit index of each byte value
+        .text
+
+# popcount(a0) -> v0: eight independent byte-table lookups
+popcount:
+        la   t7, pctab
+        andi t0, a0, 255
+        add  t0, t7, t0
+        ldbu v0, 0(t0)
+        srli t1, a0, 8
+        andi t1, t1, 255
+        add  t1, t7, t1
+        ldbu t1, 0(t1)
+        srli t2, a0, 16
+        andi t2, t2, 255
+        add  t2, t7, t2
+        ldbu t2, 0(t2)
+        srli t3, a0, 24
+        andi t3, t3, 255
+        add  t3, t7, t3
+        ldbu t3, 0(t3)
+        add  v0, v0, t1
+        add  t2, t2, t3
+        srli t4, a0, 32
+        andi t4, t4, 255
+        add  t4, t7, t4
+        ldbu t4, 0(t4)
+        srli t5, a0, 40
+        andi t5, t5, 255
+        add  t5, t7, t5
+        ldbu t5, 0(t5)
+        add  v0, v0, t2
+        add  t4, t4, t5
+        srli t6, a0, 48
+        andi t6, t6, 255
+        add  t6, t7, t6
+        ldbu t6, 0(t6)
+        srli t0, a0, 56
+        add  t0, t7, t0
+        ldbu t0, 0(t0)
+        add  v0, v0, t4
+        add  t6, t6, t0
+        add  v0, v0, t6
+        ret
+
+# lsb_index(a0) -> v0 (64 if empty): byte scan plus one table lookup
+lsb:
+        beq  a0, lsbempty
+        la   t2, fstab
+        li   v0, 0
+        mov  t0, a0
+lsbl:
+        andi t1, t0, 255
+        bne  t1, lsbfound
+        srli t0, t0, 8
+        addi v0, v0, 8
+        j    lsbl
+lsbfound:
+        add  t1, t2, t1
+        ldbu t1, 0(t1)
+        add  v0, v0, t1
+        ret
+lsbempty:
+        li   v0, 64
+        ret
+
+# process(a0 = board) -> v0 = contribution of this board
+process:
+        subi sp, sp, 32
+        stq  ra, 0(sp)
+        stq  s4, 8(sp)
+        stq  s5, 16(sp)
+        mov  s4, a0
+        li   s5, 0
+        mov  a0, s4
+        call popcount
+        add  s5, s5, v0
+        mov  a0, s4
+        call lsb
+        add  s5, s5, v0
+        # knight-ish attack spread: fold shifted copies
+        slli t1, s4, 17
+        srli t2, s4, 17
+        or   t1, t1, t2
+        slli t2, s4, 15
+        srli t3, s4, 15
+        or   t2, t2, t3
+        xor  t1, t1, t2
+        mov  a0, t1
+        call popcount
+        add  s5, s5, v0
+        mov  v0, s5
+        ldq  ra, 0(sp)
+        ldq  s4, 8(sp)
+        ldq  s5, 16(sp)
+        addi sp, sp, 32
+        ret
+
+_start:
+        # Build the byte tables: pctab[i] = pctab[i>>1] + (i&1),
+        # fstab[i] = (i&1) ? 0 : fstab[i>>1] + 1.
+        la   t0, pctab
+        stb  zero, 0(t0)
+        la   t7, fstab
+        stb  zero, 0(t7)
+        li   t1, 1
+tbl:
+        srli t2, t1, 1
+        add  t3, t0, t2
+        ldbu t3, 0(t3)
+        andi t4, t1, 1
+        add  t3, t3, t4
+        add  t5, t0, t1
+        stb  t3, 0(t5)
+        bne  t4, todd
+        add  t3, t7, t2
+        ldbu t3, 0(t3)
+        addi t3, t3, 1
+        j    tfs
+todd:
+        li   t3, 0
+tfs:
+        add  t5, t7, t1
+        stb  t3, 0(t5)
+        addi t1, t1, 1
+        slti t6, t1, 256
+        bne  t6, tbl
+
+        la   s0, boards
+        li   s1, 1024
+        li   t0, 0
+genb:
+        li   v0, 5
+        syscall
+        mov  t1, v0
+        li   v0, 5
+        syscall
+        slli t2, v0, 32
+        or   t1, t1, t2
+        slli t3, t0, 3
+        add  t4, s0, t3
+        stq  t1, 0(t4)
+        addi t0, t0, 1
+        slt  t5, t0, s1
+        bne  t5, genb
+
+        li   s2, 0            # board index
+        li   s3, 0            # checksum
+bloop:
+        slli t0, s2, 3
+        add  t0, s0, t0
+        ldq  a0, 0(t0)        # board
+        call process
+        add  s3, s3, v0
+        addi s2, s2, 1
+        slt  t0, s2, s1
+        bne  t0, bloop
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * eon-like: fixed-point (16.16) ray/sphere intersection tests with an
+ * integer Newton square root, the flavor of eon's probabilistic ray
+ * tracing inner loops.
+ */
+const char *const spec_eon = R"(
+# eon-like fixed-point ray math kernel
+        .text
+
+# isqrt(a0) -> v0: restoring shift-subtract square root (no divider),
+# fixed 32 branchless iterations as a compiler emits for uint64
+isqrt:
+        mov  t0, a0           # x
+        li   t1, 0            # c
+        li   t2, 1
+        slli t2, t2, 62       # d
+        li   t3, 32           # iterations
+sqloop:
+        add  t4, t1, t2       # t = c + d
+        sle  t5, t4, t0       # x >= t ?
+        sub  t5, zero, t5     # select mask
+        and  t6, t4, t5
+        sub  t0, t0, t6       # x -= t (masked)
+        srli t1, t1, 1
+        and  t6, t2, t5
+        add  t1, t1, t6       # c = (c >> 1) + (d masked)
+        srli t2, t2, 2
+        subi t3, t3, 1
+        bne  t3, sqloop
+        mov  v0, t1
+        ret
+
+_start:
+        li   s0, 0            # ray index
+        li   s1, 1500         # rays
+        li   s2, 0            # hit count
+        li   s3, 0            # checksum
+ray:
+        # random direction components in [0, 1023]
+        li   v0, 5
+        syscall
+        andi s4, v0, 1023     # dx
+        srli t0, v0, 10
+        andi s5, t0, 1023     # dy
+        srli t0, v0, 20
+        andi fp, t0, 1023     # dz
+        # b = dx*ox + dy*oy + dz*oz with fixed origin (300, 200, 100)
+        muli t0, s4, 300
+        muli t1, s5, 200
+        add  t0, t0, t1
+        muli t1, fp, 100
+        add  t0, t0, t1       # b
+        # a = dx^2+dy^2+dz^2
+        mul  t1, s4, s4
+        mul  t2, s5, s5
+        add  t1, t1, t2
+        mul  t2, fp, fp
+        add  t1, t1, t2       # a
+        # c = |o|^2 - r^2, r = 400
+        li   t2, 140000       # 300^2+200^2+100^2
+        li   t3, 160000       # r^2
+        sub  t2, t2, t3       # c (negative: origin inside)
+        # disc = b^2 - a*c
+        mul  t4, t0, t0
+        mul  t5, t1, t2
+        sub  t4, t4, t5
+        blt  t4, miss
+        srli a0, t4, 16       # scale into sqrt range
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  t0, 8(sp)
+        call isqrt
+        ldq  t0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        add  t6, t0, v0
+        add  s3, s3, t6
+        addi s2, s2, 1
+miss:
+        addi s0, s0, 1
+        slt  t7, s0, s1
+        bne  t7, ray
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s2
+        syscall
+        li   v0, 3
+        li   a0, 32
+        syscall
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * gap-like: multi-precision (bignum) arithmetic on 64-limb numbers:
+ * schoolbook addition, doubling and multiply-by-small, as in GAP's
+ * group-order computations.
+ */
+const char *const spec_gap = R"(
+# gap-like bignum kernel (32-bit limbs in 64-bit slots)
+        .data
+numa:   .space 512            # 64 limbs
+numb:   .space 512
+numc:   .space 512
+        .text
+
+# bignum_add(a0=dst, a1=x, a2=y) : dst = x + y, 32-bit limbs w/ carry
+bignum_add:
+        li   t0, 0            # limb index
+        li   t1, 0            # carry
+addl:
+        slli t2, t0, 3
+        add  t3, a1, t2
+        ldq  t4, 0(t3)
+        add  t3, a2, t2
+        ldq  t5, 0(t3)
+        add  t4, t4, t5
+        add  t4, t4, t1
+        srli t1, t4, 32       # carry out
+        li   t6, -1
+        srli t6, t6, 32       # 0xffffffff
+        and  t4, t4, t6
+        add  t3, a0, t2
+        stq  t4, 0(t3)
+        addi t0, t0, 1
+        slti t7, t0, 64
+        bne  t7, addl
+        ret
+
+# bignum_mulsmall(a0=dst, a1=x, a2=k) : dst = x * k
+bignum_mulsmall:
+        li   t0, 0
+        li   t1, 0            # carry
+mull:
+        slli t2, t0, 3
+        add  t3, a1, t2
+        ldq  t4, 0(t3)
+        mul  t4, t4, a2
+        add  t4, t4, t1
+        srli t1, t4, 32
+        li   t6, -1
+        srli t6, t6, 32
+        and  t4, t4, t6
+        add  t3, a0, t2
+        stq  t4, 0(t3)
+        addi t0, t0, 1
+        slti t7, t0, 64
+        bne  t7, mull
+        ret
+
+_start:
+        # numa = 1, numb = 1 (fibonacci-style growth, mod 2^2048)
+        la   s0, numa
+        la   s1, numb
+        la   s2, numc
+        li   t0, 1
+        stq  t0, 0(s0)
+        stq  t0, 0(s1)
+
+        li   s3, 260          # iterations
+fib:
+        mov  a0, s2
+        mov  a1, s0
+        mov  a2, s1
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call bignum_add       # c = a + b
+        # scale c by small factor now and then
+        andi t0, s3, 7
+        bne  t0, noscale
+        mov  a0, s2
+        mov  a1, s2
+        li   a2, 3
+        call bignum_mulsmall
+noscale:
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        # rotate: a <- b, b <- c  (swap pointers)
+        mov  t1, s0
+        mov  s0, s1
+        mov  s1, s2
+        mov  s2, t1
+        subi s3, s3, 1
+        bne  s3, fib
+
+        # checksum: xor of limbs of b
+        li   t0, 0
+        li   t1, 0
+ck:
+        slli t2, t0, 3
+        add  t3, s1, t2
+        ldq  t4, 0(t3)
+        xor  t1, t1, t4
+        addi t0, t0, 1
+        slti t5, t0, 64
+        bne  t5, ck
+        andi t1, t1, 65535
+        li   v0, 1
+        mov  a0, t1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * parser-like: recursive-descent evaluation of arithmetic expressions
+ * over a token buffer (heavy call/return and stack traffic, like the
+ * link-grammar parser's recursive search).
+ */
+const char *const spec_parser = R"(
+# parser-like recursive descent kernel
+# token encoding: 0-9 literal digit, 10 '+', 11 '*', 12 '(', 13 ')', 14 end
+        .data
+toks:   .space 8192
+pos:    .quad 0
+        .text
+
+# peek() -> v0
+peek:
+        la   t0, pos
+        ldq  t1, 0(t0)
+        la   t2, toks
+        add  t2, t2, t1
+        ldbu v0, 0(t2)
+        ret
+
+# advance()
+advance:
+        la   t0, pos
+        ldq  t1, 0(t0)
+        addi t1, t1, 1
+        stq  t1, 0(t0)
+        ret
+
+# factor() -> v0 : digit | '(' expr ')'
+factor:
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        call peek
+        slti t0, v0, 10
+        beq  t0, fparen
+        stq  v0, 8(sp)        # save digit
+        call advance
+        ldq  v0, 8(sp)
+        j    fret
+fparen:
+        call advance          # consume '('
+        call expr
+        stq  v0, 8(sp)
+        call advance          # consume ')'
+        ldq  v0, 8(sp)
+fret:
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        ret
+
+# term() -> v0 : factor ('*' factor)*
+term:
+        subi sp, sp, 24
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        call factor
+        mov  s0, v0
+tloop:
+        call peek
+        subi t0, v0, 11
+        bne  t0, tdone
+        call advance
+        call factor
+        mul  s0, s0, v0
+        li   t1, 255
+        and  s0, s0, t1       # keep small
+        j    tloop
+tdone:
+        mov  v0, s0
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        addi sp, sp, 24
+        ret
+
+# expr() -> v0 : term ('+' term)*
+expr:
+        subi sp, sp, 24
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        call term
+        mov  s0, v0
+eloop:
+        call peek
+        subi t0, v0, 10
+        bne  t0, edone
+        call advance
+        call term
+        add  s0, s0, v0
+eloop2:
+        j    eloop
+edone:
+        mov  v0, s0
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        addi sp, sp, 24
+        ret
+
+_start:
+        # build a long token stream of randomly structured
+        # expressions: "d op" units with occasional parenthesized
+        # "( d op d ) op" subexpressions, so the parser's token-type
+        # branches are input dependent (as with real text)
+        la   s0, toks
+        li   s1, 0            # write index
+        li   s2, 300          # units
+build:
+        li   v0, 5
+        syscall
+        mov  t5, v0           # randomness for this unit
+        andi t1, t5, 7        # digit
+        add  t2, s0, s1
+        stb  t1, 0(t2)
+        srli t3, t5, 3
+        andi t3, t3, 1
+        addi t3, t3, 10       # '+' or '*'
+        stb  t3, 1(t2)
+        addi s1, s1, 2
+        # 1-in-4 units continue with a parenthesized subexpression
+        srli t3, t5, 4
+        andi t3, t3, 3
+        bne  t3, nopar
+        add  t2, s0, s1
+        li   t3, 12
+        stb  t3, 0(t2)        # '('
+        srli t4, t5, 6
+        andi t4, t4, 7
+        stb  t4, 1(t2)
+        srli t3, t5, 9
+        andi t3, t3, 1
+        addi t3, t3, 10
+        stb  t3, 2(t2)
+        srli t4, t5, 10
+        andi t4, t4, 7
+        stb  t4, 3(t2)
+        li   t3, 13
+        stb  t3, 4(t2)        # ')'
+        srli t3, t5, 11
+        andi t3, t3, 1
+        addi t3, t3, 10
+        stb  t3, 5(t2)
+        addi s1, s1, 6
+nopar:
+        subi s2, s2, 1
+        bne  s2, build
+        # terminate: final digit then end marker
+        add  t2, s0, s1
+        li   t3, 1
+        stb  t3, 0(t2)
+        li   t3, 14
+        stb  t3, 1(t2)
+
+        # evaluate the whole stream several times
+        li   s3, 8            # passes
+        li   s4, 0            # checksum
+run:
+        la   t0, pos
+        stq  zero, 0(t0)
+        call expr
+        add  s4, s4, v0
+        subi s3, s3, 1
+        bne  s3, run
+
+        andi s4, s4, 65535
+        li   v0, 1
+        mov  a0, s4
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * perlbmk-like: byte-level word scanning and open-addressing hash
+ * counting over a synthetic text buffer (string/hash interpreter
+ * flavor).
+ */
+const char *const spec_perlbmk = R"(
+# perlbmk-like word-frequency kernel
+        .data
+text:   .space 16384
+htkey:  .space 8192           # 1024 x 8B keys (0 = empty)
+htval:  .space 8192           # 1024 x 8B counts
+textp:  .quad 0               # global pointer to the text
+        .text
+_start:
+        la   t0, textp
+        la   t1, text
+        stq  t1, 0(t0)
+        # synthesize text: words of 2-9 lowercase letters from a small
+        # vocabulary, separated by spaces
+        la   s0, text
+        li   s1, 16000        # usable length
+        li   t0, 0            # write pos
+gen:
+        li   v0, 5
+        syscall
+        andi t1, v0, 63       # vocabulary word id
+        addi t2, t1, 2
+        andi t2, t2, 7
+        addi t2, t2, 2        # length 2..9
+        li   t3, 0            # char index
+gw:
+        add  t4, t1, t3
+        muli t5, t4, 7
+        andi t5, t5, 25
+        addi t5, t5, 97       # 'a' + x
+        add  t6, s0, t0
+        stb  t5, 0(t6)
+        addi t0, t0, 1
+        addi t3, t3, 1
+        slt  t7, t3, t2
+        bne  t7, gw
+        li   t5, 32           # space
+        add  t6, s0, t0
+        stb  t5, 0(t6)
+        addi t0, t0, 1
+        slt  t7, t0, s1
+        bne  t7, gen
+        add  t6, s0, t0
+        stb  zero, 0(t6)      # NUL terminator
+
+        # scan words, hash, count in open-addressing table
+        li   s2, 0            # read pos
+        li   s3, 0            # checksum
+scan:
+        add  t0, s0, s2
+        ldbu t1, 0(t0)
+        beq  t1, done         # NUL
+        subi t2, t1, 32
+        bne  t2, word
+        addi s2, s2, 1        # skip space
+        j    scan
+word:
+        # hash the word through a helper (call + spills, as compiled
+        # string code would)
+        mov  a0, s2
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        call hash_word
+        ldq  s0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        mov  t3, v0           # hash
+        mov  s2, a1           # new position
+        j    whend
+
+# hash_word(a0 = start pos) -> v0 = hash, a1 = end pos
+hash_word:
+        la   t0, textp
+        ldq  t0, 0(t0)        # text base via global
+        li   v0, 0            # h
+hwl:
+        add  t1, t0, a0
+        ldbu t2, 0(t1)
+        beq  t2, hwend
+        subi t4, t2, 32
+        beq  t4, hwend
+        muli t5, v0, 31
+        add  v0, t5, t2
+        addi a0, a0, 1
+        j    hwl
+hwend:
+        mov  a1, a0
+        ret
+
+whend:
+        # open addressing probe
+        li   t5, 1023
+        and  t6, t3, t5       # slot
+        beq  t3, scan         # empty hash (shouldn't happen)
+probe:
+        la   t7, htkey
+        slli t8, t6, 3
+        add  t7, t7, t8
+        ldq  t9, 0(t7)
+        beq  t9, install
+        sub  t2, t9, t3
+        beq  t2, bump
+        addi t6, t6, 1
+        and  t6, t6, t5
+        j    probe
+install:
+        stq  t3, 0(t7)
+bump:
+        la   t7, htval
+        slli t8, t6, 3
+        add  t7, t7, t8
+        ldq  t9, 0(t7)
+        addi t9, t9, 1
+        stq  t9, 0(t7)
+        add  s3, s3, t9
+        j    scan
+done:
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * twolf-like: placement annealing move evaluation: random cell swaps
+ * with Manhattan wire-length deltas over a net list.
+ */
+const char *const spec_twolf = R"(
+# twolf-like placement swap kernel
+        .data
+cellx:  .space 2048           # 256 cells
+celly:  .space 2048
+nets:   .space 8192           # 512 nets x 16B {cell_a, cell_b}
+        .text
+
+# netlen(a0 = net index) -> v0 = |xa-xb| + |ya-yb|
+netlen:
+        la   t0, nets
+        slli t1, a0, 4
+        add  t0, t0, t1
+        ldq  t2, 0(t0)        # cell a
+        ldq  t3, 8(t0)        # cell b
+        la   t4, cellx
+        slli t5, t2, 3
+        add  t5, t4, t5
+        ldq  t6, 0(t5)        # xa
+        slli t5, t3, 3
+        add  t5, t4, t5
+        ldq  t7, 0(t5)        # xb
+        sub  t6, t6, t7
+        bge  t6, xpos
+        sub  t6, zero, t6
+xpos:
+        la   t4, celly
+        slli t5, t2, 3
+        add  t5, t4, t5
+        ldq  t8, 0(t5)        # ya
+        slli t5, t3, 3
+        add  t5, t4, t5
+        ldq  t9, 0(t5)        # yb
+        sub  t8, t8, t9
+        bge  t8, ypos
+        sub  t8, zero, t8
+ypos:
+        add  v0, t6, t8
+        ret
+
+_start:
+        # random placement
+        li   t0, 0
+place:
+        li   v0, 5
+        syscall
+        andi t1, v0, 127      # x
+        srli t2, v0, 8
+        andi t2, t2, 127      # y
+        la   t3, cellx
+        slli t4, t0, 3
+        add  t5, t3, t4
+        stq  t1, 0(t5)
+        la   t3, celly
+        add  t5, t3, t4
+        stq  t2, 0(t5)
+        addi t0, t0, 1
+        slti t6, t0, 256
+        bne  t6, place
+        # random nets
+        li   t0, 0
+netg:
+        li   v0, 5
+        syscall
+        andi t1, v0, 255
+        srli t2, v0, 8
+        andi t2, t2, 255
+        la   t3, nets
+        slli t4, t0, 4
+        add  t5, t3, t4
+        stq  t1, 0(t5)
+        stq  t2, 8(t5)
+        addi t0, t0, 1
+        slti t6, t0, 512
+        bne  t6, netg
+
+        # annealing moves: swap two random cells, keep if total of 8
+        # random nets' length does not grow
+        li   s0, 600          # moves
+        li   s1, 0            # accepted
+        li   s2, 0            # checksum
+move:
+        li   v0, 5
+        syscall
+        andi s3, v0, 255      # cell i
+        srli t0, v0, 8
+        andi s4, t0, 255      # cell j
+        # old cost of 8 sample nets
+        li   s5, 0            # sample counter
+        li   fp, 0            # old cost
+oldc:
+        li   v0, 5
+        syscall
+        andi a0, v0, 511
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  a0, 8(sp)
+        call netlen
+        ldq  a0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        add  fp, fp, v0
+        addi s5, s5, 1
+        slti t0, s5, 8
+        bne  t0, oldc
+        # swap x and y of cells i and j
+        la   t1, cellx
+        slli t2, s3, 3
+        add  t2, t1, t2
+        slli t3, s4, 3
+        add  t3, t1, t3
+        ldq  t4, 0(t2)
+        ldq  t5, 0(t3)
+        stq  t5, 0(t2)
+        stq  t4, 0(t3)
+        la   t1, celly
+        slli t2, s3, 3
+        add  t2, t1, t2
+        slli t3, s4, 3
+        add  t3, t1, t3
+        ldq  t4, 0(t2)
+        ldq  t5, 0(t3)
+        stq  t5, 0(t2)
+        stq  t4, 0(t3)
+        # sampled cost again (different sample - annealing noise)
+        li   s5, 0
+        li   t9, 0
+newc:
+        li   v0, 5
+        syscall
+        andi a0, v0, 511
+        subi sp, sp, 24
+        stq  ra, 0(sp)
+        stq  a0, 8(sp)
+        stq  t9, 16(sp)
+        call netlen
+        ldq  t9, 16(sp)
+        ldq  a0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 24
+        add  t9, t9, v0
+        addi s5, s5, 1
+        slti t0, s5, 8
+        bne  t0, newc
+        sle  t0, t9, fp
+        bne  t0, accept
+        # reject: swap back
+        la   t1, cellx
+        slli t2, s3, 3
+        add  t2, t1, t2
+        slli t3, s4, 3
+        add  t3, t1, t3
+        ldq  t4, 0(t2)
+        ldq  t5, 0(t3)
+        stq  t5, 0(t2)
+        stq  t4, 0(t3)
+        la   t1, celly
+        slli t2, s3, 3
+        add  t2, t1, t2
+        slli t3, s4, 3
+        add  t3, t1, t3
+        ldq  t4, 0(t2)
+        ldq  t5, 0(t3)
+        stq  t5, 0(t2)
+        stq  t4, 0(t3)
+        j    nextmove
+accept:
+        addi s1, s1, 1
+        add  s2, s2, t9
+nextmove:
+        subi s0, s0, 1
+        bne  s0, move
+
+        andi s2, s2, 65535
+        li   v0, 1
+        mov  a0, s1
+        syscall
+        li   v0, 3
+        li   a0, 32
+        syscall
+        li   v0, 1
+        mov  a0, s2
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * vortex-like: an object store: fixed-size records inserted into a
+ * table with a sorted index maintained by binary search + shift, then
+ * a query mix (OO database flavor).
+ */
+const char *const spec_vortex = R"(
+# vortex-like object store kernel
+        .data
+recs:   .space 32768          # 1024 records x 32B {key, f1, f2, f3}
+index:  .space 8192           # sorted record numbers
+nrec:   .quad 0
+        .text
+
+# bsearch(a0 = key) -> v0 = insertion position in index
+bsearch:
+        la   t0, nrec
+        ldq  t1, 0(t0)        # n
+        li   t2, 0            # lo
+        mov  t3, t1           # hi
+        la   t4, index
+bsl:
+        slt  t5, t2, t3
+        beq  t5, bsdone
+        add  t6, t2, t3
+        srli t6, t6, 1        # mid
+        slli t7, t6, 3
+        add  t7, t4, t7
+        ldq  t8, 0(t7)        # record number
+        la   t9, recs
+        slli t5, t8, 5
+        add  t9, t9, t5
+        ldq  t5, 0(t9)        # key at mid
+        slt  t9, t5, a0
+        beq  t9, goleft
+        addi t2, t6, 1
+        j    bsl
+goleft:
+        mov  t3, t6
+        j    bsl
+bsdone:
+        mov  v0, t2
+        ret
+
+# insert(a0 = key)
+insert:
+        subi sp, sp, 24
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        mov  s0, a0
+        call bsearch
+        mov  s1, v0           # position
+        # write record
+        la   t0, nrec
+        ldq  t1, 0(t0)        # record number = n
+        la   t2, recs
+        slli t3, t1, 5
+        add  t2, t2, t3
+        stq  s0, 0(t2)        # key
+        slli t4, s0, 1
+        stq  t4, 8(t2)        # f1
+        xori t4, s0, 12345
+        stq  t4, 16(t2)       # f2
+        srli t4, s0, 3
+        stq  t4, 24(t2)       # f3
+        # shift index tail up
+        la   t5, index
+        mov  t6, t1           # i = n
+shl:
+        sle  t7, t6, s1
+        bne  t7, shdone
+        slli t8, t6, 3
+        add  t8, t5, t8
+        ldq  t9, -8(t8)
+        stq  t9, 0(t8)
+        subi t6, t6, 1
+        j    shl
+shdone:
+        slli t8, s1, 3
+        add  t8, t5, t8
+        stq  t1, 0(t8)        # index[pos] = record number
+        addi t1, t1, 1
+        stq  t1, 0(t0)        # ++n
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        ldq  s1, 16(sp)
+        addi sp, sp, 24
+        ret
+
+_start:
+        # insert 384 records with random keys
+        li   s2, 384
+        li   s3, 0            # checksum
+ins:
+        li   v0, 5
+        syscall
+        andi a0, v0, 16383
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call insert
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        subi s2, s2, 1
+        bne  s2, ins
+
+        # query mix: 1024 random key probes; sum f2 of predecessors
+        li   s2, 1024
+query:
+        li   v0, 5
+        syscall
+        andi a0, v0, 16383
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call bsearch
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        beq  v0, qskip
+        subi t0, v0, 1
+        la   t1, index
+        slli t2, t0, 3
+        add  t1, t1, t2
+        ldq  t3, 0(t1)        # record number
+        la   t4, recs
+        slli t5, t3, 5
+        add  t4, t4, t5
+        ldq  t6, 16(t4)       # f2
+        add  s3, s3, t6
+qskip:
+        subi s2, s2, 1
+        bne  s2, query
+
+        andi s3, s3, 65535
+        li   v0, 1
+        mov  a0, s3
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/**
+ * vpr-like: breadth-first maze routing on a 64x64 grid with obstacles
+ * and a circular work queue (vpr route phase flavor).
+ */
+const char *const spec_vpr = R"(
+# vpr-like maze routing kernel
+        .data
+grid:   .space 4096           # 64x64 occupancy bytes
+dist:   .space 32768          # 64x64 distances (8B)
+queue:  .space 65536          # circular BFS queue
+        .text
+_start:
+        # place random obstacles (~25%)
+        li   t0, 0
+obst:
+        li   v0, 5
+        syscall
+        andi t1, v0, 3
+        la   t2, grid
+        add  t2, t2, t0
+        bne  t1, clear
+        li   t3, 1
+        stb  t3, 0(t2)
+clear:
+        addi t0, t0, 1
+        slti t4, t0, 4096
+        bne  t4, obst
+
+        li   s5, 0            # total checksum
+        li   s4, 2            # number of routes
+route:
+        # reset distances to -1
+        la   t0, dist
+        li   t1, 4096
+rst:
+        li   t2, -1
+        stq  t2, 0(t0)
+        addi t0, t0, 8
+        subi t1, t1, 1
+        bne  t1, rst
+        # pick source (must not be an obstacle; linear probe)
+        li   v0, 5
+        syscall
+        andi s0, v0, 4095     # source cell
+findsrc:
+        la   t0, grid
+        add  t0, t0, s0
+        ldbu t1, 0(t0)
+        beq  t1, srcok
+        addi s0, s0, 1
+        andi s0, s0, 4095
+        j    findsrc
+srcok:
+        # BFS
+        la   s1, queue
+        li   t2, 0
+        stq  s0, 0(s1)        # enqueue source
+        li   s2, 0            # head
+        li   s3, 1            # tail
+        la   t3, dist
+        slli t4, s0, 3
+        add  t4, t3, t4
+        stq  zero, 0(t4)      # dist[src] = 0
+bfs:
+        sle  t0, s3, s2
+        bne  t0, bfsdone
+        slli t1, s2, 3
+        add  t1, s1, t1
+        ldq  t2, 0(t1)        # cell
+        addi s2, s2, 1
+        # explore 4 neighbors: -1, +1, -64, +64
+        la   t3, dist
+        slli t4, t2, 3
+        add  t4, t3, t4
+        ldq  fp, 0(t4)        # my distance
+        addi fp, fp, 1
+        # left
+        andi t5, t2, 63
+        beq  t5, noleft
+        subi a0, t2, 1
+        call tryvisit
+noleft:
+        # right
+        andi t5, t2, 63
+        subi t6, t5, 63
+        beq  t6, noright
+        addi a0, t2, 1
+        call tryvisit
+noright:
+        # up
+        slti t5, t2, 64
+        bne  t5, noup
+        subi a0, t2, 64
+        call tryvisit
+noup:
+        # down
+        li   t6, 4032
+        slt  t5, t2, t6
+        beq  t5, nodown
+        addi a0, t2, 64
+        call tryvisit
+nodown:
+        j    bfs
+bfsdone:
+        # checksum: sum of distances of 64 sample cells
+        li   t0, 0
+samp:
+        slli t1, t0, 6        # cell = i*64 (column 0)
+        la   t2, dist
+        slli t3, t1, 3
+        add  t2, t2, t3
+        ldq  t4, 0(t2)
+        blt  t4, unreach
+        add  s5, s5, t4
+unreach:
+        addi t0, t0, 1
+        slti t5, t0, 64
+        bne  t5, samp
+        subi s4, s4, 1
+        bne  s4, route
+
+        andi s5, s5, 65535
+        li   v0, 1
+        mov  a0, s5
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+
+# tryvisit(a0 = cell, fp = new distance): enqueue if free and unseen
+tryvisit:
+        subi sp, sp, 16
+        stq  s4, 0(sp)        # spilled under register pressure
+        stq  s5, 8(sp)
+        la   s4, grid
+        add  s4, s4, a0
+        ldbu s5, 0(s4)
+        bne  s5, tvout        # obstacle
+        la   s4, dist
+        slli s5, a0, 3
+        add  s4, s4, s5
+        ldq  s5, 0(s4)
+        bge  s5, tvout        # already visited
+        stq  fp, 0(s4)
+        slli s5, s3, 3
+        add  s5, s1, s5
+        stq  a0, 0(s5)
+        addi s3, s3, 1
+tvout:
+        ldq  s4, 0(sp)
+        ldq  s5, 8(sp)
+        addi sp, sp, 16
+        ret
+)";
+
+} // namespace reno::workloads

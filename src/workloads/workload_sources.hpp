@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Declarations of the assembly sources of every workload kernel.
+ * Definitions live in the per-suite .cpp files; the registry in
+ * workloads.cpp assembles them into the public list.
+ */
+#pragma once
+
+namespace reno::workloads
+{
+
+// SPEC-like integer suite.
+extern const char *const spec_gzip;
+extern const char *const spec_bzip2;
+extern const char *const spec_mcf;
+extern const char *const spec_gcc;
+extern const char *const spec_crafty;
+extern const char *const spec_eon;
+extern const char *const spec_gap;
+extern const char *const spec_parser;
+extern const char *const spec_perlbmk;
+extern const char *const spec_twolf;
+extern const char *const spec_vortex;
+extern const char *const spec_vpr;
+
+// MediaBench-like suite.
+extern const char *const media_adpcm_enc;
+extern const char *const media_adpcm_dec;
+extern const char *const media_epic;
+extern const char *const media_unepic;
+extern const char *const media_g721_enc;
+extern const char *const media_g721_dec;
+extern const char *const media_gsm_enc;
+extern const char *const media_gsm_dec;
+extern const char *const media_jpeg_enc;
+extern const char *const media_jpeg_dec;
+extern const char *const media_mesa;
+extern const char *const media_mpeg2_enc;
+extern const char *const media_mpeg2_dec;
+extern const char *const media_pegwit;
+extern const char *const media_gs;
+
+} // namespace reno::workloads

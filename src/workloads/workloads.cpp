@@ -1,0 +1,78 @@
+#include "workloads/workloads.hpp"
+
+#include "common/log.hpp"
+#include "workloads/workload_sources.hpp"
+
+namespace reno
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    using namespace workloads;
+    // The paper's Figure 8 bar lists: 16 SPECint2000 runs and 19
+    // MediaBench runs. Kernels with several paper inputs (eon's three
+    // camera models, perl's two scripts, vpr's two phases, mesa's
+    // three demos, pegwit's two directions) appear once per input,
+    // distinguished by the rand-syscall seed.
+    static const std::vector<Workload> table = {
+        {"bzip2",     "spec", spec_bzip2,     1},
+        {"crafty",    "spec", spec_crafty,    1},
+        {"eon.c",     "spec", spec_eon,       1},
+        {"eon.k",     "spec", spec_eon,       2},
+        {"eon.r",     "spec", spec_eon,       3},
+        {"gap",       "spec", spec_gap,       1},
+        {"gcc",       "spec", spec_gcc,       1},
+        {"gzip",      "spec", spec_gzip,      1},
+        {"mcf",       "spec", spec_mcf,       1},
+        {"parser",    "spec", spec_parser,    1},
+        {"perl.d",    "spec", spec_perlbmk,   1},
+        {"perl.s",    "spec", spec_perlbmk,   2},
+        {"twolf",     "spec", spec_twolf,     1},
+        {"vortex",    "spec", spec_vortex,    1},
+        {"vpr.p",     "spec", spec_vpr,       1},
+        {"vpr.r",     "spec", spec_vpr,       2},
+        {"adpcm.dec", "media", media_adpcm_dec, 1},
+        {"adpcm.enc", "media", media_adpcm_enc, 1},
+        {"epic",      "media", media_epic,      1},
+        {"g721.dec",  "media", media_g721_dec,  1},
+        {"g721.enc",  "media", media_g721_enc,  1},
+        {"gs",        "media", media_gs,        1},
+        {"gsm.dec",   "media", media_gsm_dec,   1},
+        {"gsm.enc",   "media", media_gsm_enc,   1},
+        {"jpeg.dec",  "media", media_jpeg_dec,  1},
+        {"jpeg.enc",  "media", media_jpeg_enc,  1},
+        {"mesa.m",    "media", media_mesa,      1},
+        {"mesa.o",    "media", media_mesa,      2},
+        {"mesa.t",    "media", media_mesa,      3},
+        {"mpeg2.dec", "media", media_mpeg2_dec, 1},
+        {"mpeg2.enc", "media", media_mpeg2_enc, 1},
+        {"pegw.dec",  "media", media_pegwit,    2},
+        {"pegw.enc",  "media", media_pegwit,    1},
+        {"unepic",    "media", media_unepic,    1},
+    };
+    return table;
+}
+
+std::vector<const Workload *>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.suite == suite)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace reno

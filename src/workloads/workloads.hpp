@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload registry.
+ *
+ * The paper evaluates SPECint2000 and MediaBench compiled for Alpha
+ * with -O3. Neither suite is redistributable here, so the repository
+ * carries two suites of hand-written assembly kernels implementing the
+ * same categories of computation (see DESIGN.md for the mapping).
+ * The kernels are written the way optimized compiler output looks:
+ * stack frames with callee-save spills, argument moves, register-
+ * immediate address arithmetic and loop control - the idioms whose
+ * frequency determines what RENO can collapse.
+ *
+ * Every kernel prints a checksum through the print syscalls, so
+ * functional correctness of any simulator configuration is checked by
+ * comparing its output and final architectural state against the
+ * functional emulator's.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reno
+{
+
+/**
+ * One benchmark program. Programs draw their data from the rand
+ * syscall, so a workload is a (kernel, seed) pair: the paper's
+ * per-input bars (eon.c / eon.k / eon.r, perl.d / perl.s, vpr.p /
+ * vpr.r, mesa.m / mesa.o / mesa.t) are represented as the same kernel
+ * run on a different input stream.
+ */
+struct Workload {
+    std::string name;    //!< e.g. "gzip", "eon.k"
+    std::string suite;   //!< "spec" or "media"
+    const char *source;  //!< assembly text
+    std::uint64_t seed = 1;  //!< input-set selector (rand syscall seed)
+};
+
+/** All registered workloads, SPEC suite first. */
+const std::vector<Workload> &allWorkloads();
+
+/** Workloads of one suite ("spec" or "media"). */
+std::vector<const Workload *> suiteWorkloads(const std::string &suite);
+
+/** Lookup by name; fatal() if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace reno

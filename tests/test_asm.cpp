@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Assembler tests: syntax, directives, label resolution, pseudo-op
+ * expansion, and error reporting.
+ */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/regs.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+Instruction
+first(const std::string &src)
+{
+    const Program p = assemble(src);
+    EXPECT_GE(p.text.size(), 1u);
+    return decode(p.text[0]);
+}
+
+} // namespace
+
+TEST(Asm, EmptyProgram)
+{
+    const Program p = assemble("");
+    EXPECT_TRUE(p.text.empty());
+    EXPECT_TRUE(p.data.empty());
+    EXPECT_EQ(p.entry, DefaultTextBase);
+}
+
+TEST(Asm, CommentsAndWhitespace)
+{
+    const Program p = assemble(
+        "# full line comment\n"
+        "   \t  \n"
+        "  add t0, t1, t2   # trailing comment\n"
+        "  sub t3, t4, t5   ; semicolon comment\n");
+    EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Asm, RTypeEncoding)
+{
+    const Instruction i = first("add v0, a0, a1\n");
+    EXPECT_EQ(i.op, Opcode::ADD);
+    EXPECT_EQ(i.rc, 0);
+    EXPECT_EQ(i.ra, 16);
+    EXPECT_EQ(i.rb, 17);
+}
+
+TEST(Asm, ITypeEncoding)
+{
+    const Instruction i = first("addi t0, t1, -42\n");
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.imm, -42);
+}
+
+TEST(Asm, MemOperands)
+{
+    const Instruction ld = first("ldq t0, 16(sp)\n");
+    EXPECT_EQ(ld.op, Opcode::LDQ);
+    EXPECT_EQ(ld.ra, RegSp);
+    EXPECT_EQ(ld.imm, 16);
+    EXPECT_EQ(ld.rc, 1);
+
+    const Instruction st = first("stb a0, -1(t2)\n");
+    EXPECT_EQ(st.op, Opcode::STB);
+    EXPECT_EQ(st.rb, 16);
+    EXPECT_EQ(st.imm, -1);
+
+    // Empty displacement means zero.
+    const Instruction ld2 = first("ldq t0, (sp)\n");
+    EXPECT_EQ(ld2.imm, 0);
+}
+
+TEST(Asm, BranchTargets)
+{
+    const Program p = assemble(
+        "start:\n"
+        "  addi t0, t0, 1\n"
+        "  bne t0, start\n");
+    const Instruction b = decode(p.text[1]);
+    EXPECT_EQ(b.op, Opcode::BNE);
+    // Branch displacement is relative to pc + 4 in instruction units:
+    // target(start) = pc - 4, so imm = -2.
+    EXPECT_EQ(b.imm, -2);
+}
+
+TEST(Asm, ForwardReferences)
+{
+    const Program p = assemble(
+        "  beq t0, end\n"
+        "  nop\n"
+        "end:\n"
+        "  nop\n");
+    EXPECT_EQ(decode(p.text[0]).imm, 1);
+}
+
+TEST(Asm, PseudoMovAndNop)
+{
+    const Instruction mov = first("mov t0, t1\n");
+    EXPECT_TRUE(mov.isMove());
+    EXPECT_EQ(mov.rc, 1);
+    EXPECT_EQ(mov.ra, 2);
+
+    const Instruction nop = first("nop\n");
+    EXPECT_EQ(nop.op, Opcode::ADDI);
+    EXPECT_FALSE(nop.hasDest());
+}
+
+TEST(Asm, PseudoLiSmallIsOneAddi)
+{
+    const Program p = assemble("li t0, 1000\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    const Instruction i = decode(p.text[0]);
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.ra, RegZero);
+    EXPECT_EQ(i.imm, 1000);
+}
+
+TEST(Asm, PseudoLiLargeIsLuiOri)
+{
+    const Program p = assemble("li t0, 0x12345678\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(decode(p.text[0]).op, Opcode::LUI);
+    EXPECT_EQ(decode(p.text[1]).op, Opcode::ORI);
+}
+
+TEST(Asm, PseudoLaResolvesDataLabels)
+{
+    const Program p = assemble(
+        ".data\n"
+        "x: .quad 7\n"
+        ".text\n"
+        "la t0, x\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(p.symbols.at("x"), DefaultDataBase);
+}
+
+TEST(Asm, PseudoSubiNegatesImmediate)
+{
+    const Instruction i = first("subi sp, sp, 16\n");
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.imm, -16);
+}
+
+TEST(Asm, PseudoCallRetJ)
+{
+    const Program p = assemble(
+        "f: ret\n"
+        "_start:\n"
+        "  call f\n"
+        "  j f\n");
+    const Instruction ret = decode(p.text[0]);
+    EXPECT_EQ(ret.op, Opcode::JMP);
+    EXPECT_EQ(ret.ra, RegRa);
+    const Instruction call = decode(p.text[1]);
+    EXPECT_EQ(call.op, Opcode::BSR);
+    EXPECT_EQ(call.rc, RegRa);
+    EXPECT_EQ(decode(p.text[2]).op, Opcode::BR);
+    EXPECT_EQ(p.entry, DefaultTextBase + 4);
+}
+
+TEST(Asm, BeqzBnez)
+{
+    const Program p = assemble(
+        "top:\n"
+        "  beqz t0, top\n"
+        "  bnez t1, top\n");
+    EXPECT_EQ(decode(p.text[0]).op, Opcode::BEQ);
+    EXPECT_EQ(decode(p.text[1]).op, Opcode::BNE);
+}
+
+TEST(Asm, DataDirectives)
+{
+    const Program p = assemble(
+        ".data\n"
+        "a: .byte 1, 2, 255\n"
+        "b: .word 0x11223344\n"
+        "c: .quad -1\n"
+        "d: .space 5\n"
+        "e: .asciiz \"hi\\n\"\n");
+    EXPECT_EQ(p.data.size(), 3u + 4u + 8u + 5u + 4u);
+    EXPECT_EQ(p.data[0], 1);
+    EXPECT_EQ(p.data[2], 255);
+    EXPECT_EQ(p.data[3], 0x44);  // little-endian word
+    EXPECT_EQ(p.data[7], 0xff);  // -1 quad
+    EXPECT_EQ(p.symbols.at("e"), DefaultDataBase + 20);
+    EXPECT_EQ(p.data[20], 'h');
+    EXPECT_EQ(p.data[22], '\n');
+    EXPECT_EQ(p.data[23], 0);
+}
+
+TEST(Asm, AlignPadsData)
+{
+    const Program p = assemble(
+        ".data\n"
+        ".byte 1\n"
+        ".align 3\n"
+        "q: .quad 2\n");
+    EXPECT_EQ(p.symbols.at("q"), DefaultDataBase + 8);
+    EXPECT_EQ(p.data.size(), 16u);
+}
+
+TEST(Asm, QuadWithLabelValue)
+{
+    const Program p = assemble(
+        ".data\n"
+        "buf: .space 8\n"
+        "ptr: .quad buf\n");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p.data[8 + i]} << (8 * i);
+    EXPECT_EQ(v, DefaultDataBase);
+}
+
+TEST(Asm, MultipleLabelsOneLine)
+{
+    const Program p = assemble("a: b: nop\n");
+    EXPECT_EQ(p.symbols.at("a"), p.symbols.at("b"));
+}
+
+TEST(Asm, LogicalImmediatesZeroExtended)
+{
+    const Program p = assemble("ori t0, t1, 0xffff\n");
+    const Instruction i = decode(p.text[0]);
+    EXPECT_EQ(i.op, Opcode::ORI);
+    // Stored sign-extended but semantically masked to 16 bits.
+    EXPECT_EQ(i.imm & 0xffff, 0xffff);
+}
+
+// ---- error cases ----------------------------------------------------
+
+TEST(AsmErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate t0, t1\n"), AsmError);
+}
+
+TEST(AsmErrors, UnknownRegister)
+{
+    EXPECT_THROW(assemble("add t0, t1, r99\n"), AsmError);
+}
+
+TEST(AsmErrors, ImmediateOutOfRange)
+{
+    EXPECT_THROW(assemble("addi t0, t1, 40000\n"), AsmError);
+    EXPECT_THROW(assemble("addi t0, t1, -40000\n"), AsmError);
+    EXPECT_THROW(assemble("ori t0, t1, -1\n"), AsmError);
+}
+
+TEST(AsmErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);
+}
+
+TEST(AsmErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(AsmErrors, DataDirectiveInText)
+{
+    EXPECT_THROW(assemble(".quad 5\n"), AsmError);
+}
+
+TEST(AsmErrors, InstructionInData)
+{
+    EXPECT_THROW(assemble(".data\nadd t0, t1, t2\n"), AsmError);
+}
+
+TEST(AsmErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add t0, t1\n"), AsmError);
+    EXPECT_THROW(assemble("mov t0\n"), AsmError);
+    EXPECT_THROW(assemble("ret t0\n"), AsmError);
+}
+
+TEST(AsmErrors, ReportsLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(Asm, ProgramInstAt)
+{
+    const Program p = assemble("nop\nadd t0, t1, t2\n");
+    EXPECT_TRUE(p.inText(p.textBase));
+    EXPECT_TRUE(p.inText(p.textBase + 4));
+    EXPECT_FALSE(p.inText(p.textBase + 8));
+    EXPECT_FALSE(p.inText(p.textBase + 2));  // misaligned
+    EXPECT_EQ(p.instAt(p.textBase + 4).op, Opcode::ADD);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Branch predictor tests: bimodal learning, gshare pattern capture,
+ * chooser adaptation, BTB indirect targets, and RAS call/return
+ * behavior.
+ */
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+Instruction
+condBranch()
+{
+    return Instruction::branch(Opcode::BNE, 1, 4);
+}
+
+Instruction
+callInst()
+{
+    return Instruction::jump(Opcode::BSR, RegRa, RegZero, 16);
+}
+
+Instruction
+retInst()
+{
+    return Instruction::jump(Opcode::JMP, RegZero, RegRa, 0);
+}
+
+Instruction
+indirectJump()
+{
+    return Instruction::jump(Opcode::JMP, RegZero, 5, 0);
+}
+
+} // namespace
+
+TEST(Bpred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    const Addr pc = 0x1000;
+    const Addr target = 0x1014;
+    const Instruction b = condBranch();
+    // Train a few times.
+    for (int i = 0; i < 8; ++i) {
+        bp.predict(pc, b);
+        bp.update(pc, b, true, target);
+    }
+    const Prediction p = bp.predict(pc, b);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, target);
+}
+
+TEST(Bpred, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    const Addr pc = 0x2000;
+    const Instruction b = condBranch();
+    for (int i = 0; i < 8; ++i) {
+        bp.predict(pc, b);
+        bp.update(pc, b, false, pc + 4);
+    }
+    const Prediction p = bp.predict(pc, b);
+    EXPECT_FALSE(p.taken);
+    EXPECT_EQ(p.target, pc + 4);
+}
+
+TEST(Bpred, GshareCapturesAlternatingPattern)
+{
+    BranchPredictor bp;
+    const Addr pc = 0x3000;
+    const Instruction b = condBranch();
+    // T,N,T,N...: bimodal dithers; gshare + chooser learn it.
+    unsigned correct_late = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool actual = (i % 2) == 0;
+        const Prediction p = bp.predict(pc, b);
+        if (i >= 300 && p.taken == actual)
+            ++correct_late;
+        bp.update(pc, b, actual, actual ? 0x3014 : pc + 4);
+    }
+    EXPECT_GE(correct_late, 95u) << "pattern should be near-perfect";
+}
+
+TEST(Bpred, DirectCallPredictsTargetAndPushesRas)
+{
+    BranchPredictor bp;
+    const Instruction call = callInst();
+    const Prediction p = bp.predict(0x1000, call);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x1000 + 4 + 16 * 4);
+
+    // Matching return pops the pushed address.
+    const Prediction r = bp.predict(0x5000, retInst());
+    EXPECT_TRUE(r.targetValid);
+    EXPECT_EQ(r.target, 0x1004u);
+}
+
+TEST(Bpred, RasNesting)
+{
+    BranchPredictor bp;
+    bp.predict(0x1000, callInst());  // pushes 0x1004
+    bp.predict(0x2000, callInst());  // pushes 0x2004
+    const Prediction r1 = bp.predict(0x6000, retInst());
+    EXPECT_EQ(r1.target, 0x2004u);
+    const Prediction r2 = bp.predict(0x6100, retInst());
+    EXPECT_EQ(r2.target, 0x1004u);
+}
+
+TEST(Bpred, RasWrapsAtCapacity)
+{
+    BranchPredParams params;
+    params.rasEntries = 4;
+    BranchPredictor bp(params);
+    for (unsigned i = 0; i < 6; ++i)
+        bp.predict(0x1000 + i * 0x100, callInst());
+    // The deepest 4 returns are correct; older entries were clobbered.
+    EXPECT_EQ(bp.predict(0x9000, retInst()).target, 0x1504u);
+    EXPECT_EQ(bp.predict(0x9000, retInst()).target, 0x1404u);
+    EXPECT_EQ(bp.predict(0x9000, retInst()).target, 0x1304u);
+    EXPECT_EQ(bp.predict(0x9000, retInst()).target, 0x1204u);
+}
+
+TEST(Bpred, BtbLearnsIndirectTargets)
+{
+    BranchPredictor bp;
+    const Addr pc = 0x4000;
+    const Instruction j = indirectJump();
+    // Unknown at first.
+    EXPECT_FALSE(bp.predict(pc, j).targetValid);
+    bp.update(pc, j, true, 0x8888);
+    const Prediction p = bp.predict(pc, j);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x8888u);
+    // Retrains on a new target.
+    bp.update(pc, j, true, 0x9999);
+    EXPECT_EQ(bp.predict(pc, j).target, 0x9999u);
+}
+
+TEST(Bpred, ReturnThroughNonRaRegisterUsesBtb)
+{
+    BranchPredictor bp;
+    const Instruction j = indirectJump();  // jmp (t4), not (ra)
+    bp.update(0x4100, j, true, 0x7777);
+    const Prediction p = bp.predict(0x4100, j);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x7777u);
+}
+
+TEST(Bpred, UnconditionalBranchAlwaysTaken)
+{
+    BranchPredictor bp;
+    const Instruction br = Instruction::branch(Opcode::BR, RegZero, 10);
+    const Prediction p = bp.predict(0x1000, br);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x1000 + 4 + 40);
+}
+
+TEST(Bpred, CountsLookupsAndMispredicts)
+{
+    BranchPredictor bp;
+    EXPECT_EQ(bp.lookups(), 0u);
+    bp.predict(0x1000, condBranch());
+    EXPECT_EQ(bp.lookups(), 1u);
+    bp.noteDirMispredict();
+    bp.noteTargetMispredict();
+    EXPECT_EQ(bp.dirMispredicts(), 1u);
+    EXPECT_EQ(bp.targetMispredicts(), 1u);
+}
+
+TEST(Bpred, DistinctPcsDoNotInterfereMuch)
+{
+    BranchPredictor bp;
+    const Instruction b = condBranch();
+    // Train pc A taken, pc B (different bimodal index) not-taken.
+    const Addr a = 0x1000, c = 0x1400;
+    for (int i = 0; i < 8; ++i) {
+        bp.predict(a, b);
+        bp.update(a, b, true, a + 20);
+        bp.predict(c, b);
+        bp.update(c, b, false, c + 4);
+    }
+    EXPECT_TRUE(bp.predict(a, b).taken);
+    EXPECT_FALSE(bp.predict(c, b).taken);
+}

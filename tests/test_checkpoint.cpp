@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Map-table checkpoint tests (paper section 3.4): snapshot/restore of
+ * the extended [p:d] mappings, reference-count pinning across the
+ * checkpoint's lifetime, equivalence with reverse-order rollback
+ * recovery, and conservation of references through arbitrary
+ * checkpoint/rename/restore interleavings.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reno/renamer.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+std::unique_ptr<RenoRenamer>
+makeRenamer(const RenoConfig &config, unsigned pregs = 96)
+{
+    auto ren = std::make_unique<RenoRenamer>(config, pregs);
+    std::uint64_t vals[NumLogRegs];
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        vals[r] = 100 * r;
+    ren->initialize(vals);
+    return ren;
+}
+
+RenameOut
+renameOne(RenoRenamer &ren, const Instruction &inst, std::uint64_t result)
+{
+    ren.beginGroup();
+    return ren.rename(RenameIn{inst, result});
+}
+
+/** Snapshot of all 32 architectural mappings. */
+std::vector<MapEntry>
+mapSnapshot(const RenoRenamer &ren)
+{
+    std::vector<MapEntry> snap(NumLogRegs);
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        snap[r] = ren.mapTable().get(static_cast<LogReg>(r));
+    return snap;
+}
+
+} // namespace
+
+TEST(Checkpoint, TakePinsEveryMappedRegister)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    const std::uint64_t refs_before = ren->physRegs().totalRefs();
+    MapCheckpoint cp = ren->takeCheckpoint();
+    EXPECT_TRUE(cp.live);
+    EXPECT_EQ(ren->physRegs().totalRefs(), refs_before + NumLogRegs);
+    ren->releaseCheckpoint(cp);
+    EXPECT_FALSE(cp.live);
+    EXPECT_EQ(ren->physRegs().totalRefs(), refs_before);
+}
+
+TEST(Checkpoint, RestoreRecoversMapAndDisplacements)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    // Build up state including a folded displacement.
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 2, 1, 8), 108);
+    const auto before = mapSnapshot(*ren);
+    MapCheckpoint cp = ren->takeCheckpoint();
+
+    // Speculative work: overwrite r2 and r3, fold more onto r2.
+    const RenameOut a = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 3, 1, 1), 200);
+    const RenameOut b = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 2, 2, 4), 112);
+    EXPECT_NE(mapSnapshot(*ren), before);
+
+    // Recover: drop the squashed instructions' references, restore.
+    ren->releaseRename(b);
+    ren->releaseRename(a);
+    ren->restoreCheckpoint(cp);
+    EXPECT_EQ(mapSnapshot(*ren), before)
+        << "restored mappings must include the [p:d] displacements";
+    EXPECT_FALSE(cp.live);
+}
+
+TEST(Checkpoint, RestoreMatchesReverseRollback)
+{
+    // Run the same speculative sequence through both recovery
+    // mechanisms; final map tables and reference counts must agree.
+    const auto sequence = [](RenoRenamer &ren,
+                             std::vector<RenameOut> &outs) {
+        outs.push_back(renameOne(
+            ren, Instruction::ri(Opcode::ADDI, 4, 4, 16), 416));
+        outs.push_back(renameOne(
+            ren, Instruction::move(5, 4), 416));
+        outs.push_back(renameOne(
+            ren, Instruction::rr(Opcode::MUL, 6, 5, 4),
+            416 * 416));
+        outs.push_back(renameOne(
+            ren, Instruction::ri(Opcode::ADDI, 4, 4, -16), 400));
+    };
+
+    auto ren_cp = makeRenamer(RenoConfig::full());
+    auto ren_rb = makeRenamer(RenoConfig::full());
+
+    MapCheckpoint cp = ren_cp->takeCheckpoint();
+    std::vector<RenameOut> outs_cp, outs_rb;
+    std::vector<Instruction> insts = {
+        Instruction::ri(Opcode::ADDI, 4, 4, 16),
+        Instruction::move(5, 4),
+        Instruction::rr(Opcode::MUL, 6, 5, 4),
+        Instruction::ri(Opcode::ADDI, 4, 4, -16),
+    };
+    sequence(*ren_cp, outs_cp);
+    sequence(*ren_rb, outs_rb);
+
+    // Checkpoint recovery: release refs, restore the snapshot.
+    for (auto it = outs_cp.rbegin(); it != outs_cp.rend(); ++it)
+        ren_cp->releaseRename(*it);
+    ren_cp->restoreCheckpoint(cp);
+
+    // Rollback recovery: undo youngest-first.
+    for (size_t i = outs_rb.size(); i-- > 0;)
+        ren_rb->rollback(insts[i], outs_rb[i]);
+
+    EXPECT_EQ(mapSnapshot(*ren_cp), mapSnapshot(*ren_rb));
+    EXPECT_EQ(ren_cp->physRegs().totalRefs(),
+              ren_rb->physRegs().totalRefs());
+    for (unsigned p = 0; p < ren_cp->physRegs().numPregs(); ++p) {
+        EXPECT_EQ(ren_cp->physRegs().refCount(p),
+                  ren_rb->physRegs().refCount(p))
+            << "p" << p;
+    }
+}
+
+TEST(Checkpoint, MappedRegisterSurvivesOverwriteWhileCheckpointLive)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    const PhysReg p1 = ren->mapTable().get(1).preg;
+    MapCheckpoint cp = ren->takeCheckpoint();
+
+    // Overwrite r1 speculatively; the checkpoint pins the old
+    // register so it cannot be recycled while recovery is possible.
+    const RenameOut out = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 1, 2, 3), 500);
+    EXPECT_GE(ren->physRegs().refCount(p1), 2u)
+        << "writer's reference plus the checkpoint pin";
+
+    ren->releaseRename(out);
+    ren->restoreCheckpoint(cp);
+    EXPECT_EQ(ren->mapTable().get(1).preg, p1);
+    EXPECT_GE(ren->physRegs().refCount(p1), 1u)
+        << "restored mapping is backed by the original writer's ref";
+}
+
+TEST(Checkpoint, ReleaseAfterCommitFreesOverwrittenRegisters)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    const PhysReg p1 = ren->mapTable().get(1).preg;
+    MapCheckpoint cp = ren->takeCheckpoint();
+
+    const RenameOut out = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 1, 2, 3), 500);
+    ren->retire(out);
+    // Speculation committed: the checkpoint dies, and with it the last
+    // reference to the overwritten register.
+    ren->releaseCheckpoint(cp);
+    EXPECT_EQ(ren->physRegs().refCount(p1), 0u);
+}
+
+TEST(Checkpoint, NestedCheckpointsRestoreInnermostFirst)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    MapCheckpoint outer = ren->takeCheckpoint();
+    const RenameOut a = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 7, 7, 1), 701);
+    const auto mid = mapSnapshot(*ren);
+    MapCheckpoint inner = ren->takeCheckpoint();
+    const RenameOut b = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 7, 7, 1), 702);
+
+    // Inner mis-speculation: back to mid.
+    ren->releaseRename(b);
+    ren->restoreCheckpoint(inner);
+    EXPECT_EQ(mapSnapshot(*ren), mid);
+
+    // Outer mis-speculation: back to the initial state.
+    const auto initial_r7 = outer.map[7];
+    ren->releaseRename(a);
+    ren->restoreCheckpoint(outer);
+    EXPECT_EQ(ren->mapTable().get(7), initial_r7);
+}
+
+TEST(Checkpoint, DoubleRestorePanics)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    MapCheckpoint cp = ren->takeCheckpoint();
+    ren->restoreCheckpoint(cp);
+    EXPECT_DEATH(ren->restoreCheckpoint(cp), "dead checkpoint");
+}
+
+TEST(Checkpoint, RandomInterleavingConservesReferences)
+{
+    // Property: arbitrary rename/checkpoint/restore/release
+    // interleavings never leak or double-free references. Total refs
+    // must return to the baseline after everything is unwound. A
+    // shadow architectural file supplies oracle results so the
+    // renamer's sharing invariant stays armed throughout.
+    Rng rng(7);
+    auto ren = makeRenamer(RenoConfig::full(), 128);
+    const std::uint64_t base_refs = ren->physRegs().totalRefs();
+
+    std::uint64_t vals[NumLogRegs];
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        vals[r] = 100 * r;
+
+    struct Frame {
+        MapCheckpoint cp;
+        std::vector<RenameOut> outs;
+        std::uint64_t vals[NumLogRegs];
+    };
+    std::vector<Frame> stack;
+
+    for (unsigned step = 0; step < 400; ++step) {
+        const unsigned roll = static_cast<unsigned>(rng.below(10));
+        if (roll < 2 && stack.size() < 6) {
+            Frame f;
+            f.cp = ren->takeCheckpoint();
+            std::copy(std::begin(vals), std::end(vals),
+                      std::begin(f.vals));
+            stack.push_back(std::move(f));
+        } else if (roll < 3 && !stack.empty()) {
+            // Mis-speculate: unwind the innermost frame.
+            Frame &f = stack.back();
+            for (size_t i = f.outs.size(); i-- > 0;)
+                ren->releaseRename(f.outs[i]);
+            ren->restoreCheckpoint(f.cp);
+            std::copy(std::begin(f.vals), std::end(f.vals),
+                      std::begin(vals));
+            stack.pop_back();
+        } else if (roll < 4 && stack.size() == 1) {
+            // Commit the outermost frame: its work retires and the
+            // checkpoint dies. (Retiring under a still-live OLDER
+            // checkpoint would make that checkpoint unrestorable, so
+            // commits happen outermost-first, as in hardware.)
+            Frame f = std::move(stack.back());
+            stack.pop_back();
+            for (auto &o : f.outs)
+                ren->retire(o);
+            ren->releaseCheckpoint(f.cp);
+        } else {
+            const LogReg d = static_cast<LogReg>(1 + rng.below(14));
+            const LogReg s = static_cast<LogReg>(1 + rng.below(14));
+            std::uint64_t result;
+            Instruction inst;
+            if (rng.below(2)) {
+                const auto imm = static_cast<std::int16_t>(
+                    rng.range(-64, 64));
+                inst = Instruction::ri(Opcode::ADDI, d, s, imm);
+                result = vals[s] + static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(imm));
+            } else {
+                inst = Instruction::rr(Opcode::ADD, d, s, d);
+                result = vals[s] + vals[d];
+            }
+            const RenameOut out = renameOne(*ren, inst, result);
+            vals[d] = result;
+            if (stack.empty()) {
+                ren->retire(out);
+            } else {
+                stack.back().outs.push_back(out);
+            }
+        }
+    }
+
+    // Unwind everything still live.
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        for (size_t i = f.outs.size(); i-- > 0;)
+            ren->releaseRename(f.outs[i]);
+        ren->restoreCheckpoint(f.cp);
+        stack.pop_back();
+    }
+    EXPECT_EQ(ren->physRegs().totalRefs(), base_refs);
+}

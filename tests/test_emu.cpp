@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Functional emulator tests: ALU semantics checked against native C++
+ * over randomized operands for every ALU opcode (parameterized),
+ * memory access sizes and extension, control flow, syscalls, and
+ * whole-program behaviors (recursion, loops).
+ */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/rng.hpp"
+#include "emu/emulator.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+Emulator
+runProgram(const std::string &src)
+{
+    static std::vector<std::unique_ptr<Program>> programs;
+    programs.push_back(std::make_unique<Program>(assemble(src)));
+    Emulator emu(*programs.back());
+    emu.run();
+    return emu;
+}
+
+} // namespace
+
+// ---- evalAlu reference checks (parameterized over ALU opcodes) ------
+
+struct AluCase {
+    Opcode op;
+    const char *name;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+static std::uint64_t
+reference(Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    const auto simm = static_cast<std::int64_t>(imm);
+    switch (op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        return sb ? static_cast<std::uint64_t>(sa / sb) : 0;
+      case Opcode::DIVU: return b ? a / b : 0;
+      case Opcode::REM:
+        return sb ? static_cast<std::uint64_t>(sa % sb) : 0;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::BIC: return a & ~b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA:
+        return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::SEQ: return a == b;
+      case Opcode::SLT: return sa < sb;
+      case Opcode::SLE: return sa <= sb;
+      case Opcode::SLTU: return a < b;
+      case Opcode::SLEU: return a <= b;
+      case Opcode::ADDI: return a + static_cast<std::uint64_t>(simm);
+      case Opcode::MULI: return a * static_cast<std::uint64_t>(simm);
+      case Opcode::ANDI: return a & (static_cast<std::uint32_t>(imm) &
+                                     0xffff);
+      case Opcode::ORI: return a | (static_cast<std::uint32_t>(imm) &
+                                    0xffff);
+      case Opcode::XORI: return a ^ (static_cast<std::uint32_t>(imm) &
+                                     0xffff);
+      case Opcode::SLLI: return a << (imm & 63);
+      case Opcode::SRLI: return a >> (imm & 63);
+      case Opcode::SRAI:
+        return static_cast<std::uint64_t>(sa >> (imm & 63));
+      case Opcode::SEQI: return a == static_cast<std::uint64_t>(simm);
+      case Opcode::SLTI: return sa < simm;
+      case Opcode::SLEI: return sa <= simm;
+      case Opcode::SLTUI: return a < static_cast<std::uint64_t>(simm);
+      case Opcode::SLEUI: return a <= static_cast<std::uint64_t>(simm);
+      case Opcode::LUI:
+        return static_cast<std::uint64_t>(simm << 16);
+      default: return 0;
+    }
+}
+
+TEST_P(AluSemantics, MatchesReference)
+{
+    const Opcode op = GetParam().op;
+    Rng rng(static_cast<unsigned>(op) * 7 + 3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b =
+            trial % 5 == 0 ? 0 : rng.next();  // exercise zero operands
+        const auto imm =
+            static_cast<std::int32_t>(rng.range(-32768, 32767));
+        EXPECT_EQ(evalAlu(op, a, b, imm), reference(op, a, b, imm))
+            << mnemonic(op) << " a=" << a << " b=" << b
+            << " imm=" << imm;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Emu, AluSemantics,
+    ::testing::Values(
+        AluCase{Opcode::ADD, "add"}, AluCase{Opcode::SUB, "sub"},
+        AluCase{Opcode::MUL, "mul"}, AluCase{Opcode::DIV, "div"},
+        AluCase{Opcode::DIVU, "divu"}, AluCase{Opcode::REM, "rem"},
+        AluCase{Opcode::AND, "and"}, AluCase{Opcode::OR, "or"},
+        AluCase{Opcode::XOR, "xor"}, AluCase{Opcode::BIC, "bic"},
+        AluCase{Opcode::SLL, "sll"}, AluCase{Opcode::SRL, "srl"},
+        AluCase{Opcode::SRA, "sra"}, AluCase{Opcode::SEQ, "seq"},
+        AluCase{Opcode::SLT, "slt"}, AluCase{Opcode::SLE, "sle"},
+        AluCase{Opcode::SLTU, "sltu"}, AluCase{Opcode::SLEU, "sleu"},
+        AluCase{Opcode::ADDI, "addi"}, AluCase{Opcode::MULI, "muli"},
+        AluCase{Opcode::ANDI, "andi"}, AluCase{Opcode::ORI, "ori"},
+        AluCase{Opcode::XORI, "xori"}, AluCase{Opcode::SLLI, "slli"},
+        AluCase{Opcode::SRLI, "srli"}, AluCase{Opcode::SRAI, "srai"},
+        AluCase{Opcode::SEQI, "seqi"}, AluCase{Opcode::SLTI, "slti"},
+        AluCase{Opcode::SLEI, "slei"}, AluCase{Opcode::SLTUI, "sltui"},
+        AluCase{Opcode::SLEUI, "sleui"}, AluCase{Opcode::LUI, "lui"}),
+    [](const ::testing::TestParamInfo<AluCase> &info) {
+        return info.param.name;
+    });
+
+// ---- whole-program behaviors -----------------------------------------
+
+TEST(Emu, ExitCodePropagates)
+{
+    Emulator e = runProgram("li v0, 0\nli a0, 42\nsyscall\n");
+    EXPECT_TRUE(e.done());
+    EXPECT_EQ(e.exitCode(), 42u);
+    EXPECT_EQ(e.instCount(), 3u);
+}
+
+TEST(Emu, PrintSyscalls)
+{
+    Emulator e = runProgram(
+        "li v0, 1\nli a0, -7\nsyscall\n"
+        "li v0, 3\nli a0, 44\nsyscall\n"   // comma
+        "li v0, 1\nli a0, 123\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "-7,123");
+}
+
+TEST(Emu, PrintString)
+{
+    Emulator e = runProgram(
+        ".data\nmsg: .asciiz \"hello\"\n.text\n"
+        "la a0, msg\nli v0, 2\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "hello");
+}
+
+TEST(Emu, RandIsDeterministic)
+{
+    const char *src =
+        "li v0, 5\nsyscall\nmov a0, v0\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n";
+    Emulator a = runProgram(src);
+    Emulator b = runProgram(src);
+    EXPECT_EQ(a.output(), b.output());
+    EXPECT_FALSE(a.output().empty());
+}
+
+TEST(Emu, ClockReturnsInstCount)
+{
+    Emulator e = runProgram(
+        "nop\nnop\nli v0, 4\nsyscall\n"
+        "mov a0, v0\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    // clock() executes as the 4th instruction; count at syscall is 3.
+    EXPECT_EQ(e.output(), "3");
+}
+
+TEST(Emu, LoadStoreSizes)
+{
+    Emulator e = runProgram(
+        ".data\nbuf: .space 16\n.text\n"
+        "la t0, buf\n"
+        "li t1, -2\n"            // 0xfffffffffffffffe
+        "stq t1, 0(t0)\n"
+        "ldbu t2, 0(t0)\n"       // 0xfe zero-extended
+        "mov a0, t2\nli v0, 1\nsyscall\n"
+        "ldl t3, 0(t0)\n"        // 0xfffffffe sign-extended = -2
+        "li v0, 3\nli a0, 32\nsyscall\n"
+        "mov a0, t3\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "254 -2");
+}
+
+TEST(Emu, ByteStoreOnlyTouchesOneByte)
+{
+    Emulator e = runProgram(
+        ".data\nbuf: .quad 0\n.text\n"
+        "la t0, buf\n"
+        "li t1, 0x1234\n"
+        "stb t1, 1(t0)\n"
+        "ldq t2, 0(t0)\n"
+        "mov a0, t2\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "13312");  // 0x34 << 8
+}
+
+TEST(Emu, ZeroRegisterIgnoresWrites)
+{
+    Emulator e = runProgram(
+        "li t0, 5\n"
+        "add zero, t0, t0\n"
+        "mov a0, zero\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "0");
+}
+
+TEST(Emu, ConditionalBranchDirections)
+{
+    // For (v, op) pairs verify taken/not-taken by printing markers.
+    Emulator e = runProgram(
+        "li t0, -1\n"
+        "blt t0, ok1\n"
+        "li v0, 3\nli a0, 88\nsyscall\n"  // 'X' if fallthrough
+        "ok1:\n"
+        "li t0, 0\n"
+        "ble t0, ok2\n"
+        "li v0, 3\nli a0, 88\nsyscall\n"
+        "ok2:\n"
+        "li t0, 1\n"
+        "bgt t0, ok3\n"
+        "li v0, 3\nli a0, 88\nsyscall\n"
+        "ok3:\n"
+        "li t0, 0\n"
+        "bge t0, ok4\n"
+        "li v0, 3\nli a0, 88\nsyscall\n"
+        "ok4:\n"
+        "li v0, 3\nli a0, 46\nsyscall\n"  // '.'
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), ".");
+}
+
+TEST(Emu, RecursiveFactorial)
+{
+    Emulator e = runProgram(R"(
+# fact(a0) -> v0
+fact:
+        bgt  a0, recurse
+        li   v0, 1
+        ret
+recurse:
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  a0, 8(sp)
+        subi a0, a0, 1
+        call fact
+        ldq  a0, 8(sp)
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        mul  v0, v0, a0
+        ret
+_start:
+        li   a0, 10
+        call fact
+        mov  a0, v0
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    EXPECT_EQ(e.output(), "3628800");
+}
+
+TEST(Emu, LoopSum)
+{
+    Emulator e = runProgram(
+        "li t0, 0\nli t1, 100\n"
+        "loop:\n"
+        "add t0, t0, t1\n"
+        "subi t1, t1, 1\n"
+        "bne t1, loop\n"
+        "mov a0, t0\nli v0, 1\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.output(), "5050");
+}
+
+TEST(Emu, IndirectCallThroughRegister)
+{
+    Emulator e = runProgram(R"(
+f:
+        li   v0, 77
+        ret
+_start:
+        la   t0, f
+        jsr  ra, (t0)
+        mov  a0, v0
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    EXPECT_EQ(e.output(), "77");
+}
+
+TEST(Emu, StackPointerInitialized)
+{
+    const Program p = assemble("nop\nli v0, 0\nli a0, 0\nsyscall\n");
+    Emulator e(p);
+    EXPECT_EQ(e.state().reg(RegSp), DefaultStackTop);
+}
+
+TEST(Emu, MemoryDigestChangesWithStores)
+{
+    Emulator a = runProgram(
+        ".data\nx: .quad 0\n.text\n"
+        "la t0, x\nli t1, 1\nstq t1, 0(t0)\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    Emulator b = runProgram(
+        ".data\nx: .quad 0\n.text\n"
+        "la t0, x\nli t1, 2\nstq t1, 0(t0)\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_NE(a.memory().digest(), b.memory().digest());
+}
+
+TEST(Emu, StepRecordsOracleValues)
+{
+    const Program p = assemble(
+        "li t0, 6\n"
+        "li t1, 7\n"
+        "mul t2, t0, t1\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    Emulator e(p);
+    e.step();
+    e.step();
+    const ExecRecord rec = e.step();
+    EXPECT_EQ(rec.inst.op, Opcode::MUL);
+    EXPECT_EQ(rec.srcVal[0], 6u);
+    EXPECT_EQ(rec.srcVal[1], 7u);
+    EXPECT_EQ(rec.result, 42u);
+    EXPECT_EQ(rec.npc, rec.pc + 4);
+    EXPECT_FALSE(rec.exited);
+}
+
+TEST(Emu, BranchRecordShowsTargetAndTaken)
+{
+    const Program p = assemble(
+        "li t0, 1\n"
+        "bne t0, target\n"
+        "nop\n"
+        "target:\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    Emulator e(p);
+    e.step();
+    const ExecRecord rec = e.step();
+    EXPECT_TRUE(rec.taken);
+    EXPECT_EQ(rec.npc, p.symbols.at("target"));
+}
+
+TEST(Emu, DivideOverflowEdgeCasesAreDefined)
+{
+    // INT64_MIN / -1 overflows two's complement; the ISA defines it to
+    // wrap (quotient INT64_MIN, remainder 0) instead of trapping.
+    Emulator e = runProgram(
+        "li t0, 1\n"
+        "slli t0, t0, 63\n"      // INT64_MIN
+        "li t1, -1\n"
+        "div t2, t0, t1\n"
+        "rem t3, t0, t1\n"
+        "div t4, t0, zero\n"     // divide by zero -> 0
+        "rem t5, t0, zero\n"
+        "li v0, 0\nli a0, 0\nsyscall\n");
+    EXPECT_EQ(e.state().regs[1], 1ULL << 63);
+    EXPECT_EQ(e.state().regs[3], 1ULL << 63) << "quotient wraps";
+    EXPECT_EQ(e.state().regs[4], 0u) << "remainder is zero";
+    EXPECT_EQ(e.state().regs[5], 0u) << "divide by zero yields zero";
+    EXPECT_EQ(e.state().regs[6], 0u);
+}
+
+TEST(Emu, RandSeedSelectsInputStream)
+{
+    const char *src =
+        "li v0, 5\nsyscall\n"
+        "mov t0, v0\n"
+        "li v0, 1\nmov a0, t0\nsyscall\n"
+        "li v0, 0\nli a0, 0\nsyscall\n";
+    const Program p = assemble(src);
+    Emulator::Options o1, o2;
+    o1.randSeed = 1;
+    o2.randSeed = 2;
+    Emulator e1(p, o1), e1b(p, o1), e2(p, o2);
+    e1.run();
+    e1b.run();
+    e2.run();
+    EXPECT_EQ(e1.output(), e1b.output()) << "same seed, same stream";
+    EXPECT_NE(e1.output(), e2.output()) << "different seed, new input";
+}

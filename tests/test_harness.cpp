@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Harness tests: configuration presets, speedup math, and the
+ * one-call workload runner.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+using namespace reno;
+
+TEST(Harness, RenoBuildupNamesAndFlags)
+{
+    const auto configs = renoBuildup(CoreParams::fourWide());
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0].name, "BASE");
+    EXPECT_FALSE(configs[0].params.reno.any());
+    EXPECT_EQ(configs[1].name, "ME");
+    EXPECT_TRUE(configs[1].params.reno.me);
+    EXPECT_FALSE(configs[1].params.reno.cf);
+    EXPECT_EQ(configs[2].name, "ME+CF");
+    EXPECT_TRUE(configs[2].params.reno.cf);
+    EXPECT_FALSE(configs[2].params.reno.usesIt());
+    EXPECT_EQ(configs[3].name, "RENO");
+    EXPECT_TRUE(configs[3].params.reno.usesIt());
+    EXPECT_TRUE(configs[3].params.reno.itLoadsOnly);
+}
+
+TEST(Harness, DivisionOfLaborConfigs)
+{
+    const auto configs = divisionOfLabor(CoreParams::fourWide());
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_TRUE(configs[0].params.reno.cf);
+    EXPECT_TRUE(configs[0].params.reno.itLoadsOnly);
+    EXPECT_TRUE(configs[1].params.reno.cf);
+    EXPECT_FALSE(configs[1].params.reno.itLoadsOnly);
+    EXPECT_FALSE(configs[2].params.reno.cf);
+    EXPECT_FALSE(configs[2].params.reno.itLoadsOnly);
+    EXPECT_FALSE(configs[3].params.reno.cf);
+    EXPECT_TRUE(configs[3].params.reno.itLoadsOnly);
+}
+
+TEST(Harness, PaperMachinePresets)
+{
+    const CoreParams four = CoreParams::fourWide();
+    EXPECT_EQ(four.fetchWidth, 4u);
+    EXPECT_EQ(four.issue.intOps, 3u);
+    EXPECT_EQ(four.robEntries, 128u);
+    EXPECT_EQ(four.iqEntries, 50u);
+    EXPECT_EQ(four.lqEntries, 48u);
+    EXPECT_EQ(four.sqEntries, 24u);
+    EXPECT_EQ(four.numPregs, 160u);
+
+    const CoreParams six = CoreParams::sixWide();
+    EXPECT_EQ(six.fetchWidth, 6u);
+    EXPECT_EQ(six.issue.intOps, 4u);
+    EXPECT_EQ(six.issue.loads, 2u);
+
+    const CoreParams i2t3 = CoreParams::issueReduced(2, 3);
+    EXPECT_EQ(i2t3.issue.intOps, 2u);
+    EXPECT_EQ(i2t3.issue.total, 3u);
+}
+
+TEST(Harness, SpeedupPercent)
+{
+    EXPECT_NEAR(speedupPercent(110, 100), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(speedupPercent(100, 100), 0.0);
+    EXPECT_NEAR(speedupPercent(100, 110), -9.09, 0.01);
+    EXPECT_DOUBLE_EQ(speedupPercent(100, 0), 0.0);
+}
+
+TEST(Harness, Amean)
+{
+    EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(amean({}), 0.0);
+}
+
+TEST(Harness, RunWorkloadEndToEnd)
+{
+    const Workload &w = workloadByName("jpeg.enc");
+    const RunOutput ref = runFunctional(w);
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    CriticalPathAnalyzer cpa(1'000'000, params.robEntries,
+                             params.iqEntries);
+    const RunOutput run = runWorkload(w, params, &cpa);
+    EXPECT_EQ(run.output, ref.output);
+    EXPECT_EQ(run.emuInsts, ref.emuInsts);
+    EXPECT_GT(run.sim.cycles, 0u);
+    EXPECT_GT(cpa.totalWeight(), 0u);
+}
+
+TEST(Harness, WithRenoAppliesConfig)
+{
+    const CoreParams p =
+        withReno(CoreParams::fourWide(), RenoConfig::meCf());
+    EXPECT_TRUE(p.reno.me);
+    EXPECT_TRUE(p.reno.cf);
+    EXPECT_FALSE(p.reno.cse);
+}

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Memory substrate tests: sparse memory, cache hit/miss behavior,
+ * LRU replacement, MSHR merging, bus contention and the two-level
+ * hierarchy.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/sparse_memory.hpp"
+
+using namespace reno;
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+TEST(SparseMemory, LittleEndianMultiByte)
+{
+    SparseMemory m;
+    m.write(0x100, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(m.readByte(0x100), 0x88);
+    EXPECT_EQ(m.readByte(0x107), 0x11);
+    EXPECT_EQ(m.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory m;
+    const Addr addr = SparseMemory::PageSize - 4;
+    m.write(addr, 0xaabbccdd11223344ULL, 8);
+    EXPECT_EQ(m.read(addr, 8), 0xaabbccdd11223344ULL);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(SparseMemory, LoadBuffer)
+{
+    SparseMemory m;
+    const std::uint8_t data[] = {1, 2, 3, 4};
+    m.load(0x2000, data, sizeof(data));
+    EXPECT_EQ(m.read(0x2000, 4), 0x04030201u);
+}
+
+TEST(SparseMemory, ReadString)
+{
+    SparseMemory m;
+    const char *s = "reno";
+    m.load(0x300, reinterpret_cast<const std::uint8_t *>(s), 5);
+    EXPECT_EQ(m.readString(0x300), "reno");
+}
+
+TEST(SparseMemory, DigestSensitivity)
+{
+    SparseMemory a, b;
+    a.write(0x100, 1, 8);
+    b.write(0x100, 1, 8);
+    EXPECT_EQ(a.digest(), b.digest());
+    b.write(0x108, 1, 1);
+    EXPECT_NE(a.digest(), b.digest());
+    // Same value at a different address also differs.
+    SparseMemory c;
+    c.write(0x200, 1, 8);
+    EXPECT_NE(a.digest(), c.digest());
+}
+
+// ---- single cache ----------------------------------------------------
+
+namespace
+{
+
+/** Next-level stub with fixed latency, counting calls. */
+struct NextLevelStub {
+    unsigned latency = 50;
+    unsigned calls = 0;
+
+    static std::uint64_t
+    entry(void *ctx, Addr, Cycle now)
+    {
+        auto *self = static_cast<NextLevelStub *>(ctx);
+        ++self->calls;
+        return now + self->latency;
+    }
+};
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = 256;  // 4 sets x 2 ways x 32B
+    p.assoc = 2;
+    p.blockBytes = 32;
+    p.latency = 2;
+    p.numMshrs = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);
+
+    const Cycle t1 = c.access(0x1000, 0, false);
+    EXPECT_EQ(t1, 0u + 2 + 50 + 2);  // miss: latency + fill + latency
+    EXPECT_EQ(c.misses(), 1u);
+
+    const Cycle t2 = c.access(0x1000, t1, false);
+    EXPECT_EQ(t2, t1 + 2);  // hit
+    EXPECT_EQ(c.hits(), 1u);
+
+    // Same block, different byte: still a hit.
+    EXPECT_EQ(c.access(0x101f, t2, false), t2 + 2);
+    // Adjacent block: miss.
+    c.access(0x1020, t2, false);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, ProbeDoesNotTouchState)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);
+    EXPECT_FALSE(c.probe(0x1000));
+    c.access(0x1000, 0, false);
+    const Cycle fill = 100;
+    EXPECT_TRUE(c.probe(0x1000)) << "filled after access";
+    EXPECT_EQ(c.hits(), 0u);
+    (void)fill;
+}
+
+TEST(Cache, LruEviction)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);
+    // 4 sets of 2 ways; blocks mapping to set 0: block numbers 0, 4, 8.
+    Cycle t = 0;
+    t = c.access(0 * 32, t, false);       // A
+    t = c.access(4 * 32, t, false);       // B
+    t = c.access(0 * 32, t, false);       // touch A (B becomes LRU)
+    t = c.access(8 * 32, t, false);       // C evicts B
+    EXPECT_TRUE(c.probe(0 * 32));
+    EXPECT_FALSE(c.probe(4 * 32));
+    EXPECT_TRUE(c.probe(8 * 32));
+}
+
+TEST(Cache, MshrMergesSameBlock)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);
+    const Cycle t1 = c.access(0x1000, 0, false);
+    // Second access to the same block before the fill completes merges
+    // into the outstanding miss rather than re-requesting.
+    const Cycle t2 = c.access(0x1008, 1, false);
+    EXPECT_EQ(next.calls, 1u);
+    EXPECT_EQ(c.mshrMerges(), 1u);
+    EXPECT_LE(t2, t1 + 2);
+}
+
+TEST(Cache, MshrLimitSerializes)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);  // 2 MSHRs
+    const Cycle a = c.access(0x0000, 0, false);
+    const Cycle b = c.access(0x2000, 0, false);
+    // Third distinct miss must wait for an MSHR.
+    const Cycle d = c.access(0x4000, 0, false);
+    EXPECT_GT(d, a);
+    EXPECT_GT(d, b);
+    EXPECT_EQ(next.calls, 3u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    NextLevelStub next;
+    Cache c(smallCache(), &NextLevelStub::entry, &next);
+    Cycle t = c.access(0x1000, 0, false);
+    EXPECT_TRUE(c.probe(0x1000));
+    c.flush();
+    EXPECT_FALSE(c.probe(0x1000));
+    (void)t;
+}
+
+// ---- hierarchy --------------------------------------------------------
+
+TEST(Hierarchy, PaperLatencies)
+{
+    MemHierarchy mem;  // paper configuration
+
+    // Cold D$ access: D$(2) + L2(10) + memory(100) + bus transfer
+    // (64B / 16B * 4 = 16 cycles) + return path.
+    const Cycle cold = mem.dataAccess(0x10000, 0, false);
+    EXPECT_GT(cold, 100u);
+
+    // Hot access: pure D$ latency.
+    const Cycle hot = mem.dataAccess(0x10000, cold, false);
+    EXPECT_EQ(hot, cold + 2);
+
+    // Neighbor in the same 64B L2 line but different 32B D$ line:
+    // misses the D$ but hits the L2.
+    const Cycle l2hit = mem.dataAccess(0x10020, hot, false);
+    EXPECT_EQ(l2hit, hot + 2 + 10 + 2);
+}
+
+TEST(Hierarchy, InstructionFetchPath)
+{
+    MemHierarchy mem;
+    const Cycle cold = mem.fetchAccess(0x1000, 0);
+    EXPECT_GT(cold, 100u);
+    const Cycle hot = mem.fetchAccess(0x1000, cold);
+    EXPECT_EQ(hot, cold + 1);  // 1-cycle I$
+}
+
+TEST(Hierarchy, SharedL2BetweenIAndD)
+{
+    MemHierarchy mem;
+    mem.fetchAccess(0x40000, 0);
+    // A D$ access to the same 64B line: L2 hit (I-fetch filled it).
+    const Cycle t = mem.dataAccess(0x40010, 1000, false);
+    EXPECT_EQ(t, 1000u + 2 + 10 + 2);
+    EXPECT_TRUE(mem.l2Probe(0x40000));
+}
+
+TEST(Hierarchy, BusContentionSerializesMisses)
+{
+    MemHierarchy mem;
+    const Cycle a = mem.dataAccess(0x100000, 0, false);
+    const Cycle b = mem.dataAccess(0x200000, 0, false);
+    // Both go to memory; the second's bus transfer queues behind the
+    // first's.
+    EXPECT_GT(b, a);
+}
+
+TEST(Hierarchy, ProbesReportLevels)
+{
+    MemHierarchy mem;
+    EXPECT_FALSE(mem.dcacheProbe(0x5000));
+    EXPECT_FALSE(mem.l2Probe(0x5000));
+    mem.dataAccess(0x5000, 0, false);
+    EXPECT_TRUE(mem.dcacheProbe(0x5000));
+    EXPECT_TRUE(mem.l2Probe(0x5000));
+    mem.flush();
+    EXPECT_FALSE(mem.dcacheProbe(0x5000));
+}
+
+TEST(Hierarchy, WritesAllocate)
+{
+    MemHierarchy mem;
+    mem.dataAccess(0x7000, 0, true);
+    EXPECT_TRUE(mem.dcacheProbe(0x7000));
+    EXPECT_GT(mem.dcache().misses(), 0u);
+}

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * RENO renamer tests, including exact reproductions of the paper's
+ * worked examples:
+ *
+ *   Figure 1 - dynamic move elimination (RENO_ME)
+ *   Figure 2 - dynamic constant folding (RENO_CF)
+ *   Figure 3 - CSE (top) and speculative memory bypassing (bottom)
+ *   Figure 4 - folding chains of register-immediate additions
+ *   Figure 5 - CSE and CF interacting
+ *
+ * plus the dependent-elimination-per-cycle restriction, displacement
+ * overflow checks, rollback/retire reference accounting, and
+ * misintegration detection.
+ */
+#include <gtest/gtest.h>
+
+#include "reno/renamer.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+/** Fresh renamer with r1..r8 holding 100*r. */
+std::unique_ptr<RenoRenamer>
+makeRenamer(RenoConfig config, unsigned pregs = 64)
+{
+    auto ren = std::make_unique<RenoRenamer>(config, pregs);
+    std::uint64_t vals[NumLogRegs] = {};
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        vals[r] = 100 * r;
+    ren->initialize(vals);
+    return ren;
+}
+
+/** Rename one instruction in its own group. */
+RenameOut
+renameOne(RenoRenamer &ren, const Instruction &inst, std::uint64_t result)
+{
+    ren.beginGroup();
+    return ren.rename(RenameIn{inst, result});
+}
+
+} // namespace
+
+// ---- Figure 1: move elimination ---------------------------------------
+
+TEST(RenamerFig1, MoveElimination)
+{
+    auto ren = makeRenamer(RenoConfig::meOnly());
+    // add r3 <- r1, r2 : conventional rename, new preg.
+    const RenameOut add =
+        renameOne(*ren, Instruction::rr(Opcode::ADD, 3, 1, 2), 300);
+    EXPECT_FALSE(add.eliminated());
+    const PhysReg p3 = add.destPreg;
+
+    // move r2 <- r3 : eliminated, r2 shares p3.
+    const RenameOut mov =
+        renameOne(*ren, Instruction::move(2, 3), 300);
+    EXPECT_EQ(mov.elim, ElimKind::Move);
+    EXPECT_EQ(mov.destPreg, p3);
+    EXPECT_EQ(ren->mapTable().get(2).preg, p3);
+    EXPECT_EQ(ren->physRegs().refCount(p3), 2u);
+
+    // load r4, 8(r2) : base renames to p3 directly (short-circuited).
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 4, 2, 8), 7);
+    EXPECT_EQ(ld.src[0].preg, p3);
+    EXPECT_EQ(ld.src[0].disp, 0);
+}
+
+TEST(RenamerFig1, NonMovesNotEliminatedByMeOnly)
+{
+    auto ren = makeRenamer(RenoConfig::meOnly());
+    const RenameOut addi = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 2, 3, 4), 304);
+    EXPECT_FALSE(addi.eliminated());
+}
+
+// ---- Figure 2: constant folding ---------------------------------------
+
+TEST(RenamerFig2, AddiFoldsIntoDisplacement)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    const PhysReg p3 = ren->mapTable().get(3).preg;
+
+    // addi r2 <- r3, 4 : eliminated, r2 -> [p3 : 4].
+    const RenameOut addi = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 2, 3, 4), 304);
+    EXPECT_EQ(addi.elim, ElimKind::Fold);
+    EXPECT_EQ(addi.destPreg, p3);
+    EXPECT_EQ(addi.destDisp, 4);
+    EXPECT_EQ(ren->physRegs().refCount(p3), 2u);
+
+    // load r4, 8(r2) : base operand renames to [p3 : 4].
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 4, 2, 8), 9);
+    EXPECT_EQ(ld.src[0].preg, p3);
+    EXPECT_EQ(ld.src[0].disp, 4);
+}
+
+TEST(RenamerFig2, MoveClassifiedSeparatelyUnderCf)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    EXPECT_EQ(renameOne(*ren, Instruction::move(2, 3), 300).elim,
+              ElimKind::Move);
+    EXPECT_EQ(renameOne(*ren, Instruction::ri(Opcode::ADDI, 2, 3, 1),
+                        301).elim,
+              ElimKind::Fold);
+}
+
+// ---- Figure 4: folding chains ------------------------------------------
+
+TEST(RenamerFig4, ChainAccumulatesDisplacements)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    const PhysReg p1 = ren->mapTable().get(1).preg;
+
+    // addi r2 <- r1, 5 ; addi r4 <- r2, 6 (separate groups)
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 2, 1, 5), 105);
+    const RenameOut second = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 4, 2, 6), 111);
+    EXPECT_EQ(second.elim, ElimKind::Fold);
+    EXPECT_EQ(second.destPreg, p1);
+    EXPECT_EQ(second.destDisp, 11);
+
+    // or r8 <- r4, r1 executes ((p1+11) | p1): renamed conventionally
+    // with the displaced source operand.
+    const RenameOut orr = renameOne(
+        *ren, Instruction::rr(Opcode::OR, 8, 4, 1), 111 | 100);
+    EXPECT_FALSE(orr.eliminated());
+    EXPECT_EQ(orr.src[0].preg, p1);
+    EXPECT_EQ(orr.src[0].disp, 11);
+    EXPECT_EQ(orr.src[1].disp, 0);
+    EXPECT_EQ(orr.destDisp, 0);  // new values have zero displacement
+}
+
+TEST(RenamerCf, NegativeImmediates)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    const PhysReg sp = ren->mapTable().get(RegSp).preg;
+    renameOne(*ren,
+              Instruction::ri(Opcode::ADDI, RegSp, RegSp, -16),
+              100 * RegSp - 16);
+    const RenameOut inc = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, RegSp, RegSp, 16),
+        100 * RegSp);
+    EXPECT_EQ(inc.elim, ElimKind::Fold);
+    EXPECT_EQ(inc.destPreg, sp);
+    EXPECT_EQ(inc.destDisp, 0);  // -16 + 16
+}
+
+// ---- overflow checks ----------------------------------------------------
+
+TEST(RenamerCf, ConservativeOverflowCancel)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    // A large immediate folds onto a zero displacement (the zero
+    // bypass: the sum is exactly the immediate)...
+    const RenameOut first = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 2, 1, 20000), 20100);
+    EXPECT_TRUE(first.eliminated());
+    EXPECT_EQ(first.destDisp, 20000);
+    // ...but the 20000 displacement exceeds the top-two-bit check's
+    // provably-extendable range, so the next fold is refused even
+    // though its exact sum (20001) would fit.
+    const RenameOut second = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 3, 2, 1), 20101);
+    EXPECT_FALSE(second.eliminated());
+    EXPECT_EQ(ren->overflowCancels(), 1u);
+}
+
+TEST(RenamerCf, ExactCheckAllowsMore)
+{
+    RenoConfig cfg = RenoConfig::meCf();
+    cfg.exactOverflowCheck = true;
+    auto ren = makeRenamer(cfg);
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 2, 1, 20000), 20100);
+    // 20000 + 1 fits in 16 bits: exact check folds it.
+    const RenameOut second = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 3, 2, 1), 20101);
+    EXPECT_EQ(second.elim, ElimKind::Fold);
+    EXPECT_EQ(second.destDisp, 20001);
+    // But a genuine 16-bit overflow still cancels.
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 4, 3, 20000), 40101);
+    EXPECT_EQ(ren->overflowCancels(), 1u);
+}
+
+// ---- Figure 3 top: CSE ---------------------------------------------------
+
+TEST(RenamerFig3Top, RedundantLoadIntegrates)
+{
+    auto ren = makeRenamer(RenoConfig::fullIt());
+
+    // load r3, 8(r1): conventional; creates a forward IT entry.
+    const RenameOut ld1 = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 3, 1, 8), 42);
+    EXPECT_FALSE(ld1.eliminated());
+    EXPECT_NE(ld1.createdSlot, InvalidItSlot);
+    const PhysReg p3 = ld1.destPreg;
+
+    // load r4, 8(r1): same dataflow signature - integrated.
+    const RenameOut ld2 = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 4, 1, 8), 42);
+    EXPECT_EQ(ld2.elim, ElimKind::Cse);
+    EXPECT_EQ(ld2.destPreg, p3);
+    EXPECT_FALSE(ld2.misintegrated);
+
+    // add r1 <- r3, r3 overwrites r1.
+    renameOne(*ren, Instruction::rr(Opcode::ADD, 1, 3, 3), 84);
+
+    // load r3, 8(r1): the base is now a different physical register,
+    // so the stale signature rightly does not match.
+    const RenameOut ld3 = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 3, 1, 8), 55);
+    EXPECT_FALSE(ld3.eliminated());
+}
+
+TEST(RenamerFig3Top, RedundantAluIntegratesInFullMode)
+{
+    auto ren = makeRenamer(RenoConfig::fullIt());
+    const RenameOut add1 = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 3, 1, 2), 300);
+    const RenameOut add2 = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 4, 1, 2), 300);
+    EXPECT_EQ(add2.elim, ElimKind::Cse);
+    EXPECT_EQ(add2.destPreg, add1.destPreg);
+
+    // Commutative match: add r5 <- r2, r1 also integrates.
+    const RenameOut add3 = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 5, 2, 1), 300);
+    EXPECT_EQ(add3.elim, ElimKind::Cse);
+
+    // Non-commutative op does not cross-match.
+    renameOne(*ren, Instruction::rr(Opcode::SUB, 6, 1, 2),
+              static_cast<std::uint64_t>(-100));
+    const RenameOut sub2 = renameOne(
+        *ren, Instruction::rr(Opcode::SUB, 7, 2, 1), 100);
+    EXPECT_FALSE(sub2.eliminated());
+}
+
+TEST(Renamer, LoadsOnlyItSkipsAluTuples)
+{
+    auto ren = makeRenamer(RenoConfig::full());  // loads-only IT
+    renameOne(*ren, Instruction::rr(Opcode::ADD, 3, 1, 2), 300);
+    const RenameOut add2 = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 4, 1, 2), 300);
+    EXPECT_FALSE(add2.eliminated());
+    // But loads still integrate.
+    renameOne(*ren, Instruction::mem(Opcode::LDQ, 5, 1, 8), 42);
+    EXPECT_EQ(renameOne(*ren, Instruction::mem(Opcode::LDQ, 6, 1, 8),
+                        42).elim,
+              ElimKind::Cse);
+}
+
+// ---- Figure 3 bottom: speculative memory bypassing -----------------------
+
+TEST(RenamerFig3Bottom, StackStoreLoadBypass)
+{
+    auto ren = makeRenamer(RenoConfig::integrationOnly());
+    const PhysReg sp0 = ren->mapTable().get(RegSp).preg;
+    const PhysReg p2 = ren->mapTable().get(2).preg;
+
+    // store r2, 8(sp): creates the reverse entry <ldq/8, sp -> p2>.
+    const RenameOut st = renameOne(
+        *ren, Instruction::mem(Opcode::STQ, 2, RegSp, 8), 0);
+    EXPECT_NE(st.createdSlot, InvalidItSlot);
+
+    // addi sp <- sp, -16: no CF here, renamed conventionally; creates
+    // the reverse entry that lets the increment restore sp0.
+    const RenameOut dec = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, RegSp, RegSp, -16),
+        100 * RegSp - 16);
+    EXPECT_FALSE(dec.eliminated());
+
+    // add r2 <- r1, r1 overwrites r2.
+    renameOne(*ren, Instruction::rr(Opcode::ADD, 2, 1, 1), 200);
+
+    // addi sp <- sp, 16: integrates through the reverse entry and
+    // restores the original physical register.
+    const RenameOut inc = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, RegSp, RegSp, 16),
+        100 * RegSp);
+    EXPECT_EQ(inc.elim, ElimKind::Cse);
+    EXPECT_EQ(inc.destPreg, sp0);
+
+    // load r2, 8(sp): bypassed to the store's data register.
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 2, RegSp, 8), 200);
+    EXPECT_EQ(ld.elim, ElimKind::Ra);
+    EXPECT_EQ(ld.destPreg, p2);
+    EXPECT_FALSE(ld.misintegrated);
+}
+
+TEST(RenamerRa, WorksAcrossCfFoldedStackAdjustment)
+{
+    // With CF enabled, the sp adjustment folds, so the reload's base
+    // mapping matches the store's directly (paper section 2.4).
+    auto ren = makeRenamer(RenoConfig::full());
+    const PhysReg p5 = ren->mapTable().get(5).preg;
+
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, RegSp, RegSp, -32),
+              100 * RegSp - 32);
+    renameOne(*ren, Instruction::mem(Opcode::STQ, 5, RegSp, 0), 0);
+    renameOne(*ren, Instruction::rr(Opcode::ADD, 5, 1, 1), 200);
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 5, RegSp, 0), 500);
+    EXPECT_EQ(ld.elim, ElimKind::Ra);
+    EXPECT_EQ(ld.destPreg, p5);
+}
+
+// ---- Figure 5: CF and CSE together ----------------------------------------
+
+TEST(RenamerFig5, CseSeesThroughFoldedBase)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    const PhysReg p1 = ren->mapTable().get(1).preg;
+
+    // addi r1 <- r1, 4: folded.
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 1, 1, 4), 104);
+
+    // load r3, 8(r1): entry records the displaced base [p1:4].
+    const RenameOut ld1 = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 3, 1, 8), 77);
+    EXPECT_EQ(ld1.src[0].preg, p1);
+    EXPECT_EQ(ld1.src[0].disp, 4);
+
+    // load r4, 8(r1): matches and shares.
+    const RenameOut ld2 = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 4, 1, 8), 77);
+    EXPECT_EQ(ld2.elim, ElimKind::Cse);
+    EXPECT_EQ(ld2.destPreg, ld1.destPreg);
+}
+
+// ---- group restriction ------------------------------------------------------
+
+TEST(RenamerGroup, DependentEliminationsBlockedInOneCycle)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    ren->beginGroup();
+    // Two dependent addis renamed in the same group: the first folds,
+    // the second must rename conventionally.
+    const RenameOut first =
+        ren->rename(RenameIn{Instruction::ri(Opcode::ADDI, 2, 1, 5),
+                             105});
+    const RenameOut second =
+        ren->rename(RenameIn{Instruction::ri(Opcode::ADDI, 3, 2, 6),
+                             111});
+    EXPECT_TRUE(first.eliminated());
+    EXPECT_FALSE(second.eliminated());
+    EXPECT_EQ(ren->groupDepCancels(), 1u);
+
+    // In the next group the chain continues to fold on the new preg.
+    const RenameOut third = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 4, 3, 7), 118);
+    EXPECT_TRUE(third.eliminated());
+    EXPECT_EQ(third.destPreg, second.destPreg);
+    EXPECT_EQ(third.destDisp, 7);
+}
+
+TEST(RenamerGroup, IndependentEliminationsAllowedInOneCycle)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    ren->beginGroup();
+    const RenameOut a =
+        ren->rename(RenameIn{Instruction::ri(Opcode::ADDI, 2, 1, 5),
+                             105});
+    const RenameOut b =
+        ren->rename(RenameIn{Instruction::ri(Opcode::ADDI, 4, 3, 6),
+                             306});
+    EXPECT_TRUE(a.eliminated());
+    EXPECT_TRUE(b.eliminated());
+}
+
+TEST(RenamerGroup, DependentOnNonEliminatedIsFine)
+{
+    auto ren = makeRenamer(RenoConfig::meCf());
+    ren->beginGroup();
+    const RenameOut add =
+        ren->rename(RenameIn{Instruction::rr(Opcode::ADD, 2, 1, 3),
+                             400});
+    // addi depending on the (non-eliminated) add may fold onto it in
+    // the same group: "we can fold a register-immediate addition into
+    // a dependent instruction in one cycle".
+    const RenameOut addi =
+        ren->rename(RenameIn{Instruction::ri(Opcode::ADDI, 4, 2, 6),
+                             406});
+    EXPECT_FALSE(add.eliminated());
+    EXPECT_TRUE(addi.eliminated());
+    EXPECT_EQ(addi.destPreg, add.destPreg);
+}
+
+// ---- rollback / retire reference accounting --------------------------------
+
+TEST(RenamerRecovery, RollbackRestoresEverything)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    const MapEntry before2 = ren->mapTable().get(2);
+    const std::uint64_t refs_before = ren->physRegs().totalRefs();
+    const unsigned free_before = ren->physRegs().numFree();
+
+    const Instruction addi = Instruction::ri(Opcode::ADDI, 2, 1, 5);
+    const RenameOut out = renameOne(*ren, addi, 105);
+    EXPECT_TRUE(out.eliminated());
+    ren->rollback(addi, out);
+
+    EXPECT_EQ(ren->mapTable().get(2), before2);
+    EXPECT_EQ(ren->physRegs().totalRefs(), refs_before);
+    EXPECT_EQ(ren->physRegs().numFree(), free_before);
+}
+
+TEST(RenamerRecovery, RollbackNonEliminatedFreesPreg)
+{
+    auto ren = makeRenamer(RenoConfig::baseline());
+    const unsigned free_before = ren->physRegs().numFree();
+    const Instruction add = Instruction::rr(Opcode::ADD, 2, 1, 3);
+    const RenameOut out = renameOne(*ren, add, 400);
+    EXPECT_EQ(ren->physRegs().numFree(), free_before - 1);
+    ren->rollback(add, out);
+    EXPECT_EQ(ren->physRegs().numFree(), free_before);
+}
+
+TEST(RenamerRecovery, RollbackInvalidatesCreatedEntries)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    const Instruction ld = Instruction::mem(Opcode::LDQ, 3, 1, 8);
+    const RenameOut out = renameOne(*ren, ld, 42);
+    EXPECT_NE(out.createdSlot, InvalidItSlot);
+    ren->rollback(ld, out);
+    // The tuple is gone: an identical load does not integrate.
+    const RenameOut again = renameOne(*ren, ld, 42);
+    EXPECT_FALSE(again.eliminated());
+}
+
+TEST(RenamerRecovery, RetireFreesOverwrittenMapping)
+{
+    auto ren = makeRenamer(RenoConfig::baseline());
+    const PhysReg old2 = ren->mapTable().get(2).preg;
+    const RenameOut out = renameOne(
+        *ren, Instruction::rr(Opcode::ADD, 2, 1, 3), 400);
+    EXPECT_EQ(ren->physRegs().refCount(old2), 1u);
+    ren->retire(out);
+    EXPECT_EQ(ren->physRegs().refCount(old2), 0u);
+}
+
+// ---- misintegration -----------------------------------------------------------
+
+TEST(RenamerMisintegration, StaleValueDetected)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    // Store r5 to the stack, then "memory changes" (the oracle result
+    // of the reload differs from the stored register's value).
+    renameOne(*ren, Instruction::mem(Opcode::STQ, 5, RegSp, 8), 0);
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 6, RegSp, 8), 12345);
+    EXPECT_EQ(ld.elim, ElimKind::Ra);
+    EXPECT_TRUE(ld.misintegrated);
+    EXPECT_EQ(ren->misintegrations(), 1u);
+    // The stale tuple was dropped, so the replay renames normally.
+    ren->rollback(Instruction::mem(Opcode::LDQ, 6, RegSp, 8), ld);
+    const RenameOut retry = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 6, RegSp, 8), 12345);
+    EXPECT_FALSE(retry.eliminated());
+}
+
+// ---- free-preg management ---------------------------------------------------
+
+TEST(Renamer, EnsureFreePregReclaimsFromIt)
+{
+    // 33 registers: after initialize() exactly one is free.
+    auto ren = makeRenamer(RenoConfig::full(), NumLogRegs + 1);
+    EXPECT_TRUE(ren->ensureFreePreg());
+    // A load consumes the last register and pins it in the IT; then
+    // overwrite its architectural mapping so only the IT holds it.
+    renameOne(*ren, Instruction::mem(Opcode::LDQ, 3, 1, 8), 42);
+    EXPECT_FALSE(ren->physRegs().hasFree());
+    // r3's new mapping is the loaded preg; retiring an overwrite of r3
+    // would free it, but instead check the IT-reclaim path: the IT
+    // holds the old r3 preg? (it holds the load's output). Overwrite
+    // r3 via a fold so no new register is needed.
+    const RenameOut fold = renameOne(
+        *ren, Instruction::ri(Opcode::ADDI, 3, 1, 1), 101);
+    ASSERT_TRUE(fold.eliminated());
+    ren->retire(fold);  // releases the load's preg architecturally
+    // Now the load's register is IT-only; ensureFreePreg reclaims it.
+    EXPECT_FALSE(ren->physRegs().hasFree());
+    EXPECT_TRUE(ren->ensureFreePreg());
+    EXPECT_TRUE(ren->physRegs().hasFree());
+}
+
+TEST(Renamer, BaselineDoesNothing)
+{
+    auto ren = makeRenamer(RenoConfig::baseline());
+    EXPECT_FALSE(renameOne(*ren, Instruction::move(2, 3), 300)
+                     .eliminated());
+    EXPECT_FALSE(renameOne(*ren,
+                           Instruction::ri(Opcode::ADDI, 2, 3, 4), 304)
+                     .eliminated());
+    renameOne(*ren, Instruction::mem(Opcode::LDQ, 3, 1, 8), 42);
+    EXPECT_FALSE(renameOne(*ren,
+                           Instruction::mem(Opcode::LDQ, 4, 1, 8), 42)
+                     .eliminated());
+    EXPECT_EQ(ren->it().accesses(), 0u);
+}
+
+TEST(Renamer, StoreDataDisplacementRecordedInReverseEntry)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    const PhysReg p5 = ren->mapTable().get(5).preg;
+    // r6 = r5 + 7 (folded), then store r6: the reverse entry's output
+    // must carry [p5 : 7] so the bypassed load maps r2 -> [p5 : 7].
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 6, 5, 7), 507);
+    renameOne(*ren, Instruction::mem(Opcode::STQ, 6, RegSp, 8), 0);
+    const RenameOut ld = renameOne(
+        *ren, Instruction::mem(Opcode::LDQ, 2, RegSp, 8), 507);
+    EXPECT_EQ(ld.elim, ElimKind::Ra);
+    EXPECT_EQ(ld.destPreg, p5);
+    EXPECT_EQ(ld.destDisp, 7);
+    EXPECT_FALSE(ld.misintegrated);
+}
+
+TEST(Renamer, EliminationStatsAccumulate)
+{
+    auto ren = makeRenamer(RenoConfig::full());
+    renameOne(*ren, Instruction::move(2, 1), 100);
+    renameOne(*ren, Instruction::ri(Opcode::ADDI, 3, 1, 5), 105);
+    renameOne(*ren, Instruction::rr(Opcode::ADD, 4, 1, 1), 200);
+    EXPECT_EQ(ren->eliminated(ElimKind::Move), 1u);
+    EXPECT_EQ(ren->eliminated(ElimKind::Fold), 1u);
+    EXPECT_EQ(ren->eliminated(ElimKind::None), 1u);
+    EXPECT_EQ(ren->eliminatedTotal(), 2u);
+    EXPECT_EQ(ren->renamed(), 3u);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Store-set predictor tests: violation training, set assignment and
+ * merging, and LFST tracking.
+ */
+#include <gtest/gtest.h>
+
+#include "uarch/store_sets.hpp"
+
+using namespace reno;
+
+TEST(StoreSets, UntrainedPredictsNothing)
+{
+    StoreSets ss(256, 8);
+    EXPECT_EQ(ss.setOf(0x1000), StoreSets::InvalidSet);
+    EXPECT_EQ(ss.storeDispatched(0x2000, 5), StoreSets::InvalidSet);
+}
+
+TEST(StoreSets, ViolationAssignsBothToOneSet)
+{
+    StoreSets ss(256, 8);
+    ss.trainViolation(0x1000, 0x2000);
+    const unsigned load_set = ss.setOf(0x1000);
+    const unsigned store_set = ss.setOf(0x2000);
+    EXPECT_NE(load_set, StoreSets::InvalidSet);
+    EXPECT_EQ(load_set, store_set);
+    EXPECT_EQ(ss.violationsTrained(), 1u);
+}
+
+TEST(StoreSets, LfstTracksLastStore)
+{
+    StoreSets ss(256, 8);
+    ss.trainViolation(0x1000, 0x2000);
+    const unsigned set = ss.setOf(0x2000);
+    EXPECT_FALSE(ss.hasLastStore(set));
+    ss.storeDispatched(0x2000, 42);
+    ASSERT_TRUE(ss.hasLastStore(set));
+    EXPECT_EQ(ss.lastStore(set), 42u);
+    // A newer store of the same set replaces it.
+    ss.storeDispatched(0x2000, 50);
+    EXPECT_EQ(ss.lastStore(set), 50u);
+    // Clearing with a stale seq is a no-op.
+    ss.storeInactive(set, 42);
+    EXPECT_TRUE(ss.hasLastStore(set));
+    ss.storeInactive(set, 50);
+    EXPECT_FALSE(ss.hasLastStore(set));
+}
+
+TEST(StoreSets, SecondViolationJoinsExistingSet)
+{
+    StoreSets ss(256, 8);
+    ss.trainViolation(0x1000, 0x2000);
+    // A second store conflicts with the same load.
+    ss.trainViolation(0x1000, 0x3000);
+    EXPECT_EQ(ss.setOf(0x3000), ss.setOf(0x1000));
+    // A second load conflicts with the first store.
+    ss.trainViolation(0x4000, 0x2000);
+    EXPECT_EQ(ss.setOf(0x4000), ss.setOf(0x2000));
+}
+
+TEST(StoreSets, MergeReassignsLoad)
+{
+    StoreSets ss(256, 8);
+    // Distinct pcs within one SSIT span (0x1000 and 0x3000 would
+    // alias in a 256-entry table).
+    ss.trainViolation(0x1000, 0x1004);  // set A
+    ss.trainViolation(0x1008, 0x100c);  // set B
+    EXPECT_NE(ss.setOf(0x1000), ss.setOf(0x1008));
+    // Cross violation merges the load into the store's set.
+    ss.trainViolation(0x1000, 0x100c);
+    EXPECT_EQ(ss.setOf(0x1000), ss.setOf(0x100c));
+}
+
+TEST(StoreSets, InvalidSetOperationsAreSafe)
+{
+    StoreSets ss(256, 8);
+    ss.storeInactive(StoreSets::InvalidSet, 1);
+    EXPECT_FALSE(ss.hasLastStore(StoreSets::InvalidSet));
+}
+
+TEST(StoreSets, SetIdsCycleThroughCapacity)
+{
+    StoreSets ss(4096, 4);
+    // Many independent violations: set ids wrap around num_sets.
+    for (unsigned i = 0; i < 8; ++i)
+        ss.trainViolation(0x10000 + i * 8, 0x20000 + i * 8);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_LT(ss.setOf(0x10000 + i * 8), 4u);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Workload-suite integration tests: every kernel assembles, runs
+ * deterministically on the emulator, produces matching architectural
+ * state on the timing core with full RENO (parameterized over all 27
+ * kernels), and exhibits sane instruction mixes.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+using namespace reno;
+
+TEST(Workloads, RegistryShape)
+{
+    const auto &all = allWorkloads();
+    EXPECT_EQ(all.size(), 34u);
+    EXPECT_EQ(suiteWorkloads("spec").size(), 16u);
+    EXPECT_EQ(suiteWorkloads("media").size(), 18u);
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_TRUE(w.suite == "spec" || w.suite == "media");
+        EXPECT_NE(w.source, nullptr);
+    }
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(workloadByName("gzip").suite, "spec");
+    EXPECT_EQ(workloadByName("adpcm.enc").suite, "media");
+}
+
+TEST(Workloads, EmulatorRunsAreDeterministic)
+{
+    const Workload &w = workloadByName("gcc");
+    const RunOutput a = runFunctional(w);
+    const RunOutput b = runFunctional(w);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+    EXPECT_EQ(a.emuInsts, b.emuInsts);
+    EXPECT_FALSE(a.output.empty());
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &workload() const { return workloadByName(
+        GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EveryWorkload,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &w : allWorkloads())
+            names.push_back(w.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST_P(EveryWorkload, FullRenoMatchesFunctionalState)
+{
+    const RunOutput ref = runFunctional(workload());
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    const RunOutput run = runWorkload(workload(), params);
+    EXPECT_EQ(run.output, ref.output);
+    EXPECT_EQ(run.memDigest, ref.memDigest);
+    EXPECT_EQ(run.sim.retired, ref.emuInsts);
+}
+
+TEST_P(EveryWorkload, ReasonableSizeAndMix)
+{
+    const RunOutput ref = runFunctional(workload());
+    // Big enough to be a meaningful benchmark, small enough for the
+    // suite to stay fast.
+    EXPECT_GT(ref.emuInsts, 100'000u);
+    EXPECT_LT(ref.emuInsts, 3'000'000u);
+}
+
+TEST_P(EveryWorkload, RenoEliminatesSomething)
+{
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    const RunOutput run = runWorkload(workload(), params);
+    // Every kernel has loop control and address arithmetic; RENO must
+    // find at least a few percent to collapse.
+    EXPECT_GT(run.sim.elimFraction(), 0.02)
+        << workload().name << " eliminated too little";
+    EXPECT_LT(run.sim.elimFraction(), 0.60);
+}
+
+TEST(Workloads, SuiteAveragesInPaperBand)
+{
+    // The paper reports ~22% of dynamic instructions eliminated or
+    // folded on average, with RENO_CF alone at 12% (SPEC) and 16%
+    // (MediaBench). Shapes, not exact values: check generous bands.
+    for (const char *suite : {"spec", "media"}) {
+        std::vector<double> total, cf;
+        for (const Workload *w : suiteWorkloads(suite)) {
+            CoreParams params;
+            params.reno = RenoConfig::full();
+            const RunOutput run = runWorkload(*w, params);
+            total.push_back(run.sim.elimFraction());
+            cf.push_back(run.sim.elimFraction(ElimKind::Fold));
+        }
+        EXPECT_GT(amean(total), 0.10) << suite;
+        EXPECT_LT(amean(total), 0.35) << suite;
+        EXPECT_GT(amean(cf), 0.06) << suite;
+    }
+}
+
+TEST(Workloads, InputVariantsShareCodeButDifferInData)
+{
+    // The paper's per-input bars (eon.c/k/r, perl.d/s, ...) are the
+    // same kernel on a different input stream: identical static code,
+    // different dynamic behavior, all state-checked.
+    const Workload &c = workloadByName("eon.c");
+    const Workload &k = workloadByName("eon.k");
+    EXPECT_EQ(c.source, k.source) << "same kernel text";
+    EXPECT_NE(c.seed, k.seed);
+
+    const RunOutput out_c = runFunctional(c);
+    const RunOutput out_k = runFunctional(k);
+    EXPECT_NE(out_c.output, out_k.output)
+        << "different inputs should produce different results";
+}
+
+TEST(Workloads, VariantSeedsReachTheTimingCore)
+{
+    // The timing core must simulate the same input stream the
+    // functional reference consumed (seed plumbed through runWorkload).
+    const Workload &w = workloadByName("perl.s");
+    const RunOutput ref = runFunctional(w);
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    const RunOutput run = runWorkload(w, params);
+    EXPECT_EQ(run.output, ref.output);
+    EXPECT_EQ(run.memDigest, ref.memDigest);
+}
