@@ -15,10 +15,26 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation: 3-input-adder (free) vs 2-cycle fusion",
            "RENO TR MS-CIS-04-28 / ISCA 2005, section 3.3 claim");
+
+    CoreParams free_p;
+    free_p.reno = RenoConfig::meCf();
+    CoreParams slow_p = free_p;
+    slow_p.freeAddAddFusion = false;
+    const std::vector<NamedConfig> configs = {
+        {"BASE", CoreParams::fourWide()},
+        {"free", free_p},
+        {"slow", slow_p},
+    };
+
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites())
+        campaign.addCross(workloads, configs);
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
@@ -27,17 +43,11 @@ main()
         std::vector<double> mean_free, mean_slow;
         for (const Workload *w : workloads) {
             const std::uint64_t base =
-                runWorkload(*w, CoreParams::fourWide()).sim.cycles;
-
-            CoreParams free_p;
-            free_p.reno = RenoConfig::meCf();
-            const double s_free =
-                speedupPercent(base, runWorkload(*w, free_p).sim.cycles);
-
-            CoreParams slow_p = free_p;
-            slow_p.freeAddAddFusion = false;
-            const double s_slow =
-                speedupPercent(base, runWorkload(*w, slow_p).sim.cycles);
+                results.get(w->name, "BASE").sim.cycles;
+            const double s_free = speedupPercent(
+                base, results.get(w->name, "free").sim.cycles);
+            const double s_slow = speedupPercent(
+                base, results.get(w->name, "slow").sim.cycles);
 
             mean_free.push_back(s_free);
             mean_slow.push_back(s_slow);

@@ -29,10 +29,25 @@ perMille(std::uint64_t n, std::uint64_t retired)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation: dependent-elimination-per-cycle restriction",
            "RENO TR MS-CIS-04-28 / ISCA 2005, sections 3.2 and 4.2");
+
+    CoreParams p4 = CoreParams::fourWide();
+    p4.reno = RenoConfig::full();
+    CoreParams p6 = CoreParams::sixWide();
+    p6.reno = RenoConfig::full();
+    const std::vector<NamedConfig> configs = {
+        {"4w", p4},
+        {"6w", p6},
+    };
+
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites())
+        campaign.addCross(workloads, configs);
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
@@ -40,13 +55,8 @@ main()
                   "6w elim%", "6w cancels/1k"});
         std::vector<double> c4s, c6s;
         for (const Workload *w : workloads) {
-            CoreParams p4 = CoreParams::fourWide();
-            p4.reno = RenoConfig::full();
-            const SimResult r4 = runWorkload(*w, p4).sim;
-
-            CoreParams p6 = CoreParams::sixWide();
-            p6.reno = RenoConfig::full();
-            const SimResult r6 = runWorkload(*w, p6).sim;
+            const SimResult r4 = results.get(w->name, "4w").sim;
+            const SimResult r6 = results.get(w->name, "6w").sim;
 
             const double c4 = perMille(r4.groupDepCancels, r4.retired);
             const double c6 = perMille(r6.groupDepCancels, r6.retired);

@@ -11,13 +11,45 @@
 using namespace reno;
 using namespace reno::bench;
 
+namespace
+{
+
+std::string
+policyTag(bool loads_only, unsigned entries)
+{
+    return strprintf("%s/%u", loads_only ? "loads" : "full", entries);
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation: integration table size and policy",
            "RENO TR MS-CIS-04-28 / ISCA 2005, section 2.4 claims");
 
     const std::vector<unsigned> sizes = {128, 256, 512, 1024};
+
+    // One campaign for the whole sweep: per workload, one baseline
+    // plus the 2-policy x 4-size cross-product.
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites()) {
+        for (const Workload *w : workloads) {
+            campaign.add(*w, {"BASE", CoreParams::fourWide()});
+            for (const bool loads_only : {true, false}) {
+                for (const unsigned entries : sizes) {
+                    CoreParams p;
+                    p.reno = loads_only ? RenoConfig::full()
+                                        : RenoConfig::fullIt();
+                    p.reno.it.entries = entries;
+                    campaign.add(*w, {"IT", p},
+                                 policyTag(loads_only, entries));
+                }
+            }
+        }
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
@@ -28,13 +60,11 @@ main()
                 std::vector<double> speedups, load_elims, accesses;
                 for (const Workload *w : workloads) {
                     const std::uint64_t base =
-                        runWorkload(*w, CoreParams::fourWide())
-                            .sim.cycles;
-                    CoreParams p;
-                    p.reno = loads_only ? RenoConfig::full()
-                                        : RenoConfig::fullIt();
-                    p.reno.it.entries = entries;
-                    const SimResult r = runWorkload(*w, p).sim;
+                        results.get(w->name, "BASE").sim.cycles;
+                    const SimResult r =
+                        results.get(w->name, "IT",
+                                    policyTag(loads_only, entries))
+                            .sim;
                     speedups.push_back(
                         speedupPercent(base, r.cycles));
                     load_elims.push_back(

@@ -16,10 +16,26 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation: conservative vs exact displacement-overflow check",
            "RENO TR MS-CIS-04-28 / ISCA 2005, section 3.2");
+
+    CoreParams cons_p;
+    cons_p.reno = RenoConfig::meCf();
+    CoreParams exact_p = cons_p;
+    exact_p.reno.exactOverflowCheck = true;
+    const std::vector<NamedConfig> configs = {
+        {"BASE", CoreParams::fourWide()},
+        {"cons", cons_p},
+        {"exact", exact_p},
+    };
+
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites())
+        campaign.addCross(workloads, configs);
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
@@ -28,15 +44,9 @@ main()
         std::vector<double> mean_cons, mean_exact;
         for (const Workload *w : workloads) {
             const std::uint64_t base =
-                runWorkload(*w, CoreParams::fourWide()).sim.cycles;
-
-            CoreParams cons_p;
-            cons_p.reno = RenoConfig::meCf();
-            const SimResult cons = runWorkload(*w, cons_p).sim;
-
-            CoreParams exact_p = cons_p;
-            exact_p.reno.exactOverflowCheck = true;
-            const SimResult exact = runWorkload(*w, exact_p).sim;
+                results.get(w->name, "BASE").sim.cycles;
+            const SimResult cons = results.get(w->name, "cons").sim;
+            const SimResult exact = results.get(w->name, "exact").sim;
 
             const double s_cons = speedupPercent(base, cons.cycles);
             const double s_exact = speedupPercent(base, exact.cycles);

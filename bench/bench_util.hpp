@@ -1,18 +1,26 @@
 /**
  * @file
- * Shared helpers for the per-figure benchmark binaries: suite
- * iteration with per-suite mean rows, and cached baseline runs.
+ * Shared helpers for the per-figure benchmark binaries. Each binary is
+ * a thin campaign description: it declares its (workload x config)
+ * jobs, hands them to the sweep engine (worker thread pool +
+ * content-addressed result cache), and formats the submission-ordered
+ * results into the paper's tables.
+ *
+ * Every binary accepts the engine's standard flags:
+ *   --jobs N        worker threads (default: RENO_JOBS or all cores)
+ *   --cache-dir D   persist results; a warm cache skips simulation
+ *   --sweep-stats   print an execution summary to stderr
  */
 #pragma once
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "sweep/campaign.hpp"
 
 namespace reno::bench
 {
@@ -32,29 +40,14 @@ inline std::vector<std::pair<std::string,
                              std::vector<const Workload *>>>
 suites()
 {
-    return {
-        {"SPECint-like", suiteWorkloads("spec")},
-        {"MediaBench-like", suiteWorkloads("media")},
-    };
+    return benchmarkSuites();
 }
 
-/** Cache of simulation results keyed by (workload, config name). */
-class RunCache
+/** Engine options from the binary's command line. */
+inline sweep::CampaignOptions
+options(int argc, char **argv)
 {
-  public:
-    const SimResult &
-    get(const Workload &w, const std::string &key,
-        const CoreParams &params)
-    {
-        const std::string id = w.name + "/" + key;
-        auto it = cache_.find(id);
-        if (it == cache_.end())
-            it = cache_.emplace(id, runWorkload(w, params).sim).first;
-        return it->second;
-    }
-
-  private:
-    std::map<std::string, SimResult> cache_;
-};
+    return sweep::parseCampaignArgs(argc, argv);
+}
 
 } // namespace reno::bench

@@ -15,22 +15,33 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 8 (top): % dynamic instructions eliminated",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 8 top");
 
+    sweep::Campaign campaign;
     for (const unsigned width : {4u, 6u}) {
         CoreParams base = width == 6 ? CoreParams::sixWide()
                                      : CoreParams::fourWide();
         base.reno = RenoConfig::full();
+        const std::string tag = strprintf("%uw", width);
+        for (const auto &[suite_name, workloads] : suites())
+            campaign.addCross(workloads, {{"RENO", base}}, tag);
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
+
+    for (const unsigned width : {4u, 6u}) {
+        const std::string tag = strprintf("%uw", width);
         std::printf("\n--- %u-wide machine ---\n", width);
         for (const auto &[suite_name, workloads] : suites()) {
             TextTable t;
             t.header({"benchmark", "ME%", "CF%", "CSE+RA%", "total%"});
             std::vector<double> me, cf, csera, total;
             for (const Workload *w : workloads) {
-                const SimResult r = runWorkload(*w, base).sim;
+                const SimResult r =
+                    results.get(w->name, "RENO", tag).sim;
                 const double m =
                     r.elimFraction(ElimKind::Move) * 100;
                 const double c =

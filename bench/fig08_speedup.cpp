@@ -14,15 +14,30 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 8 (bottom): % speedup over baseline",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 8 bottom");
+
+    // Declare the whole figure as one campaign: (4w, 6w) x build-up
+    // x every workload. The baseline runs once per workload per
+    // width; the engine deduplicates and parallelizes the rest.
+    sweep::Campaign campaign;
+    for (const unsigned width : {4u, 6u}) {
+        const CoreParams machine = width == 6 ? CoreParams::sixWide()
+                                              : CoreParams::fourWide();
+        const std::string tag = strprintf("%uw", width);
+        for (const auto &[suite_name, workloads] : suites())
+            campaign.addCross(workloads, renoBuildup(machine), tag);
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     for (const unsigned width : {4u, 6u}) {
         const CoreParams machine = width == 6 ? CoreParams::sixWide()
                                               : CoreParams::fourWide();
         const auto configs = renoBuildup(machine);
+        const std::string tag = strprintf("%uw", width);
         std::printf("\n--- %u-wide machine ---\n", width);
         for (const auto &[suite_name, workloads] : suites()) {
             TextTable t;
@@ -30,11 +45,13 @@ main()
             std::vector<double> mean[3];
             for (const Workload *w : workloads) {
                 const std::uint64_t base =
-                    runWorkload(*w, configs[0].params).sim.cycles;
+                    results.get(w->name, configs[0].name, tag)
+                        .sim.cycles;
                 std::vector<std::string> row{w->name};
                 for (int c = 1; c <= 3; ++c) {
                     const std::uint64_t cyc =
-                        runWorkload(*w, configs[c].params).sim.cycles;
+                        results.get(w->name, configs[c].name, tag)
+                            .sim.cycles;
                     const double s = speedupPercent(base, cyc);
                     mean[c - 1].push_back(s);
                     row.push_back(fmtDouble(s, 1));

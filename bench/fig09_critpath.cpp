@@ -17,27 +17,41 @@ using namespace reno::bench;
 namespace
 {
 
-void
-runSelection(const std::vector<std::string> &names)
+std::vector<NamedConfig>
+figureConfigs()
 {
-    const std::vector<std::pair<std::string, RenoConfig>> configs = {
-        {"BASE", RenoConfig::baseline()},
-        {"ME+CF", RenoConfig::meCf()},
-        {"RENO", RenoConfig::full()},
+    const CoreParams machine = CoreParams::fourWide();
+    return {
+        {"BASE", withReno(machine, RenoConfig::baseline())},
+        {"ME+CF", withReno(machine, RenoConfig::meCf())},
+        {"RENO", withReno(machine, RenoConfig::full())},
     };
+}
+
+void
+declareSelection(sweep::Campaign &campaign,
+                 const std::vector<std::string> &names)
+{
+    for (const std::string &name : names) {
+        for (const NamedConfig &cfg : figureConfigs()) {
+            campaign.add(workloadByName(name), cfg, "",
+                         /*want_cpa=*/true);
+        }
+    }
+}
+
+void
+printSelection(const sweep::CampaignResults &results,
+               const std::vector<std::string> &names)
+{
     TextTable t;
     t.header({"benchmark", "config", "fetch%", "alu%", "load%",
               "mem%", "commit%"});
     for (const std::string &name : names) {
-        const Workload &w = workloadByName(name);
-        for (const auto &[cfg_name, reno_cfg] : configs) {
-            CoreParams params;
-            params.reno = reno_cfg;
-            CriticalPathAnalyzer cpa(1'000'000, params.robEntries,
-                                     params.iqEntries);
-            runWorkload(w, params, &cpa);
-            const auto b = cpa.breakdown();
-            t.row({name, cfg_name, fmtDouble(b[0] * 100, 1),
+        for (const NamedConfig &cfg : figureConfigs()) {
+            const auto b =
+                results.get(name, cfg.name).cpaBreakdown();
+            t.row({name, cfg.name, fmtDouble(b[0] * 100, 1),
                    fmtDouble(b[1] * 100, 1), fmtDouble(b[2] * 100, 1),
                    fmtDouble(b[3] * 100, 1),
                    fmtDouble(b[4] * 100, 1)});
@@ -49,7 +63,7 @@ runSelection(const std::vector<std::string> &names)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 9: critical-path breakdown",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 9");
@@ -57,12 +71,22 @@ main()
     // The paper's Figure 9 selections: crafty, eon.k, gap, gzip,
     // parser, perl.s, vortex, vpr.r / adpcm.de, epic, g721.en,
     // gsm.de, jpg.de, mesa.m, mesa.t, mpg2.en, pegw.en.
+    const std::vector<std::string> spec_sel = {
+        "crafty", "eon.k", "gap", "gzip", "parser", "perl.s",
+        "vortex", "vpr.r"};
+    const std::vector<std::string> media_sel = {
+        "adpcm.dec", "epic", "g721.enc", "gsm.dec", "jpeg.dec",
+        "mesa.m", "mesa.t", "mpeg2.enc", "pegw.enc"};
+
+    sweep::Campaign campaign;
+    declareSelection(campaign, spec_sel);
+    declareSelection(campaign, media_sel);
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
+
     std::printf("\nSPECint-like selection:\n");
-    runSelection({"crafty", "eon.k", "gap", "gzip", "parser",
-                  "perl.s", "vortex", "vpr.r"});
+    printSelection(results, spec_sel);
     std::printf("\nMediaBench-like selection:\n");
-    runSelection({"adpcm.dec", "epic", "g721.enc", "gsm.dec",
-                  "jpeg.dec", "mesa.m", "mesa.t", "mpeg2.enc",
-                  "pegw.enc"});
+    printSelection(results, media_sel);
     return 0;
 }

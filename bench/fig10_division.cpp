@@ -21,15 +21,24 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 10: cooperation between RENO_CF and RENO_CSE+RA",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 10");
 
     const CoreParams machine = CoreParams::fourWide();
     const auto configs = divisionOfLabor(machine);
-    const CoreParams baseline =
-        withReno(machine, RenoConfig::baseline());
+    const NamedConfig baseline{"BASE",
+                               withReno(machine,
+                                        RenoConfig::baseline())};
+
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites()) {
+        campaign.addCross(workloads, {baseline});
+        campaign.addCross(workloads, configs);
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
 
     std::uint64_t it_accesses_reno = 0, it_accesses_fullit = 0;
 
@@ -40,11 +49,11 @@ main()
         std::vector<double> mean[4];
         for (const Workload *w : workloads) {
             const std::uint64_t base =
-                runWorkload(*w, baseline).sim.cycles;
+                results.get(w->name, "BASE").sim.cycles;
             std::vector<std::string> row{w->name};
             for (size_t c = 0; c < configs.size(); ++c) {
                 const SimResult r =
-                    runWorkload(*w, configs[c].params).sim;
+                    results.get(w->name, configs[c].name).sim;
                 const double s = speedupPercent(base, r.cycles);
                 mean[c].push_back(s);
                 row.push_back(fmtDouble(s, 1));

@@ -14,7 +14,7 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 11 (top): RENO vs physical register file size",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 11 top");
@@ -26,6 +26,27 @@ main()
     };
     const std::vector<unsigned> sizes = {96, 112, 128, 160};
 
+    // Reference (the 160-preg RENO-less default) plus the full
+    // config x size cross-product, as one deduplicated campaign: the
+    // 160-preg BASE jobs are content-identical to the reference.
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites()) {
+        for (const Workload *w : workloads) {
+            campaign.add(*w, {"ref", CoreParams{}});
+            for (const auto &[cfg_name, reno_cfg] : configs) {
+                for (const unsigned size : sizes) {
+                    CoreParams p;
+                    p.numPregs = size;
+                    p.reno = reno_cfg;
+                    campaign.add(*w, {cfg_name, p},
+                                 strprintf("%u", size));
+                }
+            }
+        }
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
+
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
         std::vector<std::string> header{"config"};
@@ -33,25 +54,17 @@ main()
             header.push_back(strprintf("%u pregs", s));
         t.header(header);
 
-        // Reference: 160-preg RENO-less baseline.
-        std::map<std::string, std::uint64_t> ref;
-        for (const Workload *w : workloads) {
-            CoreParams p;
-            ref[w->name] = runWorkload(*w, p).sim.cycles;
-        }
-
         for (const auto &[cfg_name, reno_cfg] : configs) {
             std::vector<std::string> row{cfg_name};
             for (const unsigned size : sizes) {
                 std::vector<double> rel;
                 for (const Workload *w : workloads) {
-                    CoreParams p;
-                    p.numPregs = size;
-                    p.reno = reno_cfg;
+                    const std::uint64_t ref =
+                        results.get(w->name, "ref").sim.cycles;
                     const std::uint64_t cyc =
-                        runWorkload(*w, p).sim.cycles;
-                    rel.push_back(100.0 * double(ref[w->name]) /
-                                  double(cyc));
+                        results.get(w->name, cfg_name,
+                                    strprintf("%u", size)).sim.cycles;
+                    rel.push_back(100.0 * double(ref) / double(cyc));
                 }
                 row.push_back(fmtDouble(amean(rel), 1));
             }

@@ -16,7 +16,7 @@ using namespace reno;
 using namespace reno::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 11 (bottom): RENO vs issue width",
            "RENO TR MS-CIS-04-28 / ISCA 2005, Figure 11 bottom");
@@ -32,24 +32,37 @@ main()
         {"i3t4", CoreParams::issueReduced(3, 4)},
     };
 
+    sweep::Campaign campaign;
+    for (const auto &[suite_name, workloads] : suites()) {
+        for (const Workload *w : workloads) {
+            campaign.add(*w, {"ref", CoreParams::fourWide()});
+            for (const auto &[cfg_name, reno_cfg] : configs) {
+                for (const auto &[width_name, width_params] : widths) {
+                    CoreParams p = width_params;
+                    p.reno = reno_cfg;
+                    campaign.add(*w, {cfg_name, p}, width_name);
+                }
+            }
+        }
+    }
+    const sweep::CampaignResults results =
+        campaign.run(options(argc, argv));
+
     for (const auto &[suite_name, workloads] : suites()) {
         TextTable t;
         t.header({"config", "i2t2", "i2t3", "i3t4"});
-
-        std::map<std::string, std::uint64_t> ref;
-        for (const Workload *w : workloads)
-            ref[w->name] =
-                runWorkload(*w, CoreParams::fourWide()).sim.cycles;
 
         for (const auto &[cfg_name, reno_cfg] : configs) {
             std::vector<std::string> row{cfg_name};
             for (const auto &[width_name, width_params] : widths) {
                 std::vector<double> rel;
                 for (const Workload *w : workloads) {
-                    CoreParams p = width_params;
-                    p.reno = reno_cfg;
-                    rel.push_back(100.0 * double(ref[w->name]) /
-                                  double(runWorkload(*w, p).sim.cycles));
+                    const std::uint64_t ref =
+                        results.get(w->name, "ref").sim.cycles;
+                    const std::uint64_t cyc =
+                        results.get(w->name, cfg_name, width_name)
+                            .sim.cycles;
+                    rel.push_back(100.0 * double(ref) / double(cyc));
                 }
                 row.push_back(fmtDouble(amean(rel), 1));
             }

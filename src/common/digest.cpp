@@ -1,0 +1,21 @@
+#include "common/digest.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    return strprintf("%016llx",
+                     static_cast<unsigned long long>(digest));
+}
+
+std::string
+Fnv64::hex() const
+{
+    return digestHex(hash_);
+}
+
+} // namespace reno

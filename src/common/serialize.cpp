@@ -1,0 +1,91 @@
+#include "common/serialize.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+namespace
+{
+
+void
+emit(std::string &out, const char *key, std::uint64_t v)
+{
+    out += strprintf("%s %llu\n", key,
+                     static_cast<unsigned long long>(v));
+}
+
+void
+emitCache(std::string &out, const char *prefix, const CacheParams &c)
+{
+    out += strprintf("%s.size %u\n", prefix, c.sizeBytes);
+    out += strprintf("%s.assoc %u\n", prefix, c.assoc);
+    out += strprintf("%s.block %u\n", prefix, c.blockBytes);
+    out += strprintf("%s.latency %u\n", prefix, c.latency);
+    out += strprintf("%s.mshrs %u\n", prefix, c.numMshrs);
+}
+
+} // namespace
+
+std::string
+serializeCoreParams(const CoreParams &p)
+{
+    std::string out;
+    out.reserve(1024);
+
+    emit(out, "fetchWidth", p.fetchWidth);
+    emit(out, "renameWidth", p.renameWidth);
+    emit(out, "commitWidth", p.commitWidth);
+    emit(out, "issue.intOps", p.issue.intOps);
+    emit(out, "issue.loads", p.issue.loads);
+    emit(out, "issue.stores", p.issue.stores);
+    emit(out, "issue.fp", p.issue.fp);
+    emit(out, "issue.total", p.issue.total);
+
+    emit(out, "robEntries", p.robEntries);
+    emit(out, "iqEntries", p.iqEntries);
+    emit(out, "lqEntries", p.lqEntries);
+    emit(out, "sqEntries", p.sqEntries);
+    emit(out, "numPregs", p.numPregs);
+    emit(out, "fetchBufEntries", p.fetchBufEntries);
+
+    emit(out, "frontDepth", p.frontDepth);
+    emit(out, "renameDepth", p.renameDepth);
+    emit(out, "schedLoop", p.schedLoop);
+    emit(out, "branchResolveExtra", p.branchResolveExtra);
+
+    emit(out, "ssitEntries", p.ssitEntries);
+    emit(out, "numStoreSets", p.numStoreSets);
+
+    emit(out, "bpred.bimodal", p.bpred.bimodalEntries);
+    emit(out, "bpred.gshare", p.bpred.gshareEntries);
+    emit(out, "bpred.chooser", p.bpred.chooserEntries);
+    emit(out, "bpred.history", p.bpred.historyBits);
+    emit(out, "bpred.btb", p.bpred.btbEntries);
+    emit(out, "bpred.btbAssoc", p.bpred.btbAssoc);
+    emit(out, "bpred.ras", p.bpred.rasEntries);
+
+    emitCache(out, "icache", p.mem.icache);
+    emitCache(out, "dcache", p.mem.dcache);
+    emitCache(out, "l2", p.mem.l2);
+    emit(out, "memory.latency", p.mem.memory.accessLatency);
+    emit(out, "memory.busBytes", p.mem.memory.busBytes);
+    emit(out, "memory.busDivider", p.mem.memory.busClockDivider);
+
+    emit(out, "reno.me", p.reno.me);
+    emit(out, "reno.cf", p.reno.cf);
+    emit(out, "reno.cse", p.reno.cse);
+    emit(out, "reno.ra", p.reno.ra);
+    emit(out, "reno.it.entries", p.reno.it.entries);
+    emit(out, "reno.it.assoc", p.reno.it.assoc);
+    emit(out, "reno.itLoadsOnly", p.reno.itLoadsOnly);
+    emit(out, "reno.exactOverflow", p.reno.exactOverflowCheck);
+    emit(out, "reno.verifyValues", p.reno.verifyValues);
+
+    emit(out, "freeAddAddFusion", p.freeAddAddFusion);
+    emit(out, "maxCycles", p.maxCycles);
+
+    return out;
+}
+
+} // namespace reno

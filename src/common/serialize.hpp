@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Canonical text serialization of machine configurations. The output
+ * is a stable "key value" line set covering every CoreParams field, so
+ * it can serve both as a human-readable config dump and as the input
+ * to the content digest that keys the simulation result cache: two
+ * configurations serialize identically iff they simulate identically.
+ *
+ * When adding a field to CoreParams (or any nested parameter struct),
+ * add it here too; tests/test_sweep.cpp cross-checks a representative
+ * set of fields.
+ */
+#pragma once
+
+#include <string>
+
+#include "uarch/params.hpp"
+
+namespace reno
+{
+
+/** Serialize every simulation-relevant CoreParams field. */
+std::string serializeCoreParams(const CoreParams &params);
+
+} // namespace reno

@@ -36,6 +36,47 @@ divisionOfLabor(const CoreParams &base)
     };
 }
 
+bool
+configByName(const std::string &name, const CoreParams &base,
+             NamedConfig *out)
+{
+    for (const NamedConfig &cfg : renoBuildup(base)) {
+        if (cfg.name == name) {
+            *out = cfg;
+            return true;
+        }
+    }
+    for (const NamedConfig &cfg : divisionOfLabor(base)) {
+        if (cfg.name == name) {
+            *out = cfg;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+knownConfigNames()
+{
+    std::vector<std::string> names;
+    for (const NamedConfig &cfg : renoBuildup(CoreParams{}))
+        names.push_back(cfg.name);
+    for (const NamedConfig &cfg : divisionOfLabor(CoreParams{})) {
+        if (cfg.name != "RENO")
+            names.push_back(cfg.name);
+    }
+    return names;
+}
+
+std::vector<std::pair<std::string, std::vector<const Workload *>>>
+benchmarkSuites()
+{
+    return {
+        {"SPECint-like", suiteWorkloads("spec")},
+        {"MediaBench-like", suiteWorkloads("media")},
+    };
+}
+
 RunOutput
 runWorkload(const Workload &workload, const CoreParams &params,
             CriticalPathAnalyzer *cpa)
@@ -74,7 +115,7 @@ runFunctional(const Workload &workload)
 double
 speedupPercent(std::uint64_t base_cycles, std::uint64_t cycles)
 {
-    if (cycles == 0)
+    if (base_cycles == 0 || cycles == 0)
         return 0.0;
     return (static_cast<double>(base_cycles) /
             static_cast<double>(cycles) - 1.0) * 100.0;

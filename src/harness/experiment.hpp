@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpa/critpath.hpp"
@@ -43,6 +44,25 @@ std::vector<NamedConfig> renoBuildup(const CoreParams &base);
 
 /** Figure 10's four division-of-labor configurations. */
 std::vector<NamedConfig> divisionOfLabor(const CoreParams &base);
+
+/**
+ * Look up an evaluation configuration by name on top of @p base:
+ * "BASE", "ME", "ME+CF", "RENO" (the build-up) or "RENO+FullInteg",
+ * "FullInteg", "LoadsInteg" (division of labor). Returns false and
+ * leaves @p out untouched for an unknown name.
+ */
+bool configByName(const std::string &name, const CoreParams &base,
+                  NamedConfig *out);
+
+/** Names accepted by configByName(), in presentation order. */
+std::vector<std::string> knownConfigNames();
+
+/**
+ * Suite iteration for campaign construction: (label, workloads) for
+ * the paper's two benchmark suites.
+ */
+std::vector<std::pair<std::string, std::vector<const Workload *>>>
+benchmarkSuites();
 
 /** Run @p workload on @p params; optionally attach a CPA. */
 RunOutput runWorkload(const Workload &workload, const CoreParams &params,

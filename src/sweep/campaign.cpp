@@ -1,0 +1,227 @@
+#include "sweep/campaign.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+#include "common/log.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace reno::sweep
+{
+
+unsigned
+resolveJobCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("RENO_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return unsigned(n);
+        warn("ignoring invalid RENO_JOBS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+CampaignOptions
+parseCampaignArgs(int argc, char **argv)
+{
+    CampaignOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+            if (arg == flag && i + 1 < argc)
+                return argv[++i];
+            return "";
+        };
+        if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+            const std::string v = value("--jobs");
+            const long n = std::strtol(v.c_str(), nullptr, 10);
+            if (n >= 1)
+                opts.jobs = unsigned(n);
+            else
+                fatal("--jobs expects a positive integer, got '%s'",
+                      v.c_str());
+        } else if (arg == "--cache-dir" ||
+                   arg.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir = value("--cache-dir");
+            if (opts.cacheDir.empty())
+                fatal("--cache-dir expects a directory path");
+        } else if (arg == "--sweep-stats") {
+            opts.stats = true;
+        }
+    }
+    return opts;
+}
+
+bool
+isCampaignFlag(const std::string &arg, bool *takes_value)
+{
+    *takes_value = false;
+    if (arg == "--jobs" || arg == "--cache-dir") {
+        *takes_value = true;
+        return true;
+    }
+    return arg == "--sweep-stats" ||
+           arg.rfind("--jobs=", 0) == 0 ||
+           arg.rfind("--cache-dir=", 0) == 0;
+}
+
+std::size_t
+Campaign::add(Job job)
+{
+    if (!job.workload)
+        fatal("campaign job has no workload");
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+std::size_t
+Campaign::add(const Workload &workload, const NamedConfig &config,
+              const std::string &tag, bool want_cpa)
+{
+    Job job;
+    job.workload = &workload;
+    job.config = config;
+    job.tag = tag;
+    job.wantCpa = want_cpa;
+    return add(std::move(job));
+}
+
+void
+Campaign::addCross(const std::vector<const Workload *> &workloads,
+                   const std::vector<NamedConfig> &configs,
+                   const std::string &tag)
+{
+    for (const Workload *w : workloads) {
+        for (const NamedConfig &cfg : configs)
+            add(*w, cfg, tag);
+    }
+}
+
+JobResult
+executeJob(const Job &job)
+{
+    JobResult r;
+    if (job.wantCpa) {
+        CriticalPathAnalyzer cpa(job.cpaChunk,
+                                 job.config.params.robEntries,
+                                 job.config.params.iqEntries);
+        r.sim = runWorkload(*job.workload, job.config.params, &cpa).sim;
+        r.hasCpa = true;
+        r.cpaWeights = cpa.buckets();
+    } else {
+        r.sim = runWorkload(*job.workload, job.config.params).sim;
+    }
+    return r;
+}
+
+CampaignResults
+Campaign::run(const CampaignOptions &options) const
+{
+    const unsigned workers = resolveJobCount(options.jobs);
+
+    ResultCache local_cache(options.cacheDir);
+    ResultCache &cache = options.cache ? *options.cache : local_cache;
+
+    // Deduplicate by content digest: one work slot per distinct job.
+    struct Slot {
+        const Job *job;
+        std::uint64_t digest;
+        JobResult result;
+        bool ready = false;
+    };
+    std::vector<Slot> slots;
+    std::map<std::uint64_t, std::size_t> slot_index;
+    std::vector<std::size_t> job_slot(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const std::uint64_t digest = jobDigest(jobs_[i]);
+        auto [it, inserted] =
+            slot_index.emplace(digest, slots.size());
+        if (inserted)
+            slots.push_back(Slot{&jobs_[i], digest, {}, false});
+        job_slot[i] = it->second;
+    }
+
+    CampaignResults out;
+    out.jobs_ = jobs_;
+    out.stats_.jobs = jobs_.size();
+    out.stats_.unique = slots.size();
+    out.stats_.workers = workers;
+
+    // Satisfy from the cache first.
+    std::vector<Slot *> misses;
+    for (Slot &slot : slots) {
+        if (cache.lookup(slot.digest, &slot.result)) {
+            slot.ready = true;
+            ++out.stats_.cacheHits;
+        } else {
+            misses.push_back(&slot);
+        }
+    }
+
+    // Simulate the misses: inline when serial, else on the pool. The
+    // results land in pre-allocated slots, so collection order (and
+    // therefore all downstream output) is independent of scheduling.
+    out.stats_.simulated = misses.size();
+    if (workers <= 1 || misses.size() <= 1) {
+        for (Slot *slot : misses) {
+            slot->result = executeJob(*slot->job);
+            slot->ready = true;
+        }
+    } else {
+        ThreadPool pool(
+            unsigned(std::min<std::size_t>(workers, misses.size())));
+        for (Slot *slot : misses) {
+            pool.submit([slot] {
+                slot->result = executeJob(*slot->job);
+                slot->ready = true;
+            });
+        }
+        pool.waitIdle();
+    }
+
+    for (Slot *slot : misses)
+        cache.store(slot->digest, slot->result);
+
+    out.results_.reserve(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const Slot &slot = slots[job_slot[i]];
+        if (!slot.ready)
+            panic("campaign slot %zu never completed", job_slot[i]);
+        out.results_.push_back(slot.result);
+    }
+
+    if (options.stats) {
+        std::fprintf(stderr,
+                     "[sweep] %zu jobs, %zu unique, %zu simulated, "
+                     "%zu cache hits, %u workers\n",
+                     out.stats_.jobs, out.stats_.unique,
+                     out.stats_.simulated, out.stats_.cacheHits,
+                     workers);
+    }
+    return out;
+}
+
+const JobResult &
+CampaignResults::get(const std::string &workload,
+                     const std::string &config,
+                     const std::string &tag) const
+{
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const Job &j = jobs_[i];
+        if (j.workload->name == workload && j.config.name == config &&
+            j.tag == tag)
+            return results_[i];
+    }
+    fatal("campaign has no job (workload='%s', config='%s', tag='%s')",
+          workload.c_str(), config.c_str(), tag.c_str());
+}
+
+} // namespace reno::sweep

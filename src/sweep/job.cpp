@@ -1,0 +1,23 @@
+#include "sweep/job.hpp"
+
+#include "common/digest.hpp"
+#include "common/serialize.hpp"
+
+namespace reno::sweep
+{
+
+std::uint64_t
+jobDigest(const Job &job)
+{
+    Fnv64 h;
+    h.update("reno-job-v1");
+    h.update(std::string(job.workload->source));
+    h.update(job.workload->seed);
+    h.update(serializeCoreParams(job.config.params));
+    h.update(job.wantCpa);
+    if (job.wantCpa)
+        h.update(job.cpaChunk);
+    return h.value();
+}
+
+} // namespace reno::sweep

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pluggable campaign reporters: turn submission-ordered campaign
+ * results into an aligned text table, a JSON array, or CSV, via the
+ * generic emitters in common/report.hpp. The per-figure benchmark
+ * binaries keep their bespoke tables; these reporters serve the
+ * reno-sweep driver and any ad-hoc campaign.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/report.hpp"
+#include "sweep/campaign.hpp"
+
+namespace reno::sweep
+{
+
+enum class ReportFormat { Table, Json, Csv };
+
+/** Parse "table" / "json" / "csv"; nullopt otherwise. */
+std::optional<ReportFormat> reportFormatFromName(const std::string &s);
+
+/** Flatten one job + result into a report record. */
+ReportRecord recordFor(const Job &job, const JobResult &result);
+
+/** Render a whole campaign in @p format (trailing newline included). */
+std::string renderResults(const CampaignResults &results,
+                          ReportFormat format);
+
+} // namespace reno::sweep

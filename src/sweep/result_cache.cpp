@@ -1,0 +1,216 @@
+#include "sweep/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/digest.hpp"
+#include "common/log.hpp"
+
+namespace reno::sweep
+{
+
+namespace
+{
+
+constexpr const char *FormatTag = "reno-result v1";
+
+/** The serialized SimResult fields, in file order. */
+struct FieldRef {
+    const char *name;
+    std::uint64_t SimResult::*member;
+};
+
+const FieldRef SimFields[] = {
+    {"cycles", &SimResult::cycles},
+    {"retired", &SimResult::retired},
+    {"retiredLoads", &SimResult::retiredLoads},
+    {"retiredStores", &SimResult::retiredStores},
+    {"retiredBranches", &SimResult::retiredBranches},
+    {"itAccesses", &SimResult::itAccesses},
+    {"itHits", &SimResult::itHits},
+    {"overflowCancels", &SimResult::overflowCancels},
+    {"groupDepCancels", &SimResult::groupDepCancels},
+    {"violationSquashes", &SimResult::violationSquashes},
+    {"misintegrationFlushes", &SimResult::misintegrationFlushes},
+    {"bpLookups", &SimResult::bpLookups},
+    {"bpMispredicts", &SimResult::bpMispredicts},
+    {"icacheMisses", &SimResult::icacheMisses},
+    {"dcacheMisses", &SimResult::dcacheMisses},
+    {"l2Misses", &SimResult::l2Misses},
+    {"stallRob", &SimResult::stallRob},
+    {"stallIq", &SimResult::stallIq},
+    {"stallPregs", &SimResult::stallPregs},
+    {"stallLsq", &SimResult::stallLsq},
+};
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::pathFor(std::uint64_t digest) const
+{
+    return dir_ + "/" + digestHex(digest) + ".result";
+}
+
+bool
+ResultCache::lookup(std::uint64_t digest, JobResult *out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = mem_.find(digest);
+        if (it != mem_.end()) {
+            *out = it->second;
+            ++memoryHits_;
+            return true;
+        }
+    }
+    if (!dir_.empty() && loadFromDisk(digest, out)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_.emplace(digest, *out);
+        ++diskHits_;
+        return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return false;
+}
+
+void
+ResultCache::store(std::uint64_t digest, const JobResult &result)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_[digest] = result;
+    }
+    if (!dir_.empty())
+        storeToDisk(digest, result);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.size();
+}
+
+std::string
+ResultCache::encode(const JobResult &result)
+{
+    std::string out = FormatTag;
+    out += '\n';
+    for (const FieldRef &f : SimFields)
+        out += strprintf("%s %llu\n", f.name,
+                         static_cast<unsigned long long>(
+                             result.sim.*(f.member)));
+    for (unsigned k = 0; k < 5; ++k)
+        out += strprintf("elim%u %llu\n", k,
+                         static_cast<unsigned long long>(
+                             result.sim.elim[k]));
+    out += strprintf("hasCpa %d\n", result.hasCpa ? 1 : 0);
+    if (result.hasCpa) {
+        for (unsigned b = 0; b < NumCpBuckets; ++b)
+            out += strprintf("cpa%u %llu\n", b,
+                             static_cast<unsigned long long>(
+                                 result.cpaWeights[b]));
+    }
+    return out;
+}
+
+bool
+ResultCache::decode(const std::string &text, JobResult *out)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != FormatTag)
+        return false;
+
+    JobResult r;
+    auto expect = [&in, &line](const std::string &key,
+                               std::uint64_t *value) {
+        if (!std::getline(in, line))
+            return false;
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos ||
+            line.compare(0, space, key) != 0)
+            return false;
+        try {
+            *value = std::stoull(line.substr(space + 1));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    };
+
+    for (const FieldRef &f : SimFields) {
+        if (!expect(f.name, &(r.sim.*(f.member))))
+            return false;
+    }
+    for (unsigned k = 0; k < 5; ++k) {
+        if (!expect(strprintf("elim%u", k), &r.sim.elim[k]))
+            return false;
+    }
+    std::uint64_t has_cpa = 0;
+    if (!expect("hasCpa", &has_cpa))
+        return false;
+    r.hasCpa = has_cpa != 0;
+    if (r.hasCpa) {
+        for (unsigned b = 0; b < NumCpBuckets; ++b) {
+            if (!expect(strprintf("cpa%u", b), &r.cpaWeights[b]))
+                return false;
+        }
+    }
+    *out = r;
+    return true;
+}
+
+bool
+ResultCache::loadFromDisk(std::uint64_t digest, JobResult *out)
+{
+    std::ifstream in(pathFor(digest));
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!decode(buf.str(), out)) {
+        warn("result cache: ignoring malformed entry %s",
+             pathFor(digest).c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+ResultCache::storeToDisk(std::uint64_t digest, const JobResult &result)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn("result cache: cannot create '%s': %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    // Write-then-rename so a concurrent reader never sees a torn file.
+    const std::string path = pathFor(digest);
+    const std::string tmp =
+        path + strprintf(".tmp%llu",
+                         static_cast<unsigned long long>(digest));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("result cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        out << encode(result);
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: rename to '%s' failed: %s", path.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace reno::sweep

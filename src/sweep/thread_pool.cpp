@@ -1,0 +1,68 @@
+#include "sweep/thread_pool.hpp"
+
+namespace reno::sweep
+{
+
+ThreadPool::ThreadPool(unsigned num_workers)
+{
+    if (num_workers < 1)
+        num_workers = 1;
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        taskReady_.wait(lock,
+                        [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (shutdown_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace reno::sweep

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A minimal fixed-size worker thread pool for the campaign engine.
+ * Tasks are opaque closures; waitIdle() blocks until every submitted
+ * task has finished, so the engine can impose its own deterministic,
+ * submission-ordered result collection independent of execution order.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reno::sweep
+{
+
+/** Fixed-size thread pool. */
+class ThreadPool
+{
+  public:
+    /** Start @p num_workers worker threads (at least 1). */
+    explicit ThreadPool(unsigned num_workers);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void waitIdle();
+
+    unsigned numWorkers() const { return unsigned(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable taskReady_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t running_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace reno::sweep

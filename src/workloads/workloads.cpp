@@ -58,10 +58,16 @@ std::vector<const Workload *>
 suiteWorkloads(const std::string &suite)
 {
     std::vector<const Workload *> out;
+    bool known = false;
     for (const auto &w : allWorkloads()) {
-        if (w.suite == suite)
+        if (w.suite == suite) {
             out.push_back(&w);
+            known = true;
+        }
     }
+    if (!known)
+        fatal("unknown workload suite '%s' (expected \"spec\" or "
+              "\"media\")", suite.c_str());
     return out;
 }
 

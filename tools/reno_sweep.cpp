@@ -1,0 +1,185 @@
+/**
+ * @file
+ * reno-sweep: the campaign-engine command-line driver. Runs an ad-hoc
+ * cross-product sweep (suites/workloads x named configurations) or one
+ * of the repo's named figure campaigns, on all host cores, with the
+ * content-addressed result cache, and reports through the pluggable
+ * table/JSON/CSV reporters.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "harness/experiment.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/reporter.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "campaign selection:\n"
+        "  --suite spec|media|all   workloads to sweep (default all)\n"
+        "  --workload NAME          one workload (repeatable)\n"
+        "  --filter SUBSTR          keep matching workload names\n"
+        "  --config NAME            preset (repeatable; default BASE,"
+        " RENO)\n"
+        "  --width 4|6              machine width (default 4)\n"
+        "  --cpa                    critical-path analysis per job\n"
+        "\n"
+        "execution:\n"
+        "  --jobs N                 worker threads (default: RENO_JOBS"
+        " env, else all cores)\n"
+        "  --cache-dir DIR          persistent result cache; a warm\n"
+        "                           rerun performs zero simulations\n"
+        "  --sweep-stats            execution summary on stderr\n"
+        "\n"
+        "output:\n"
+        "  --report table|json|csv  reporter (default table)\n"
+        "  --list                   list workloads/configs and exit\n");
+    std::exit(0);
+}
+
+void
+listEverything()
+{
+    std::printf("workloads:\n");
+    for (const Workload &w : allWorkloads())
+        std::printf("  %-10s (%s, seed %llu)\n", w.name.c_str(),
+                    w.suite.c_str(),
+                    static_cast<unsigned long long>(w.seed));
+    std::printf("configs:\n");
+    for (const std::string &name : knownConfigNames())
+        std::printf("  %s\n", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite = "all";
+    std::string filter;
+    std::vector<std::string> workload_names;
+    std::vector<std::string> config_names;
+    unsigned width = 4;
+    bool want_cpa = false;
+    sweep::ReportFormat format = sweep::ReportFormat::Table;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+            if (i + 1 >= argc)
+                fatal("%s expects a value", flag);
+            return argv[++i];
+        };
+        auto matches = [&](const char *flag) {
+            return arg == flag ||
+                   arg.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else if (arg == "--list") {
+            listEverything();
+            return 0;
+        } else if (matches("--suite")) {
+            suite = value("--suite");
+        } else if (matches("--workload")) {
+            workload_names.push_back(value("--workload"));
+        } else if (matches("--filter")) {
+            filter = value("--filter");
+        } else if (matches("--config")) {
+            config_names.push_back(value("--config"));
+        } else if (matches("--width")) {
+            const std::string v = value("--width");
+            if (v == "4")
+                width = 4;
+            else if (v == "6")
+                width = 6;
+            else
+                fatal("--width expects 4 or 6, got '%s'", v.c_str());
+        } else if (arg == "--cpa") {
+            want_cpa = true;
+        } else if (matches("--report")) {
+            const std::string v = value("--report");
+            const auto f = sweep::reportFormatFromName(v);
+            if (!f)
+                fatal("--report expects table, json or csv, got '%s'",
+                      v.c_str());
+            format = *f;
+        } else if (bool takes_value;
+                   sweep::isCampaignFlag(arg, &takes_value)) {
+            // Engine flags; parsed by parseCampaignArgs below.
+            if (takes_value)
+                ++i;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    // Workload set.
+    std::vector<const Workload *> workloads;
+    if (!workload_names.empty()) {
+        for (const std::string &name : workload_names)
+            workloads.push_back(&workloadByName(name));
+    } else if (suite == "all") {
+        for (const Workload &w : allWorkloads())
+            workloads.push_back(&w);
+    } else {
+        workloads = suiteWorkloads(suite);
+    }
+    if (!filter.empty()) {
+        std::vector<const Workload *> kept;
+        for (const Workload *w : workloads) {
+            if (w->name.find(filter) != std::string::npos)
+                kept.push_back(w);
+        }
+        workloads = kept;
+    }
+    if (workloads.empty())
+        fatal("no workloads selected");
+
+    // Configuration set.
+    const CoreParams base =
+        width == 6 ? CoreParams::sixWide() : CoreParams::fourWide();
+    if (config_names.empty())
+        config_names = {"BASE", "RENO"};
+    std::vector<NamedConfig> configs;
+    for (const std::string &name : config_names) {
+        NamedConfig cfg;
+        if (!configByName(name, base, &cfg)) {
+            std::string known;
+            for (const std::string &k : knownConfigNames())
+                known += " " + k;
+            fatal("unknown config '%s' (known:%s)", name.c_str(),
+                  known.c_str());
+        }
+        configs.push_back(cfg);
+    }
+
+    sweep::Campaign campaign;
+    for (const Workload *w : workloads) {
+        for (const NamedConfig &cfg : configs)
+            campaign.add(*w, cfg, "", want_cpa);
+    }
+
+    const sweep::CampaignOptions opts =
+        sweep::parseCampaignArgs(argc, argv);
+    const sweep::CampaignResults results = campaign.run(opts);
+    const std::string rendered = sweep::renderResults(results, format);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    return 0;
+}
