@@ -160,4 +160,51 @@ BranchPredictor::update(Addr pc, const Instruction &inst, bool taken,
     }
 }
 
+BranchPredState
+BranchPredictor::exportState() const
+{
+    BranchPredState state;
+    state.bimodal = bimodal_;
+    state.gshare = gshare_;
+    state.chooser = chooser_;
+    state.history = history_;
+    for (std::size_t i = 0; i < btb_.size(); ++i) {
+        if (!btb_[i].valid)
+            continue;
+        state.btb.push_back({static_cast<std::uint32_t>(i),
+                             btb_[i].tag, btb_[i].target,
+                             btb_[i].lruStamp});
+    }
+    state.btbLru = btbLru_;
+    state.ras = ras_;
+    state.rasTop = rasTop_;
+    return state;
+}
+
+bool
+BranchPredictor::importState(const BranchPredState &state)
+{
+    if (state.bimodal.size() != bimodal_.size() ||
+        state.gshare.size() != gshare_.size() ||
+        state.chooser.size() != chooser_.size() ||
+        state.ras.size() != ras_.size())
+        return false;
+    bimodal_ = state.bimodal;
+    gshare_ = state.gshare;
+    chooser_ = state.chooser;
+    history_ = state.history;
+    for (auto &entry : btb_)
+        entry.valid = false;
+    for (const BranchPredState::Btb &e : state.btb) {
+        if (e.index >= btb_.size())
+            return false;
+        btb_[e.index] = {true, e.tag, e.target, e.lruStamp};
+    }
+    btbLru_ = state.btbLru;
+    ras_ = state.ras;
+    rasTop_ = state.rasTop;
+    return true;
+}
+
 } // namespace reno
+

@@ -37,6 +37,26 @@ struct BranchPredParams {
     unsigned rasEntries = 32;
 };
 
+/**
+ * Snapshot of a predictor's tables for functional warming (sampled
+ * simulation). Statistics counters are excluded: measured windows are
+ * counter deltas, so the absolute base never matters.
+ */
+struct BranchPredState {
+    std::vector<std::uint8_t> bimodal, gshare, chooser;
+    std::uint64_t history = 0;
+    struct Btb {
+        std::uint32_t index = 0;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+    std::vector<Btb> btb;  //!< valid entries only
+    std::uint64_t btbLru = 0;
+    std::vector<Addr> ras;
+    unsigned rasTop = 0;
+};
+
 /** Hybrid direction predictor + BTB + RAS. */
 class BranchPredictor
 {
@@ -59,6 +79,11 @@ class BranchPredictor
     /** Record a misprediction (counted by the core at resolve time). */
     void noteDirMispredict() { ++dirMispredicts_; }
     void noteTargetMispredict() { ++targetMispredicts_; }
+
+    /** Export / import the table state (checkpoint persistence).
+     *  importState returns false on any size mismatch. */
+    BranchPredState exportState() const;
+    bool importState(const BranchPredState &state);
 
   private:
     struct BtbEntry {

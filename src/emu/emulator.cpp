@@ -2,6 +2,7 @@
 
 #include <climits>
 
+#include "common/digest.hpp"
 #include "common/log.hpp"
 
 namespace reno
@@ -219,6 +220,62 @@ Emulator::run()
     while (!done_)
         step();
     return instCount_;
+}
+
+std::uint64_t
+Emulator::runUntil(std::uint64_t inst_bound)
+{
+    while (!done_ && instCount_ < inst_bound)
+        step();
+    return instCount_;
+}
+
+std::uint64_t
+programDigest(const Program &prog)
+{
+    Fnv64 h;
+    h.update("reno-program-v1");
+    h.update(prog.textBase);
+    for (const std::uint32_t word : prog.text)
+        h.update(std::uint64_t{word});
+    h.update(prog.dataBase);
+    h.update(std::uint64_t{prog.data.size()});
+    if (!prog.data.empty())
+        h.update(prog.data.data(), prog.data.size());
+    h.update(prog.entry);
+    return h.value();
+}
+
+EmuCheckpoint
+Emulator::checkpoint() const
+{
+    EmuCheckpoint ckpt;
+    ckpt.state = state_;
+    ckpt.mem = mem_.snapshot();
+    ckpt.output = output_;
+    ckpt.instCount = instCount_;
+    ckpt.exitCode = exitCode_;
+    ckpt.randState = randState_;
+    ckpt.done = done_;
+    ckpt.progDigest = programDigest(prog_);
+    return ckpt;
+}
+
+void
+Emulator::restore(const EmuCheckpoint &ckpt)
+{
+    if (ckpt.progDigest != programDigest(prog_))
+        fatal("checkpoint restore onto a different program "
+              "(digest %llx, expected %llx)",
+              static_cast<unsigned long long>(ckpt.progDigest),
+              static_cast<unsigned long long>(programDigest(prog_)));
+    state_ = ckpt.state;
+    mem_.restore(ckpt.mem);
+    output_ = ckpt.output;
+    instCount_ = ckpt.instCount;
+    exitCode_ = ckpt.exitCode;
+    randState_ = ckpt.randState;
+    done_ = ckpt.done;
 }
 
 } // namespace reno

@@ -75,6 +75,27 @@ struct ExecRecord {
 std::uint64_t evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
                       std::int32_t imm);
 
+/** Content digest of a program image (text, data, bases, entry). */
+std::uint64_t programDigest(const Program &prog);
+
+/**
+ * A full functional checkpoint: everything Emulator needs to resume
+ * exactly where a previous run stopped. A resumed run is byte-identical
+ * to an uninterrupted one, including the clock syscall (instCount), the
+ * rand syscall stream (randState) and the accumulated program output.
+ * progDigest guards against restoring onto a different program.
+ */
+struct EmuCheckpoint {
+    ArchState state;
+    SparseMemory mem;
+    std::string output;
+    std::uint64_t instCount = 0;
+    std::uint64_t exitCode = 0;
+    std::uint64_t randState = 0;
+    bool done = false;
+    std::uint64_t progDigest = 0;
+};
+
 /** The functional emulator. */
 class Emulator
 {
@@ -93,6 +114,21 @@ class Emulator
 
     /** Run to exit (or maxInsts); returns retired instruction count. */
     std::uint64_t run();
+
+    /**
+     * Fast-forward: run until at least @p inst_bound instructions have
+     * executed (or the program exits). Returns the instruction count.
+     */
+    std::uint64_t runUntil(std::uint64_t inst_bound);
+
+    /** Snapshot the complete functional state. */
+    EmuCheckpoint checkpoint() const;
+
+    /**
+     * Resume from a checkpoint taken on the same program (fatal() on a
+     * program-digest mismatch). Replaces all functional state.
+     */
+    void restore(const EmuCheckpoint &ckpt);
 
     bool done() const { return done_; }
 

@@ -1,5 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "emu/emulator.hpp"
@@ -77,11 +82,36 @@ benchmarkSuites()
     };
 }
 
+const Program &
+assembleWorkload(const Workload &workload)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<const Program>,
+                    std::less<>>
+        cache;
+
+    // Heterogeneous probe: no source-string copy on the hot path.
+    const std::string_view source(workload.source);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(source);
+        if (it != cache.end())
+            return *it->second;
+    }
+    auto prog = std::make_unique<const Program>(
+        assemble(std::string(source)));
+    std::lock_guard<std::mutex> lock(mu);
+    // try_emplace keeps the first copy if another thread raced us.
+    auto [it, inserted] =
+        cache.try_emplace(std::string(source), std::move(prog));
+    return *it->second;
+}
+
 RunOutput
 runWorkload(const Workload &workload, const CoreParams &params,
             CriticalPathAnalyzer *cpa)
 {
-    const Program prog = assemble(workload.source);
+    const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;
     opts.randSeed = workload.seed;
     Emulator emu(prog, opts);
@@ -101,7 +131,7 @@ runWorkload(const Workload &workload, const CoreParams &params,
 RunOutput
 runFunctional(const Workload &workload)
 {
-    const Program prog = assemble(workload.source);
+    const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;
     opts.randSeed = workload.seed;
     Emulator emu(prog, opts);

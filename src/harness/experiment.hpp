@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "asm/assembler.hpp"
 #include "cpa/critpath.hpp"
 #include "uarch/core.hpp"
 #include "uarch/params.hpp"
@@ -63,6 +64,14 @@ std::vector<std::string> knownConfigNames();
  */
 std::vector<std::pair<std::string, std::vector<const Workload *>>>
 benchmarkSuites();
+
+/**
+ * Assemble a workload's kernel source into a program image, memoized
+ * by source text: campaigns assemble each kernel once, not once per
+ * job. The returned reference has static storage duration (Emulator
+ * holds a reference to its program across a run). Thread-safe.
+ */
+const Program &assembleWorkload(const Workload &workload);
 
 /** Run @p workload on @p params; optionally attach a CPA. */
 RunOutput runWorkload(const Workload &workload, const CoreParams &params,

@@ -118,6 +118,52 @@ Cache::flush()
     mshrs_.clear();
 }
 
+void
+Cache::copyStateFrom(const Cache &other)
+{
+    if (numSets_ != other.numSets_ ||
+        params_.assoc != other.params_.assoc ||
+        params_.blockBytes != other.params_.blockBytes)
+        fatal("cache %s: copyStateFrom geometry mismatch",
+              params_.name.c_str());
+    lines_ = other.lines_;
+    lruClock_ = other.lruClock_;
+    mshrs_ = other.mshrs_;
+    hits_ = other.hits_;
+    misses_ = other.misses_;
+    mshrMerges_ = other.mshrMerges_;
+}
+
+CacheState
+Cache::exportState() const
+{
+    CacheState state;
+    state.lruClock = lruClock_;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        if (!lines_[i].valid)
+            continue;
+        state.validLines.push_back(
+            {static_cast<std::uint32_t>(i), lines_[i].tag,
+             lines_[i].lruStamp});
+    }
+    return state;
+}
+
+bool
+Cache::importState(const CacheState &state)
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    mshrs_.clear();
+    lruClock_ = state.lruClock;
+    for (const CacheState::Line &l : state.validLines) {
+        if (l.index >= lines_.size())
+            return false;
+        lines_[l.index] = {true, l.tag, l.lruStamp};
+    }
+    return true;
+}
+
 MemHierarchy::MemHierarchy(const Params &params)
     : params_(params),
       l2_(params.l2, &MemHierarchy::memEntry, this),
@@ -183,6 +229,40 @@ MemHierarchy::flush()
     dcache_.flush();
     l2_.flush();
     busFreeCycle_ = 0;
+}
+
+void
+MemHierarchy::copyStateFrom(const MemHierarchy &other)
+{
+    icache_.copyStateFrom(other.icache_);
+    dcache_.copyStateFrom(other.dcache_);
+    l2_.copyStateFrom(other.l2_);
+    busFreeCycle_ = other.busFreeCycle_;
+}
+
+void
+MemHierarchy::settle()
+{
+    icache_.settle();
+    dcache_.settle();
+    l2_.settle();
+    busFreeCycle_ = 0;
+}
+
+MemHierarchy::State
+MemHierarchy::exportState() const
+{
+    return {icache_.exportState(), dcache_.exportState(),
+            l2_.exportState()};
+}
+
+bool
+MemHierarchy::importState(const State &state)
+{
+    busFreeCycle_ = 0;
+    return icache_.importState(state.icache) &&
+           dcache_.importState(state.dcache) &&
+           l2_.importState(state.l2);
 }
 
 } // namespace reno

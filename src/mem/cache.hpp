@@ -34,6 +34,22 @@ struct CacheParams {
 };
 
 /**
+ * Tag/LRU snapshot of one cache, for functional warming (sampled
+ * simulation). Only valid lines are recorded, so snapshots of small
+ * working sets stay small. Timing state (MSHRs, bus) is deliberately
+ * excluded: it is transient and settles before a measurement window.
+ */
+struct CacheState {
+    struct Line {
+        std::uint32_t index = 0;  //!< position in the line array
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+    std::uint64_t lruClock = 0;
+    std::vector<Line> validLines;
+};
+
+/**
  * A set-associative, LRU, timing-only cache with MSHR-based miss
  * merging. Misses are forwarded to a "next level" latency callback.
  */
@@ -57,6 +73,21 @@ class Cache
 
     /** Invalidate all blocks and forget outstanding misses. */
     void flush();
+
+    /**
+     * Adopt another same-geometry cache's complete state (tags, LRU,
+     * in-flight misses, counters). Used to seed a core's caches from
+     * a functionally warmed snapshot; fatal() on a geometry mismatch.
+     */
+    void copyStateFrom(const Cache &other);
+
+    /** Drop in-flight timing state (MSHRs); tags and LRU stay. */
+    void settle() { mshrs_.clear(); }
+
+    /** Export / import the tag+LRU state (checkpoint persistence).
+     *  importState returns false if a line index is out of range. */
+    CacheState exportState() const;
+    bool importState(const CacheState &state);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -127,6 +158,24 @@ class MemHierarchy
     bool l2Probe(Addr addr) const;
 
     void flush();
+
+    /**
+     * Adopt another same-geometry hierarchy's state (tags, LRU,
+     * counters, bus). MemHierarchy is deliberately not copyable (the
+     * caches hold back-pointers into their owner); this is the
+     * supported way to clone its state.
+     */
+    void copyStateFrom(const MemHierarchy &other);
+
+    /** Drop in-flight timing state everywhere (MSHRs, bus). */
+    void settle();
+
+    /** Tag+LRU snapshot of all three caches (persistence). */
+    struct State {
+        CacheState icache, dcache, l2;
+    };
+    State exportState() const;
+    bool importState(const State &state);
 
     const Cache &icache() const { return icache_; }
     const Cache &dcache() const { return dcache_; }

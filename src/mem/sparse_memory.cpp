@@ -1,5 +1,6 @@
 #include "mem/sparse_memory.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/log.hpp"
@@ -39,6 +40,17 @@ SparseMemory::writeByte(Addr addr, std::uint8_t value)
 std::uint64_t
 SparseMemory::read(Addr addr, unsigned size) const
 {
+    // Fast path: the access lies within one page (one map lookup).
+    const Addr off = addr & (PageSize - 1);
+    if (off + size <= PageSize) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= std::uint64_t{(*page)[off + i]} << (8 * i);
+        return value;
+    }
     std::uint64_t value = 0;
     for (unsigned i = 0; i < size; ++i)
         value |= std::uint64_t{readByte(addr + i)} << (8 * i);
@@ -48,6 +60,15 @@ SparseMemory::read(Addr addr, unsigned size) const
 void
 SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
 {
+    // Fast path: the access lies within one page (one map lookup).
+    const Addr off = addr & (PageSize - 1);
+    if (off + size <= PageSize) {
+        Page &page = getPage(addr);
+        for (unsigned i = 0; i < size; ++i)
+            page[off + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }
@@ -55,8 +76,17 @@ SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
 void
 SparseMemory::load(Addr base, const std::uint8_t *data, size_t len)
 {
-    for (size_t i = 0; i < len; ++i)
-        writeByte(base + i, data[i]);
+    // Page-chunked: one map lookup per page, not per byte.
+    size_t i = 0;
+    while (i < len) {
+        const Addr addr = base + i;
+        const Addr off = addr & (PageSize - 1);
+        const size_t chunk =
+            std::min<size_t>(len - i, PageSize - off);
+        Page &page = getPage(addr);
+        std::copy(data + i, data + i + chunk, page.begin() + off);
+        i += chunk;
+    }
 }
 
 std::string

@@ -24,6 +24,8 @@ class SparseMemory
     static constexpr unsigned PageBits = 12;
     static constexpr Addr PageSize = Addr{1} << PageBits;
 
+    using Page = std::vector<std::uint8_t>;
+
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t value);
 
@@ -47,9 +49,21 @@ class SparseMemory
     /** Number of allocated 4KB pages. */
     size_t numPages() const { return pages_.size(); }
 
-  private:
-    using Page = std::vector<std::uint8_t>;
+    /** Allocated pages, keyed by page number (addr >> PageBits). */
+    const std::map<Addr, Page> &pages() const { return pages_; }
 
+    /**
+     * Checkpointing: a snapshot is a full copy of the allocated pages;
+     * restore replaces the current contents with a snapshot's. Two
+     * memories are equal iff they hold the same pages with the same
+     * bytes (an all-zero allocated page differs from an absent one,
+     * matching digest()).
+     */
+    SparseMemory snapshot() const { return *this; }
+    void restore(const SparseMemory &snap) { pages_ = snap.pages_; }
+    bool operator==(const SparseMemory &other) const = default;
+
+  private:
     const Page *findPage(Addr addr) const;
     Page &getPage(Addr addr);
 

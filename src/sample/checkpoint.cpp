@@ -1,0 +1,591 @@
+#include "sample/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/digest.hpp"
+#include "common/log.hpp"
+
+namespace reno::sample
+{
+
+namespace
+{
+
+constexpr const char *CheckpointTag = "reno-checkpoint v2";
+constexpr const char *ProfileTag = "reno-funcprofile v1";
+
+std::string
+hexEncode(const std::uint8_t *data, std::size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (std::size_t i = 0; i < len; ++i) {
+        out += digits[data[i] >> 4];
+        out += digits[data[i] & 0xf];
+    }
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+bool
+hexDecode(const std::string &text, std::vector<std::uint8_t> *out)
+{
+    if (text.size() % 2)
+        return false;
+    out->clear();
+    out->reserve(text.size() / 2);
+    for (std::size_t i = 0; i < text.size(); i += 2) {
+        const int hi = hexNibble(text[i]);
+        const int lo = hexNibble(text[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out->push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+bool
+keyValue(const std::string &line, const std::string &key,
+         std::string *value)
+{
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || line.compare(0, space, key) != 0)
+        return false;
+    *value = line.substr(space + 1);
+    return true;
+}
+
+bool
+keyU64(const std::string &line, const std::string &key,
+       std::uint64_t *value)
+{
+    std::string v;
+    if (!keyValue(line, key, &v))
+        return false;
+    try {
+        *value = std::stoull(v);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+void
+encodeCacheState(std::string &out, const char *name,
+                 const CacheState &state)
+{
+    out += strprintf("%s %llu %zu\n", name,
+                     static_cast<unsigned long long>(state.lruClock),
+                     state.validLines.size());
+    for (const CacheState::Line &l : state.validLines)
+        out += strprintf("line %u %llu %llu\n", l.index,
+                         static_cast<unsigned long long>(l.tag),
+                         static_cast<unsigned long long>(l.lruStamp));
+}
+
+bool
+decodeCacheState(std::istream &in, std::string &line,
+                 const std::string &name, CacheState *out)
+{
+    if (!std::getline(in, line))
+        return false;
+    std::istringstream hdr(line);
+    std::string key;
+    std::size_t count = 0;
+    if (!(hdr >> key >> out->lruClock >> count) || key != name)
+        return false;
+    out->validLines.clear();
+    out->validLines.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream ls(line);
+        CacheState::Line l;
+        if (!(ls >> key >> l.index >> l.tag >> l.lruStamp) ||
+            key != "line")
+            return false;
+        out->validLines.push_back(l);
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+checkpointDigest(const EmuCheckpoint &ckpt)
+{
+    Fnv64 h;
+    h.update("reno-ckpt-digest-v1");
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        h.update(ckpt.state.regs[r]);
+    h.update(ckpt.state.pc);
+    h.update(ckpt.mem.digest());
+    h.update(ckpt.output);
+    h.update(ckpt.instCount);
+    h.update(ckpt.exitCode);
+    h.update(ckpt.randState);
+    h.update(ckpt.done);
+    h.update(ckpt.progDigest);
+    return h.value();
+}
+
+std::uint64_t
+checkpointKey(const Workload &workload, std::uint64_t start_inst,
+              std::uint64_t warm_digest)
+{
+    Fnv64 h;
+    h.update("reno-ckpt-key-v2");
+    h.update(std::string(workload.source));
+    h.update(workload.seed);
+    h.update(start_inst);
+    h.update(warm_digest);
+    return h.value();
+}
+
+std::uint64_t
+profileKey(const Workload &workload)
+{
+    Fnv64 h;
+    h.update("reno-funcprofile-key-v1");
+    h.update(std::string(workload.source));
+    h.update(workload.seed);
+    return h.value();
+}
+
+std::string
+CheckpointStore::encode(const SampleCheckpoint &ckpt)
+{
+    if (!ckpt.usable())
+        fatal("encoding an unusable checkpoint");
+    const EmuCheckpoint &emu = *ckpt.emu;
+    const WarmState &warm = *ckpt.warm;
+
+    std::string out = CheckpointTag;
+    out += '\n';
+
+    // --- functional half ----------------------------------------------
+    out += strprintf("prog %llu\n",
+                     static_cast<unsigned long long>(emu.progDigest));
+    out += strprintf("inst %llu\n",
+                     static_cast<unsigned long long>(emu.instCount));
+    out += strprintf("exit %llu\n",
+                     static_cast<unsigned long long>(emu.exitCode));
+    out += strprintf("rand %llu\n",
+                     static_cast<unsigned long long>(emu.randState));
+    out += strprintf("done %d\n", emu.done ? 1 : 0);
+    out += strprintf("pc %llu\n",
+                     static_cast<unsigned long long>(emu.state.pc));
+    out += "regs";
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        out += strprintf(" %llu",
+                         static_cast<unsigned long long>(
+                             emu.state.regs[r]));
+    out += '\n';
+    out += strprintf("output %s\n",
+                     hexEncode(reinterpret_cast<const std::uint8_t *>(
+                                   emu.output.data()),
+                               emu.output.size())
+                         .c_str());
+    out += strprintf("pages %zu\n", emu.mem.pages().size());
+    for (const auto &[page_num, page] : emu.mem.pages())
+        out += strprintf("page %llu %s\n",
+                         static_cast<unsigned long long>(page_num),
+                         hexEncode(page.data(), page.size()).c_str());
+
+    // --- warm half ----------------------------------------------------
+    out += strprintf("warmcfg %llu\n",
+                     static_cast<unsigned long long>(warmConfigDigest(
+                         warm.memParams(), warm.bpParams())));
+    out += strprintf("lastblk %llu\n",
+                     static_cast<unsigned long long>(
+                         warm.lastFetchBlock));
+    const MemHierarchy::State mem_state = warm.mem.exportState();
+    encodeCacheState(out, "icache", mem_state.icache);
+    encodeCacheState(out, "dcache", mem_state.dcache);
+    encodeCacheState(out, "l2", mem_state.l2);
+    const BranchPredState bp = warm.bp.exportState();
+    out += strprintf("bphist %llu %llu %u\n",
+                     static_cast<unsigned long long>(bp.history),
+                     static_cast<unsigned long long>(bp.btbLru),
+                     bp.rasTop);
+    out += strprintf("bimodal %s\n",
+                     hexEncode(bp.bimodal.data(), bp.bimodal.size())
+                         .c_str());
+    out += strprintf("gshare %s\n",
+                     hexEncode(bp.gshare.data(), bp.gshare.size())
+                         .c_str());
+    out += strprintf("chooser %s\n",
+                     hexEncode(bp.chooser.data(), bp.chooser.size())
+                         .c_str());
+    out += strprintf("btb %zu\n", bp.btb.size());
+    for (const BranchPredState::Btb &e : bp.btb)
+        out += strprintf("btbent %u %llu %llu %llu\n", e.index,
+                         static_cast<unsigned long long>(e.tag),
+                         static_cast<unsigned long long>(e.target),
+                         static_cast<unsigned long long>(e.lruStamp));
+    out += strprintf("ras %zu", bp.ras.size());
+    for (const Addr a : bp.ras)
+        out += strprintf(" %llu", static_cast<unsigned long long>(a));
+    out += '\n';
+
+    // Integrity digest over everything above.
+    Fnv64 h;
+    h.update(out);
+    out += strprintf("digest %llu\n",
+                     static_cast<unsigned long long>(h.value()));
+    return out;
+}
+
+bool
+CheckpointStore::decode(const std::string &text,
+                        const MemHierarchy::Params &mem_params,
+                        const BranchPredParams &bp_params,
+                        SampleCheckpoint *out)
+{
+    // Verify the trailing integrity digest first.
+    const std::size_t digest_pos = text.rfind("digest ");
+    if (digest_pos == std::string::npos)
+        return false;
+    {
+        std::uint64_t stored = 0;
+        const std::string digest_line =
+            text.substr(digest_pos,
+                        text.find('\n', digest_pos) - digest_pos);
+        if (!keyU64(digest_line, "digest", &stored))
+            return false;
+        Fnv64 h;
+        h.update(text.substr(0, digest_pos));
+        if (h.value() != stored)
+            return false;
+    }
+
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != CheckpointTag)
+        return false;
+
+    auto emu = std::make_shared<EmuCheckpoint>();
+    std::uint64_t done = 0;
+    auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
+        return std::getline(in, line) && keyU64(line, key, v);
+    };
+    if (!next_u64("prog", &emu->progDigest) ||
+        !next_u64("inst", &emu->instCount) ||
+        !next_u64("exit", &emu->exitCode) ||
+        !next_u64("rand", &emu->randState) ||
+        !next_u64("done", &done))
+        return false;
+    emu->done = done != 0;
+    if (!next_u64("pc", &emu->state.pc))
+        return false;
+
+    if (!std::getline(in, line) || line.rfind("regs", 0) != 0)
+        return false;
+    {
+        std::istringstream regs(line.substr(4));
+        for (unsigned r = 0; r < NumLogRegs; ++r) {
+            if (!(regs >> emu->state.regs[r]))
+                return false;
+        }
+    }
+
+    std::string hex;
+    std::vector<std::uint8_t> bytes;
+    if (!std::getline(in, line) || !keyValue(line, "output", &hex) ||
+        !hexDecode(hex, &bytes))
+        return false;
+    emu->output.assign(bytes.begin(), bytes.end());
+
+    std::uint64_t npages = 0;
+    if (!next_u64("pages", &npages))
+        return false;
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        if (!std::getline(in, line) || line.rfind("page ", 0) != 0)
+            return false;
+        const std::size_t space = line.find(' ', 5);
+        if (space == std::string::npos)
+            return false;
+        std::uint64_t page_num = 0;
+        try {
+            page_num = std::stoull(line.substr(5, space - 5));
+        } catch (...) {
+            return false;
+        }
+        if (!hexDecode(line.substr(space + 1), &bytes) ||
+            bytes.size() != SparseMemory::PageSize)
+            return false;
+        emu->mem.load(page_num << SparseMemory::PageBits, bytes.data(),
+                      bytes.size());
+    }
+
+    // Warm half: the file's warm-config digest must match the models
+    // we are asked to rebuild onto.
+    std::uint64_t warmcfg = 0;
+    if (!next_u64("warmcfg", &warmcfg) ||
+        warmcfg != warmConfigDigest(mem_params, bp_params))
+        return false;
+    std::uint64_t lastblk = 0;
+    if (!next_u64("lastblk", &lastblk))
+        return false;
+
+    MemHierarchy::State mem_state;
+    if (!decodeCacheState(in, line, "icache", &mem_state.icache) ||
+        !decodeCacheState(in, line, "dcache", &mem_state.dcache) ||
+        !decodeCacheState(in, line, "l2", &mem_state.l2))
+        return false;
+
+    BranchPredState bp;
+    if (!std::getline(in, line))
+        return false;
+    {
+        std::istringstream hdr(line);
+        std::string key;
+        if (!(hdr >> key >> bp.history >> bp.btbLru >> bp.rasTop) ||
+            key != "bphist")
+            return false;
+    }
+    if (!std::getline(in, line) ||
+        !keyValue(line, "bimodal", &hex) ||
+        !hexDecode(hex, &bp.bimodal))
+        return false;
+    if (!std::getline(in, line) || !keyValue(line, "gshare", &hex) ||
+        !hexDecode(hex, &bp.gshare))
+        return false;
+    if (!std::getline(in, line) || !keyValue(line, "chooser", &hex) ||
+        !hexDecode(hex, &bp.chooser))
+        return false;
+    std::uint64_t nbtb = 0;
+    if (!next_u64("btb", &nbtb))
+        return false;
+    for (std::uint64_t i = 0; i < nbtb; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream es(line);
+        std::string key;
+        BranchPredState::Btb e;
+        if (!(es >> key >> e.index >> e.tag >> e.target >>
+              e.lruStamp) ||
+            key != "btbent")
+            return false;
+        bp.btb.push_back(e);
+    }
+    if (!std::getline(in, line) || line.rfind("ras ", 0) != 0)
+        return false;
+    {
+        std::istringstream rs(line.substr(4));
+        std::size_t n = 0;
+        if (!(rs >> n))
+            return false;
+        bp.ras.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!(rs >> bp.ras[i]))
+                return false;
+        }
+    }
+
+    auto warm = std::make_shared<WarmState>(mem_params, bp_params);
+    warm->lastFetchBlock = lastblk;
+    if (!warm->mem.importState(mem_state) ||
+        !warm->bp.importState(bp))
+        return false;
+
+    out->emu = std::move(emu);
+    out->warm = std::move(warm);
+    return true;
+}
+
+std::string
+CheckpointStore::encodeProfile(const FuncProfile &profile)
+{
+    std::string out = ProfileTag;
+    out += '\n';
+    out += strprintf("insts %llu\n",
+                     static_cast<unsigned long long>(
+                         profile.totalInsts));
+    out += strprintf("memdigest %llu\n",
+                     static_cast<unsigned long long>(
+                         profile.memDigest));
+    return out;
+}
+
+bool
+CheckpointStore::decodeProfile(const std::string &text,
+                               FuncProfile *out)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != ProfileTag)
+        return false;
+    FuncProfile p;
+    if (!std::getline(in, line) ||
+        !keyU64(line, "insts", &p.totalInsts))
+        return false;
+    if (!std::getline(in, line) ||
+        !keyU64(line, "memdigest", &p.memDigest))
+        return false;
+    *out = p;
+    return true;
+}
+
+CheckpointStore::CheckpointStore(std::string dir)
+    : dir_(std::move(dir))
+{
+}
+
+std::string
+CheckpointStore::checkpointPath(std::uint64_t key) const
+{
+    return dir_ + "/" + digestHex(key) + ".ckpt";
+}
+
+std::string
+CheckpointStore::profilePath(std::uint64_t key) const
+{
+    return dir_ + "/" + digestHex(key) + ".prof";
+}
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+void
+writeFileAtomic(const std::string &dir, const std::string &path,
+                const std::string &contents)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("checkpoint store: cannot create '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    // Write-then-rename so a concurrent reader never sees a torn file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("checkpoint store: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        out << contents;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("checkpoint store: rename to '%s' failed: %s",
+             path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace
+
+SampleCheckpoint
+CheckpointStore::lookup(const Workload &workload,
+                        std::uint64_t start_inst,
+                        const MemHierarchy::Params &mem_params,
+                        const BranchPredParams &bp_params)
+{
+    const std::uint64_t key = checkpointKey(
+        workload, start_inst,
+        warmConfigDigest(mem_params, bp_params));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = mem_.find(key);
+        if (it != mem_.end())
+            return it->second;
+    }
+    if (dir_.empty())
+        return {};
+    std::string text;
+    if (!readFile(checkpointPath(key), &text))
+        return {};
+    SampleCheckpoint ckpt;
+    if (!decode(text, mem_params, bp_params, &ckpt)) {
+        warn("checkpoint store: ignoring malformed entry %s",
+             checkpointPath(key).c_str());
+        return {};
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return mem_.emplace(key, std::move(ckpt)).first->second;
+}
+
+SampleCheckpoint
+CheckpointStore::store(const Workload &workload,
+                       std::uint64_t start_inst, EmuCheckpoint emu,
+                       const WarmState &warm)
+{
+    const std::uint64_t key = checkpointKey(
+        workload, start_inst,
+        warmConfigDigest(warm.memParams(), warm.bpParams()));
+    SampleCheckpoint ckpt;
+    ckpt.emu =
+        std::make_shared<const EmuCheckpoint>(std::move(emu));
+    ckpt.warm = std::make_shared<const WarmState>(warm);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_[key] = ckpt;
+    }
+    if (!dir_.empty())
+        writeFileAtomic(dir_, checkpointPath(key), encode(ckpt));
+    return ckpt;
+}
+
+bool
+CheckpointStore::lookupProfile(std::uint64_t key, FuncProfile *out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = profiles_.find(key);
+        if (it != profiles_.end()) {
+            *out = it->second;
+            return true;
+        }
+    }
+    if (dir_.empty())
+        return false;
+    std::string text;
+    if (!readFile(profilePath(key), &text) ||
+        !decodeProfile(text, out))
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    profiles_.emplace(key, *out);
+    return true;
+}
+
+void
+CheckpointStore::storeProfile(std::uint64_t key,
+                              const FuncProfile &profile)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        profiles_[key] = profile;
+    }
+    if (!dir_.empty())
+        writeFileAtomic(dir_, profilePath(key),
+                        encodeProfile(profile));
+}
+
+} // namespace reno::sample

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Checkpoints as cacheable artifacts. A sampled-simulation checkpoint
+ * -- functional state plus functionally warmed cache/predictor tables
+ * -- is fully determined by (kernel source, input seed, instruction
+ * position, mem+bpred parameters), so it is keyed, like simulation
+ * results, by a content digest of exactly those inputs, and optionally
+ * persisted one file per key under the campaign cache directory. Each
+ * persisted checkpoint carries a digest of its own contents, so a
+ * corrupt or stale file is detected and regenerated instead of being
+ * silently restored.
+ *
+ * The store also keeps one tiny "functional profile" per (kernel,
+ * seed): the program's dynamic instruction count and final memory
+ * digest, which interval planning needs before any checkpoint exists.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "emu/emulator.hpp"
+#include "sample/interval.hpp"
+#include "sample/warmup.hpp"
+#include "workloads/workloads.hpp"
+
+namespace reno::sample
+{
+
+/** Result of a whole-program functional pass (planning input). */
+struct FuncProfile {
+    std::uint64_t totalInsts = 0;
+    /** Final memory digest of the functional pass. Recorded and
+     *  persisted for diagnostics (cross-checking a cached profile
+     *  against a fresh runFunctional by hand); not verified
+     *  automatically. */
+    std::uint64_t memDigest = 0;
+};
+
+/** Content digest over every field of a functional checkpoint. */
+std::uint64_t checkpointDigest(const EmuCheckpoint &ckpt);
+
+/** Cache key of the checkpoint at @p start_inst of a workload under
+ *  @p warm_digest (a warmConfigDigest value). */
+std::uint64_t checkpointKey(const Workload &workload,
+                            std::uint64_t start_inst,
+                            std::uint64_t warm_digest);
+
+/** Cache key of a workload's functional profile. */
+std::uint64_t profileKey(const Workload &workload);
+
+/**
+ * Thread-safe store of sampled-simulation checkpoints and functional
+ * profiles, in memory and (when constructed with a directory) on
+ * disk, one text file per key. Mirrors sweep::ResultCache's layout
+ * and write-then-rename discipline so both can share a --cache-dir.
+ */
+class CheckpointStore
+{
+  public:
+    /** @param dir  persistence directory; empty = in-memory only. */
+    explicit CheckpointStore(std::string dir = "");
+
+    /**
+     * Look up the checkpoint at (workload, start, warm params);
+     * memory first, then disk. Returns an unusable (empty)
+     * SampleCheckpoint on a miss.
+     */
+    SampleCheckpoint lookup(const Workload &workload,
+                            std::uint64_t start_inst,
+                            const MemHierarchy::Params &mem_params,
+                            const BranchPredParams &bp_params);
+
+    /** Insert a checkpoint (memory, plus disk when persistent). */
+    SampleCheckpoint store(const Workload &workload,
+                           std::uint64_t start_inst,
+                           EmuCheckpoint emu, const WarmState &warm);
+
+    bool lookupProfile(std::uint64_t key, FuncProfile *out);
+    void storeProfile(std::uint64_t key, const FuncProfile &profile);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Serialize / parse the checkpoint persistence format. decode()
+     *  rebuilds the warm state onto models constructed from the given
+     *  parameters; any mismatch or corruption returns false. */
+    static std::string encode(const SampleCheckpoint &ckpt);
+    static bool decode(const std::string &text,
+                       const MemHierarchy::Params &mem_params,
+                       const BranchPredParams &bp_params,
+                       SampleCheckpoint *out);
+
+    /** Serialize / parse the profile persistence format. */
+    static std::string encodeProfile(const FuncProfile &profile);
+    static bool decodeProfile(const std::string &text,
+                              FuncProfile *out);
+
+  private:
+    std::string checkpointPath(std::uint64_t key) const;
+    std::string profilePath(std::uint64_t key) const;
+
+    std::mutex mu_;
+    std::map<std::uint64_t, SampleCheckpoint> mem_;
+    std::map<std::uint64_t, FuncProfile> profiles_;
+    std::string dir_;
+};
+
+} // namespace reno::sample

@@ -1,0 +1,250 @@
+#include "sample/interval.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "harness/experiment.hpp"
+
+namespace reno::sample
+{
+
+std::vector<PlannedInterval>
+planIntervals(std::uint64_t total_insts, const SamplePlan &plan)
+{
+    std::vector<PlannedInterval> planned;
+    if (plan.intervals == 0 || plan.measureInsts == 0 ||
+        total_insts == 0)
+        return planned;
+
+    // Exact cold stratum: [0, cold), measured in full with cold
+    // caches, exactly as a full run executes it. The default (one
+    // tenth of the program) is independent of the window count, so
+    // denser plans refine coverage without shrinking it.
+    const std::uint64_t n = std::min(plan.intervals, total_insts);
+    std::uint64_t cold =
+        plan.coldInsts ? std::min(plan.coldInsts, total_insts)
+                       : std::max<std::uint64_t>(total_insts / 10, 1);
+    if (n == 1)
+        cold = total_insts;
+
+    // Degenerate to one exact full-program interval when the plan
+    // would execute at least a third of the program anyway: for tiny
+    // workloads exact detail costs barely more than sampling and has
+    // zero error.
+    if (n == 1 ||
+        cold + (n - 1) * (plan.warmupInsts + plan.measureInsts) >=
+            total_insts / 3)
+        cold = total_insts;
+
+    planned.push_back({IntervalWindow{0, 0, cold}, cold, true});
+    if (cold >= total_insts)
+        return planned;
+
+    // Sampled strata: divide the remainder into n - 1 equal strides
+    // and center the MEASURED window within each, so samples cover
+    // the whole stream and the measured region does not move when
+    // the warmup length is tuned. Warmup runs in the instructions
+    // before it (clamped at the stream start).
+    const std::uint64_t rest = total_insts - cold;
+    const std::uint64_t strides = n - 1;
+    const std::uint64_t stride = rest / strides;
+    if (stride == 0)
+        return planned;
+
+    for (std::uint64_t i = 0; i < strides; ++i) {
+        PlannedInterval p;
+        const std::uint64_t measure_off =
+            stride > plan.measureInsts
+                ? (stride - plan.measureInsts) / 2 : 0;
+        const std::uint64_t measure_start =
+            cold + i * stride + measure_off;
+        const std::uint64_t warmup =
+            std::min(plan.warmupInsts, measure_start);
+        p.window.startInst = measure_start - warmup;
+        p.window.warmupInsts = warmup;
+        p.window.measureInsts = plan.measureInsts;
+        // The final stride absorbs the division remainder.
+        p.repInsts =
+            i + 1 == strides ? rest - i * stride : stride;
+        if (p.window.startInst >= total_insts)
+            break;
+        planned.push_back(p);
+    }
+    return planned;
+}
+
+namespace
+{
+
+/**
+ * Every scalar counter of SimResult, single-sourced for the
+ * field-wise delta/accumulate pair. The static_assert below trips
+ * when SimResult grows, forcing this list (and the elim array
+ * handling) to be revisited.
+ */
+constexpr std::uint64_t SimResult::*SimCounters[] = {
+    &SimResult::cycles,
+    &SimResult::retired,
+    &SimResult::retiredLoads,
+    &SimResult::retiredStores,
+    &SimResult::retiredBranches,
+    &SimResult::itAccesses,
+    &SimResult::itHits,
+    &SimResult::overflowCancels,
+    &SimResult::groupDepCancels,
+    &SimResult::violationSquashes,
+    &SimResult::misintegrationFlushes,
+    &SimResult::bpLookups,
+    &SimResult::bpMispredicts,
+    &SimResult::icacheMisses,
+    &SimResult::dcacheMisses,
+    &SimResult::l2Misses,
+    &SimResult::stallRob,
+    &SimResult::stallIq,
+    &SimResult::stallPregs,
+    &SimResult::stallLsq,
+};
+
+// 20 scalars + elim[5]: a new SimResult field changes the size and
+// must be added to SimCounters (or handled like elim) by hand.
+static_assert(sizeof(SimResult) ==
+                  sizeof(std::uint64_t) *
+                      (std::size(SimCounters) + 5),
+              "SimResult changed: update SimCounters in "
+              "sample/interval.cpp");
+
+} // namespace
+
+SimResult
+deltaResult(const SimResult &post, const SimResult &pre)
+{
+    SimResult d;
+    for (const auto field : SimCounters)
+        d.*field = post.*field - pre.*field;
+    for (unsigned k = 0; k < 5; ++k)
+        d.elim[k] = post.elim[k] - pre.elim[k];
+    return d;
+}
+
+void
+accumulateResult(SimResult &into, const SimResult &add)
+{
+    for (const auto field : SimCounters)
+        into.*field += add.*field;
+    for (unsigned k = 0; k < 5; ++k)
+        into.elim[k] += add.elim[k];
+}
+
+SimResult
+runIntervalDetailed(const Workload &workload, const CoreParams &params,
+                    const IntervalWindow &window,
+                    const SampleCheckpoint *ckpt)
+{
+    if (window.measureInsts == 0)
+        fatal("runIntervalDetailed: window has no measured insts");
+
+    const Program &prog = assembleWorkload(workload);
+    Emulator::Options opts;
+    opts.randSeed = workload.seed;
+    Emulator emu(prog, opts);
+
+    // Bring functional state and warm tables to startInst. A usable
+    // checkpoint skips the [0, checkpoint) prefix; otherwise warm
+    // from the program start (same deterministic stream, chopped
+    // differently -- identical state either way).
+    const WarmState *inject = nullptr;
+    std::unique_ptr<WarmState> scratch;
+    if (ckpt && ckpt->usable() &&
+        ckpt->emu->instCount <= window.startInst &&
+        warmConfigDigest(params) ==
+            warmConfigDigest(ckpt->warm->memParams(),
+                             ckpt->warm->bpParams())) {
+        emu.restore(*ckpt->emu);
+        if (ckpt->emu->instCount == window.startInst) {
+            inject = ckpt->warm.get();
+        } else {
+            scratch = std::make_unique<WarmState>(*ckpt->warm);
+            warmStep(emu, *scratch, window.startInst);
+            inject = scratch.get();
+        }
+    } else {
+        scratch = std::make_unique<WarmState>(params.mem,
+                                              params.bpred);
+        warmStep(emu, *scratch, window.startInst);
+        inject = scratch.get();
+    }
+    if (emu.done())
+        return SimResult{};
+
+    Core core(params, emu);
+    core.memHierarchy().copyStateFrom(inject->mem);
+    core.memHierarchy().settle();
+    core.branchPredictor() = inject->bp;
+
+    core.runUntilRetired(window.warmupInsts);
+    const SimResult pre = core.result();
+    core.runUntilRetired(window.warmupInsts + window.measureInsts);
+    return deltaResult(core.result(), pre);
+}
+
+SampledEstimate
+aggregateIntervals(std::uint64_t total_insts,
+                   const std::vector<PlannedInterval> &plan,
+                   const std::vector<SimResult> &windows)
+{
+    if (plan.size() != windows.size())
+        fatal("aggregateIntervals: %zu planned intervals but %zu "
+              "window results",
+              plan.size(), windows.size());
+
+    SampledEstimate est;
+    est.totalInsts = total_insts;
+    est.intervals = static_cast<unsigned>(windows.size());
+
+    // Stratified estimate: each window's measured cycles scale to the
+    // stratum it represents. Exactly measured strata contribute their
+    // true cost (scale factor ~1).
+    double est_cycles = 0.0;
+    std::uint64_t observed_rep = 0;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const SimResult &w = windows[i];
+        if (w.retired == 0 || w.cycles == 0)
+            continue;  // the program ended before this window measured
+        accumulateResult(est.sum, w);
+        ++est.measuredIntervals;
+        est_cycles += static_cast<double>(w.cycles) *
+                      (static_cast<double>(plan[i].repInsts) /
+                       static_cast<double>(w.retired));
+        observed_rep += plan[i].repInsts;
+        if (!plan[i].exact)
+            est.intervalIpc.push_back(w.ipc());
+    }
+    if (est_cycles <= 0.0 || observed_rep == 0)
+        return est;
+
+    // Scale up for strata that measured nothing (program shorter than
+    // planned -- rare, but keeps the estimate total-covering).
+    est_cycles *= static_cast<double>(total_insts) /
+                  static_cast<double>(observed_rep);
+    est.estCycles =
+        static_cast<std::uint64_t>(std::llround(est_cycles));
+    est.ipc = static_cast<double>(total_insts) / est_cycles;
+
+    // 95% confidence half-width on the sampled windows' IPC mean.
+    const std::size_t n = est.intervalIpc.size();
+    if (n >= 2) {
+        double mean = 0.0;
+        for (const double x : est.intervalIpc)
+            mean += x;
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (const double x : est.intervalIpc)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(n - 1);
+        est.ipcCi95 =
+            1.96 * std::sqrt(var / static_cast<double>(n));
+    }
+    return est;
+}
+
+} // namespace reno::sample

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The interval engine of the sampled-simulation subsystem
+ * (SimpleScalar-lineage fast-forward + interval sampling): fast-forward
+ * functionally to an interval's start (optionally from a checkpoint),
+ * run the detailed core through a warmup window (branch predictor,
+ * caches and integration table warming; stats discarded) and then a
+ * measured window, and aggregate per-interval measurements into a
+ * whole-program estimate with error bars.
+ *
+ * All statistics in SimResult are monotonic counters, so "freezing"
+ * stats during warmup is exact: a window's contribution is the
+ * difference of two result() snapshots.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "emu/emulator.hpp"
+#include "sample/warmup.hpp"
+#include "uarch/core.hpp"
+#include "uarch/params.hpp"
+#include "workloads/workloads.hpp"
+
+namespace reno::sample
+{
+
+/** Sampling knobs: how many intervals, how warm, how long. */
+struct SamplePlan {
+    std::uint64_t intervals = 10;     //!< measured windows per program
+    std::uint64_t warmupInsts = 2000; //!< detailed warmup before each
+    std::uint64_t measureInsts = 5000; //!< measured window length
+    /**
+     * Length of the exactly-measured cold stratum at the program
+     * start; 0 (the default) means one tenth of the program. Program
+     * startup -- compulsory misses, data-structure initialization,
+     * gradual warm-in -- is transient, not stationary, so
+     * extrapolating a sampled window across it biases the estimate;
+     * instead the cold stratum is simulated in full with cold
+     * caches, exactly as a full run executes it, and only the
+     * remainder is sampled.
+     */
+    std::uint64_t coldInsts = 0;
+};
+
+/**
+ * One interval of a sampled run: fast-forward to startInst, warm up
+ * the detailed core for warmupInsts, measure measureInsts.
+ * measureInsts == 0 means "not sampled" (a full detailed run).
+ */
+struct IntervalWindow {
+    std::uint64_t startInst = 0;
+    std::uint64_t warmupInsts = 0;
+    std::uint64_t measureInsts = 0;
+
+    bool operator==(const IntervalWindow &other) const = default;
+};
+
+/** One planned interval: the window plus aggregation metadata. */
+struct PlannedInterval {
+    IntervalWindow window;
+    /** Dynamic instructions this interval represents (its stratum). */
+    std::uint64_t repInsts = 0;
+    /** Exactly measured stratum (measurement == representation); its
+     *  per-interval IPC is excluded from the variance estimate. */
+    bool exact = false;
+};
+
+/**
+ * Stratified systematic placement. The first stratum -- the cold
+ * program start -- is measured exactly (cold caches, no warmup;
+ * plan.coldInsts instructions, or a tenth of the program when 0).
+ * The remaining stream is divided into plan.intervals - 1 equal
+ * strides with one warmup+measurement window centered in each. A
+ * plan that would execute at least a third of the program (or a
+ * single-interval plan) degenerates to one exact full-program
+ * interval.
+ */
+std::vector<PlannedInterval> planIntervals(std::uint64_t total_insts,
+                                           const SamplePlan &plan);
+
+/** Field-wise difference of two monotonic result snapshots. */
+SimResult deltaResult(const SimResult &post, const SimResult &pre);
+
+/** Field-wise accumulation (for whole-program aggregation). */
+void accumulateResult(SimResult &into, const SimResult &add);
+
+/**
+ * A sampled-simulation checkpoint: the functional state plus the
+ * functionally warmed cache/predictor tables at the same instruction
+ * position. Both halves are derived deterministically from (kernel,
+ * seed, position[, mem+bpred params]), so a checkpoint accelerates a
+ * job without being part of its content digest.
+ */
+struct SampleCheckpoint {
+    std::shared_ptr<const EmuCheckpoint> emu;
+    std::shared_ptr<const WarmState> warm;
+
+    bool
+    usable() const
+    {
+        return emu != nullptr && warm != nullptr;
+    }
+};
+
+/**
+ * Execute one interval. The interval's semantics are fixed: caches
+ * and branch predictor functionally warmed over the FULL history
+ * [0, startInst), then warmupInsts of detailed warmup, then the
+ * measured window's stats delta. A usable checkpoint at or before
+ * startInst (with matching warm-state parameters) only accelerates
+ * the warming -- results are bit-identical with or without it.
+ * Returns an all-zero SimResult when the program ends before the
+ * measured window begins.
+ */
+SimResult runIntervalDetailed(const Workload &workload,
+                              const CoreParams &params,
+                              const IntervalWindow &window,
+                              const SampleCheckpoint *ckpt = nullptr);
+
+/** Whole-program estimate aggregated from measured windows. */
+struct SampledEstimate {
+    std::uint64_t totalInsts = 0;   //!< full dynamic instruction count
+    unsigned intervals = 0;         //!< windows planned
+    unsigned measuredIntervals = 0; //!< windows that measured anything
+    SimResult sum;                  //!< summed measured windows
+
+    double ipc = 0.0;      //!< stratified whole-program estimate
+    double ipcCi95 = 0.0;  //!< 95% confidence half-width on the mean
+    std::uint64_t estCycles = 0;  //!< stratified cycle estimate
+
+    std::vector<double> intervalIpc;  //!< per sampled (non-exact) window
+};
+
+/**
+ * Stratified aggregation: each interval's measured cycles are scaled
+ * to the stratum it represents (estCycles = sum_i cycles_i *
+ * repInsts_i / retired_i), so an exactly-measured cold stratum
+ * contributes its true cost and sampled strata extrapolate theirs.
+ * @p windows must align one-to-one with @p plan (planIntervals
+ * order).
+ */
+SampledEstimate aggregateIntervals(std::uint64_t total_insts,
+                                   const std::vector<PlannedInterval> &plan,
+                                   const std::vector<SimResult> &windows);
+
+} // namespace reno::sample

@@ -1,0 +1,90 @@
+#include "sample/warmup.hpp"
+
+#include "common/digest.hpp"
+
+namespace reno::sample
+{
+
+namespace
+{
+
+void
+digestCacheParams(Fnv64 &h, const CacheParams &p)
+{
+    h.update(std::uint64_t{p.sizeBytes});
+    h.update(std::uint64_t{p.assoc});
+    h.update(std::uint64_t{p.blockBytes});
+    h.update(std::uint64_t{p.latency});
+    h.update(std::uint64_t{p.numMshrs});
+}
+
+} // namespace
+
+std::uint64_t
+warmConfigDigest(const MemHierarchy::Params &mem_params,
+                 const BranchPredParams &bp_params)
+{
+    Fnv64 h;
+    h.update("reno-warmcfg-v1");
+    digestCacheParams(h, mem_params.icache);
+    digestCacheParams(h, mem_params.dcache);
+    digestCacheParams(h, mem_params.l2);
+    h.update(std::uint64_t{mem_params.memory.accessLatency});
+    h.update(std::uint64_t{mem_params.memory.busBytes});
+    h.update(std::uint64_t{mem_params.memory.busClockDivider});
+    h.update(std::uint64_t{bp_params.bimodalEntries});
+    h.update(std::uint64_t{bp_params.gshareEntries});
+    h.update(std::uint64_t{bp_params.chooserEntries});
+    h.update(std::uint64_t{bp_params.historyBits});
+    h.update(std::uint64_t{bp_params.btbEntries});
+    h.update(std::uint64_t{bp_params.btbAssoc});
+    h.update(std::uint64_t{bp_params.rasEntries});
+    return h.value();
+}
+
+std::uint64_t
+warmConfigDigest(const CoreParams &params)
+{
+    return warmConfigDigest(params.mem, params.bpred);
+}
+
+WarmState::WarmState(const MemHierarchy::Params &mem_params,
+                     const BranchPredParams &bp_params)
+    : mem(mem_params), bp(bp_params), memParams_(mem_params),
+      bpParams_(bp_params)
+{
+}
+
+WarmState::WarmState(const WarmState &other)
+    : mem(other.memParams_), bp(other.bp),
+      lastFetchBlock(other.lastFetchBlock),
+      memParams_(other.memParams_), bpParams_(other.bpParams_)
+{
+    mem.copyStateFrom(other.mem);
+}
+
+void
+warmStep(Emulator &emu, WarmState &warm, std::uint64_t inst_bound)
+{
+    const Addr iblock_bytes = warm.memParams().icache.blockBytes;
+    while (!emu.done() && emu.instCount() < inst_bound) {
+        const Addr pc = emu.state().pc;
+        const ExecRecord rec = emu.step();
+        const Addr block = pc / iblock_bytes;
+        if (block != warm.lastFetchBlock) {
+            warm.mem.fetchAccess(pc, 0);
+            warm.lastFetchBlock = block;
+        }
+        const InstClass cls = rec.inst.info().cls;
+        if (cls == InstClass::Load) {
+            warm.mem.dataAccess(rec.effAddr, 0, false);
+        } else if (cls == InstClass::Store) {
+            warm.mem.dataAccess(rec.effAddr, 0, true);
+        } else if (isControl(rec.inst.op)) {
+            warm.bp.predict(pc, rec.inst);
+            warm.bp.update(pc, rec.inst, rec.taken, rec.npc);
+        }
+    }
+}
+
+} // namespace reno::sample

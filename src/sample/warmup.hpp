@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional warming for sampled simulation (the SMARTS insight): the
+ * caches and the branch predictor accumulate state over the *entire*
+ * run -- an L2 working set or a branch history cannot be reconstructed
+ * by a short detailed warmup window. So the fast-forward between
+ * intervals feeds every fetch, branch and data access into
+ * timing-model instances at functional speed, and the warmed tables
+ * are injected into the detailed core before each measured window.
+ *
+ * Warming is a pure function of the instruction stream: chopping it at
+ * a checkpoint and resuming from the snapshot yields bit-identical
+ * tables (tag fills are eager and cycle-independent; transient timing
+ * state -- MSHRs, the memory bus -- is settled before measurement).
+ * Warm state depends only on the memory-hierarchy and predictor
+ * parameters, never on the RENO configuration, so one warming pass
+ * serves every configuration of a sweep.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "branch/predictor.hpp"
+#include "emu/emulator.hpp"
+#include "mem/cache.hpp"
+#include "uarch/params.hpp"
+
+namespace reno::sample
+{
+
+/** Digest of the parameters warm state depends on (mem + bpred). */
+std::uint64_t warmConfigDigest(const MemHierarchy::Params &mem_params,
+                               const BranchPredParams &bp_params);
+std::uint64_t warmConfigDigest(const CoreParams &params);
+
+/** Functionally warmed microarchitectural state. */
+class WarmState
+{
+  public:
+    WarmState(const MemHierarchy::Params &mem_params,
+              const BranchPredParams &bp_params);
+
+    /** Clone (MemHierarchy itself is not copyable). */
+    WarmState(const WarmState &other);
+    WarmState &operator=(const WarmState &) = delete;
+
+    MemHierarchy mem;
+    BranchPredictor bp;
+    /** Last I$ block fed by warmStep (one access per block, matching
+     *  the core's fetch; part of the state so warming composes across
+     *  checkpoint boundaries). */
+    Addr lastFetchBlock = ~Addr{0};
+
+    const MemHierarchy::Params &memParams() const { return memParams_; }
+    const BranchPredParams &bpParams() const { return bpParams_; }
+
+  private:
+    MemHierarchy::Params memParams_;
+    BranchPredParams bpParams_;
+};
+
+/**
+ * Step @p emu until at least @p inst_bound instructions have executed
+ * (or the program exits), feeding the fetch, branch and data streams
+ * into @p warm. All accesses are fed at cycle 0: tag fills are eager,
+ * so the warmed tables are independent of timing.
+ */
+void warmStep(Emulator &emu, WarmState &warm,
+              std::uint64_t inst_bound);
+
+} // namespace reno::sample

@@ -109,6 +109,16 @@ JobResult
 executeJob(const Job &job)
 {
     JobResult r;
+    if (job.sampled()) {
+        if (job.wantCpa)
+            fatal("critical-path analysis is not supported for "
+                  "sampled jobs");
+        r.sim = sample::runIntervalDetailed(*job.workload,
+                                            job.config.params,
+                                            job.window,
+                                            &job.checkpoint);
+        return r;
+    }
     if (job.wantCpa) {
         CriticalPathAnalyzer cpa(job.cpaChunk,
                                  job.config.params.robEntries,

@@ -17,6 +17,14 @@ jobDigest(const Job &job)
     h.update(job.wantCpa);
     if (job.wantCpa)
         h.update(job.cpaChunk);
+    // Digested only when sampled, so pre-sampling cache entries for
+    // full runs keep their keys.
+    if (job.sampled()) {
+        h.update("sample-v1");
+        h.update(job.window.startInst);
+        h.update(job.window.warmupInsts);
+        h.update(job.window.measureInsts);
+    }
     return h.value();
 }
 

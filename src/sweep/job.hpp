@@ -9,10 +9,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cpa/critpath.hpp"
 #include "harness/experiment.hpp"
+#include "sample/interval.hpp"
 #include "workloads/workloads.hpp"
 
 namespace reno::sweep
@@ -34,6 +36,24 @@ struct Job {
      * content digest.
      */
     std::string tag;
+
+    /**
+     * Sampled simulation: when window.measureInsts > 0 the job is one
+     * interval of a sampled run -- fast-forward to window.startInst,
+     * warm up, measure -- and its result is the measured window's
+     * stats delta. The window is part of the content digest.
+     */
+    sample::IntervalWindow window;
+
+    /**
+     * Optional execution accelerator for a sampled job: a functional
+     * + warm-state checkpoint at or before window.startInst. The
+     * result is identical with or without it (a checkpoint is derived
+     * state), so it is NOT part of the content digest.
+     */
+    sample::SampleCheckpoint checkpoint;
+
+    bool sampled() const { return window.measureInsts > 0; }
 };
 
 /** What the engine returns (and caches) for one job. */

@@ -482,6 +482,12 @@ Core::tick()
 SimResult
 Core::run()
 {
+    return runUntilRetired(~std::uint64_t{0});
+}
+
+SimResult
+Core::runUntilRetired(std::uint64_t retired_bound)
+{
     // Liveness watchdog: the longest legitimate retirement gap is a
     // memory-latency chain, orders of magnitude under this bound. A
     // rename/retire deadlock (e.g. an unreclaimable register pool)
@@ -490,7 +496,8 @@ Core::run()
     std::uint64_t last_retired = retired_;
     Cycle last_progress = now_;
 
-    while (!finished_ && now_ < params_.maxCycles) {
+    while (!finished_ && retired_ < retired_bound &&
+           now_ < params_.maxCycles) {
         tick();
         if (retired_ != last_retired) {
             last_retired = retired_;
@@ -505,7 +512,7 @@ Core::run()
                   rob_.size(), renamer_.physRegs().numFree());
         }
     }
-    if (!finished_)
+    if (!finished_ && retired_ < retired_bound)
         warn("simulation hit the cycle limit before program exit");
     return result();
 }

@@ -106,11 +106,23 @@ class Core
     /** Run to program completion (or the cycle limit). */
     SimResult run();
 
+    /**
+     * Run until at least @p retired_bound instructions have retired,
+     * the program completes, or the cycle limit is reached. Sampled
+     * simulation uses this to delimit warmup and measurement windows:
+     * stats are monotonic counters, so a window's contribution is the
+     * difference of result() snapshots at its bounds. May overshoot
+     * the bound by up to commitWidth-1 instructions (one commit
+     * group); the caller reads the exact count from result().
+     */
+    SimResult runUntilRetired(std::uint64_t retired_bound);
+
     /** Advance one cycle (exposed for tests). */
     void tick();
 
     bool finished() const { return finished_; }
     Cycle now() const { return now_; }
+    std::uint64_t retiredCount() const { return retired_; }
 
     RenoRenamer &renamer() { return renamer_; }
     const RenoRenamer &renamer() const { return renamer_; }

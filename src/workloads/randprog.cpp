@@ -1,5 +1,6 @@
 #include "workloads/randprog.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/log.hpp"
@@ -132,6 +133,24 @@ emitRandomOp(std::string &out, Rng &rng, unsigned &skip_counter,
     }
 }
 
+/**
+ * Emit one pointer-chase segment: @p steps serialized hops through
+ * the 64-node ring at s3, cursor in s4. Every hop re-masks the
+ * cursor, so even if a masked random store corrupts a node the chain
+ * stays inside the ring (deterministically, on both simulators).
+ */
+void
+emitChase(std::string &out, unsigned steps)
+{
+    out += "        # pointer chase\n";
+    for (unsigned i = 0; i < steps; ++i) {
+        out += "        andi s4, s4, 504\n";
+        out += "        add  t11, s3, s4\n";
+        out += "        ldq  s4, 0(t11)\n";
+    }
+    out += "        xor  s5, s5, s4\n";
+}
+
 } // namespace
 
 std::string
@@ -140,11 +159,19 @@ generateRandomProgram(const RandProgParams &params)
     Rng rng(params.seed);
     std::string out;
 
+    const unsigned phases = std::max(params.phases, 1u);
+    const unsigned period = std::max(params.phasePeriod, 1u);
+    const bool chase = params.chaseSteps > 0;
+
     out += "# auto-generated random program (seed ";
     out += strprintf("%llu)\n",
                      static_cast<unsigned long long>(params.seed));
     out += "        .data\n";
-    out += "scratch: .space 4608\n";
+    // The random loads/stores mask their addresses into the first
+    // 4KB (plus up to 8 bytes of displacement); the pointer-chase
+    // ring lives beyond that overhang so only stray single-byte
+    // stores can touch it.
+    out += chase ? "scratch: .space 4624\n" : "scratch: .space 4608\n";
     out += "        .text\n";
 
     // Leaf functions: random bodies with proper frames. Each mixes a
@@ -178,26 +205,90 @@ generateRandomProgram(const RandProgParams &params)
     }
     out += strprintf("        li   s2, %u\n", params.iters);
     out += "        li   s5, 0\n";
-    out += "main_loop:\n";
-    unsigned skip = 0;
-    for (unsigned i = 0; i < params.mainOps; ++i) {
-        if (params.numFuncs > 0 && rng.chance(10)) {
-            const unsigned f =
-                static_cast<unsigned>(rng.below(params.numFuncs));
-            out += strprintf("        mov  a0, %s\n", pickTemp(rng));
-            out += strprintf("        mov  a1, %s\n", pickTemp(rng));
-            out += "        subi sp, sp, 16\n";
-            out += "        stq  ra, 0(sp)\n";
-            out += "        stq  t10, 8(sp)\n";
-            out += strprintf("        call func%u\n", f);
-            out += "        ldq  t10, 8(sp)\n";
-            out += "        ldq  ra, 0(sp)\n";
-            out += "        addi sp, sp, 16\n";
-            out += "        add  s5, s5, v0\n";
-        } else {
-            emitRandomOp(out, rng, skip, "m");
-        }
+
+    if (chase) {
+        // Build the 64-node ring beyond the masked-store region:
+        // node i at s3 + i*8 holds the byte offset of its successor
+        // (stride odd in nodes, so the ring has full period).
+        const unsigned stride =
+            8 * (2 * static_cast<unsigned>(rng.below(32)) + 1);
+        out += "        # pointer-chase ring\n";
+        out += "        addi s3, t10, 4104\n";
+        out += "        li   a2, 0\n";
+        out += "ring_init:\n";
+        out += strprintf("        addi a3, a2, %u\n", stride);
+        out += "        andi a3, a3, 504\n";
+        out += "        add  t11, s3, a2\n";
+        out += "        stq  a3, 0(t11)\n";
+        out += "        addi a2, a2, 8\n";
+        out += "        seqi t11, a2, 512\n";
+        out += "        beq  t11, ring_init\n";
+        out += "        li   s4, 0\n";
     }
+    if (phases > 1) {
+        out += "        li   a4, 0\n";
+        out += strprintf("        li   a5, %u\n", period);
+    }
+
+    // One random loop body: ops mixed with guarded leaf calls.
+    auto emit_body = [&](const std::string &label_prefix) {
+        unsigned skip = 0;
+        for (unsigned i = 0; i < params.mainOps; ++i) {
+            if (params.numFuncs > 0 && rng.chance(10)) {
+                const unsigned f =
+                    static_cast<unsigned>(rng.below(params.numFuncs));
+                out += strprintf("        mov  a0, %s\n",
+                                 pickTemp(rng));
+                out += strprintf("        mov  a1, %s\n",
+                                 pickTemp(rng));
+                out += "        subi sp, sp, 16\n";
+                out += "        stq  ra, 0(sp)\n";
+                out += "        stq  t10, 8(sp)\n";
+                out += strprintf("        call func%u\n", f);
+                out += "        ldq  t10, 8(sp)\n";
+                out += "        ldq  ra, 0(sp)\n";
+                out += "        addi sp, sp, 16\n";
+                out += "        add  s5, s5, v0\n";
+            } else {
+                emitRandomOp(out, rng, skip, label_prefix);
+            }
+        }
+    };
+
+    out += "main_loop:\n";
+    if (chase)
+        emitChase(out, params.chaseSteps);
+
+    if (phases == 1) {
+        emit_body("m");
+    } else {
+        // Rotate through the phase bodies every `period` iterations.
+        out += "        subi a5, a5, 1\n";
+        out += "        bne  a5, phase_dispatch\n";
+        out += strprintf("        li   a5, %u\n", period);
+        out += "        addi a4, a4, 1\n";
+        out += strprintf("        seqi t11, a4, %u\n", phases);
+        out += "        beq  t11, phase_dispatch\n";
+        out += "        li   a4, 0\n";
+        out += "phase_dispatch:\n";
+        for (unsigned p = 0; p + 1 < phases; ++p) {
+            out += strprintf("        seqi t11, a4, %u\n", p);
+            out += strprintf("        bne  t11, phase_%u\n", p);
+        }
+        out += strprintf("        br   phase_%u\n", phases - 1);
+        for (unsigned p = 0; p < phases; ++p) {
+            out += strprintf("phase_%u:\n", p);
+            // Odd phases lean on the memory system: an extra chase
+            // makes the phase mix heterogeneous, which is the point.
+            if (chase && (p % 2) == 1)
+                emitChase(out, params.chaseSteps);
+            emit_body(strprintf("p%u", p));
+            if (p + 1 < phases)
+                out += "        br   phase_end\n";
+        }
+        out += "phase_end:\n";
+    }
+
     // Fold the live temps into the checksum each iteration.
     for (unsigned t = 0; t < NumTemps; t += 3)
         out += strprintf("        xor  s5, s5, %s\n", tempRegs[t]);

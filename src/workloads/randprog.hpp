@@ -27,6 +27,25 @@ struct RandProgParams {
     unsigned funcOps = 30;    //!< random ops per function body
     unsigned mainOps = 40;    //!< random ops per main-loop body
     unsigned iters = 50;      //!< main loop trip count
+
+    /**
+     * Phase-switching: when > 1, the main loop carries this many
+     * distinct random bodies and rotates through them every
+     * phasePeriod iterations -- long-periodic program phases with
+     * different op mixes, the structure that stresses sampled
+     * simulation. 1 (the default) reproduces the classic single-body
+     * program byte for byte.
+     */
+    unsigned phases = 1;
+    unsigned phasePeriod = 8;  //!< iterations spent in each phase
+
+    /**
+     * Pointer chasing: when > 0, the program builds a 64-node linked
+     * ring in the scratch buffer and every loop iteration follows
+     * this many serialized pointer hops -- load-latency-bound
+     * segments with no ILP. 0 (the default) emits none.
+     */
+    unsigned chaseSteps = 0;
 };
 
 /** Generate the assembly text of a random program. */

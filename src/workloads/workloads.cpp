@@ -1,6 +1,9 @@
 #include "workloads/workloads.hpp"
 
+#include <memory>
+
 #include "common/log.hpp"
+#include "workloads/randprog.hpp"
 #include "workloads/workload_sources.hpp"
 
 namespace reno
@@ -54,20 +57,68 @@ allWorkloads()
     return table;
 }
 
+namespace
+{
+
+/** Generate a synth kernel into static storage (Workload keeps a
+ *  borrowed pointer, so the text must live for the process). */
+const char *
+synthSource(const RandProgParams &params)
+{
+    static std::vector<std::unique_ptr<const std::string>> storage;
+    storage.push_back(std::make_unique<const std::string>(
+        generateRandomProgram(params)));
+    return storage.back()->c_str();
+}
+
+RandProgParams
+synthParams(std::uint64_t seed, unsigned phases, unsigned chase)
+{
+    RandProgParams p;
+    p.seed = seed;
+    p.iters = 8000;
+    p.phases = phases;
+    p.phasePeriod = 32;
+    p.chaseSteps = chase;
+    return p;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+synthWorkloads()
+{
+    // Millions of dynamic instructions each: plain, phase-switching,
+    // pointer-chasing, and both combined. Deterministic by seed.
+    static const std::vector<Workload> table = {
+        {"synth.plain", "synth", synthSource(synthParams(11, 1, 0)),
+         11},
+        {"synth.phase", "synth", synthSource(synthParams(12, 4, 0)),
+         12},
+        {"synth.chase", "synth", synthSource(synthParams(13, 1, 12)),
+         13},
+        {"synth.mix", "synth", synthSource(synthParams(14, 4, 8)),
+         14},
+    };
+    return table;
+}
+
 std::vector<const Workload *>
 suiteWorkloads(const std::string &suite)
 {
+    const std::vector<Workload> &registry =
+        suite == "synth" ? synthWorkloads() : allWorkloads();
     std::vector<const Workload *> out;
     bool known = false;
-    for (const auto &w : allWorkloads()) {
+    for (const auto &w : registry) {
         if (w.suite == suite) {
             out.push_back(&w);
             known = true;
         }
     }
     if (!known)
-        fatal("unknown workload suite '%s' (expected \"spec\" or "
-              "\"media\")", suite.c_str());
+        fatal("unknown workload suite '%s' (expected \"spec\", "
+              "\"media\" or \"synth\")", suite.c_str());
     return out;
 }
 
@@ -75,6 +126,10 @@ const Workload &
 workloadByName(const std::string &name)
 {
     for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    for (const auto &w : synthWorkloads()) {
         if (w.name == name)
             return w;
     }

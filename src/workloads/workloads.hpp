@@ -39,10 +39,20 @@ struct Workload {
     std::uint64_t seed = 1;  //!< input-set selector (rand syscall seed)
 };
 
-/** All registered workloads, SPEC suite first. */
+/** All registered paper workloads, SPEC suite first. */
 const std::vector<Workload> &allWorkloads();
 
-/** Workloads of one suite ("spec" or "media"). */
+/**
+ * The "synth" suite: long (millions of dynamic instructions)
+ * generated programs with explicit phase structure and
+ * pointer-chasing segments (src/workloads/randprog.hpp), the
+ * proving ground of the sampled-simulation subsystem. Generated
+ * deterministically on first use; not part of allWorkloads() (the
+ * paper registry the figure campaigns sweep).
+ */
+const std::vector<Workload> &synthWorkloads();
+
+/** Workloads of one suite ("spec", "media" or "synth"). */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
 /** Lookup by name; fatal() if unknown. */

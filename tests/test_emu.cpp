@@ -399,3 +399,138 @@ TEST(Emu, RandSeedSelectsInputStream)
     EXPECT_EQ(e1.output(), e1b.output()) << "same seed, same stream";
     EXPECT_NE(e1.output(), e2.output()) << "different seed, new input";
 }
+
+// ---- checkpoint / resume (sampled simulation) -----------------------
+
+namespace
+{
+
+/** A program exercising every piece of checkpointed state: memory,
+ *  registers, the rand stream, the clock syscall (instruction count)
+ *  and accumulated output. */
+const char *const CheckpointProg = R"(
+        .data
+buf:    .space 64
+        .text
+_start:
+        la   s0, buf
+        li   s1, 40          # iterations
+loop:
+        li   v0, 5           # rand
+        syscall
+        mov  a0, v0
+        li   v0, 1           # print_int(rand)
+        syscall
+        li   a0, 32
+        li   v0, 3           # print_char(' ')
+        syscall
+        li   v0, 4           # clock
+        syscall
+        mov  a0, v0
+        li   v0, 1           # print_int(clock)
+        syscall
+        li   a0, 10
+        li   v0, 3           # print_char('\n')
+        syscall
+        stq  v0, 0(s0)
+        addi s0, s0, 8
+        andi s0, s0, 4088
+        subi s1, s1, 1
+        bne  s1, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace
+
+TEST(EmuCheckpoint, ResumedRunIsByteIdenticalToUninterrupted)
+{
+    const Program prog = assemble(CheckpointProg);
+
+    // Reference: one uninterrupted run.
+    Emulator ref(prog);
+    ref.run();
+
+    // Checkpointed: run 100 insts, snapshot, resume in a FRESH
+    // emulator built from the same program.
+    Emulator first(prog);
+    first.runUntil(100);
+    ASSERT_FALSE(first.done());
+    const EmuCheckpoint ckpt = first.checkpoint();
+    EXPECT_EQ(ckpt.instCount, 100u);
+
+    Emulator resumed(prog);
+    resumed.restore(ckpt);
+    EXPECT_EQ(resumed.instCount(), 100u);
+    resumed.run();
+
+    // Byte-identical output (covers the clock syscall's preserved
+    // instruction count and the rand stream's preserved state),
+    // identical final architectural state.
+    EXPECT_EQ(resumed.output(), ref.output());
+    EXPECT_EQ(resumed.instCount(), ref.instCount());
+    EXPECT_EQ(resumed.exitCode(), ref.exitCode());
+    EXPECT_EQ(resumed.memory().digest(), ref.memory().digest());
+    EXPECT_TRUE(resumed.memory() == ref.memory());
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        EXPECT_EQ(resumed.state().regs[r], ref.state().regs[r]) << r;
+    EXPECT_EQ(resumed.state().pc, ref.state().pc);
+}
+
+TEST(EmuCheckpoint, ChainedCheckpointsComposeExactly)
+{
+    // Chopping a run at several points must not perturb it: resume
+    // from 50, checkpoint again at 150, resume again, run to the end.
+    const Program prog = assemble(CheckpointProg);
+    Emulator ref(prog);
+    ref.run();
+
+    Emulator a(prog);
+    a.runUntil(50);
+    Emulator b(prog);
+    b.restore(a.checkpoint());
+    b.runUntil(150);
+    Emulator c(prog);
+    c.restore(b.checkpoint());
+    c.run();
+
+    EXPECT_EQ(c.output(), ref.output());
+    EXPECT_EQ(c.instCount(), ref.instCount());
+    EXPECT_EQ(c.memory().digest(), ref.memory().digest());
+}
+
+TEST(EmuCheckpoint, RunUntilStopsExactlyAndRunsToEnd)
+{
+    const Program prog = assemble(CheckpointProg);
+    Emulator emu(prog);
+    EXPECT_EQ(emu.runUntil(37), 37u);
+    EXPECT_EQ(emu.instCount(), 37u);
+    const std::uint64_t total = emu.runUntil(~std::uint64_t{0});
+    EXPECT_TRUE(emu.done());
+    EXPECT_EQ(total, emu.instCount());
+}
+
+TEST(EmuCheckpoint, RestoreOntoDifferentProgramDies)
+{
+    const Program prog = assemble(CheckpointProg);
+    Emulator emu(prog);
+    emu.runUntil(10);
+    const EmuCheckpoint ckpt = emu.checkpoint();
+
+    const Program other = assemble(
+        "_start:\n        li v0, 0\n        li a0, 0\n"
+        "        syscall\n");
+    Emulator victim(other);
+    EXPECT_DEATH(victim.restore(ckpt), "different program");
+}
+
+TEST(EmuCheckpoint, ProgramDigestSensitivity)
+{
+    const Program a = assemble("_start:\n        li v0, 0\n"
+                               "        li a0, 0\n        syscall\n");
+    const Program b = assemble("_start:\n        li v0, 0\n"
+                               "        li a0, 1\n        syscall\n");
+    EXPECT_NE(programDigest(a), programDigest(b));
+    EXPECT_EQ(programDigest(a), programDigest(a));
+}

@@ -254,3 +254,95 @@ TEST(Hierarchy, WritesAllocate)
     EXPECT_TRUE(mem.dcacheProbe(0x7000));
     EXPECT_GT(mem.dcache().misses(), 0u);
 }
+
+// ---- checkpointing support (sampled simulation) ---------------------
+
+TEST(SparseMemory, SnapshotRestoreDigestRoundTrip)
+{
+    SparseMemory m;
+    m.write(0x1000, 0xdeadbeefcafef00dULL, 8);
+    m.write(0x7ff123, 0x42, 1);
+    const std::uint64_t digest = m.digest();
+
+    const SparseMemory snap = m.snapshot();
+    EXPECT_EQ(snap.digest(), digest);
+    EXPECT_TRUE(snap == m);
+
+    // Diverge, then restore: digest and equality must round-trip.
+    m.write(0x1000, 0, 8);
+    m.write(0x2000000, 7, 1);
+    EXPECT_NE(m.digest(), digest);
+    EXPECT_FALSE(snap == m);
+
+    m.restore(snap);
+    EXPECT_EQ(m.digest(), digest);
+    EXPECT_TRUE(m == snap);
+    EXPECT_EQ(m.read(0x1000, 8), 0xdeadbeefcafef00dULL);
+}
+
+TEST(SparseMemory, EqualityDistinguishesAllocatedZeroPages)
+{
+    // An explicitly written-then-zeroed page is allocated; an
+    // untouched one is not. digest() distinguishes them, so equality
+    // must too.
+    SparseMemory a, b;
+    a.write(0x5000, 0, 8);
+    EXPECT_EQ(a.numPages(), 1u);
+    EXPECT_EQ(b.numPages(), 0u);
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SparseMemory, PagesExposesAllocatedContents)
+{
+    SparseMemory m;
+    m.write(0x1004, 0x11223344, 4);
+    ASSERT_EQ(m.pages().size(), 1u);
+    const auto &[page_num, page] = *m.pages().begin();
+    EXPECT_EQ(page_num, 0x1004u >> SparseMemory::PageBits);
+    EXPECT_EQ(page.size(), SparseMemory::PageSize);
+    EXPECT_EQ(page[4], 0x44);
+}
+
+TEST(Cache, CopyStateFromReproducesHitsAndLru)
+{
+    const CacheParams params{"c", 256, 2, 32, 1, 4};
+    Cache a(params, [](void *, Addr, Cycle now) { return now + 10; },
+            nullptr);
+    a.access(0x000, 0, false);
+    a.access(0x100, 5, false);
+
+    Cache b(params, [](void *, Addr, Cycle now) { return now + 10; },
+            nullptr);
+    b.copyStateFrom(a);
+    EXPECT_TRUE(b.probe(0x000));
+    EXPECT_TRUE(b.probe(0x100));
+    EXPECT_EQ(b.misses(), a.misses());
+
+    // Export/import round-trip preserves the tag state.
+    Cache c(params, [](void *, Addr, Cycle now) { return now + 10; },
+            nullptr);
+    EXPECT_TRUE(c.importState(a.exportState()));
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x100));
+    EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(Hierarchy, CopyStateFromAndSettle)
+{
+    MemHierarchy a;
+    a.dataAccess(0x4000, 0, false);
+    a.fetchAccess(0x1000, 0);
+
+    MemHierarchy b;
+    b.copyStateFrom(a);
+    EXPECT_TRUE(b.dcacheProbe(0x4000));
+    EXPECT_TRUE(b.l2Probe(0x4000));
+    b.settle();
+    EXPECT_TRUE(b.dcacheProbe(0x4000)) << "settle keeps tags";
+
+    MemHierarchy c;
+    EXPECT_TRUE(c.importState(a.exportState()));
+    EXPECT_TRUE(c.dcacheProbe(0x4000));
+    EXPECT_TRUE(c.l2Probe(0x4000));
+}

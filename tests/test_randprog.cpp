@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "asm/assembler.hpp"
+#include "common/log.hpp"
 #include "emu/emulator.hpp"
 #include "uarch/core.hpp"
 #include "workloads/randprog.hpp"
+#include "workloads/workloads.hpp"
 
 using namespace reno;
 
@@ -141,4 +143,124 @@ TEST(RandProg, CyclesAreDeterministicAcrossRuns)
     Emulator emu_b(prog);
     Core core_b(params, emu_b);
     EXPECT_EQ(core_a.run().cycles, core_b.run().cycles);
+}
+
+// ---- phase-switching and pointer-chasing shapes ---------------------
+
+TEST(RandProgShapes, NewShapesAreDeterministicAndDistinct)
+{
+    RandProgParams base;
+    base.seed = 7;
+
+    RandProgParams phased = base;
+    phased.phases = 4;
+    phased.phasePeriod = 4;
+
+    RandProgParams chasing = base;
+    chasing.chaseSteps = 6;
+
+    // Same params, same text; different shapes, different text.
+    EXPECT_EQ(generateRandomProgram(phased),
+              generateRandomProgram(phased));
+    EXPECT_EQ(generateRandomProgram(chasing),
+              generateRandomProgram(chasing));
+    EXPECT_NE(generateRandomProgram(phased),
+              generateRandomProgram(base));
+    EXPECT_NE(generateRandomProgram(chasing),
+              generateRandomProgram(base));
+
+    // phases = 1 must reproduce the classic program byte for byte
+    // (phasePeriod is then meaningless).
+    RandProgParams classic = base;
+    classic.phasePeriod = 99;
+    EXPECT_EQ(generateRandomProgram(classic),
+              generateRandomProgram(base));
+}
+
+TEST(RandProgShapes, PhaseProgramVisitsEveryPhase)
+{
+    RandProgParams p;
+    p.seed = 3;
+    p.phases = 3;
+    p.phasePeriod = 2;
+    p.iters = 12;
+    const std::string src = generateRandomProgram(p);
+    for (unsigned phase = 0; phase < 3; ++phase) {
+        EXPECT_NE(src.find(strprintf("phase_%u:", phase)),
+                  std::string::npos);
+    }
+    // Dispatch plus bodies: 12 iterations over period 2 rotate
+    // through all three phases twice; just run it.
+    const Program prog = assemble(src);
+    Emulator emu(prog);
+    emu.run();
+    EXPECT_TRUE(emu.done());
+}
+
+class RandProgShapeSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Property, RandProgShapeSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST_P(RandProgShapeSeeds, PhaseSwitchingMatchesFunctional)
+{
+    RandProgParams p;
+    p.seed = GetParam();
+    p.phases = 4;
+    p.phasePeriod = 3;
+    p.iters = 30;
+    const Program prog = assemble(generateRandomProgram(p));
+    const StateDigest ref = functionalDigest(prog);
+
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    EXPECT_EQ(coreDigest(prog, params), ref);
+}
+
+TEST_P(RandProgShapeSeeds, PointerChasingMatchesFunctional)
+{
+    RandProgParams p;
+    p.seed = GetParam();
+    p.chaseSteps = 8;
+    p.iters = 30;
+    const Program prog = assemble(generateRandomProgram(p));
+    const StateDigest ref = functionalDigest(prog);
+
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    EXPECT_EQ(coreDigest(prog, params), ref);
+}
+
+TEST_P(RandProgShapeSeeds, CombinedShapesMatchFunctional)
+{
+    RandProgParams p;
+    p.seed = GetParam();
+    p.phases = 3;
+    p.phasePeriod = 2;
+    p.chaseSteps = 5;
+    p.iters = 20;
+    const Program prog = assemble(generateRandomProgram(p));
+    const StateDigest ref = functionalDigest(prog);
+
+    CoreParams params;
+    params.reno = RenoConfig::full();
+    EXPECT_EQ(coreDigest(prog, params), ref);
+}
+
+TEST(RandProgShapes, SynthSuiteRegistryIsUsable)
+{
+    const auto &synth = synthWorkloads();
+    ASSERT_EQ(synth.size(), 4u);
+    EXPECT_EQ(suiteWorkloads("synth").size(), 4u);
+    for (const auto &w : synth) {
+        EXPECT_EQ(w.suite, "synth");
+        EXPECT_EQ(&workloadByName(w.name), &w);
+        // Assembles; registered sources are stable pointers.
+        EXPECT_NO_THROW(assemble(w.source));
+    }
+    // Distinct shapes generate distinct programs.
+    EXPECT_STRNE(synthWorkloads()[0].source,
+                 synthWorkloads()[1].source);
 }

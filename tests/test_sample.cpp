@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Sampled-simulation subsystem tests: interval planning (stratified,
+ * cold-exact first stratum), window measurement equal to the full
+ * simulation over the same region, checkpoint acceleration that never
+ * changes results, encode/decode and disk round-trips of combined
+ * functional+warm checkpoints, campaign integration (parallel ==
+ * serial, warm cache = zero simulations), and end-to-end estimate
+ * accuracy against full detailed simulation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/experiment.hpp"
+#include "sample/checkpoint.hpp"
+#include "sample/interval.hpp"
+#include "sample/sampler.hpp"
+#include "sample/warmup.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/result_cache.hpp"
+
+using namespace reno;
+using namespace reno::sample;
+
+namespace
+{
+
+CoreParams
+baseParams()
+{
+    CoreParams p = CoreParams::fourWide();
+    p.reno = RenoConfig::baseline();
+    return p;
+}
+
+std::vector<const Workload *>
+oneWorkload(const char *name)
+{
+    return {&workloadByName(name)};
+}
+
+bool
+sameSim(const SimResult &a, const SimResult &b)
+{
+    return a.cycles == b.cycles && a.retired == b.retired &&
+           a.bpMispredicts == b.bpMispredicts &&
+           a.dcacheMisses == b.dcacheMisses &&
+           a.l2Misses == b.l2Misses &&
+           a.violationSquashes == b.violationSquashes &&
+           a.eliminatedTotal() == b.eliminatedTotal();
+}
+
+} // namespace
+
+// ---- planning -------------------------------------------------------
+
+TEST(Plan, StratifiedShape)
+{
+    SamplePlan plan;
+    plan.intervals = 10;
+    plan.warmupInsts = 500;
+    plan.measureInsts = 5000;
+
+    const auto planned = planIntervals(1'000'000, plan);
+    ASSERT_EQ(planned.size(), 10u);
+
+    // First stratum: exact, cold, from instruction 0.
+    EXPECT_TRUE(planned[0].exact);
+    EXPECT_EQ(planned[0].window.startInst, 0u);
+    EXPECT_EQ(planned[0].window.warmupInsts, 0u);
+    EXPECT_EQ(planned[0].window.measureInsts, 100'000u);
+    EXPECT_EQ(planned[0].repInsts, 100'000u);
+
+    // Sampled strata: ascending, within bounds, representation
+    // covering the remainder exactly.
+    std::uint64_t rep = planned[0].repInsts;
+    for (std::size_t i = 1; i < planned.size(); ++i) {
+        EXPECT_FALSE(planned[i].exact);
+        EXPECT_GT(planned[i].window.startInst,
+                  planned[i - 1].window.startInst);
+        EXPECT_LT(planned[i].window.startInst, 1'000'000u);
+        EXPECT_EQ(planned[i].window.measureInsts, 5000u);
+        EXPECT_EQ(planned[i].window.warmupInsts, 500u);
+        rep += planned[i].repInsts;
+    }
+    EXPECT_EQ(rep, 1'000'000u);
+}
+
+TEST(Plan, TinyProgramDegeneratesToExactFullRun)
+{
+    SamplePlan plan;  // default 10 x (2000 + 5000) against 120k insts
+    const auto planned = planIntervals(120'000, plan);
+    ASSERT_EQ(planned.size(), 1u);
+    EXPECT_TRUE(planned[0].exact);
+    EXPECT_EQ(planned[0].window.measureInsts, 120'000u);
+    EXPECT_EQ(planned[0].repInsts, 120'000u);
+}
+
+TEST(Plan, MeasuredRegionIndependentOfWarmup)
+{
+    SamplePlan a, b;
+    a.measureInsts = b.measureInsts = 4000;
+    a.warmupInsts = 500;
+    b.warmupInsts = 4000;
+    const auto pa = planIntervals(2'000'000, a);
+    const auto pb = planIntervals(2'000'000, b);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 1; i < pa.size(); ++i) {
+        // Measured window begins at startInst + warmup: anchored.
+        EXPECT_EQ(pa[i].window.startInst + pa[i].window.warmupInsts,
+                  pb[i].window.startInst + pb[i].window.warmupInsts);
+    }
+}
+
+TEST(Plan, DeltaAndAccumulateAreInverse)
+{
+    SimResult a;
+    a.cycles = 100;
+    a.retired = 70;
+    a.dcacheMisses = 5;
+    a.elim[1] = 3;
+    SimResult b = a;
+    b.cycles = 250;
+    b.retired = 200;
+    b.dcacheMisses = 9;
+    b.elim[1] = 11;
+
+    const SimResult d = deltaResult(b, a);
+    EXPECT_EQ(d.cycles, 150u);
+    EXPECT_EQ(d.retired, 130u);
+    EXPECT_EQ(d.dcacheMisses, 4u);
+    EXPECT_EQ(d.elim[1], 8u);
+
+    SimResult sum = a;
+    accumulateResult(sum, d);
+    EXPECT_TRUE(sameSim(sum, b));
+}
+
+// ---- interval measurement vs. full simulation -----------------------
+
+TEST(Interval, WindowEqualsFullSimulationOverSameRegion)
+{
+    // The strongest correctness property of the interval engine: a
+    // fully warmed window must reproduce the full simulation's
+    // behavior over the same retired-instruction range exactly.
+    const Workload &w = workloadByName("gzip");
+    const CoreParams params = baseParams();
+
+    const Program &prog = assembleWorkload(w);
+    Emulator::Options opts;
+    opts.randSeed = w.seed;
+    Emulator emu(prog, opts);
+    Core core(params, emu);
+    core.runUntilRetired(300'000);
+    const SimResult pre = core.result();
+    core.runUntilRetired(305'000);
+    const SimResult full_delta = deltaResult(core.result(), pre);
+    const std::uint64_t start = pre.retired;
+
+    IntervalWindow win;
+    win.startInst = start - 1000;
+    win.warmupInsts = 1000;
+    win.measureInsts = full_delta.retired;
+    const SimResult sampled = runIntervalDetailed(w, params, win);
+    EXPECT_TRUE(sameSim(sampled, full_delta))
+        << "sampled " << sampled.cycles << " cycles vs full "
+        << full_delta.cycles;
+}
+
+TEST(Interval, CheckpointAcceleratesWithoutChangingResults)
+{
+    const Workload &w = workloadByName("adpcm.dec");
+    const CoreParams params = baseParams();
+    IntervalWindow win;
+    win.startInst = 200'000;
+    win.warmupInsts = 500;
+    win.measureInsts = 4000;
+
+    // Reference: no checkpoint (warm from the program start).
+    const SimResult plain = runIntervalDetailed(w, params, win);
+
+    // Checkpoint exactly at the window start.
+    CheckpointStore store;
+    {
+        const Program &prog = assembleWorkload(w);
+        Emulator::Options opts;
+        opts.randSeed = w.seed;
+        Emulator emu(prog, opts);
+        WarmState warm(params.mem, params.bpred);
+        warmStep(emu, warm, win.startInst);
+        store.store(w, win.startInst, emu.checkpoint(), warm);
+    }
+    const SampleCheckpoint at_start =
+        store.lookup(w, win.startInst, params.mem, params.bpred);
+    ASSERT_TRUE(at_start.usable());
+    EXPECT_TRUE(
+        sameSim(runIntervalDetailed(w, params, win, &at_start),
+                plain));
+
+    // Checkpoint BEFORE the window start (warm-steps the gap).
+    CheckpointStore store2;
+    {
+        const Program &prog = assembleWorkload(w);
+        Emulator::Options opts;
+        opts.randSeed = w.seed;
+        Emulator emu(prog, opts);
+        WarmState warm(params.mem, params.bpred);
+        warmStep(emu, warm, 120'000);
+        store2.store(w, 120'000, emu.checkpoint(), warm);
+    }
+    const SampleCheckpoint before =
+        store2.lookup(w, 120'000, params.mem, params.bpred);
+    ASSERT_TRUE(before.usable());
+    EXPECT_TRUE(sameSim(runIntervalDetailed(w, params, win, &before),
+                        plain));
+
+    // Mismatched warm-state parameters: checkpoint ignored, results
+    // still identical (recomputed from scratch).
+    CoreParams other = params;
+    other.mem.dcache.sizeBytes *= 2;
+    const SimResult recomputed =
+        runIntervalDetailed(w, other, win, &at_start);
+    EXPECT_TRUE(sameSim(recomputed,
+                        runIntervalDetailed(w, other, win)));
+}
+
+// ---- checkpoint store -----------------------------------------------
+
+TEST(Checkpointing, EncodeDecodeRoundTrip)
+{
+    const Workload &w = workloadByName("epic");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+    Emulator::Options opts;
+    opts.randSeed = w.seed;
+    Emulator emu(prog, opts);
+    WarmState warm(params.mem, params.bpred);
+    warmStep(emu, warm, 50'000);
+
+    CheckpointStore store;
+    const SampleCheckpoint ckpt =
+        store.store(w, 50'000, emu.checkpoint(), warm);
+
+    const std::string text = CheckpointStore::encode(ckpt);
+    SampleCheckpoint decoded;
+    ASSERT_TRUE(CheckpointStore::decode(text, params.mem,
+                                        params.bpred, &decoded));
+    EXPECT_EQ(checkpointDigest(*decoded.emu),
+              checkpointDigest(*ckpt.emu));
+    EXPECT_EQ(CheckpointStore::encode(decoded), text)
+        << "decode followed by encode must be the identity";
+
+    // Corruption is detected.
+    std::string bad = text;
+    bad[text.find("regs") + 6] ^= 1;
+    EXPECT_FALSE(CheckpointStore::decode(bad, params.mem,
+                                         params.bpred, &decoded));
+
+    // Wrong warm-state parameters are rejected.
+    CoreParams other = params;
+    other.bpred.historyBits = 9;
+    EXPECT_FALSE(CheckpointStore::decode(text, other.mem,
+                                         other.bpred, &decoded));
+}
+
+TEST(Checkpointing, DiskPersistenceRoundTrip)
+{
+    const std::string dir = ::testing::TempDir() + "reno_ckpt_test";
+    std::filesystem::remove_all(dir);
+
+    const Workload &w = workloadByName("gsm.dec");
+    const CoreParams params = baseParams();
+    std::uint64_t digest = 0;
+    {
+        CheckpointStore store(dir);
+        const Program &prog = assembleWorkload(w);
+        Emulator::Options opts;
+        opts.randSeed = w.seed;
+        Emulator emu(prog, opts);
+        WarmState warm(params.mem, params.bpred);
+        warmStep(emu, warm, 30'000);
+        digest = checkpointDigest(
+            *store.store(w, 30'000, emu.checkpoint(), warm).emu);
+
+        FuncProfile profile{123456, 42};
+        store.storeProfile(profileKey(w), profile);
+    }
+
+    // A fresh store instance reads both back from disk.
+    CheckpointStore fresh(dir);
+    const SampleCheckpoint loaded =
+        fresh.lookup(w, 30'000, params.mem, params.bpred);
+    ASSERT_TRUE(loaded.usable());
+    EXPECT_EQ(checkpointDigest(*loaded.emu), digest);
+    EXPECT_EQ(loaded.emu->instCount, 30'000u);
+
+    FuncProfile profile;
+    ASSERT_TRUE(fresh.lookupProfile(profileKey(w), &profile));
+    EXPECT_EQ(profile.totalInsts, 123456u);
+    EXPECT_EQ(profile.memDigest, 42u);
+
+    // Misses stay misses: different position, different warm params.
+    EXPECT_FALSE(
+        fresh.lookup(w, 30'001, params.mem, params.bpred).usable());
+    CoreParams other = params;
+    other.mem.l2.assoc = 8;
+    EXPECT_FALSE(
+        fresh.lookup(w, 30'000, other.mem, other.bpred).usable());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpointing, KeysSeparatePositionsAndConfigs)
+{
+    const Workload &a = workloadByName("gzip");
+    const Workload &b = workloadByName("mcf");
+    EXPECT_NE(checkpointKey(a, 1000, 7), checkpointKey(b, 1000, 7));
+    EXPECT_NE(checkpointKey(a, 1000, 7), checkpointKey(a, 2000, 7));
+    EXPECT_NE(checkpointKey(a, 1000, 7), checkpointKey(a, 1000, 8));
+    EXPECT_NE(profileKey(a), profileKey(b));
+}
+
+// ---- sampled jobs in the campaign engine ----------------------------
+
+TEST(SampledJob, DigestCoversWindowButNotCheckpoint)
+{
+    sweep::Job job;
+    job.workload = &workloadByName("gzip");
+    job.config = {"BASE", baseParams()};
+    const std::uint64_t full_digest = sweep::jobDigest(job);
+
+    job.window = IntervalWindow{1000, 500, 4000};
+    const std::uint64_t sampled_digest = sweep::jobDigest(job);
+    EXPECT_NE(full_digest, sampled_digest)
+        << "a sampled job must not collide with the full run";
+
+    sweep::Job other = job;
+    other.window.startInst = 2000;
+    EXPECT_NE(sweep::jobDigest(other), sampled_digest);
+
+    // The checkpoint is an accelerator, not an input.
+    sweep::Job with_ckpt = job;
+    with_ckpt.checkpoint.emu = std::make_shared<EmuCheckpoint>();
+    EXPECT_EQ(sweep::jobDigest(with_ckpt), sampled_digest);
+}
+
+TEST(SampledCampaign, ParallelMatchesSerialByteForByte)
+{
+    const std::vector<const Workload *> workloads = {
+        &workloadByName("gzip"), &workloadByName("adpcm.dec")};
+    const std::vector<NamedConfig> configs = {
+        {"BASE", baseParams()},
+        {"RENO", withReno(CoreParams::fourWide(),
+                          RenoConfig::full())}};
+
+    SampleOptions serial;
+    serial.campaign.jobs = 1;
+    SampleOptions parallel;
+    parallel.campaign.jobs = 4;
+
+    const SampledCampaign s =
+        runSampledCampaign(workloads, configs, serial);
+    const SampledCampaign p =
+        runSampledCampaign(workloads, configs, parallel);
+    EXPECT_EQ(renderSampled(s, sweep::ReportFormat::Json),
+              renderSampled(p, sweep::ReportFormat::Json));
+}
+
+TEST(SampledCampaign, WarmCacheRerunSimulatesNothing)
+{
+    sweep::ResultCache cache;
+    SampleOptions options;
+    options.campaign.jobs = 1;
+    options.campaign.cache = &cache;
+
+    const auto workloads = oneWorkload("g721.dec");
+    const std::vector<NamedConfig> configs = {
+        {"BASE", baseParams()}};
+
+    const SampledCampaign cold =
+        runSampledCampaign(workloads, configs, options);
+    EXPECT_GT(cold.stats.simulated, 0u);
+
+    const SampledCampaign warm =
+        runSampledCampaign(workloads, configs, options);
+    EXPECT_EQ(warm.stats.simulated, 0u);
+    EXPECT_EQ(warm.stats.cacheHits, warm.stats.unique);
+    EXPECT_EQ(renderSampled(cold, sweep::ReportFormat::Csv),
+              renderSampled(warm, sweep::ReportFormat::Csv));
+}
+
+TEST(SampledCampaign, EstimateWithinBoundOfFullSimulation)
+{
+    // End-to-end accuracy: the sampled IPC estimate must track the
+    // full detailed simulation. (gzip's error is ~2% at default
+    // settings; 5% is the subsystem's advertised bound.)
+    const auto workloads = oneWorkload("gzip");
+    const std::vector<NamedConfig> configs = {
+        {"BASE", baseParams()},
+        {"RENO", withReno(CoreParams::fourWide(),
+                          RenoConfig::full())}};
+
+    SampleOptions options;
+    options.campaign.jobs = 1;
+    const ValidationReport report =
+        validateSampling(workloads, configs, options);
+    ASSERT_EQ(report.rows.size(), 2u);
+    EXPECT_LE(report.maxAbsErrorPct, 5.0);
+    for (const ValidationRow &row : report.rows) {
+        EXPECT_GT(row.sampledIpc, 0.0);
+        EXPECT_GT(row.fullIpc, 0.0);
+        EXPECT_EQ(row.totalInsts, 762088u);
+    }
+}
+
+TEST(SampledCampaign, ValidationReportRendersAllFormats)
+{
+    const auto workloads = oneWorkload("jpeg.dec");
+    const std::vector<NamedConfig> configs = {
+        {"BASE", baseParams()}};
+    SampleOptions options;
+    options.campaign.jobs = 1;
+    const ValidationReport report =
+        validateSampling(workloads, configs, options);
+
+    const std::string csv =
+        renderValidation(report, sweep::ReportFormat::Csv);
+    EXPECT_NE(csv.find("ipc_err_pct"), std::string::npos);
+    EXPECT_NE(csv.find("jpeg.dec"), std::string::npos);
+    const std::string json =
+        renderValidation(report, sweep::ReportFormat::Json);
+    EXPECT_NE(json.find("\"ipc_full\""), std::string::npos);
+}
+
+// ---- functional warming ---------------------------------------------
+
+TEST(Warming, ChoppedWarmingComposesExactly)
+{
+    // Warming [0, 200k) in one go must leave bit-identical tables to
+    // warming [0, 120k), snapshotting, and continuing to 200k -- the
+    // property that makes checkpoints pure accelerators.
+    const Workload &w = workloadByName("gcc");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+    Emulator::Options opts;
+    opts.randSeed = w.seed;
+
+    Emulator straight(prog, opts);
+    WarmState whole(params.mem, params.bpred);
+    warmStep(straight, whole, 200'000);
+
+    Emulator chopped(prog, opts);
+    WarmState first(params.mem, params.bpred);
+    warmStep(chopped, first, 120'000);
+    WarmState resumed(first);  // snapshot copy
+    warmStep(chopped, resumed, 200'000);
+
+    EXPECT_EQ(CheckpointStore::encode(
+                  {std::make_shared<EmuCheckpoint>(
+                       straight.checkpoint()),
+                   std::make_shared<WarmState>(whole)}),
+              CheckpointStore::encode(
+                  {std::make_shared<EmuCheckpoint>(
+                       chopped.checkpoint()),
+                   std::make_shared<WarmState>(resumed)}));
+}
+
+TEST(Warming, WarmConfigDigestTracksMemAndBpredOnly)
+{
+    CoreParams a = baseParams();
+    CoreParams b = a;
+    b.reno = RenoConfig::full();
+    b.robEntries = 256;
+    EXPECT_EQ(warmConfigDigest(a), warmConfigDigest(b))
+        << "RENO/core knobs must not split the warm-state space";
+
+    CoreParams c = a;
+    c.mem.dcache.sizeBytes *= 2;
+    EXPECT_NE(warmConfigDigest(a), warmConfigDigest(c));
+    CoreParams d = a;
+    d.bpred.gshareEntries *= 2;
+    EXPECT_NE(warmConfigDigest(a), warmConfigDigest(d));
+}

@@ -1,10 +1,12 @@
 /**
  * @file
- * reno-sweep: the campaign-engine command-line driver. Runs an ad-hoc
- * cross-product sweep (suites/workloads x named configurations) or one
- * of the repo's named figure campaigns, on all host cores, with the
- * content-addressed result cache, and reports through the pluggable
- * table/JSON/CSV reporters.
+ * reno-sample: the sampled-simulation command-line driver. Estimates
+ * whole-program IPC from checkpointed interval samples -- each
+ * (workload, config, interval) is an independent campaign job, so
+ * intervals parallelize across the worker pool and hit the
+ * content-addressed result cache -- and, with --validate, runs the
+ * full detailed simulations too and reports the per-workload IPC
+ * error (the CI accuracy gate).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -29,29 +31,39 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [options]\n"
         "\n"
-        "campaign selection:\n"
+        "workload/config selection (as in reno-sweep):\n"
         "  --suite spec|media|synth|all\n"
-        "                           workloads to sweep (default all ="
-        " the paper suites)\n"
+        "                           workloads to sample (default all =\n"
+        "                           the paper suites; synth = long\n"
+        "                           generated programs)\n"
         "  --workload NAME          one workload (repeatable)\n"
         "  --filter SUBSTR          keep matching workload names\n"
         "  --config NAME            preset (repeatable; default BASE,"
         " RENO)\n"
         "  --width 4|6              machine width (default 4)\n"
-        "  --cpa                    critical-path analysis per job\n"
         "\n"
-        "sampled simulation (estimates instead of full runs):\n"
-        "  --sample N               measured intervals per program\n"
+        "sampling plan:\n"
+        "  --sample N               measured intervals per program"
+        " (default 10)\n"
         "  --warmup W               detailed warmup insts per interval"
         " (default 2000)\n"
         "  --measure M              measured insts per interval"
         " (default 5000)\n"
+        "  --cold C                 exactly-measured cold stratum"
+        " (default: total/10)\n"
+        "\n"
+        "validation:\n"
+        "  --validate               also run full simulations; report\n"
+        "                           per-workload sampled-vs-full IPC"
+        " error\n"
+        "  --max-error PCT          exit 1 if any |error| exceeds PCT\n"
         "\n"
         "execution:\n"
         "  --jobs N                 worker threads (default: RENO_JOBS"
         " env, else all cores)\n"
-        "  --cache-dir DIR          persistent result cache; a warm\n"
-        "                           rerun performs zero simulations\n"
+        "  --cache-dir DIR          persistent result cache; interval\n"
+        "                           checkpoints persist under"
+        " DIR/ckpt\n"
         "  --sweep-stats            execution summary on stderr\n"
         "\n"
         "output:\n"
@@ -65,12 +77,27 @@ listEverything()
 {
     std::printf("workloads:\n");
     for (const Workload &w : allWorkloads())
-        std::printf("  %-10s (%s, seed %llu)\n", w.name.c_str(),
+        std::printf("  %-11s (%s, seed %llu)\n", w.name.c_str(),
+                    w.suite.c_str(),
+                    static_cast<unsigned long long>(w.seed));
+    for (const Workload &w : synthWorkloads())
+        std::printf("  %-11s (%s, seed %llu)\n", w.name.c_str(),
                     w.suite.c_str(),
                     static_cast<unsigned long long>(w.seed));
     std::printf("configs:\n");
     for (const std::string &name : knownConfigNames())
         std::printf("  %s\n", name.c_str());
+}
+
+std::uint64_t
+parseCount(const char *flag, const std::string &v)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n == 0)
+        fatal("%s expects a positive integer, got '%s'", flag,
+              v.c_str());
+    return n;
 }
 
 } // namespace
@@ -83,9 +110,8 @@ main(int argc, char **argv)
     std::vector<std::string> workload_names;
     std::vector<std::string> config_names;
     unsigned width = 4;
-    bool want_cpa = false;
-    std::uint64_t sample_intervals = 0;  //!< 0 = full simulation
-    bool plan_tuned = false;  //!< --warmup/--measure given
+    bool validate = false;
+    double max_error = 0.0;
     sample::SamplePlan plan;
     sweep::ReportFormat format = sweep::ReportFormat::Table;
 
@@ -124,17 +150,8 @@ main(int argc, char **argv)
                 width = 6;
             else
                 fatal("--width expects 4 or 6, got '%s'", v.c_str());
-        } else if (arg == "--cpa") {
-            want_cpa = true;
         } else if (matches("--sample")) {
-            const std::string v = value("--sample");
-            char *end = nullptr;
-            sample_intervals = std::strtoull(v.c_str(), &end, 10);
-            if (end == v.c_str() || *end != '\0' ||
-                sample_intervals == 0)
-                fatal("--sample expects a positive interval count, "
-                      "got '%s'",
-                      v.c_str());
+            plan.intervals = parseCount("--sample", value("--sample"));
         } else if (matches("--warmup")) {
             const std::string v = value("--warmup");
             char *end = nullptr;
@@ -142,16 +159,21 @@ main(int argc, char **argv)
             if (end == v.c_str() || *end != '\0')
                 fatal("--warmup expects an integer, got '%s'",
                       v.c_str());
-            plan_tuned = true;
         } else if (matches("--measure")) {
-            const std::string v = value("--measure");
+            plan.measureInsts =
+                parseCount("--measure", value("--measure"));
+        } else if (matches("--cold")) {
+            plan.coldInsts = parseCount("--cold", value("--cold"));
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (matches("--max-error")) {
+            const std::string v = value("--max-error");
             char *end = nullptr;
-            plan.measureInsts = std::strtoull(v.c_str(), &end, 10);
-            if (end == v.c_str() || *end != '\0' ||
-                plan.measureInsts == 0)
-                fatal("--measure expects a positive count, got '%s'",
+            max_error = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' || max_error <= 0.0)
+                fatal("--max-error expects a positive number, got "
+                      "'%s'",
                       v.c_str());
-            plan_tuned = true;
         } else if (matches("--report")) {
             const std::string v = value("--report");
             const auto f = sweep::reportFormatFromName(v);
@@ -168,6 +190,8 @@ main(int argc, char **argv)
             fatal("unknown argument '%s' (try --help)", arg.c_str());
         }
     }
+    if (max_error > 0.0 && !validate)
+        fatal("--max-error requires --validate");
 
     // Workload set.
     std::vector<const Workload *> workloads;
@@ -209,35 +233,38 @@ main(int argc, char **argv)
         configs.push_back(cfg);
     }
 
-    const sweep::CampaignOptions opts =
-        sweep::parseCampaignArgs(argc, argv);
+    sample::SampleOptions options;
+    options.plan = plan;
+    options.campaign = sweep::parseCampaignArgs(argc, argv);
 
-    if (plan_tuned && sample_intervals == 0)
-        fatal("--warmup/--measure require --sample");
-    if (sample_intervals > 0) {
-        if (want_cpa)
-            fatal("--cpa cannot be combined with --sample");
-        sample::SampleOptions sample_opts;
-        sample_opts.plan = plan;
-        sample_opts.plan.intervals = sample_intervals;
-        sample_opts.campaign = opts;
-        const sample::SampledCampaign sampled =
-            sample::runSampledCampaign(workloads, configs,
-                                       sample_opts);
+    if (validate) {
+        const sample::ValidationReport report =
+            sample::validateSampling(workloads, configs, options);
         const std::string rendered =
-            sample::renderSampled(sampled, format);
+            sample::renderValidation(report, format);
         std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+        std::fprintf(stderr,
+                     "[sample] max |IPC error| %.2f%%; full %.2fs "
+                     "(%zu sims), sampled %.2fs (%zu sims), "
+                     "speedup %.1fx\n",
+                     report.maxAbsErrorPct, report.fullSeconds,
+                     report.fullStats.simulated,
+                     report.sampledSeconds,
+                     report.sampledStats.simulated,
+                     report.speedup());
+        if (max_error > 0.0 && report.maxAbsErrorPct > max_error) {
+            std::fprintf(stderr,
+                         "[sample] FAIL: max |IPC error| %.2f%% "
+                         "exceeds the --max-error bound %.2f%%\n",
+                         report.maxAbsErrorPct, max_error);
+            return 1;
+        }
         return 0;
     }
 
-    sweep::Campaign campaign;
-    for (const Workload *w : workloads) {
-        for (const NamedConfig &cfg : configs)
-            campaign.add(*w, cfg, "", want_cpa);
-    }
-
-    const sweep::CampaignResults results = campaign.run(opts);
-    const std::string rendered = sweep::renderResults(results, format);
+    const sample::SampledCampaign sampled =
+        sample::runSampledCampaign(workloads, configs, options);
+    const std::string rendered = sample::renderSampled(sampled, format);
     std::fwrite(rendered.data(), 1, rendered.size(), stdout);
     return 0;
 }
