@@ -22,6 +22,7 @@
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "trace/pipetrace.hpp"
+#include "uarch/core.hpp"
 
 using namespace reno;
 

@@ -1,0 +1,85 @@
+#include "common/statset.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+StatSnapshot
+StatSnapshot::delta(const StatSnapshot &pre) const
+{
+    if (values.size() != pre.values.size())
+        fatal("StatSnapshot::delta: incompatible snapshots "
+              "(%zu vs %zu counters)",
+              values.size(), pre.values.size());
+    StatSnapshot d;
+    d.values.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        d.values[i] = values[i] - pre.values[i];
+    return d;
+}
+
+void
+StatSnapshot::accumulate(const StatSnapshot &add)
+{
+    if (values.empty())
+        values.resize(add.values.size(), 0);
+    if (values.size() != add.values.size())
+        fatal("StatSnapshot::accumulate: incompatible snapshots "
+              "(%zu vs %zu counters)",
+              values.size(), add.values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] += add.values[i];
+}
+
+std::uint64_t &
+StatSet::add(std::string_view name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return values_[it->second];
+    values_.push_back(0);
+    order_.emplace_back(name);
+    index_.emplace(std::string(name), values_.size() - 1);
+    return values_.back();
+}
+
+bool
+StatSet::has(std::string_view name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+std::uint64_t
+StatSet::value(std::string_view name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second];
+}
+
+StatSnapshot
+StatSet::snapshot() const
+{
+    StatSnapshot s;
+    s.values.assign(values_.begin(), values_.end());
+    return s;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatSet::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i)
+        out.emplace_back(order_[i], values_[i]);
+    return out;
+}
+
+void
+StatSet::resetAll()
+{
+    for (std::uint64_t &v : values_)
+        v = 0;
+}
+
+} // namespace reno

@@ -20,7 +20,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "uarch/core.hpp"
+#include "uarch/dyninst.hpp"
+#include "uarch/retire_listener.hpp"
 
 namespace reno
 {

@@ -82,6 +82,35 @@ benchmarkSuites()
     };
 }
 
+std::string
+renderConfigList()
+{
+    std::string out = "configs:\n";
+    for (const std::string &name : knownConfigNames())
+        out += "  " + name + "\n";
+    return out;
+}
+
+std::string
+renderSuiteList()
+{
+    std::string out = "suites:\n";
+    std::size_t paper = 0;
+    std::string paper_names;
+    for (const SuiteInfo &s : knownSuites()) {
+        out += strprintf("  %-6s %2zu workloads  (%s)\n",
+                         s.name.c_str(), s.workloads,
+                         s.paper ? "paper registry" : "generated");
+        if (s.paper) {
+            paper += s.workloads;
+            paper_names += (paper_names.empty() ? "" : " + ") + s.name;
+        }
+    }
+    out += strprintf("  %-6s %2zu workloads  (%s; the default)\n",
+                     "all", paper, paper_names.c_str());
+    return out;
+}
+
 const Program &
 assembleWorkload(const Workload &workload)
 {

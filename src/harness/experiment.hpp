@@ -66,6 +66,14 @@ std::vector<std::pair<std::string, std::vector<const Workload *>>>
 benchmarkSuites();
 
 /**
+ * Human-readable listings backing the drivers' --list-configs /
+ * --list-suites flags: every configByName() preset, and every suite
+ * token suiteWorkloads() accepts with its workload count.
+ */
+std::string renderConfigList();
+std::string renderSuiteList();
+
+/**
  * Assemble a workload's kernel source into a program image, memoized
  * by source text: campaigns assemble each kernel once, not once per
  * job. The returned reference has static storage duration (Emulator

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Commit stage: retires completed instructions in program order up to
+ * the commit width, drains stores and re-executing integrated loads
+ * through the single retirement port, flushes misintegrated loads
+ * (stale integration-table tuples caught by retirement re-execution),
+ * accounts the retirement statistics, and notifies the retire
+ * listener. Retired instructions return to the arena.
+ */
+#pragma once
+
+#include "mem/cache.hpp"
+#include "pipeline/machine_state.hpp"
+#include "pipeline/pipeline_stats.hpp"
+#include "reno/renamer.hpp"
+#include "uarch/params.hpp"
+#include "uarch/retire_listener.hpp"
+#include "uarch/store_sets.hpp"
+
+namespace reno
+{
+
+class CommitStage
+{
+  public:
+    CommitStage(const CoreParams &params, RenoRenamer &renamer,
+                StoreSets &ssets, MemHierarchy &mem,
+                MachineState &state, PipelineStats &stats)
+        : params_(params), renamer_(renamer), ssets_(ssets), mem_(mem),
+          s_(state), stats_(stats)
+    {
+    }
+
+    void tick();
+
+    void setListener(RetireListener *listener) { listener_ = listener; }
+    RetireListener *listener() const { return listener_; }
+
+  private:
+    const CoreParams &params_;
+    RenoRenamer &renamer_;
+    StoreSets &ssets_;
+    MemHierarchy &mem_;
+    MachineState &s_;
+    PipelineStats &stats_;
+    RetireListener *listener_ = nullptr;
+};
+
+} // namespace reno

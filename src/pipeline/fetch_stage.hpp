@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fetch stage: pulls the correct-path dynamic instruction stream from
+ * the functional emulator, charges I-cache latency per fetch block,
+ * consults (and trains) the branch predictor, and stalls behind
+ * unresolved mispredicted branches. Wrong-path contents are not
+ * simulated; a misprediction blocks fetch until the branch resolves
+ * (see uarch/core.hpp for the model discussion).
+ */
+#pragma once
+
+#include "branch/predictor.hpp"
+#include "emu/emulator.hpp"
+#include "mem/cache.hpp"
+#include "pipeline/machine_state.hpp"
+#include "uarch/params.hpp"
+
+namespace reno
+{
+
+class FetchStage
+{
+  public:
+    FetchStage(const CoreParams &params, Emulator &emu,
+               MemHierarchy &mem, BranchPredictor &bp,
+               MachineState &state)
+        : params_(params), emu_(emu), mem_(mem), bp_(bp), s_(state)
+    {
+    }
+
+    void tick();
+
+  private:
+    const CoreParams &params_;
+    Emulator &emu_;
+    MemHierarchy &mem_;
+    BranchPredictor &bp_;
+    MachineState &s_;
+};
+
+} // namespace reno

@@ -1,0 +1,206 @@
+#include "pipeline/issue_stage.hpp"
+
+#include <algorithm>
+
+namespace reno
+{
+
+Cycle
+IssueStage::srcReadyCycle(const SrcOp &src) const
+{
+    const Cycle ready = s_.pregReady[src.preg];
+    if (ready == InvalidCycle)
+        return InvalidCycle;
+    const Cycle issue = s_.pregIssue[src.preg];
+    if (issue == InvalidCycle)
+        return ready;
+    return std::max(ready, issue + params_.schedLoop);
+}
+
+unsigned
+IssueStage::fusionExtra(const DynInst &d) const
+{
+    if (!params_.reno.cf)
+        return 0;
+    const Instruction &inst = d.inst();
+    const bool disp0 = d.ren.numSrcs > 0 && d.ren.src[0].disp != 0;
+    // A store's data displacement collapses on the dedicated store-data
+    // path adder and never delays issue.
+    const bool disp1 = d.ren.numSrcs > 1 && d.ren.src[1].disp != 0 &&
+                       !isStore(inst.op);
+    if (!disp0 && !disp1)
+        return 0;
+    if (!params_.freeAddAddFusion)
+        return 1;  // ablation: every fusion costs a cycle
+    if (inst.info().fusePenalty)
+        return 1;  // general shift or multiply/divide input adder
+    if (disp0 && disp1)
+        return 1;  // both inputs displaced: augmented ALU case
+    return 0;      // add-add fusion via 3-input carry-save adder
+}
+
+void
+IssueStage::tick()
+{
+    unsigned used_int = 0, used_ld = 0, used_st = 0, used_total = 0;
+
+    DynInst *next = nullptr;
+    for (DynInst *cand = s_.issueHead; cand; cand = next) {
+        next = cand->issueNext;
+        if (used_total >= params_.issue.total)
+            break;
+        DynInst &d = *cand;
+        // List membership guarantees renamed, unissued, uncollapsed,
+        // non-syscall.
+        const Instruction &inst = d.inst();
+        const InstClass cls = inst.info().cls;
+
+        const bool is_ld = cls == InstClass::Load;
+        const bool is_st = cls == InstClass::Store;
+        if (is_ld && used_ld >= params_.issue.loads)
+            continue;
+        if (is_st && used_st >= params_.issue.stores)
+            continue;
+        if (!is_ld && !is_st && used_int >= params_.issue.intOps)
+            continue;
+
+        // Readiness: dispatch pipe, then each source's producer.
+        Cycle earliest = d.readyEarliest;
+        IssueDom dom = IssueDom::Dispatch;
+        InstSeq dom_seq = 0;
+        bool ready = true;
+        for (unsigned s = 0; s < d.ren.numSrcs; ++s) {
+            const Cycle t = srcReadyCycle(d.ren.src[s]);
+            if (t == InvalidCycle) {
+                ready = false;
+                break;
+            }
+            if (t > earliest) {
+                earliest = t;
+                dom = s == 0 ? IssueDom::Src0 : IssueDom::Src1;
+                dom_seq = s_.pregProducer[d.ren.src[s].preg];
+            }
+        }
+        if (!ready || earliest > s_.now)
+            continue;
+
+        // Aggressive load scheduling, gated by the store-set predictor:
+        // a load whose pc maps to a store set waits until every older
+        // in-flight store of that set has issued (the LFST chains
+        // same-set stores, so tracking the youngest is equivalent).
+        if (is_ld) {
+            const unsigned set = ssets_.setOf(d.rec.pc);
+            if (set != StoreSets::InvalidSet) {
+                bool blocked = false;
+                InstSeq blocker = 0;
+                for (const DynInst *st : s_.robStores) {
+                    if (st->seq >= d.seq)
+                        break;
+                    if (!st->issued && st->storeSet == set) {
+                        blocked = true;
+                        blocker = st->seq;
+                        break;
+                    }
+                }
+                if (blocked) {
+                    d.issueDom = IssueDom::MemDep;
+                    d.domProducer = blocker;
+                    continue;
+                }
+            }
+        }
+
+        // Issue.
+        d.issued = true;
+        d.issueCycle = s_.now;
+        d.issueDom = s_.now > earliest ? IssueDom::Contention : dom;
+        if (d.issueDom != IssueDom::Contention)
+            d.domProducer = dom_seq;
+        if (d.inIq) {
+            d.inIq = false;
+            --s_.iqCount;
+        }
+        s_.issueListRemove(&d);
+        ++used_total;
+        if (is_ld)
+            ++used_ld;
+        else if (is_st)
+            ++used_st;
+        else
+            ++used_int;
+
+        const unsigned extra = fusionExtra(d);
+
+        if (is_ld) {
+            const Cycle agen = s_.now + 1 + extra;
+            // Store-to-load forwarding / violation arming: find the
+            // youngest older overlapping store.
+            const DynInst *fwd = nullptr;
+            for (const DynInst *st : s_.robStores) {
+                if (st->seq >= d.seq)
+                    break;
+                if (st->memOverlaps(d))
+                    fwd = st;
+            }
+            if (fwd && fwd->issued) {
+                d.memLevel = MemLevel::Forwarded;
+                d.completeCycle =
+                    std::max(agen, fwd->completeCycle) +
+                    params_.mem.dcache.latency;
+            } else {
+                // No forwarding source (or an unissued older store: the
+                // aggressive issue proceeds and the store's execution
+                // will catch the violation).
+                if (mem_.dcacheProbe(d.rec.effAddr))
+                    d.memLevel = MemLevel::L1;
+                else if (mem_.l2Probe(d.rec.effAddr))
+                    d.memLevel = MemLevel::L2;
+                else
+                    d.memLevel = MemLevel::Memory;
+                d.completeCycle =
+                    mem_.dataAccess(d.rec.effAddr, agen, false);
+            }
+        } else if (is_st) {
+            // Address generation; data merges on the store-data path.
+            d.completeCycle = s_.now + 1 + extra;
+            ssets_.storeInactive(d.storeSet, d.seq);
+        } else {
+            d.completeCycle = s_.now + inst.info().latency + extra;
+        }
+
+        if (d.ren.hasDest) {
+            s_.pregReady[d.ren.destPreg] = d.completeCycle;
+            s_.pregIssue[d.ren.destPreg] = d.issueCycle;
+        }
+
+        // Resolve a fetch-blocking mispredicted branch.
+        if (d.stallsFetch) {
+            d.stallsFetch = false;
+            --s_.fetchBlocked;
+            s_.fetchResumeAt = std::max(
+                s_.fetchResumeAt,
+                d.completeCycle + params_.branchResolveExtra);
+            s_.pendingRedirectSeq = d.seq;
+        }
+
+        // A store's execution exposes memory-order violations: any
+        // younger overlapping load that already issued read stale data.
+        if (is_st) {
+            for (DynInst *lp : s_.robLoads) {
+                if (lp->seq <= d.seq)
+                    continue;
+                DynInst &ld = *lp;
+                if (ld.issued && !ld.ren.eliminated() &&
+                    ld.memOverlaps(d)) {
+                    ssets_.trainViolation(ld.rec.pc, d.rec.pc);
+                    ++stats_.violationSquashes;
+                    s_.squashFrom(s_.robIndexOf(ld.seq), s_.now + 1,
+                                  renamer_, ssets_, params_);
+                    return;  // lists invalidated; end issue stage
+                }
+            }
+        }
+    }
+}
+
+} // namespace reno

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Issue stage: selects ready instructions oldest-first within the
+ * per-class and total issue widths, computes completion times
+ * (including RENO constant-fusion latency), schedules loads
+ * aggressively under the store-set predictor, performs
+ * store-to-load forwarding, and detects memory-order violations when
+ * stores execute -- squashing and replaying the offending load and
+ * everything younger.
+ *
+ * The selection loop walks the issue-candidate list (renamed,
+ * unissued, uncollapsed instructions in program order) and the memory
+ * scans walk robStores/robLoads; both are order-preserving subsets of
+ * the ROB, so the stage behaves exactly like a full ROB scan at a
+ * fraction of the cost.
+ */
+#pragma once
+
+#include "mem/cache.hpp"
+#include "pipeline/machine_state.hpp"
+#include "pipeline/pipeline_stats.hpp"
+#include "reno/renamer.hpp"
+#include "uarch/params.hpp"
+#include "uarch/store_sets.hpp"
+
+namespace reno
+{
+
+class IssueStage
+{
+  public:
+    IssueStage(const CoreParams &params, MemHierarchy &mem,
+               StoreSets &ssets, RenoRenamer &renamer,
+               MachineState &state, PipelineStats &stats)
+        : params_(params), mem_(mem), ssets_(ssets), renamer_(renamer),
+          s_(state), stats_(stats)
+    {
+    }
+
+    void tick();
+
+  private:
+    /** Source-operand ready cycle honoring the scheduling loop. */
+    Cycle srcReadyCycle(const SrcOp &src) const;
+
+    /** Extra fused-operation latency for deferred displacements. */
+    unsigned fusionExtra(const DynInst &d) const;
+
+    const CoreParams &params_;
+    MemHierarchy &mem_;
+    StoreSets &ssets_;
+    RenoRenamer &renamer_;
+    MachineState &s_;
+    PipelineStats &stats_;
+};
+
+} // namespace reno

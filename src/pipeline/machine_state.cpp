@@ -1,0 +1,92 @@
+#include "pipeline/machine_state.hpp"
+
+#include <algorithm>
+
+#include "reno/renamer.hpp"
+#include "uarch/store_sets.hpp"
+
+namespace reno
+{
+
+MachineState::MachineState(const CoreParams &params)
+    : pregReady(params.numPregs, 0),
+      pregIssue(params.numPregs, InvalidCycle),
+      pregProducer(params.numPregs, 0)
+{
+}
+
+void
+MachineState::issueListAppend(DynInst *d)
+{
+    d->issuePrev = issueTail;
+    d->issueNext = nullptr;
+    d->inIssueList = true;
+    if (issueTail)
+        issueTail->issueNext = d;
+    else
+        issueHead = d;
+    issueTail = d;
+}
+
+void
+MachineState::issueListRemove(DynInst *d)
+{
+    if (d->issuePrev)
+        d->issuePrev->issueNext = d->issueNext;
+    else
+        issueHead = d->issueNext;
+    if (d->issueNext)
+        d->issueNext->issuePrev = d->issuePrev;
+    else
+        issueTail = d->issuePrev;
+    d->issuePrev = d->issueNext = nullptr;
+    d->inIssueList = false;
+}
+
+std::size_t
+MachineState::robIndexOf(InstSeq seq) const
+{
+    const auto it = std::lower_bound(
+        rob.begin(), rob.end(), seq,
+        [](const DynInst *d, InstSeq s) { return d->seq < s; });
+    return static_cast<std::size_t>(it - rob.begin());
+}
+
+void
+MachineState::squashFrom(std::size_t idx, Cycle restart_cycle,
+                         RenoRenamer &renamer, StoreSets &ssets,
+                         const CoreParams &params)
+{
+    // Roll back RENO state youngest-first. The squashed instructions
+    // are the youngest suffix of every derived view, so the views
+    // shrink from the back in lockstep.
+    for (std::size_t j = rob.size(); j-- > idx;) {
+        DynInst &d = *rob[j];
+        renamer.rollback(d.inst(), d.ren);
+        if (d.inIq)
+            --iqCount;
+        if (d.inLq)
+            --lqCount;
+        if (d.inSq) {
+            --sqCount;
+            ssets.storeInactive(d.storeSet, d.seq);
+        }
+        if (d.stallsFetch)
+            --fetchBlocked;
+        if (d.inIssueList)
+            issueListRemove(&d);
+        if (d.isStoreInst())
+            robStores.pop_back();
+        if (d.isLoadInst())
+            robLoads.pop_back();
+        d.resetForReplay();
+        d.fetchCycle = restart_cycle;
+        d.fetchReady = restart_cycle + params.frontDepth;
+    }
+    // Recycle into the fetch buffer, preserving program order.
+    fetchBuf.insert(fetchBuf.begin(),
+                    rob.begin() + static_cast<long>(idx), rob.end());
+    rob.erase(rob.begin() + static_cast<long>(idx), rob.end());
+}
+
+} // namespace reno

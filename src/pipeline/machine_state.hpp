@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The explicit machine state shared by the pipeline stages: fetch
+ * buffer, re-order buffer, physical-register scoreboard, queue
+ * occupancies and redirect/drain bookkeeping, plus the instruction
+ * arena that owns every in-flight DynInst.
+ *
+ * The state also maintains three derived views the issue stage's
+ * inner scans walk instead of the whole ROB:
+ *
+ *   - robStores / robLoads: the ROB's memory instructions in program
+ *     order (store-to-load forwarding, store-set blocking and
+ *     violation detection only ever inspect these), and
+ *   - the intrusive issue-candidate list (issueHead/issueTail):
+ *     renamed instructions that may still issue -- not collapsed, not
+ *     syscalls, not yet issued -- in program order.
+ *
+ * Both views are subsets of the ROB in ROB order, so walking them is
+ * behavior-identical to the original full-ROB scans; squashFrom keeps
+ * them consistent during recovery.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pipeline/inst_arena.hpp"
+#include "uarch/dyninst.hpp"
+#include "uarch/params.hpp"
+
+namespace reno
+{
+
+class RenoRenamer;
+class StoreSets;
+
+struct MachineState {
+    explicit MachineState(const CoreParams &params);
+
+    InstArena arena;
+    std::deque<DynInst *> fetchBuf;
+    std::deque<DynInst *> rob;
+
+    /** ROB memory instructions in program order (see file comment). */
+    std::deque<DynInst *> robStores;
+    std::deque<DynInst *> robLoads;
+
+    /** Issue-candidate list endpoints (intrusive, program order). */
+    DynInst *issueHead = nullptr;
+    DynInst *issueTail = nullptr;
+
+    // --- physical-register scoreboard ---------------------------------
+    std::vector<Cycle> pregReady;
+    std::vector<Cycle> pregIssue;
+    std::vector<InstSeq> pregProducer;
+
+    // --- queue occupancies --------------------------------------------
+    unsigned iqCount = 0;
+    unsigned lqCount = 0;
+    unsigned sqCount = 0;
+    /** Post-retirement port queue: stores and re-executing integrated
+     *  loads drain at one per cycle; commit stalls only when full. */
+    unsigned drainQueue = 0;
+
+    // --- redirect / drain bookkeeping ---------------------------------
+    Cycle now = 0;
+    InstSeq seqCounter = 1;
+    Addr lastFetchBlock = ~Addr{0};
+    Cycle fetchResumeAt = 0;
+    unsigned fetchBlocked = 0;  //!< unresolved mispredicted branches
+    InstSeq pendingRedirectSeq = 0;  //!< branch behind the next fetch
+    bool finished = false;
+
+    void issueListAppend(DynInst *d);
+    void issueListRemove(DynInst *d);
+
+    /** Index of the oldest ROB entry with seq >= @p seq (the ROB is
+     *  seq-sorted). */
+    std::size_t robIndexOf(InstSeq seq) const;
+
+    /**
+     * Squash ROB entries [idx, end): roll back RENO state in reverse
+     * order and recycle the instructions into the fetch buffer for
+     * replay starting at @p restart_cycle.
+     */
+    void squashFrom(std::size_t idx, Cycle restart_cycle,
+                    RenoRenamer &renamer, StoreSets &ssets,
+                    const CoreParams &params);
+};
+
+} // namespace reno

@@ -1,0 +1,26 @@
+#include "pipeline/pipeline_stats.hpp"
+
+namespace reno
+{
+
+PipelineStats::PipelineStats(StatSet &set)
+    : retired(set.add("retired")),
+      retiredLoads(set.add("retired_loads")),
+      retiredStores(set.add("retired_stores")),
+      retiredBranches(set.add("retired_branches")),
+      violationSquashes(set.add("violation_squashes")),
+      misintegrationFlushes(set.add("misintegration_flushes")),
+      stallRob(set.add("stall_rob")),
+      stallIq(set.add("stall_iq")),
+      stallPregs(set.add("stall_pregs")),
+      stallLsq(set.add("stall_lsq"))
+{
+    static const char *const ElimNames[NumElimKinds] = {
+        "retired_elim_none", "retired_elim_me", "retired_elim_cf",
+        "retired_elim_cse", "retired_elim_ra",
+    };
+    for (unsigned k = 0; k < NumElimKinds; ++k)
+        retiredElim_[k] = &set.add(ElimNames[k]);
+}
+
+} // namespace reno

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Rename stage: moves fetched instructions into the ROB through the
+ * RENO renamer, enforcing structural limits (ROB, issue queue,
+ * load/store queues, free physical registers) and attributing every
+ * stalled cycle to the resource that caused it. Collapsed
+ * instructions bypass the issue queue entirely; syscalls serialize
+ * the pipeline.
+ */
+#pragma once
+
+#include "pipeline/machine_state.hpp"
+#include "pipeline/pipeline_stats.hpp"
+#include "reno/renamer.hpp"
+#include "uarch/params.hpp"
+#include "uarch/store_sets.hpp"
+
+namespace reno
+{
+
+class RenameStage
+{
+  public:
+    RenameStage(const CoreParams &params, RenoRenamer &renamer,
+                StoreSets &ssets, MachineState &state,
+                PipelineStats &stats)
+        : params_(params), renamer_(renamer), ssets_(ssets), s_(state),
+          stats_(stats)
+    {
+    }
+
+    void tick();
+
+  private:
+    const CoreParams &params_;
+    RenoRenamer &renamer_;
+    StoreSets &ssets_;
+    MachineState &s_;
+    PipelineStats &stats_;
+};
+
+} // namespace reno

@@ -105,7 +105,7 @@ std::uint64_t
 RenoRenamer::eliminatedTotal() const
 {
     std::uint64_t sum = 0;
-    for (unsigned k = 1; k < 5; ++k)
+    for (unsigned k = 1; k < NumElimKinds; ++k)
         sum += elimCounts_[k];
     return sum;
 }

@@ -44,6 +44,11 @@ enum class ElimKind : std::uint8_t {
     Ra,    //!< RENO_RA: load bypassed through a reverse IT entry
 };
 
+/** Number of ElimKind values; sizes every per-kind stat array so a
+ *  new elimination kind cannot silently truncate statistics. */
+inline constexpr unsigned NumElimKinds =
+    static_cast<unsigned>(ElimKind::Ra) + 1;
+
 /** Which optimizations are enabled, and table geometry. */
 struct RenoConfig {
     bool me = false;
@@ -243,7 +248,7 @@ class RenoRenamer
     std::uint64_t pendingMisintegrations_ = 0;
 
     std::uint64_t renamed_ = 0;
-    std::uint64_t elimCounts_[5] = {};
+    std::uint64_t elimCounts_[NumElimKinds] = {};
     std::uint64_t overflowCancels_ = 0;
     std::uint64_t groupDepCancels_ = 0;
     std::uint64_t misintegrations_ = 0;

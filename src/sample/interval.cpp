@@ -73,66 +73,25 @@ planIntervals(std::uint64_t total_insts, const SamplePlan &plan)
     return planned;
 }
 
-namespace
-{
-
-/**
- * Every scalar counter of SimResult, single-sourced for the
- * field-wise delta/accumulate pair. The static_assert below trips
- * when SimResult grows, forcing this list (and the elim array
- * handling) to be revisited.
- */
-constexpr std::uint64_t SimResult::*SimCounters[] = {
-    &SimResult::cycles,
-    &SimResult::retired,
-    &SimResult::retiredLoads,
-    &SimResult::retiredStores,
-    &SimResult::retiredBranches,
-    &SimResult::itAccesses,
-    &SimResult::itHits,
-    &SimResult::overflowCancels,
-    &SimResult::groupDepCancels,
-    &SimResult::violationSquashes,
-    &SimResult::misintegrationFlushes,
-    &SimResult::bpLookups,
-    &SimResult::bpMispredicts,
-    &SimResult::icacheMisses,
-    &SimResult::dcacheMisses,
-    &SimResult::l2Misses,
-    &SimResult::stallRob,
-    &SimResult::stallIq,
-    &SimResult::stallPregs,
-    &SimResult::stallLsq,
-};
-
-// 20 scalars + elim[5]: a new SimResult field changes the size and
-// must be added to SimCounters (or handled like elim) by hand.
-static_assert(sizeof(SimResult) ==
-                  sizeof(std::uint64_t) *
-                      (std::size(SimCounters) + 5),
-              "SimResult changed: update SimCounters in "
-              "sample/interval.cpp");
-
-} // namespace
+// The field-wise delta/accumulate pair walks the canonical registry
+// in uarch/sim_result.hpp: every counter exactly once, with a
+// static_assert there forcing the registry to track SimResult.
 
 SimResult
 deltaResult(const SimResult &post, const SimResult &pre)
 {
     SimResult d;
-    for (const auto field : SimCounters)
-        d.*field = post.*field - pre.*field;
-    for (unsigned k = 0; k < 5; ++k)
-        d.elim[k] = post.elim[k] - pre.elim[k];
+    for (const SimStatField &field : simResultFields())
+        statRef(d, field) = statValue(post, field) -
+                            statValue(pre, field);
     return d;
 }
 
 void
 accumulateResult(SimResult &into, const SimResult &add)
 {
-    for (const auto field : SimCounters)
-        into.*field += add.*field;
-    for (unsigned k = 0; k < 5; ++k)
-        into.elim[k] += add.elim[k];
+    for (const SimStatField &field : simResultFields())
+        statRef(into, field) += statValue(add, field);
 }
 
 SimResult

@@ -15,15 +15,40 @@ reportFormatFromName(const std::string &s)
     return std::nullopt;
 }
 
-ReportRecord
-recordFor(const Job &job, const JobResult &r)
+namespace
 {
-    ReportRecord rec;
+
+void
+addJobIdentity(ReportRecord &rec, const Job &job)
+{
     addField(rec, "workload", job.workload->name);
     addField(rec, "suite", job.workload->suite);
     addField(rec, "config", job.config.name);
     if (!job.tag.empty())
         addField(rec, "tag", job.tag);
+}
+
+void
+addCpaBreakdown(ReportRecord &rec, const JobResult &r)
+{
+    if (!r.hasCpa)
+        return;
+    const auto b = r.cpaBreakdown();
+    for (unsigned i = 0; i < NumCpBuckets; ++i) {
+        addField(rec,
+                 std::string("cp_") +
+                     cpBucketName(static_cast<CpBucket>(i)),
+                 b[i], 4);
+    }
+}
+
+} // namespace
+
+ReportRecord
+recordFor(const Job &job, const JobResult &r)
+{
+    ReportRecord rec;
+    addJobIdentity(rec, job);
     addField(rec, "cycles", r.sim.cycles);
     addField(rec, "retired", r.sim.retired);
     addField(rec, "ipc", r.sim.ipc(), 4);
@@ -39,25 +64,34 @@ recordFor(const Job &job, const JobResult &r)
     addField(rec, "bp_mispredicts", r.sim.bpMispredicts);
     addField(rec, "dcache_misses", r.sim.dcacheMisses);
     addField(rec, "l2_misses", r.sim.l2Misses);
-    if (r.hasCpa) {
-        const auto b = r.cpaBreakdown();
-        for (unsigned i = 0; i < NumCpBuckets; ++i) {
-            addField(rec,
-                     std::string("cp_") +
-                         cpBucketName(static_cast<CpBucket>(i)),
-                     b[i], 4);
-        }
-    }
+    addCpaBreakdown(rec, r);
+    return rec;
+}
+
+ReportRecord
+recordForFull(const Job &job, const JobResult &r)
+{
+    ReportRecord rec;
+    addJobIdentity(rec, job);
+    addField(rec, "ipc", r.sim.ipc(), 4);
+    for (const SimStatField &f : simResultFields())
+        addField(rec, f.name, statValue(r.sim, f));
+    addCpaBreakdown(rec, r);
     return rec;
 }
 
 std::string
-renderResults(const CampaignResults &results, ReportFormat format)
+renderResults(const CampaignResults &results, ReportFormat format,
+              bool all_stats)
 {
     std::vector<ReportRecord> records;
     records.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i)
-        records.push_back(recordFor(results.job(i), results.at(i)));
+        records.push_back(all_stats
+                              ? recordForFull(results.job(i),
+                                              results.at(i))
+                              : recordFor(results.job(i),
+                                          results.at(i)));
     switch (format) {
       case ReportFormat::Json:
         return renderJson(records);

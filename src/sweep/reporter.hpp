@@ -25,8 +25,17 @@ std::optional<ReportFormat> reportFormatFromName(const std::string &s);
 /** Flatten one job + result into a report record. */
 ReportRecord recordFor(const Job &job, const JobResult &result);
 
-/** Render a whole campaign in @p format (trailing newline included). */
+/**
+ * Like recordFor, but with every SimResult counter under its
+ * canonical registry name (uarch/sim_result.hpp) instead of the
+ * curated summary columns: the full named-stat export behind
+ * reno-sweep --all-stats.
+ */
+ReportRecord recordForFull(const Job &job, const JobResult &result);
+
+/** Render a whole campaign in @p format (trailing newline included).
+ *  @p all_stats selects the full named-stat records. */
 std::string renderResults(const CampaignResults &results,
-                          ReportFormat format);
+                          ReportFormat format, bool all_stats = false);
 
 } // namespace reno::sweep

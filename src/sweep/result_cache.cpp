@@ -14,36 +14,10 @@ namespace reno::sweep
 namespace
 {
 
+// The serialized SimResult fields and their file order come from the
+// canonical registry in uarch/sim_result.hpp, whose order is frozen
+// to this file format ("elimN" entries last).
 constexpr const char *FormatTag = "reno-result v1";
-
-/** The serialized SimResult fields, in file order. */
-struct FieldRef {
-    const char *name;
-    std::uint64_t SimResult::*member;
-};
-
-const FieldRef SimFields[] = {
-    {"cycles", &SimResult::cycles},
-    {"retired", &SimResult::retired},
-    {"retiredLoads", &SimResult::retiredLoads},
-    {"retiredStores", &SimResult::retiredStores},
-    {"retiredBranches", &SimResult::retiredBranches},
-    {"itAccesses", &SimResult::itAccesses},
-    {"itHits", &SimResult::itHits},
-    {"overflowCancels", &SimResult::overflowCancels},
-    {"groupDepCancels", &SimResult::groupDepCancels},
-    {"violationSquashes", &SimResult::violationSquashes},
-    {"misintegrationFlushes", &SimResult::misintegrationFlushes},
-    {"bpLookups", &SimResult::bpLookups},
-    {"bpMispredicts", &SimResult::bpMispredicts},
-    {"icacheMisses", &SimResult::icacheMisses},
-    {"dcacheMisses", &SimResult::dcacheMisses},
-    {"l2Misses", &SimResult::l2Misses},
-    {"stallRob", &SimResult::stallRob},
-    {"stallIq", &SimResult::stallIq},
-    {"stallPregs", &SimResult::stallPregs},
-    {"stallLsq", &SimResult::stallLsq},
-};
 
 } // namespace
 
@@ -101,14 +75,10 @@ ResultCache::encode(const JobResult &result)
 {
     std::string out = FormatTag;
     out += '\n';
-    for (const FieldRef &f : SimFields)
+    for (const SimStatField &f : simResultFields())
         out += strprintf("%s %llu\n", f.name,
                          static_cast<unsigned long long>(
-                             result.sim.*(f.member)));
-    for (unsigned k = 0; k < 5; ++k)
-        out += strprintf("elim%u %llu\n", k,
-                         static_cast<unsigned long long>(
-                             result.sim.elim[k]));
+                             statValue(result.sim, f)));
     out += strprintf("hasCpa %d\n", result.hasCpa ? 1 : 0);
     if (result.hasCpa) {
         for (unsigned b = 0; b < NumCpBuckets; ++b)
@@ -144,12 +114,8 @@ ResultCache::decode(const std::string &text, JobResult *out)
         return true;
     };
 
-    for (const FieldRef &f : SimFields) {
-        if (!expect(f.name, &(r.sim.*(f.member))))
-            return false;
-    }
-    for (unsigned k = 0; k < 5; ++k) {
-        if (!expect(strprintf("elim%u", k), &r.sim.elim[k]))
+    for (const SimStatField &f : simResultFields()) {
+        if (!expect(f.name, &statRef(r.sim, f)))
             return false;
     }
     std::uint64_t has_cpa = 0;

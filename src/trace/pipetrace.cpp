@@ -112,23 +112,28 @@ renderPipeTrace(const std::vector<PipeRecord> &records, unsigned width)
                      records.size(),
                      static_cast<unsigned long long>(origin));
 
-    std::uint64_t elim[5] = {};
+    std::uint64_t elim[NumElimKinds] = {};
     for (const PipeRecord &r : records) {
         out += renderPipeLine(r, origin, width);
         out += '\n';
         ++elim[static_cast<unsigned>(r.elim)];
     }
 
-    const std::uint64_t collapsed =
-        elim[1] + elim[2] + elim[3] + elim[4];
-    out += strprintf("collapsed %llu/%zu (ME %llu, CF %llu, CSE %llu, "
-                     "RA %llu)\n",
+    std::uint64_t collapsed = 0;
+    for (unsigned k = 1; k < NumElimKinds; ++k)
+        collapsed += elim[k];
+    out += strprintf("collapsed %llu/%zu (",
                      static_cast<unsigned long long>(collapsed),
-                     records.size(),
-                     static_cast<unsigned long long>(elim[1]),
-                     static_cast<unsigned long long>(elim[2]),
-                     static_cast<unsigned long long>(elim[3]),
-                     static_cast<unsigned long long>(elim[4]));
+                     records.size());
+    for (unsigned k = 1; k < NumElimKinds; ++k) {
+        out += strprintf(
+            "%s%.*s %llu", k > 1 ? ", " : "",
+            static_cast<int>(
+                elimKindName(static_cast<ElimKind>(k)).size()),
+            elimKindName(static_cast<ElimKind>(k)).data(),
+            static_cast<unsigned long long>(elim[k]));
+    }
+    out += ")\n";
     return out;
 }
 

@@ -25,7 +25,8 @@
 #include <string>
 #include <vector>
 
-#include "uarch/core.hpp"
+#include "uarch/dyninst.hpp"
+#include "uarch/retire_listener.hpp"
 
 namespace reno
 {

@@ -1,7 +1,5 @@
 #include "uarch/core.hpp"
 
-#include <algorithm>
-
 #include "common/log.hpp"
 
 namespace reno
@@ -11,472 +9,27 @@ Core::Core(const CoreParams &params, Emulator &emu)
     : params_(params), emu_(emu), renamer_(params.reno, params.numPregs),
       mem_(params.mem), bp_(params.bpred),
       ssets_(params.ssitEntries, params.numStoreSets),
-      pregReady_(params.numPregs, 0),
-      pregIssue_(params.numPregs, InvalidCycle),
-      pregProducer_(params.numPregs, 0)
+      state_(params_), statSet_("core"), stats_(statSet_),
+      fetch_(params_, emu_, mem_, bp_, state_),
+      rename_(params_, renamer_, ssets_, state_, stats_),
+      issue_(params_, mem_, ssets_, renamer_, state_, stats_),
+      commit_(params_, renamer_, ssets_, mem_, state_, stats_)
 {
     if (params.numPregs < NumLogRegs + 1)
         fatal("numPregs must exceed the number of logical registers");
     renamer_.initialize(emu.state().regs);
 }
 
-Cycle
-Core::srcReadyCycle(const SrcOp &src) const
-{
-    const Cycle ready = pregReady_[src.preg];
-    if (ready == InvalidCycle)
-        return InvalidCycle;
-    const Cycle issue = pregIssue_[src.preg];
-    if (issue == InvalidCycle)
-        return ready;
-    return std::max(ready, issue + params_.schedLoop);
-}
-
-unsigned
-Core::fusionExtra(const DynInst &d) const
-{
-    if (!params_.reno.cf)
-        return 0;
-    const Instruction &inst = d.inst();
-    const bool disp0 = d.ren.numSrcs > 0 && d.ren.src[0].disp != 0;
-    // A store's data displacement collapses on the dedicated store-data
-    // path adder and never delays issue.
-    const bool disp1 = d.ren.numSrcs > 1 && d.ren.src[1].disp != 0 &&
-                       !isStore(inst.op);
-    if (!disp0 && !disp1)
-        return 0;
-    if (!params_.freeAddAddFusion)
-        return 1;  // ablation: every fusion costs a cycle
-    if (inst.info().fusePenalty)
-        return 1;  // general shift or multiply/divide input adder
-    if (disp0 && disp1)
-        return 1;  // both inputs displaced: augmented ALU case
-    return 0;      // add-add fusion via 3-input carry-save adder
-}
-
-void
-Core::squashFrom(size_t idx, Cycle restart_cycle)
-{
-    // Roll back RENO state youngest-first.
-    for (size_t j = rob_.size(); j-- > idx;) {
-        DynInst &d = *rob_[j];
-        renamer_.rollback(d.inst(), d.ren);
-        if (d.inIq)
-            --iqCount_;
-        if (d.inLq)
-            --lqCount_;
-        if (d.inSq) {
-            --sqCount_;
-            ssets_.storeInactive(d.storeSet, d.seq);
-        }
-        if (d.stallsFetch)
-            --fetchBlocked_;
-        d.resetForReplay();
-        d.fetchCycle = restart_cycle;
-        d.fetchReady = restart_cycle + params_.frontDepth;
-    }
-    // Recycle into the fetch buffer, preserving program order.
-    fetchBuf_.insert(fetchBuf_.begin(),
-                     std::make_move_iterator(rob_.begin() +
-                                             static_cast<long>(idx)),
-                     std::make_move_iterator(rob_.end()));
-    rob_.erase(rob_.begin() + static_cast<long>(idx), rob_.end());
-}
-
-void
-Core::commit()
-{
-    // One retirement port: retired stores and re-executing integrated
-    // loads drain from a post-retirement queue at one per cycle.
-    // Retirement itself stalls only when that queue is full (sustained
-    // demand above one per cycle -- the "vortex" effect, section 4.3).
-    if (drainQueue_ > 0)
-        --drainQueue_;
-
-    unsigned committed = 0;
-    while (committed < params_.commitWidth && !rob_.empty()) {
-        DynInst &d = *rob_.front();
-        if (!d.renamed || !d.completed(now_))
-            break;
-
-        const bool elim_load =
-            d.isLoadInst() && (d.ren.elim == ElimKind::Cse ||
-                               d.ren.elim == ElimKind::Ra);
-
-        // Stores write the cache at retirement; integrated loads
-        // re-execute for verification. Both share one retirement port.
-        if (d.isStoreInst() || elim_load) {
-            if (drainQueue_ >= params_.sqEntries) {
-                d.commitDom = CommitDom::RetirePort;
-                break;
-            }
-            ++drainQueue_;
-            mem_.dataAccess(d.rec.effAddr, now_, d.isStoreInst());
-        }
-
-        if (elim_load && d.ren.misintegrated) {
-            // Re-execution caught a stale integration: flush this load
-            // and everything younger, refetch. The stale IT tuple was
-            // already invalidated, so the replay renames normally.
-            ++misintegrationFlushes_;
-            squashFrom(0, now_ + 1);
-            break;
-        }
-
-        d.retireCycle = now_;
-        if (d.commitDom != CommitDom::RetirePort) {
-            d.commitDom = d.completeCycle == now_
-                ? CommitDom::SelfComplete : CommitDom::PrevCommit;
-        }
-
-        renamer_.retire(d.ren);
-        if (d.inLq)
-            --lqCount_;
-        if (d.inSq) {
-            --sqCount_;
-            ssets_.storeInactive(d.storeSet, d.seq);
-        }
-
-        ++retired_;
-        ++retiredElim_[static_cast<unsigned>(d.ren.elim)];
-        if (d.isLoadInst())
-            ++retiredLoads_;
-        if (d.isStoreInst())
-            ++retiredStores_;
-        if (isControl(d.inst().op))
-            ++retiredBranches_;
-
-        if (listener_)
-            listener_->onRetire(d);
-
-        const bool exited = d.rec.exited;
-        rob_.pop_front();
-        ++committed;
-        if (exited) {
-            finished_ = true;
-            break;
-        }
-    }
-}
-
-void
-Core::issue()
-{
-    unsigned used_int = 0, used_ld = 0, used_st = 0, used_total = 0;
-
-    for (size_t i = 0; i < rob_.size(); ++i) {
-        if (used_total >= params_.issue.total)
-            break;
-        DynInst &d = *rob_[i];
-        if (!d.renamed || d.issued || d.ren.eliminated())
-            continue;
-        const Instruction &inst = d.inst();
-        const InstClass cls = inst.info().cls;
-        if (cls == InstClass::Syscall)
-            continue;  // completes at dispatch
-
-        const bool is_ld = cls == InstClass::Load;
-        const bool is_st = cls == InstClass::Store;
-        if (is_ld && used_ld >= params_.issue.loads)
-            continue;
-        if (is_st && used_st >= params_.issue.stores)
-            continue;
-        if (!is_ld && !is_st && used_int >= params_.issue.intOps)
-            continue;
-
-        // Readiness: dispatch pipe, then each source's producer.
-        Cycle earliest = d.readyEarliest;
-        IssueDom dom = IssueDom::Dispatch;
-        InstSeq dom_seq = 0;
-        bool ready = true;
-        for (unsigned s = 0; s < d.ren.numSrcs; ++s) {
-            const Cycle t = srcReadyCycle(d.ren.src[s]);
-            if (t == InvalidCycle) {
-                ready = false;
-                break;
-            }
-            if (t > earliest) {
-                earliest = t;
-                dom = s == 0 ? IssueDom::Src0 : IssueDom::Src1;
-                dom_seq = pregProducer_[d.ren.src[s].preg];
-            }
-        }
-        if (!ready || earliest > now_)
-            continue;
-
-        // Aggressive load scheduling, gated by the store-set predictor:
-        // a load whose pc maps to a store set waits until every older
-        // in-flight store of that set has issued (the LFST chains
-        // same-set stores, so tracking the youngest is equivalent).
-        if (is_ld) {
-            const unsigned set = ssets_.setOf(d.rec.pc);
-            if (set != StoreSets::InvalidSet) {
-                bool blocked = false;
-                InstSeq blocker = 0;
-                for (size_t j = 0; j < i; ++j) {
-                    const DynInst &s = *rob_[j];
-                    if (s.isStoreInst() && s.renamed && !s.issued &&
-                        s.storeSet == set) {
-                        blocked = true;
-                        blocker = s.seq;
-                        break;
-                    }
-                }
-                if (blocked) {
-                    d.issueDom = IssueDom::MemDep;
-                    d.domProducer = blocker;
-                    continue;
-                }
-            }
-        }
-
-        // Issue.
-        d.issued = true;
-        d.issueCycle = now_;
-        d.issueDom = now_ > earliest ? IssueDom::Contention : dom;
-        if (d.issueDom != IssueDom::Contention)
-            d.domProducer = dom_seq;
-        if (d.inIq) {
-            d.inIq = false;
-            --iqCount_;
-        }
-        ++used_total;
-        if (is_ld)
-            ++used_ld;
-        else if (is_st)
-            ++used_st;
-        else
-            ++used_int;
-
-        const unsigned extra = fusionExtra(d);
-
-        if (is_ld) {
-            const Cycle agen = now_ + 1 + extra;
-            // Store-to-load forwarding / violation arming: find the
-            // youngest older overlapping store.
-            const DynInst *fwd = nullptr;
-            for (size_t j = 0; j < i; ++j) {
-                const DynInst &s = *rob_[j];
-                if (s.isStoreInst() && s.renamed && s.memOverlaps(d))
-                    fwd = &s;
-            }
-            if (fwd && fwd->issued) {
-                d.memLevel = MemLevel::Forwarded;
-                d.completeCycle =
-                    std::max(agen, fwd->completeCycle) +
-                    params_.mem.dcache.latency;
-            } else {
-                // No forwarding source (or an unissued older store: the
-                // aggressive issue proceeds and the store's execution
-                // will catch the violation).
-                if (mem_.dcacheProbe(d.rec.effAddr))
-                    d.memLevel = MemLevel::L1;
-                else if (mem_.l2Probe(d.rec.effAddr))
-                    d.memLevel = MemLevel::L2;
-                else
-                    d.memLevel = MemLevel::Memory;
-                d.completeCycle =
-                    mem_.dataAccess(d.rec.effAddr, agen, false);
-            }
-        } else if (is_st) {
-            // Address generation; data merges on the store-data path.
-            d.completeCycle = now_ + 1 + extra;
-            ssets_.storeInactive(d.storeSet, d.seq);
-        } else {
-            d.completeCycle = now_ + inst.info().latency + extra;
-        }
-
-        if (d.ren.hasDest) {
-            pregReady_[d.ren.destPreg] = d.completeCycle;
-            pregIssue_[d.ren.destPreg] = d.issueCycle;
-        }
-
-        // Resolve a fetch-blocking mispredicted branch.
-        if (d.stallsFetch) {
-            d.stallsFetch = false;
-            --fetchBlocked_;
-            fetchResumeAt_ = std::max(
-                fetchResumeAt_,
-                d.completeCycle + params_.branchResolveExtra);
-            pendingRedirectSeq_ = d.seq;
-        }
-
-        // A store's execution exposes memory-order violations: any
-        // younger overlapping load that already issued read stale data.
-        if (is_st) {
-            for (size_t j = i + 1; j < rob_.size(); ++j) {
-                DynInst &ld = *rob_[j];
-                if (ld.isLoadInst() && ld.issued &&
-                    !ld.ren.eliminated() && ld.memOverlaps(d)) {
-                    ssets_.trainViolation(ld.rec.pc, d.rec.pc);
-                    ++violationSquashes_;
-                    squashFrom(j, now_ + 1);
-                    return;  // indices invalidated; end issue stage
-                }
-            }
-        }
-    }
-}
-
-void
-Core::rename()
-{
-    renamer_.beginGroup();
-    unsigned n = 0;
-    while (n < params_.renameWidth && !fetchBuf_.empty()) {
-        DynInst &d = *fetchBuf_.front();
-        if (d.fetchReady > now_)
-            break;
-        const Instruction &inst = d.inst();
-        const bool sys = inst.op == Opcode::SYSCALL;
-
-        if (rob_.size() >= params_.robEntries) {
-            ++stallRob_;
-            break;
-        }
-        if (sys && !rob_.empty())
-            break;  // serialize
-        if (!sys && iqCount_ >= params_.iqEntries) {
-            ++stallIq_;
-            break;
-        }
-        if (d.isLoadInst() && lqCount_ >= params_.lqEntries) {
-            ++stallLsq_;
-            break;
-        }
-        if (d.isStoreInst() && sqCount_ >= params_.sqEntries) {
-            ++stallLsq_;
-            break;
-        }
-        if (inst.hasDest() && !renamer_.ensureFreePreg()) {
-            ++stallPregs_;
-            break;
-        }
-
-        d.ren = renamer_.rename(RenameIn{inst, d.rec.result});
-        d.renamed = true;
-        d.renameCycle = now_;
-        d.readyEarliest = now_ + params_.renameDepth;
-
-        if (sys) {
-            d.completeCycle = d.readyEarliest;
-            if (d.ren.hasDest) {
-                pregReady_[d.ren.destPreg] = d.completeCycle;
-                pregIssue_[d.ren.destPreg] = InvalidCycle;
-                pregProducer_[d.ren.destPreg] = d.seq;
-            }
-        } else if (d.ren.eliminated()) {
-            // Collapsed: no issue queue entry, no execution; the
-            // instruction simply flows to retirement. Consumers track
-            // the shared register's original producer.
-            d.completeCycle = d.readyEarliest;
-        } else {
-            d.inIq = true;
-            ++iqCount_;
-            if (d.isLoadInst()) {
-                d.inLq = true;
-                ++lqCount_;
-            }
-            if (d.isStoreInst()) {
-                d.inSq = true;
-                ++sqCount_;
-                d.storeSet = ssets_.storeDispatched(d.rec.pc, d.seq);
-            }
-            if (d.ren.hasDest) {
-                pregReady_[d.ren.destPreg] = InvalidCycle;
-                pregIssue_[d.ren.destPreg] = InvalidCycle;
-                pregProducer_[d.ren.destPreg] = d.seq;
-            }
-        }
-
-        rob_.push_back(std::move(fetchBuf_.front()));
-        fetchBuf_.pop_front();
-        ++n;
-        if (sys)
-            break;
-    }
-}
-
-void
-Core::fetch()
-{
-    if (finished_ || fetchBlocked_ > 0 || now_ < fetchResumeAt_)
-        return;
-
-    const unsigned hit_lat = params_.mem.icache.latency;
-    unsigned fetched = 0;
-    unsigned taken_seen = 0;
-
-    while (fetched < params_.fetchWidth &&
-           fetchBuf_.size() < params_.fetchBufEntries && !emu_.done()) {
-        const Addr pc = emu_.state().pc;
-        const Addr block = pc / params_.mem.icache.blockBytes;
-        if (block != lastFetchBlock_) {
-            const Cycle ready = mem_.fetchAccess(pc, now_);
-            lastFetchBlock_ = block;
-            if (ready > now_ + hit_lat) {
-                // I$ miss: fetch resumes when the fill completes.
-                fetchResumeAt_ = ready - hit_lat;
-                break;
-            }
-        }
-
-        const ExecRecord rec = emu_.step();
-        auto d = std::make_unique<DynInst>();
-        d->rec = rec;
-        d->seq = seqCounter_++;
-        d->fetchCycle = now_;
-        d->fetchReady = now_ + params_.frontDepth;
-        d->redirectFrom = pendingRedirectSeq_;
-        pendingRedirectSeq_ = 0;
-
-        bool mispredicted = false;
-        if (isControl(rec.inst.op)) {
-            const Prediction pred = bp_.predict(pc, rec.inst);
-            Addr pred_npc = pc + 4;
-            bool target_known = true;
-            if (pred.taken) {
-                pred_npc = pred.target;
-                target_known = pred.targetValid;
-            }
-            if (pred.taken != rec.taken) {
-                mispredicted = true;
-                bp_.noteDirMispredict();
-            } else if (rec.taken && (!target_known ||
-                                     pred_npc != rec.npc)) {
-                mispredicted = true;
-                bp_.noteTargetMispredict();
-            }
-            bp_.update(pc, rec.inst, rec.taken, rec.npc);
-            if (rec.taken)
-                ++taken_seen;
-        }
-
-        d->mispredicted = mispredicted;
-        if (mispredicted) {
-            d->stallsFetch = true;
-            ++fetchBlocked_;
-        }
-        fetchBuf_.push_back(std::move(d));
-        ++fetched;
-
-        if (mispredicted)
-            break;  // stall until the branch resolves
-        if (taken_seen >= 2)
-            break;  // can fetch past only one taken branch per cycle
-    }
-}
-
 void
 Core::tick()
 {
-    commit();
-    if (!finished_) {
-        issue();
-        rename();
-        fetch();
+    commit_.tick();
+    if (!state_.finished) {
+        issue_.tick();
+        rename_.tick();
+        fetch_.tick();
     }
-    ++now_;
+    ++state_.now;
 }
 
 SimResult
@@ -493,26 +46,26 @@ Core::runUntilRetired(std::uint64_t retired_bound)
     // rename/retire deadlock (e.g. an unreclaimable register pool)
     // should fail loudly, not spin to maxCycles.
     constexpr Cycle RetireGapBound = 100'000;
-    std::uint64_t last_retired = retired_;
-    Cycle last_progress = now_;
+    std::uint64_t last_retired = stats_.retired;
+    Cycle last_progress = state_.now;
 
-    while (!finished_ && retired_ < retired_bound &&
-           now_ < params_.maxCycles) {
+    while (!state_.finished && stats_.retired < retired_bound &&
+           state_.now < params_.maxCycles) {
         tick();
-        if (retired_ != last_retired) {
-            last_retired = retired_;
-            last_progress = now_;
-        } else if (now_ - last_progress > RetireGapBound) {
+        if (stats_.retired != last_retired) {
+            last_retired = stats_.retired;
+            last_progress = state_.now;
+        } else if (state_.now - last_progress > RetireGapBound) {
             panic("no instruction retired for %llu cycles "
                   "(cycle %llu, %llu retired, rob %zu, free pregs %u): "
                   "pipeline deadlock",
                   static_cast<unsigned long long>(RetireGapBound),
-                  static_cast<unsigned long long>(now_),
-                  static_cast<unsigned long long>(retired_),
-                  rob_.size(), renamer_.physRegs().numFree());
+                  static_cast<unsigned long long>(state_.now),
+                  static_cast<unsigned long long>(stats_.retired),
+                  state_.rob.size(), renamer_.physRegs().numFree());
         }
     }
-    if (!finished_ && retired_ < retired_bound)
+    if (!state_.finished && stats_.retired < retired_bound)
         warn("simulation hit the cycle limit before program exit");
     return result();
 }
@@ -521,28 +74,28 @@ SimResult
 Core::result() const
 {
     SimResult r;
-    r.cycles = now_;
-    r.retired = retired_;
-    for (unsigned k = 0; k < 5; ++k)
-        r.elim[k] = retiredElim_[k];
-    r.retiredLoads = retiredLoads_;
-    r.retiredStores = retiredStores_;
-    r.retiredBranches = retiredBranches_;
+    r.cycles = state_.now;
+    r.retired = stats_.retired;
+    for (unsigned k = 0; k < NumElimKinds; ++k)
+        r.elim[k] = stats_.retiredElim(k);
+    r.retiredLoads = stats_.retiredLoads;
+    r.retiredStores = stats_.retiredStores;
+    r.retiredBranches = stats_.retiredBranches;
     r.itAccesses = renamer_.it().accesses();
     r.itHits = renamer_.it().hits();
     r.overflowCancels = renamer_.overflowCancels();
     r.groupDepCancels = renamer_.groupDepCancels();
-    r.violationSquashes = violationSquashes_;
-    r.misintegrationFlushes = misintegrationFlushes_;
+    r.violationSquashes = stats_.violationSquashes;
+    r.misintegrationFlushes = stats_.misintegrationFlushes;
     r.bpLookups = bp_.lookups();
     r.bpMispredicts = bp_.dirMispredicts() + bp_.targetMispredicts();
     r.icacheMisses = mem_.icache().misses();
     r.dcacheMisses = mem_.dcache().misses();
     r.l2Misses = mem_.l2().misses();
-    r.stallRob = stallRob_;
-    r.stallIq = stallIq_;
-    r.stallPregs = stallPregs_;
-    r.stallLsq = stallLsq_;
+    r.stallRob = stats_.stallRob;
+    r.stallIq = stats_.stallIq;
+    r.stallPregs = stats_.stallPregs;
+    r.stallLsq = stats_.stallLsq;
     return r;
 }
 

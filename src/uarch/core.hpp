@@ -15,87 +15,37 @@
  * (stale integration-table tuples, which real hardware catches by
  * retirement re-execution) flush the pipeline behind the offender and
  * refetch, rolling back RENO map-table, reference-count and IT state.
+ *
+ * Core itself is a thin facade: the machine state lives in
+ * pipeline/machine_state.hpp, the four stage units in
+ * src/pipeline/{fetch,rename,issue,commit}_stage.*, and the
+ * pipeline's counters in a named StatSet (common/statset.hpp) exposed
+ * through stats(). Core wires them together and drives one stage pass
+ * per tick().
  */
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <vector>
 
 #include "branch/predictor.hpp"
+#include "common/statset.hpp"
 #include "emu/emulator.hpp"
 #include "mem/cache.hpp"
+#include "pipeline/commit_stage.hpp"
+#include "pipeline/fetch_stage.hpp"
+#include "pipeline/issue_stage.hpp"
+#include "pipeline/machine_state.hpp"
+#include "pipeline/pipeline_stats.hpp"
+#include "pipeline/rename_stage.hpp"
 #include "reno/renamer.hpp"
 #include "uarch/dyninst.hpp"
 #include "uarch/params.hpp"
+#include "uarch/retire_listener.hpp"
+#include "uarch/sim_result.hpp"
 #include "uarch/store_sets.hpp"
 
 namespace reno
 {
-
-/** Hook invoked for every retired instruction (critical-path data). */
-class RetireListener
-{
-  public:
-    virtual ~RetireListener() = default;
-    virtual void onRetire(const DynInst &inst) = 0;
-};
-
-/** Summary statistics of one simulation run. */
-struct SimResult {
-    std::uint64_t cycles = 0;
-    std::uint64_t retired = 0;
-
-    /** Retired instructions collapsed, by ElimKind index. */
-    std::uint64_t elim[5] = {};
-
-    std::uint64_t retiredLoads = 0;
-    std::uint64_t retiredStores = 0;
-    std::uint64_t retiredBranches = 0;
-
-    std::uint64_t itAccesses = 0;
-    std::uint64_t itHits = 0;
-    std::uint64_t overflowCancels = 0;
-    std::uint64_t groupDepCancels = 0;
-
-    std::uint64_t violationSquashes = 0;
-    std::uint64_t misintegrationFlushes = 0;
-
-    std::uint64_t bpLookups = 0;
-    std::uint64_t bpMispredicts = 0;
-
-    std::uint64_t icacheMisses = 0;
-    std::uint64_t dcacheMisses = 0;
-    std::uint64_t l2Misses = 0;
-
-    std::uint64_t stallRob = 0;
-    std::uint64_t stallIq = 0;
-    std::uint64_t stallPregs = 0;
-    std::uint64_t stallLsq = 0;
-
-    double ipc() const { return cycles ? double(retired) / cycles : 0.0; }
-
-    std::uint64_t
-    eliminatedTotal() const
-    {
-        return elim[1] + elim[2] + elim[3] + elim[4];
-    }
-
-    /** Fraction of retired instructions eliminated or folded. */
-    double
-    elimFraction() const
-    {
-        return retired ? double(eliminatedTotal()) / retired : 0.0;
-    }
-
-    double
-    elimFraction(ElimKind kind) const
-    {
-        return retired
-            ? double(elim[static_cast<unsigned>(kind)]) / retired : 0.0;
-    }
-};
 
 /** The out-of-order core. */
 class Core
@@ -120,9 +70,9 @@ class Core
     /** Advance one cycle (exposed for tests). */
     void tick();
 
-    bool finished() const { return finished_; }
-    Cycle now() const { return now_; }
-    std::uint64_t retiredCount() const { return retired_; }
+    bool finished() const { return state_.finished; }
+    Cycle now() const { return state_.now; }
+    std::uint64_t retiredCount() const { return stats_.retired; }
 
     RenoRenamer &renamer() { return renamer_; }
     const RenoRenamer &renamer() const { return renamer_; }
@@ -131,31 +81,19 @@ class Core
 
     void setRetireListener(RetireListener *listener)
     {
-        listener_ = listener;
+        commit_.setListener(listener);
     }
 
     /** Current result snapshot (valid mid-run too). */
     SimResult result() const;
 
+    /** The pipeline's named stat registry (live counters). */
+    const StatSet &stats() const { return statSet_; }
+
+    /** The explicit machine state (tests, visualization). */
+    const MachineState &machineState() const { return state_; }
+
   private:
-    void commit();
-    void issue();
-    void rename();
-    void fetch();
-
-    /** Extra fused-operation latency for deferred displacements. */
-    unsigned fusionExtra(const DynInst &d) const;
-
-    /**
-     * Squash ROB entries [idx, end): roll back RENO state in reverse
-     * order and recycle the instructions into the fetch buffer for
-     * replay starting at @p restart_cycle.
-     */
-    void squashFrom(size_t idx, Cycle restart_cycle);
-
-    /** Source-operand ready cycle honoring the scheduling loop. */
-    Cycle srcReadyCycle(const SrcOp &src) const;
-
     CoreParams params_;
     Emulator &emu_;
     RenoRenamer renamer_;
@@ -163,42 +101,14 @@ class Core
     BranchPredictor bp_;
     StoreSets ssets_;
 
-    std::deque<std::unique_ptr<DynInst>> fetchBuf_;
-    std::deque<std::unique_ptr<DynInst>> rob_;
+    MachineState state_;
+    StatSet statSet_;
+    PipelineStats stats_;
 
-    std::vector<Cycle> pregReady_;
-    std::vector<Cycle> pregIssue_;
-    std::vector<InstSeq> pregProducer_;
-
-    unsigned iqCount_ = 0;
-    unsigned lqCount_ = 0;
-    unsigned sqCount_ = 0;
-    /** Post-retirement port queue: stores and re-executing integrated
-     *  loads drain at one per cycle; commit stalls only when full. */
-    unsigned drainQueue_ = 0;
-
-    Cycle now_ = 0;
-    InstSeq seqCounter_ = 1;
-    Addr lastFetchBlock_ = ~Addr{0};
-    Cycle fetchResumeAt_ = 0;
-    unsigned fetchBlocked_ = 0;  //!< unresolved mispredicted branches
-    InstSeq pendingRedirectSeq_ = 0;  //!< branch behind the next fetch
-    bool finished_ = false;
-
-    RetireListener *listener_ = nullptr;
-
-    // --- statistics ---------------------------------------------------
-    std::uint64_t retired_ = 0;
-    std::uint64_t retiredElim_[5] = {};
-    std::uint64_t retiredLoads_ = 0;
-    std::uint64_t retiredStores_ = 0;
-    std::uint64_t retiredBranches_ = 0;
-    std::uint64_t violationSquashes_ = 0;
-    std::uint64_t misintegrationFlushes_ = 0;
-    std::uint64_t stallRob_ = 0;
-    std::uint64_t stallIq_ = 0;
-    std::uint64_t stallPregs_ = 0;
-    std::uint64_t stallLsq_ = 0;
+    FetchStage fetch_;
+    RenameStage rename_;
+    IssueStage issue_;
+    CommitStage commit_;
 };
 
 } // namespace reno

@@ -70,6 +70,14 @@ struct DynInst {
     Cycle retireCycle = InvalidCycle;
     CommitDom commitDom = CommitDom::SelfComplete;
 
+    // --- pipeline linkage -----------------------------------------------
+    /** Intrusive issue-candidate list (MachineState::issueHead):
+     *  renamed, not yet issued, not collapsed, not a syscall. The
+     *  issue stage walks only these instead of the whole ROB. */
+    DynInst *issuePrev = nullptr;
+    DynInst *issueNext = nullptr;
+    bool inIssueList = false;
+
     const Instruction &inst() const { return rec.inst; }
     bool isLoadInst() const { return isLoad(rec.inst.op); }
     bool isStoreInst() const { return isStore(rec.inst.op); }
@@ -91,10 +99,19 @@ struct DynInst {
         return a0 < b1 && b0 < a1;
     }
 
-    /** Reset timing state for replay after a squash. */
+    /**
+     * Reset timing state for replay after a squash (also applied by
+     * InstArena::acquire before reuse). The identity fields -- rec,
+     * seq and the fetch-cycle group -- are left for the caller: a
+     * squash keeps them, a fresh fetch overwrites them. The caller
+     * must have unlinked the instruction from the issue-candidate
+     * list first; the linkage is cleared, not unlinked, here.
+     */
     void
     resetForReplay()
     {
+        issuePrev = issueNext = nullptr;
+        inIssueList = false;
         mispredicted = false;
         stallsFetch = false;
         redirectFrom = 0;

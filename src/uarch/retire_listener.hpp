@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Retirement hook shared by the commit stage and its consumers (the
+ * critical-path analyzer, the pipeline tracer). Lives in its own
+ * header so listeners depend on neither the Core facade nor the
+ * pipeline stages.
+ */
+#pragma once
+
+namespace reno
+{
+
+struct DynInst;
+
+/** Hook invoked for every retired instruction (critical-path data). */
+class RetireListener
+{
+  public:
+    virtual ~RetireListener() = default;
+    virtual void onRetire(const DynInst &inst) = 0;
+};
+
+} // namespace reno

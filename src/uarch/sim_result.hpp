@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Summary statistics of one simulation run, plus the canonical field
+ * registry that single-sources every consumer of those statistics:
+ * the result-cache serialization (src/sweep/result_cache.cpp), the
+ * sampled-simulation window delta/accumulate algebra
+ * (src/sample/interval.cpp) and the full named-stat report records
+ * (src/sweep/reporter.cpp). Adding a SimResult field without
+ * extending the registry trips the static_assert below instead of
+ * silently dropping the field from caches, deltas and reports.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "reno/renamer.hpp"
+
+namespace reno
+{
+
+/** Summary statistics of one simulation run. All fields are monotonic
+ *  counters, so a measurement window's contribution is the field-wise
+ *  difference of two snapshots. */
+struct SimResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+
+    /** Retired instructions collapsed, by ElimKind index. */
+    std::uint64_t elim[NumElimKinds] = {};
+
+    std::uint64_t retiredLoads = 0;
+    std::uint64_t retiredStores = 0;
+    std::uint64_t retiredBranches = 0;
+
+    std::uint64_t itAccesses = 0;
+    std::uint64_t itHits = 0;
+    std::uint64_t overflowCancels = 0;
+    std::uint64_t groupDepCancels = 0;
+
+    std::uint64_t violationSquashes = 0;
+    std::uint64_t misintegrationFlushes = 0;
+
+    std::uint64_t bpLookups = 0;
+    std::uint64_t bpMispredicts = 0;
+
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t l2Misses = 0;
+
+    std::uint64_t stallRob = 0;
+    std::uint64_t stallIq = 0;
+    std::uint64_t stallPregs = 0;
+    std::uint64_t stallLsq = 0;
+
+    double ipc() const { return cycles ? double(retired) / cycles : 0.0; }
+
+    std::uint64_t
+    eliminatedTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (unsigned k = 1; k < NumElimKinds; ++k)
+            sum += elim[k];
+        return sum;
+    }
+
+    /** Fraction of retired instructions eliminated or folded. */
+    double
+    elimFraction() const
+    {
+        return retired ? double(eliminatedTotal()) / retired : 0.0;
+    }
+
+    double
+    elimFraction(ElimKind kind) const
+    {
+        return retired
+            ? double(elim[static_cast<unsigned>(kind)]) / retired : 0.0;
+    }
+};
+
+/** One entry of the canonical field registry: a stable name and the
+ *  field's byte offset within SimResult. */
+struct SimStatField {
+    const char *name;
+    std::size_t offset;
+};
+
+static_assert(std::is_standard_layout_v<SimResult>,
+              "SimStatField offsets require standard layout");
+
+// Registry order is the result-cache file order (format "reno-result
+// v1"): the scalar counters in declaration order, then the elim
+// array. Do not reorder -- persisted cache entries depend on it.
+#define RENO_ELIM_FIELD(k) \
+    {"elim" #k, offsetof(SimResult, elim) + (k) * sizeof(std::uint64_t)}
+inline constexpr SimStatField SimResultFields[] = {
+    {"cycles", offsetof(SimResult, cycles)},
+    {"retired", offsetof(SimResult, retired)},
+    {"retiredLoads", offsetof(SimResult, retiredLoads)},
+    {"retiredStores", offsetof(SimResult, retiredStores)},
+    {"retiredBranches", offsetof(SimResult, retiredBranches)},
+    {"itAccesses", offsetof(SimResult, itAccesses)},
+    {"itHits", offsetof(SimResult, itHits)},
+    {"overflowCancels", offsetof(SimResult, overflowCancels)},
+    {"groupDepCancels", offsetof(SimResult, groupDepCancels)},
+    {"violationSquashes", offsetof(SimResult, violationSquashes)},
+    {"misintegrationFlushes", offsetof(SimResult, misintegrationFlushes)},
+    {"bpLookups", offsetof(SimResult, bpLookups)},
+    {"bpMispredicts", offsetof(SimResult, bpMispredicts)},
+    {"icacheMisses", offsetof(SimResult, icacheMisses)},
+    {"dcacheMisses", offsetof(SimResult, dcacheMisses)},
+    {"l2Misses", offsetof(SimResult, l2Misses)},
+    {"stallRob", offsetof(SimResult, stallRob)},
+    {"stallIq", offsetof(SimResult, stallIq)},
+    {"stallPregs", offsetof(SimResult, stallPregs)},
+    {"stallLsq", offsetof(SimResult, stallLsq)},
+    RENO_ELIM_FIELD(0),
+    RENO_ELIM_FIELD(1),
+    RENO_ELIM_FIELD(2),
+    RENO_ELIM_FIELD(3),
+    RENO_ELIM_FIELD(4),
+};
+#undef RENO_ELIM_FIELD
+
+static_assert(NumElimKinds == 5,
+              "new ElimKind: add its RENO_ELIM_FIELD entry above");
+static_assert(std::size(SimResultFields) * sizeof(std::uint64_t) ==
+                  sizeof(SimResult),
+              "SimResult changed: update SimResultFields");
+
+/** The canonical registry, every counter exactly once. */
+inline std::span<const SimStatField>
+simResultFields()
+{
+    return SimResultFields;
+}
+
+inline std::uint64_t &
+statRef(SimResult &r, const SimStatField &f)
+{
+    return *reinterpret_cast<std::uint64_t *>(
+        reinterpret_cast<char *>(&r) + f.offset);
+}
+
+inline std::uint64_t
+statValue(const SimResult &r, const SimStatField &f)
+{
+    return *reinterpret_cast<const std::uint64_t *>(
+        reinterpret_cast<const char *>(&r) + f.offset);
+}
+
+} // namespace reno

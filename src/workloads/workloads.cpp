@@ -122,6 +122,30 @@ suiteWorkloads(const std::string &suite)
     return out;
 }
 
+std::vector<SuiteInfo>
+knownSuites()
+{
+    std::vector<SuiteInfo> out;
+    auto tally = [&out](const std::vector<Workload> &registry,
+                        bool paper) {
+        for (const Workload &w : registry) {
+            SuiteInfo *info = nullptr;
+            for (SuiteInfo &s : out) {
+                if (s.name == w.suite)
+                    info = &s;
+            }
+            if (!info) {
+                out.push_back(SuiteInfo{w.suite, 0, paper});
+                info = &out.back();
+            }
+            ++info->workloads;
+        }
+    };
+    tally(allWorkloads(), true);
+    tally(synthWorkloads(), false);
+    return out;
+}
+
 const Workload &
 workloadByName(const std::string &name)
 {

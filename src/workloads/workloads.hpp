@@ -55,6 +55,20 @@ const std::vector<Workload> &synthWorkloads();
 /** Workloads of one suite ("spec", "media" or "synth"). */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
+/**
+ * Every suite token suiteWorkloads() accepts, in registration order,
+ * with whether it belongs to the paper registry (allWorkloads(), the
+ * default sweep set) or is generated (synth). Derived from the
+ * workload registries, so a new suite is discoverable the moment its
+ * workloads register.
+ */
+struct SuiteInfo {
+    std::string name;
+    std::size_t workloads = 0;
+    bool paper = false;  //!< in allWorkloads() (the "all" sweep set)
+};
+std::vector<SuiteInfo> knownSuites();
+
 /** Lookup by name; fatal() if unknown. */
 const Workload &workloadByName(const std::string &name);
 

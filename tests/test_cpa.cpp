@@ -8,6 +8,7 @@
 
 #include "asm/assembler.hpp"
 #include "cpa/critpath.hpp"
+#include "uarch/core.hpp"
 #include "emu/emulator.hpp"
 
 using namespace reno;

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Pipeline-subsystem tests: golden byte-identity of full SimResult
+ * vectors against the pre-refactor monolithic core (squash/replay
+ * included), stall-counter attribution per back-pressured resource,
+ * StatSet snapshot/delta algebra as used by the sampling windows, and
+ * instruction-arena recycling.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "common/statset.hpp"
+#include "sample/interval.hpp"
+#include "emu/emulator.hpp"
+#include "uarch/core.hpp"
+
+using namespace reno;
+
+namespace
+{
+
+SimResult
+runProgram(const std::string &src, const CoreParams &params)
+{
+    const Program prog = assemble(src);
+    Emulator emu(prog);
+    Core core(params, emu);
+    return core.run();
+}
+
+const char *const exitOnly = "  li v0, 0\n  li a0, 0\n  syscall\n";
+
+// Program with frequent memory-order violations (slow store address,
+// overlapping load right behind it): exercises squash/replay.
+const char *const violationSrc = R"(
+        .data
+buf:    .space 256
+        .text
+_start:
+        la   s0, buf
+        li   s1, 2000
+        li   s3, 0
+loop:
+        mul  t0, s1, s1
+        andi t0, t0, 24
+        add  t1, s0, t0
+        stq  s1, 0(t1)
+        andi t2, s1, 24
+        add  t3, s0, t2
+        ldq  t4, 0(t3)
+        add  s3, s3, t4
+        subi s1, s1, 1
+        bne  s1, loop
+        mov  a0, s3
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+// Store/reload pairs from alternating pcs: integrated loads whose
+// tuples go stale, plus retirement-port (LSQ drain) pressure.
+const char *const misintegSrc = R"(
+        .data
+slot:   .space 64
+        .text
+_start:
+        la   s0, slot
+        li   s1, 500
+        li   s3, 0
+loop:
+        stq  s1, 8(s0)
+        ldq  t0, 8(s0)
+        add  s3, s3, t0
+        addi t1, s1, 7
+        stq  t1, 8(s0)
+        ldq  t2, 8(s0)
+        add  s3, s3, t2
+        subi s1, s1, 1
+        bne  s1, loop
+        mov  a0, s3
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+// Call-heavy kernel with stack traffic, redundant loads, moves and
+// folded additions (the CoreEquivalence program from test_core).
+const char *const mixedSrc = R"(
+        .data
+arr:    .space 1024
+        .text
+helper:
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        mov  s0, a0
+        slli t0, s0, 3
+        andi t0, t0, 1016
+        la   t1, arr
+        add  t1, t1, t0
+        ldq  t2, 0(t1)
+        add  t2, t2, s0
+        stq  t2, 0(t1)
+        ldq  t3, 0(t1)
+        mov  v0, t3
+        ldq  ra, 0(sp)
+        ldq  s0, 8(sp)
+        addi sp, sp, 16
+        ret
+_start:
+        li   s1, 300
+        li   s2, 0
+loop:
+        mov  a0, s1
+        subi sp, sp, 8
+        stq  ra, 0(sp)
+        call helper
+        ldq  ra, 0(sp)
+        addi sp, sp, 8
+        add  s2, s2, v0
+        subi s1, s1, 1
+        bne  s1, loop
+        mov  a0, s2
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace
+
+// ---- golden byte-identity vs. the pre-refactor core --------------------
+//
+// The expected vectors below were produced by the monolithic
+// src/uarch/core.{hpp,cpp} (commit dbd4032, before the src/pipeline/
+// decomposition) on default CoreParams. Every counter of SimResult
+// must match exactly: the stage decomposition, the issue-candidate
+// list, the robStores/robLoads scan views and the instruction arena
+// are required to be behavior-preserving, not just statistically
+// close.
+
+namespace
+{
+
+struct GoldenCase {
+    const char *name;
+    SimResult expect;
+};
+
+const GoldenCase ViolationGolden[] = {
+    {"violation-base",
+     {5913u, 20010u,
+      {20010u, 0u, 0u, 0u, 0u},
+      2000u, 2000u, 2000u,
+      0u, 0u, 0u, 0u,
+      1u, 0u,
+      2000u, 3u,
+      3u, 1u, 3u,
+      71u, 1957u, 0u, 0u}},
+    {"violation-reno",
+     {5416u, 20010u,
+      {18004u, 4u, 2002u, 0u, 0u},
+      2000u, 2000u, 2000u,
+      6009u, 0u, 0u, 0u,
+      1u, 0u,
+      2000u, 3u,
+      3u, 1u, 3u,
+      74u, 0u, 0u, 0u}},
+};
+
+const GoldenCase MisintegGolden = {
+    "misinteg-reno",
+    {2258u, 4510u,
+     {2504u, 4u, 1002u, 0u, 1000u},
+     1000u, 1000u, 500u,
+     2000u, 1000u, 0u, 0u,
+     0u, 0u,
+     500u, 3u,
+     3u, 1u, 3u,
+     0u, 0u, 0u, 919u}};
+
+const GoldenCase MixedGolden[] = {
+    {"mixed-base",
+     {4485u, 8108u,
+      {8108u, 0u, 0u, 0u, 0u},
+      1500u, 1200u, 900u,
+      0u, 0u, 0u, 0u,
+      4u, 0u,
+      900u, 3u,
+      5u, 33u, 20u,
+      1925u, 0u, 0u, 0u}},
+    {"mixed-reno",
+     {4430u, 8108u,
+      {5585u, 429u, 1152u, 0u, 942u},
+      1500u, 1200u, 900u,
+      3041u, 942u, 0u, 825u,
+      0u, 0u,
+      900u, 3u,
+      5u, 33u, 20u,
+      2048u, 0u, 0u, 0u}},
+    {"mixed-fullit",
+     {4430u, 8108u,
+      {5246u, 429u, 1152u, 340u, 941u},
+      1500u, 1200u, 900u,
+      7525u, 1281u, 0u, 825u,
+      0u, 0u,
+      900u, 3u,
+      5u, 33u, 20u,
+      2048u, 0u, 0u, 0u}},
+};
+
+void
+expectResultEq(const SimResult &got, const SimResult &want,
+               const char *label)
+{
+    for (const SimStatField &f : simResultFields()) {
+        EXPECT_EQ(statValue(got, f), statValue(want, f))
+            << label << ": counter '" << f.name << "' diverged from "
+            << "the pre-refactor golden result";
+    }
+}
+
+SimResult
+runWithConfig(const char *src, const RenoConfig &config)
+{
+    CoreParams p;
+    p.reno = config;
+    return runProgram(src, p);
+}
+
+} // namespace
+
+TEST(PipelineGolden, ViolationSquashReplayByteIdentical)
+{
+    expectResultEq(runWithConfig(violationSrc, RenoConfig::baseline()),
+                   ViolationGolden[0].expect, ViolationGolden[0].name);
+    expectResultEq(runWithConfig(violationSrc, RenoConfig::full()),
+                   ViolationGolden[1].expect, ViolationGolden[1].name);
+}
+
+TEST(PipelineGolden, MisintegrationWorkloadByteIdentical)
+{
+    expectResultEq(runWithConfig(misintegSrc, RenoConfig::full()),
+                   MisintegGolden.expect, MisintegGolden.name);
+}
+
+TEST(PipelineGolden, MixedKernelByteIdenticalAcrossConfigs)
+{
+    expectResultEq(runWithConfig(mixedSrc, RenoConfig::baseline()),
+                   MixedGolden[0].expect, MixedGolden[0].name);
+    expectResultEq(runWithConfig(mixedSrc, RenoConfig::full()),
+                   MixedGolden[1].expect, MixedGolden[1].name);
+    expectResultEq(runWithConfig(mixedSrc, RenoConfig::fullIt()),
+                   MixedGolden[2].expect, MixedGolden[2].name);
+}
+
+// ---- stall-counter attribution ------------------------------------------
+
+TEST(PipelineStalls, RobPressureChargedToStallRob)
+{
+    // Serial dependent cache-missing loads with a tiny ROB: rename
+    // backs up on the full ROB, not on the (larger) issue queue.
+    const char *src =
+        ".data\nbuf: .space 262144\n.text\n"
+        "  la s0, buf\n  li s1, 4000\n"
+        "loop:\n"
+        "  ldq t0, 0(s0)\n"
+        "  add s0, s0, t0\n"
+        "  addi s0, s0, 64\n"
+        "  subi s1, s1, 1\n"
+        "  bne s1, loop\n"
+        "  li v0, 0\n  li a0, 0\n  syscall\n";
+    CoreParams p;
+    p.robEntries = 8;
+    p.iqEntries = 50;
+    const SimResult r = runProgram(src, p);
+    EXPECT_GT(r.stallRob, 0u);
+    EXPECT_EQ(r.stallIq, 0u)
+        << "the ROB (8) fills before the issue queue (50) can";
+}
+
+TEST(PipelineStalls, IqPressureChargedToStallIq)
+{
+    // A long multiply dependence chain with a tiny issue queue inside
+    // a big ROB: unissued work piles up in the IQ.
+    const char *src =
+        "  li s1, 2000\n  li t0, 3\n"
+        "loop:\n"
+        "  mul t0, t0, t0\n"
+        "  mul t0, t0, t0\n"
+        "  mul t0, t0, t0\n"
+        "  subi s1, s1, 1\n"
+        "  bne s1, loop\n"
+        "  li v0, 0\n  li a0, 0\n  syscall\n";
+    CoreParams p;
+    p.iqEntries = 4;
+    const SimResult r = runProgram(src, p);
+    EXPECT_GT(r.stallIq, 0u);
+    EXPECT_EQ(r.stallRob, 0u);
+}
+
+TEST(PipelineStalls, PregPressureChargedToStallPregs)
+{
+    // Every instruction writes a register; with barely more physical
+    // registers than architectural ones, rename starves for pregs.
+    const char *src =
+        "  li s1, 2000\n  li t0, 3\n"
+        "loop:\n"
+        "  mul t1, t0, t0\n"
+        "  mul t2, t1, t1\n"
+        "  mul t3, t2, t2\n"
+        "  subi s1, s1, 1\n"
+        "  bne s1, loop\n"
+        "  li v0, 0\n  li a0, 0\n  syscall\n";
+    CoreParams p;
+    p.numPregs = NumLogRegs + 2;
+    const SimResult r = runProgram(src, p);
+    EXPECT_GT(r.stallPregs, 0u);
+}
+
+TEST(PipelineStalls, StoreQueuePressureChargedToStallLsq)
+{
+    const char *src =
+        ".data\nbuf: .space 4096\n.text\n"
+        "  la s0, buf\n  li s1, 2000\n"
+        "loop:\n"
+        "  stq s1, 0(s0)\n"
+        "  stq s1, 8(s0)\n"
+        "  stq s1, 16(s0)\n"
+        "  stq s1, 24(s0)\n"
+        "  subi s1, s1, 1\n"
+        "  bne s1, loop\n"
+        "  li v0, 0\n  li a0, 0\n  syscall\n";
+    CoreParams p;
+    p.sqEntries = 2;
+    const SimResult r = runProgram(src, p);
+    EXPECT_GT(r.stallLsq, 0u);
+}
+
+// ---- StatSet registry and snapshot/delta algebra ------------------------
+
+TEST(StatSetTest, RegistersNamedCountersInOrder)
+{
+    StatSet set("test");
+    std::uint64_t &a = set.add("alpha");
+    std::uint64_t &b = set.add("beta");
+    a += 3;
+    ++b;
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.has("alpha"));
+    EXPECT_FALSE(set.has("gamma"));
+    EXPECT_EQ(set.value("alpha"), 3u);
+    EXPECT_EQ(set.value("beta"), 1u);
+    EXPECT_EQ(set.value("gamma"), 0u);
+    ASSERT_EQ(set.names().size(), 2u);
+    EXPECT_EQ(set.names()[0], "alpha");
+    EXPECT_EQ(set.names()[1], "beta");
+    // Re-adding returns the same counter.
+    EXPECT_EQ(&set.add("alpha"), &a);
+}
+
+TEST(StatSetTest, ReferencesSurviveGrowth)
+{
+    StatSet set;
+    std::uint64_t &first = set.add("first");
+    for (int i = 0; i < 1000; ++i)
+        set.add("extra" + std::to_string(i));
+    first = 42;
+    EXPECT_EQ(set.value("first"), 42u);
+}
+
+TEST(StatSetTest, SnapshotDeltaAlgebra)
+{
+    // The sampling-window contract: counters are monotonic, so a
+    // window's contribution is the delta of its boundary snapshots,
+    // and window deltas accumulate back to the full-run totals.
+    StatSet set;
+    std::uint64_t &x = set.add("x");
+    std::uint64_t &y = set.add("y");
+
+    const StatSnapshot s0 = set.snapshot();
+    x += 10;
+    y += 1;
+    const StatSnapshot s1 = set.snapshot();
+    x += 5;
+    y += 2;
+    const StatSnapshot s2 = set.snapshot();
+
+    const StatSnapshot w1 = s1.delta(s0);
+    const StatSnapshot w2 = s2.delta(s1);
+    EXPECT_EQ(w1.values[0], 10u);
+    EXPECT_EQ(w1.values[1], 1u);
+    EXPECT_EQ(w2.values[0], 5u);
+    EXPECT_EQ(w2.values[1], 2u);
+
+    StatSnapshot sum;
+    sum.accumulate(w1);
+    sum.accumulate(w2);
+    EXPECT_EQ(sum, s2.delta(s0));
+    EXPECT_EQ(sum.values[0], x);
+    EXPECT_EQ(sum.values[1], y);
+}
+
+TEST(StatSetDeath, IncompatibleSnapshotsRejected)
+{
+    StatSet a, b;
+    a.add("x");
+    b.add("x");
+    b.add("y");
+    const StatSnapshot sa = a.snapshot();
+    const StatSnapshot sb = b.snapshot();
+    EXPECT_EXIT((void)sb.delta(sa), ::testing::ExitedWithCode(1),
+                "incompatible");
+}
+
+TEST(PipelineStatSet, CoreExposesNamedRegistry)
+{
+    const Program prog = assemble(mixedSrc);
+    Emulator emu(prog);
+    CoreParams p;
+    p.reno = RenoConfig::full();
+    Core core(p, emu);
+    const SimResult r = core.run();
+
+    const StatSet &stats = core.stats();
+    EXPECT_EQ(stats.value("retired"), r.retired);
+    EXPECT_EQ(stats.value("retired_loads"), r.retiredLoads);
+    EXPECT_EQ(stats.value("retired_stores"), r.retiredStores);
+    EXPECT_EQ(stats.value("retired_branches"), r.retiredBranches);
+    EXPECT_EQ(stats.value("retired_elim_me"), r.elim[1]);
+    EXPECT_EQ(stats.value("retired_elim_cf"), r.elim[2]);
+    EXPECT_EQ(stats.value("retired_elim_ra"), r.elim[4]);
+    EXPECT_EQ(stats.value("violation_squashes"), r.violationSquashes);
+    EXPECT_EQ(stats.value("stall_rob"), r.stallRob);
+    EXPECT_EQ(stats.value("stall_lsq"), r.stallLsq);
+}
+
+TEST(PipelineStatSet, WindowDeltasMatchFullRun)
+{
+    // Two windows over one run: boundary-snapshot deltas must
+    // accumulate to the final totals (what runIntervalDetailed relies
+    // on), for the named registry and the SimResult algebra alike.
+    const Program prog = assemble(mixedSrc);
+    Emulator emu(prog);
+    CoreParams p;
+    p.reno = RenoConfig::full();
+    Core core(p, emu);
+
+    const StatSnapshot s0 = core.stats().snapshot();
+    const SimResult r0 = core.result();
+    core.runUntilRetired(3000);
+    const StatSnapshot s1 = core.stats().snapshot();
+    const SimResult r1 = core.result();
+    core.run();
+    const StatSnapshot s2 = core.stats().snapshot();
+    const SimResult r2 = core.result();
+
+    StatSnapshot sum;
+    sum.accumulate(s1.delta(s0));
+    sum.accumulate(s2.delta(s1));
+    EXPECT_EQ(sum, s2.delta(s0));
+
+    SimResult acc;
+    sample::accumulateResult(acc, sample::deltaResult(r1, r0));
+    sample::accumulateResult(acc, sample::deltaResult(r2, r1));
+    expectResultEq(acc, r2, "window-accumulate");
+}
+
+// ---- instruction arena ---------------------------------------------------
+
+TEST(PipelineArena, RecyclesInsteadOfGrowing)
+{
+    // Thousands of retired instructions and violation squash/replay
+    // churn, yet the in-flight population never exceeds one slab.
+    const Program prog = assemble(violationSrc);
+    Emulator emu(prog);
+    CoreParams p;
+    p.reno = RenoConfig::full();
+    Core core(p, emu);
+    const SimResult r = core.run();
+    EXPECT_GT(r.retired, 10000u);
+    EXPECT_EQ(core.machineState().arena.slabCount(), 1u);
+}
+
+TEST(PipelineArena, AcquireReturnsResetSlots)
+{
+    InstArena arena;
+    DynInst *a = arena.acquire();
+    a->renamed = true;
+    a->issued = true;
+    a->seq = 7;
+    arena.release(a);
+    DynInst *b = arena.acquire();
+    ASSERT_EQ(a, b) << "LIFO recycling should hand back the same slot";
+    EXPECT_FALSE(b->renamed);
+    EXPECT_FALSE(b->issued);
+    EXPECT_FALSE(b->inIssueList);
+}
+
+TEST(PipelineFacade, TrivialProgramStillWorks)
+{
+    const SimResult r = runProgram(exitOnly, CoreParams{});
+    EXPECT_EQ(r.retired, 3u);
+    EXPECT_GT(r.cycles, 0u);
+}

@@ -68,7 +68,10 @@ usage(const char *argv0)
         "\n"
         "output:\n"
         "  --report table|json|csv  reporter (default table)\n"
-        "  --list                   list workloads/configs and exit\n");
+        "  --list                   list workloads/configs and exit\n"
+        "  --list-configs           list configuration presets and"
+        " exit\n"
+        "  --list-suites            list workload suites and exit\n");
     std::exit(0);
 }
 
@@ -84,9 +87,7 @@ listEverything()
         std::printf("  %-11s (%s, seed %llu)\n", w.name.c_str(),
                     w.suite.c_str(),
                     static_cast<unsigned long long>(w.seed));
-    std::printf("configs:\n");
-    for (const std::string &name : knownConfigNames())
-        std::printf("  %s\n", name.c_str());
+    std::fputs(renderConfigList().c_str(), stdout);
 }
 
 std::uint64_t
@@ -133,6 +134,12 @@ main(int argc, char **argv)
             usage(argv[0]);
         } else if (arg == "--list") {
             listEverything();
+            return 0;
+        } else if (arg == "--list-configs") {
+            std::fputs(renderConfigList().c_str(), stdout);
+            return 0;
+        } else if (arg == "--list-suites") {
+            std::fputs(renderSuiteList().c_str(), stdout);
             return 0;
         } else if (matches("--suite")) {
             suite = value("--suite");

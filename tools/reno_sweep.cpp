@@ -6,6 +6,7 @@
  * content-addressed result cache, and reports through the pluggable
  * table/JSON/CSV reporters.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,7 +57,15 @@ usage(const char *argv0)
         "\n"
         "output:\n"
         "  --report table|json|csv  reporter (default table)\n"
-        "  --list                   list workloads/configs and exit\n");
+        "  --all-stats              report every named SimResult"
+        " counter\n"
+        "  --perf-json FILE         write wall-clock + aggregate IPC"
+        " JSON\n"
+        "                           (CI perf-smoke trend artifact)\n"
+        "  --list                   list workloads/configs and exit\n"
+        "  --list-configs           list configuration presets and"
+        " exit\n"
+        "  --list-suites            list workload suites and exit\n");
     std::exit(0);
 }
 
@@ -68,9 +77,7 @@ listEverything()
         std::printf("  %-10s (%s, seed %llu)\n", w.name.c_str(),
                     w.suite.c_str(),
                     static_cast<unsigned long long>(w.seed));
-    std::printf("configs:\n");
-    for (const std::string &name : knownConfigNames())
-        std::printf("  %s\n", name.c_str());
+    std::fputs(renderConfigList().c_str(), stdout);
 }
 
 } // namespace
@@ -88,6 +95,8 @@ main(int argc, char **argv)
     bool plan_tuned = false;  //!< --warmup/--measure given
     sample::SamplePlan plan;
     sweep::ReportFormat format = sweep::ReportFormat::Table;
+    bool all_stats = false;
+    std::string perf_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -108,6 +117,18 @@ main(int argc, char **argv)
         } else if (arg == "--list") {
             listEverything();
             return 0;
+        } else if (arg == "--list-configs") {
+            std::fputs(renderConfigList().c_str(), stdout);
+            return 0;
+        } else if (arg == "--list-suites") {
+            std::fputs(renderSuiteList().c_str(), stdout);
+            return 0;
+        } else if (arg == "--all-stats") {
+            all_stats = true;
+        } else if (matches("--perf-json")) {
+            perf_json = value("--perf-json");
+            if (perf_json.empty())
+                fatal("--perf-json expects a file path");
         } else if (matches("--suite")) {
             suite = value("--suite");
         } else if (matches("--workload")) {
@@ -217,6 +238,10 @@ main(int argc, char **argv)
     if (sample_intervals > 0) {
         if (want_cpa)
             fatal("--cpa cannot be combined with --sample");
+        if (all_stats)
+            fatal("--all-stats applies to full simulations only");
+        if (!perf_json.empty())
+            fatal("--perf-json applies to full simulations only");
         sample::SampleOptions sample_opts;
         sample_opts.plan = plan;
         sample_opts.plan.intervals = sample_intervals;
@@ -236,8 +261,46 @@ main(int argc, char **argv)
             campaign.add(*w, cfg, "", want_cpa);
     }
 
+    const auto t0 = std::chrono::steady_clock::now();
     const sweep::CampaignResults results = campaign.run(opts);
-    const std::string rendered = sweep::renderResults(results, format);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const std::string rendered =
+        sweep::renderResults(results, format, all_stats);
     std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+
+    if (!perf_json.empty()) {
+        // Trend artifact for the CI perf-smoke job: how long the
+        // campaign took and what it simulated. Aggregate IPC is over
+        // every job result (cache hits included, so IPC is stable
+        // even when wall_seconds measures a warm rerun).
+        std::uint64_t total_cycles = 0, total_retired = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            total_cycles += results.at(i).sim.cycles;
+            total_retired += results.at(i).sim.retired;
+        }
+        std::FILE *f = std::fopen(perf_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", perf_json.c_str());
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"jobs\": %zu,\n"
+            "  \"simulated\": %zu,\n"
+            "  \"wall_seconds\": %.3f,\n"
+            "  \"total_cycles\": %llu,\n"
+            "  \"total_retired\": %llu,\n"
+            "  \"ipc\": %.4f\n"
+            "}\n",
+            results.stats().jobs, results.stats().simulated,
+            wall_seconds,
+            static_cast<unsigned long long>(total_cycles),
+            static_cast<unsigned long long>(total_retired),
+            total_cycles ? double(total_retired) / double(total_cycles)
+                         : 0.0);
+        std::fclose(f);
+    }
     return 0;
 }
