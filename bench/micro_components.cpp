@@ -10,7 +10,7 @@
 #include "asm/assembler.hpp"
 #include "branch/predictor.hpp"
 #include "emu/emulator.hpp"
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "reno/renamer.hpp"
 #include "uarch/core.hpp"
 #include "workloads/workloads.hpp"

@@ -16,13 +16,24 @@ emit(std::string &out, const char *key, std::uint64_t v)
 }
 
 void
-emitCache(std::string &out, const char *prefix, const CacheParams &c)
+emitCache(std::string &out, const std::string &prefix,
+          const CacheParams &c)
 {
-    out += strprintf("%s.size %u\n", prefix, c.sizeBytes);
-    out += strprintf("%s.assoc %u\n", prefix, c.assoc);
-    out += strprintf("%s.block %u\n", prefix, c.blockBytes);
-    out += strprintf("%s.latency %u\n", prefix, c.latency);
-    out += strprintf("%s.mshrs %u\n", prefix, c.numMshrs);
+    const char *p = prefix.c_str();
+    out += strprintf("%s.size %u\n", p, c.sizeBytes);
+    out += strprintf("%s.assoc %u\n", p, c.assoc);
+    out += strprintf("%s.block %u\n", p, c.blockBytes);
+    out += strprintf("%s.latency %u\n", p, c.latency);
+    out += strprintf("%s.mshrs %u\n", p, c.numMshrs);
+    out += strprintf("%s.prefetch %s\n", p,
+                     prefetchKindName(c.prefetch.kind));
+    out += strprintf("%s.prefetchDegree %u\n", p, c.prefetch.degree);
+    out += strprintf("%s.prefetchTable %u\n", p,
+                     c.prefetch.tableEntries);
+    out += strprintf("%s.prefetchRegion %u\n", p,
+                     c.prefetch.regionBytes);
+    out += strprintf("%s.writebackTraffic %u\n", p,
+                     c.writebackTraffic ? 1u : 0u);
 }
 
 } // namespace
@@ -68,6 +79,10 @@ serializeCoreParams(const CoreParams &p)
     emitCache(out, "icache", p.mem.icache);
     emitCache(out, "dcache", p.mem.dcache);
     emitCache(out, "l2", p.mem.l2);
+    emit(out, "mem.extraLevels", p.mem.extraLevels.size());
+    for (std::size_t i = 0; i < p.mem.extraLevels.size(); ++i)
+        emitCache(out, strprintf("extra%zu", i), p.mem.extraLevels[i]);
+    emit(out, "mem.writebacks", p.mem.modelWritebacks);
     emit(out, "memory.latency", p.mem.memory.accessLatency);
     emit(out, "memory.busBytes", p.mem.memory.busBytes);
     emit(out, "memory.busDivider", p.mem.memory.busClockDivider);

@@ -60,7 +60,7 @@ CpBucket
 CriticalPathAnalyzer::execBucket(const Record &rec) const
 {
     if (rec.cls == InstClass::Load) {
-        if (rec.memLevel == MemLevel::Memory)
+        if (rec.memLevel == MemHitLevel::Memory)
             return CpBucket::LoadMem;
         return CpBucket::LoadExec;
     }

@@ -79,7 +79,7 @@ class CriticalPathAnalyzer : public RetireListener
         InstSeq seq;
         Cycle f, i, e, c;  //!< rename, issue, complete, retire
         InstClass cls;
-        MemLevel memLevel;
+        MemHitLevel memLevel;
         bool eliminated;
         IssueDom issueDom;
         InstSeq domProducer;

@@ -41,23 +41,83 @@ divisionOfLabor(const CoreParams &base)
     };
 }
 
+std::vector<std::string>
+memVariantNames()
+{
+    return {"l3", "pf-next", "pf-stride", "wb"};
+}
+
+bool
+applyMemVariant(const std::string &token, CoreParams *params)
+{
+    if (token == "l3") {
+        CacheParams l3;
+        l3.name = "l3";
+        l3.sizeBytes = 2 * 1024 * 1024;
+        l3.assoc = 8;
+        l3.blockBytes = 64;
+        l3.latency = 25;
+        l3.numMshrs = 32;
+        params->mem.extraLevels = {l3};
+        return true;
+    }
+    if (token == "pf-next" || token == "pf-stride") {
+        const PrefetchKind kind = token == "pf-next"
+                                      ? PrefetchKind::NextLine
+                                      : PrefetchKind::Stride;
+        params->mem.dcache.prefetch.kind = kind;
+        params->mem.dcache.prefetch.degree = 2;
+        params->mem.l2.prefetch.kind = kind;
+        params->mem.l2.prefetch.degree = 4;
+        return true;
+    }
+    if (token == "wb") {
+        params->mem.modelWritebacks = true;
+        return true;
+    }
+    return false;
+}
+
 bool
 configByName(const std::string &name, const CoreParams &base,
              NamedConfig *out)
 {
+    // Split off '/'-separated memory-system variant suffixes; the
+    // leading token is a RENO preset.
+    const std::size_t slash = name.find('/');
+    const std::string preset = name.substr(0, slash);
+
+    NamedConfig found;
+    bool ok = false;
     for (const NamedConfig &cfg : renoBuildup(base)) {
-        if (cfg.name == name) {
-            *out = cfg;
-            return true;
+        if (cfg.name == preset) {
+            found = cfg;
+            ok = true;
         }
     }
     for (const NamedConfig &cfg : divisionOfLabor(base)) {
-        if (cfg.name == name) {
-            *out = cfg;
-            return true;
+        if (cfg.name == preset) {
+            found = cfg;
+            ok = true;
         }
     }
-    return false;
+    if (!ok)
+        return false;
+
+    std::size_t pos = slash;
+    while (pos != std::string::npos) {
+        const std::size_t next = name.find('/', pos + 1);
+        const std::string token =
+            name.substr(pos + 1, next == std::string::npos
+                                     ? std::string::npos
+                                     : next - pos - 1);
+        if (!applyMemVariant(token, &found.params))
+            return false;
+        pos = next;
+    }
+    found.name = name;
+    *out = found;
+    return true;
 }
 
 std::vector<std::string>
@@ -88,6 +148,9 @@ renderConfigList()
     std::string out = "configs:\n";
     for (const std::string &name : knownConfigNames())
         out += "  " + name + "\n";
+    out += "memory variants (append as /token, e.g. RENO/l3/wb):\n";
+    for (const std::string &name : memVariantNames())
+        out += "  /" + name + "\n";
     return out;
 }
 

@@ -49,14 +49,28 @@ std::vector<NamedConfig> divisionOfLabor(const CoreParams &base);
 /**
  * Look up an evaluation configuration by name on top of @p base:
  * "BASE", "ME", "ME+CF", "RENO" (the build-up) or "RENO+FullInteg",
- * "FullInteg", "LoadsInteg" (division of labor). Returns false and
- * leaves @p out untouched for an unknown name.
+ * "FullInteg", "LoadsInteg" (division of labor), optionally followed
+ * by '/'-separated memory-system variants ("RENO/l3",
+ * "BASE/pf-stride/wb"; see memVariantNames()). Returns false and
+ * leaves @p out untouched for an unknown name or variant.
  */
 bool configByName(const std::string &name, const CoreParams &base,
                   NamedConfig *out);
 
 /** Names accepted by configByName(), in presentation order. */
 std::vector<std::string> knownConfigNames();
+
+/**
+ * Memory-system variant tokens configByName() accepts as suffixes:
+ *  - "l3":        add a 2 MB 8-way 64 B 25-cycle shared L3;
+ *  - "pf-next":   next-line prefetchers on the D$ and the L2;
+ *  - "pf-stride": region-stride prefetchers on the D$ and the L2;
+ *  - "wb":        model dirty-victim write-back bus traffic.
+ */
+std::vector<std::string> memVariantNames();
+
+/** Apply one variant token to @p params; false if unknown. */
+bool applyMemVariant(const std::string &token, CoreParams *params);
 
 /**
  * Suite iteration for campaign construction: (label, workloads) for

@@ -7,39 +7,66 @@
 namespace reno
 {
 
-Cache::Cache(const CacheParams &params, NextLevel next, void *next_ctx)
-    : params_(params), next_(next), nextCtx_(next_ctx)
+Cache::Cache(const CacheParams &params, MemLevel *next)
+    : params_(params), next_(next)
 {
-    if (params_.blockBytes == 0 || params_.assoc == 0)
-        fatal("cache %s: bad geometry", params_.name.c_str());
+    if (!next_)
+        fatal("cache %s: no next level", params_.name.c_str());
+    if (params_.assoc == 0)
+        fatal("cache %s: associativity must be positive",
+              params_.name.c_str());
+    if (params_.blockBytes == 0 ||
+        (params_.blockBytes & (params_.blockBytes - 1)) != 0)
+        fatal("cache %s: block size must be a positive power of two "
+              "(got %u)",
+              params_.name.c_str(), params_.blockBytes);
+    if (params_.numMshrs == 0)
+        fatal("cache %s: MSHR count must be positive",
+              params_.name.c_str());
     numSets_ = params_.sizeBytes / (params_.blockBytes * params_.assoc);
     if (numSets_ == 0)
         fatal("cache %s: size smaller than one set", params_.name.c_str());
     lines_.resize(static_cast<size_t>(numSets_) * params_.assoc);
+    prefetcher_ =
+        makePrefetcher(params_.prefetch, params_.blockBytes,
+                       params_.name);
+}
+
+Cache::Line *
+Cache::findLine(Addr block)
+{
+    const unsigned set = setIndex(block);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr block) const
+{
+    return const_cast<Cache *>(this)->findLine(block);
 }
 
 bool
 Cache::probe(Addr addr) const
 {
-    const Addr block = blockAddr(addr);
-    const unsigned set = setIndex(block);
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        const Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == block)
-            return true;
-    }
-    return false;
+    return findLine(blockAddr(addr)) != nullptr;
 }
 
 void
-Cache::fill(Addr block)
+Cache::fill(Addr block, Cycle now, bool dirty, bool prefetched)
 {
     const unsigned set = setIndex(block);
     Line *victim = nullptr;
     for (unsigned w = 0; w < params_.assoc; ++w) {
         Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == block)
-            return;  // already present (merged fill)
+        if (line.valid && line.tag == block) {
+            line.dirty = line.dirty || dirty;  // merged fill
+            return;
+        }
         if (!line.valid) {
             victim = &line;
             break;
@@ -47,40 +74,107 @@ Cache::fill(Addr block)
         if (!victim || line.lruStamp < victim->lruStamp)
             victim = &line;
     }
-    victim->valid = true;
-    victim->tag = block;
-    victim->lruStamp = ++lruClock_;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        if (params_.writebackTraffic)
+            next_->access(victim->tag * params_.blockBytes, now,
+                          MemAccessKind::Writeback);
+    }
+    *victim = Line{true, dirty, prefetched, block, ++lruClock_};
+}
+
+void
+Cache::maybePrefetch(Addr block, bool miss, Cycle now)
+{
+    if (!prefetcher_)
+        return;
+    prefetchBuf_.clear();
+    prefetcher_->observe(block, miss, prefetchBuf_);
+    for (const Addr cand : prefetchBuf_) {
+        if (findLine(cand))
+            continue;  // already resident
+        // Prefetch fills ride their own queue, not a demand MSHR:
+        // the issue decision depends only on the tag array, keeping
+        // tags a pure function of the demand stream (the property
+        // that functional warming and checkpoint chop/resume
+        // identity rely on). The timing entry is recorded only while
+        // the queue has room: untracked fills are merely
+        // timing-optimistic, and the bound keeps the per-access
+        // retire scan O(numMshrs) instead of growing without limit
+        // under cycle-0 functional warming, where no entry ever
+        // retires.
+        const Cycle done =
+            next_->access(cand * params_.blockBytes,
+                          now + params_.latency,
+                          MemAccessKind::Prefetch);
+        if (prefetchFills_.size() < 2 * params_.numMshrs)
+            prefetchFills_[cand] = done;
+        fill(cand, now + params_.latency, false, true);
+        ++prefetchIssued_;
+    }
 }
 
 Cycle
-Cache::access(Addr addr, Cycle now, bool is_write)
+Cache::access(Addr addr, Cycle now, MemAccessKind kind)
 {
-    (void)is_write;  // write-allocate; no dirty tracking
     const Addr block = blockAddr(addr);
-    const unsigned set = setIndex(block);
 
-    // Retire MSHRs whose fills have landed (timing bookkeeping only;
-    // the tag array is updated eagerly at miss time).
+    if (kind == MemAccessKind::Writeback) {
+        // Victim drained from the level above: update in place when
+        // present (no recency change -- a drain is not reuse), else
+        // pass through without allocating.
+        if (Line *line = findLine(block)) {
+            line->dirty = true;
+            return now + params_.latency;
+        }
+        return next_->access(addr, now, MemAccessKind::Writeback);
+    }
+
+    const bool demand = kind != MemAccessKind::Prefetch;
+
+    // Retire MSHRs and prefetch fills whose fills have landed
+    // (timing bookkeeping only; the tag array is updated eagerly at
+    // miss time).
     for (auto it = mshrs_.begin(); it != mshrs_.end();) {
         if (it->second <= now)
             it = mshrs_.erase(it);
         else
             ++it;
     }
+    for (auto it = prefetchFills_.begin();
+         it != prefetchFills_.end();) {
+        if (it->second <= now)
+            it = prefetchFills_.erase(it);
+        else
+            ++it;
+    }
 
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == block) {
-            line.lruStamp = ++lruClock_;
-            // The block may still be in flight: an access before the
-            // fill completes merges into the outstanding miss.
-            if (auto it = mshrs_.find(block); it != mshrs_.end()) {
-                ++mshrMerges_;
-                return it->second + params_.latency;
-            }
-            ++hits_;
-            return now + params_.latency;
+    if (Line *line = findLine(block)) {
+        line->lruStamp = ++lruClock_;
+        if (demand && line->prefetched) {
+            ++prefetchUseful_;
+            line->prefetched = false;
         }
+        if (kind == MemAccessKind::Write)
+            line->dirty = true;
+        Cycle ready;
+        // The block may still be in flight (a demand miss or a
+        // prefetch fill): an access before the fill completes merges
+        // into the outstanding request.
+        if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+            ++mshrMerges_;
+            ready = it->second + params_.latency;
+        } else if (auto pf = prefetchFills_.find(block);
+                   pf != prefetchFills_.end()) {
+            ++mshrMerges_;
+            ready = pf->second + params_.latency;
+        } else {
+            ++hits_;
+            ready = now + params_.latency;
+        }
+        if (demand)
+            maybePrefetch(block, false, now);
+        return ready;
     }
     ++misses_;
 
@@ -102,11 +196,20 @@ Cache::access(Addr addr, Cycle now, bool is_write)
     }
 
     const Cycle fill_done =
-        next_(nextCtx_, block * params_.blockBytes, start + params_.latency);
+        next_->access(block * params_.blockBytes,
+                      start + params_.latency,
+                      demand ? MemAccessKind::Read
+                             : MemAccessKind::Prefetch);
     mshrs_[block] = fill_done;
     // Eager tag fill: the line is installed (and a victim evicted) at
-    // miss time; the MSHR entry carries the timing.
-    fill(block);
+    // miss time; the MSHR entry carries the timing. The prefetched
+    // flag marks only lines installed by THIS level's prefetcher
+    // (maybePrefetch), so a pass-through Prefetch fill from an upper
+    // level never credits this level's prefetchUseful counter.
+    fill(block, start + params_.latency,
+         kind == MemAccessKind::Write, false);
+    if (demand)
+        maybePrefetch(block, true, now);
     return fill_done + params_.latency;
 }
 
@@ -114,8 +217,11 @@ void
 Cache::flush()
 {
     for (auto &line : lines_)
-        line.valid = false;
+        line = Line{};
     mshrs_.clear();
+    prefetchFills_.clear();
+    if (prefetcher_)
+        prefetcher_->reset();
 }
 
 void
@@ -123,15 +229,26 @@ Cache::copyStateFrom(const Cache &other)
 {
     if (numSets_ != other.numSets_ ||
         params_.assoc != other.params_.assoc ||
-        params_.blockBytes != other.params_.blockBytes)
+        params_.blockBytes != other.params_.blockBytes ||
+        params_.prefetch.kind != other.params_.prefetch.kind ||
+        params_.prefetch.tableEntries !=
+            other.params_.prefetch.tableEntries)
         fatal("cache %s: copyStateFrom geometry mismatch",
               params_.name.c_str());
     lines_ = other.lines_;
     lruClock_ = other.lruClock_;
     mshrs_ = other.mshrs_;
+    prefetchFills_ = other.prefetchFills_;
     hits_ = other.hits_;
     misses_ = other.misses_;
     mshrMerges_ = other.mshrMerges_;
+    writebacks_ = other.writebacks_;
+    prefetchIssued_ = other.prefetchIssued_;
+    prefetchUseful_ = other.prefetchUseful_;
+    if (prefetcher_ && other.prefetcher_ &&
+        !prefetcher_->importState(other.prefetcher_->exportState()))
+        fatal("cache %s: copyStateFrom prefetcher mismatch",
+              params_.name.c_str());
 }
 
 CacheState
@@ -144,8 +261,11 @@ Cache::exportState() const
             continue;
         state.validLines.push_back(
             {static_cast<std::uint32_t>(i), lines_[i].tag,
-             lines_[i].lruStamp});
+             lines_[i].lruStamp, lines_[i].dirty,
+             lines_[i].prefetched});
     }
+    if (prefetcher_)
+        state.prefetch = prefetcher_->exportState();
     return state;
 }
 
@@ -153,116 +273,19 @@ bool
 Cache::importState(const CacheState &state)
 {
     for (auto &line : lines_)
-        line.valid = false;
+        line = Line{};
     mshrs_.clear();
+    prefetchFills_.clear();
     lruClock_ = state.lruClock;
     for (const CacheState::Line &l : state.validLines) {
         if (l.index >= lines_.size())
             return false;
-        lines_[l.index] = {true, l.tag, l.lruStamp};
+        lines_[l.index] =
+            {true, l.dirty, l.prefetched, l.tag, l.lruStamp};
     }
-    return true;
-}
-
-MemHierarchy::MemHierarchy(const Params &params)
-    : params_(params),
-      l2_(params.l2, &MemHierarchy::memEntry, this),
-      icache_(params.icache, &MemHierarchy::l2Entry, this),
-      dcache_(params.dcache, &MemHierarchy::l2Entry, this),
-      l2BlockBytes_(params.l2.blockBytes)
-{
-}
-
-std::uint64_t
-MemHierarchy::l2Entry(void *ctx, Addr block_addr, Cycle now)
-{
-    auto *self = static_cast<MemHierarchy *>(ctx);
-    return self->l2_.access(block_addr, now, false);
-}
-
-std::uint64_t
-MemHierarchy::memEntry(void *ctx, Addr block_addr, Cycle now)
-{
-    (void)block_addr;
-    auto *self = static_cast<MemHierarchy *>(ctx);
-    return self->memoryAccess(now);
-}
-
-Cycle
-MemHierarchy::memoryAccess(Cycle now)
-{
-    // One L2 block crosses the bus in blockBytes / busBytes beats, each
-    // taking busClockDivider core cycles.
-    const unsigned beats =
-        (l2BlockBytes_ + params_.memory.busBytes - 1) /
-        params_.memory.busBytes;
-    const unsigned transfer = beats * params_.memory.busClockDivider;
-
-    const Cycle start = std::max(now, busFreeCycle_);
-    const Cycle done = start + params_.memory.accessLatency + transfer;
-    busFreeCycle_ = done;
-    return done;
-}
-
-bool
-MemHierarchy::l2Probe(Addr addr) const
-{
-    return l2_.probe(addr);
-}
-
-Cycle
-MemHierarchy::fetchAccess(Addr pc, Cycle now)
-{
-    return icache_.access(pc, now, false);
-}
-
-Cycle
-MemHierarchy::dataAccess(Addr addr, Cycle now, bool is_write)
-{
-    return dcache_.access(addr, now, is_write);
-}
-
-void
-MemHierarchy::flush()
-{
-    icache_.flush();
-    dcache_.flush();
-    l2_.flush();
-    busFreeCycle_ = 0;
-}
-
-void
-MemHierarchy::copyStateFrom(const MemHierarchy &other)
-{
-    icache_.copyStateFrom(other.icache_);
-    dcache_.copyStateFrom(other.dcache_);
-    l2_.copyStateFrom(other.l2_);
-    busFreeCycle_ = other.busFreeCycle_;
-}
-
-void
-MemHierarchy::settle()
-{
-    icache_.settle();
-    dcache_.settle();
-    l2_.settle();
-    busFreeCycle_ = 0;
-}
-
-MemHierarchy::State
-MemHierarchy::exportState() const
-{
-    return {icache_.exportState(), dcache_.exportState(),
-            l2_.exportState()};
-}
-
-bool
-MemHierarchy::importState(const State &state)
-{
-    busFreeCycle_ = 0;
-    return icache_.importState(state.icache) &&
-           dcache_.importState(state.dcache) &&
-           l2_.importState(state.l2);
+    if (prefetcher_)
+        return prefetcher_->importState(state.prefetch);
+    return state.prefetch.entries.empty();
 }
 
 } // namespace reno

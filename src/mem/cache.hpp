@@ -1,15 +1,14 @@
 /**
  * @file
- * Timing-only cache and memory-hierarchy models.
+ * Timing-only set-associative cache, one MemLevel of a composable
+ * hierarchy (mem/hierarchy.hpp assembles the full stack).
  *
- * The hierarchy reproduces the paper's configuration (section 4.1):
- * 16KB 2-way 32B 1-cycle I$, 32KB 2-way 32B 2-cycle D$, 512KB 4-way
- * 64B 10-cycle L2, 100-cycle main memory reached over a 16B bus
- * clocked at one quarter of the core frequency, and a maximum of 16
- * outstanding misses (MSHRs).
- *
- * The models carry no data (data lives in SparseMemory); an access
- * returns the cycle at which its data is available.
+ * The model carries no data (data lives in SparseMemory); an access
+ * returns the cycle at which its data is available. Misses forward to
+ * the next MemLevel through a virtual call, lines carry dirty state
+ * so evicted victims generate modeled write-back traffic (when the
+ * level is configured for it), and an optional per-level prefetcher
+ * (mem/prefetcher.hpp) rides the demand stream.
  */
 #pragma once
 
@@ -19,18 +18,25 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "mem/mem_level.hpp"
+#include "mem/prefetcher.hpp"
 
 namespace reno
 {
 
-/** Geometry and latency of one cache level. */
+/** Geometry, latency and policy of one cache level. */
 struct CacheParams {
     std::string name = "cache";
     unsigned sizeBytes = 16 * 1024;
     unsigned assoc = 2;
     unsigned blockBytes = 32;
     unsigned latency = 1;       //!< access latency in cycles
-    unsigned numMshrs = 16;     //!< max outstanding misses
+    unsigned numMshrs = 16;     //!< max outstanding demand misses
+    PrefetcherParams prefetch;  //!< per-level prefetch engine
+    /** Send dirty victims to the next level as Writeback traffic.
+     *  Off by default: the paper's model carries no write-back
+     *  traffic, and the paper-geometry goldens depend on that. */
+    bool writebackTraffic = false;
 };
 
 /**
@@ -38,64 +44,91 @@ struct CacheParams {
  * simulation). Only valid lines are recorded, so snapshots of small
  * working sets stay small. Timing state (MSHRs, bus) is deliberately
  * excluded: it is transient and settles before a measurement window.
+ * Dirty and prefetched flags, and the prefetcher's training table,
+ * are architectural warm state and are included.
  */
 struct CacheState {
     struct Line {
         std::uint32_t index = 0;  //!< position in the line array
         Addr tag = 0;
         std::uint64_t lruStamp = 0;
+        bool dirty = false;
+        bool prefetched = false;
     };
     std::uint64_t lruClock = 0;
     std::vector<Line> validLines;
+    PrefetchState prefetch;
 };
 
 /**
  * A set-associative, LRU, timing-only cache with MSHR-based miss
- * merging. Misses are forwarded to a "next level" latency callback.
+ * merging, write-back victim tracking and an optional prefetcher.
+ * Misses are forwarded to the next MemLevel.
  */
-class Cache
+class Cache final : public MemLevel
 {
   public:
-    using NextLevel = std::uint64_t (*)(void *ctx, Addr block_addr,
-                                        Cycle now);
-
-    Cache(const CacheParams &params, NextLevel next, void *next_ctx);
+    /** fatal() on invalid geometry: zero associativity, block size,
+     *  or MSHR count; a non-power-of-two block size; or a size
+     *  smaller than one set. */
+    Cache(const CacheParams &params, MemLevel *next);
 
     /**
      * Access @p addr at @p now; returns the cycle the data is ready.
-     * Writes allocate like reads (write-allocate); the model tracks no
-     * dirty state (write-back traffic is not modeled).
+     * Demand writes allocate like reads (write-allocate) and mark the
+     * line dirty; evicting a dirty victim counts a write-back and,
+     * with writebackTraffic set, drains it through the next level.
+     * Prefetch-kind accesses are upper-level prefetch fills passing
+     * through; Writeback-kind accesses update a present line in place
+     * or forward without allocating.
      */
-    Cycle access(Addr addr, Cycle now, bool is_write);
+    Cycle access(Addr addr, Cycle now, MemAccessKind kind) override;
 
     /** True iff @p addr would hit right now (no state change). */
-    bool probe(Addr addr) const;
+    bool probe(Addr addr) const override;
 
-    /** Invalidate all blocks and forget outstanding misses. */
-    void flush();
+    /** Invalidate all blocks, forget outstanding misses and training. */
+    void flush() override;
+
+    const std::string &name() const override { return params_.name; }
 
     /**
      * Adopt another same-geometry cache's complete state (tags, LRU,
-     * in-flight misses, counters). Used to seed a core's caches from
-     * a functionally warmed snapshot; fatal() on a geometry mismatch.
+     * in-flight misses, counters, prefetcher training). Used to seed
+     * a core's caches from a functionally warmed snapshot; fatal() on
+     * a geometry mismatch.
      */
     void copyStateFrom(const Cache &other);
 
-    /** Drop in-flight timing state (MSHRs); tags and LRU stay. */
-    void settle() { mshrs_.clear(); }
+    /** Drop in-flight timing state (MSHRs, prefetch fills); tags,
+     *  LRU and prefetcher training stay. */
+    void
+    settle()
+    {
+        mshrs_.clear();
+        prefetchFills_.clear();
+    }
 
-    /** Export / import the tag+LRU state (checkpoint persistence).
-     *  importState returns false if a line index is out of range. */
+    /** Export / import the tag+LRU+prefetcher state (checkpoint
+     *  persistence). importState returns false if a line or table
+     *  index is out of range. */
     CacheState exportState() const;
     bool importState(const CacheState &state);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t mshrMerges() const { return mshrMerges_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t prefetchIssued() const { return prefetchIssued_; }
+    std::uint64_t prefetchUseful() const { return prefetchUseful_; }
+
+    const CacheParams &params() const { return params_; }
 
   private:
     struct Line {
         bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
         Addr tag = 0;
         std::uint64_t lruStamp = 0;
     };
@@ -103,96 +136,43 @@ class Cache
     Addr blockAddr(Addr addr) const { return addr / params_.blockBytes; }
     unsigned setIndex(Addr block) const { return block % numSets_; }
 
-    /** Install @p block, evicting LRU. */
-    void fill(Addr block);
+    Line *findLine(Addr block);
+    const Line *findLine(Addr block) const;
+
+    /** Install @p block, evicting (and possibly writing back) LRU. */
+    void fill(Addr block, Cycle now, bool dirty, bool prefetched);
+
+    /** Run the prefetcher on a demand access and issue its fills. */
+    void maybePrefetch(Addr block, bool miss, Cycle now);
 
     CacheParams params_;
     unsigned numSets_;
     std::vector<Line> lines_;      //!< numSets_ * assoc
     std::uint64_t lruClock_ = 0;
 
-    /** Outstanding misses: block -> fill-complete cycle. */
+    /** Outstanding demand misses: block -> fill-complete cycle. */
     std::map<Addr, Cycle> mshrs_;
 
-    NextLevel next_;
-    void *nextCtx_;
+    /** In-flight prefetch fills: block -> fill-complete cycle. A
+     *  separate queue, so prefetch traffic never occupies (or stalls
+     *  on) a demand MSHR; entries are admitted only up to a
+     *  2x-numMshrs bound, so the prefetch issue decision depends on
+     *  the tag array alone -- the purity functional warming and
+     *  checkpoint chop/resume identity rely on -- and the map stays
+     *  small. A demand access catching up to an in-flight prefetch
+     *  merges into its timing like an MSHR hit. */
+    std::map<Addr, Cycle> prefetchFills_;
+
+    MemLevel *next_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<Addr> prefetchBuf_;  //!< scratch, avoids per-access alloc
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t mshrMerges_ = 0;
-};
-
-/** Main-memory + bus timing parameters. */
-struct MemoryParams {
-    unsigned accessLatency = 100;  //!< DRAM access cycles
-    unsigned busBytes = 16;        //!< bus width
-    unsigned busClockDivider = 4;  //!< bus runs at core clock / divider
-};
-
-/**
- * The full hierarchy used by the core: I$ and D$ both backed by a
- * shared L2, which is backed by main memory over a contended bus.
- */
-class MemHierarchy
-{
-  public:
-    struct Params {
-        CacheParams icache{"icache", 16 * 1024, 2, 32, 1, 16};
-        CacheParams dcache{"dcache", 32 * 1024, 2, 32, 2, 16};
-        CacheParams l2{"l2", 512 * 1024, 4, 64, 10, 16};
-        MemoryParams memory;
-    };
-
-    explicit MemHierarchy(const Params &params);
-    MemHierarchy() : MemHierarchy(Params{}) {}
-
-    /** Instruction fetch of the block containing @p pc. */
-    Cycle fetchAccess(Addr pc, Cycle now);
-
-    /** Data access. */
-    Cycle dataAccess(Addr addr, Cycle now, bool is_write);
-
-    /** Would a load of @p addr hit in the D$ right now? */
-    bool dcacheProbe(Addr addr) const { return dcache_.probe(addr); }
-    /** Would it hit in the L2? */
-    bool l2Probe(Addr addr) const;
-
-    void flush();
-
-    /**
-     * Adopt another same-geometry hierarchy's state (tags, LRU,
-     * counters, bus). MemHierarchy is deliberately not copyable (the
-     * caches hold back-pointers into their owner); this is the
-     * supported way to clone its state.
-     */
-    void copyStateFrom(const MemHierarchy &other);
-
-    /** Drop in-flight timing state everywhere (MSHRs, bus). */
-    void settle();
-
-    /** Tag+LRU snapshot of all three caches (persistence). */
-    struct State {
-        CacheState icache, dcache, l2;
-    };
-    State exportState() const;
-    bool importState(const State &state);
-
-    const Cache &icache() const { return icache_; }
-    const Cache &dcache() const { return dcache_; }
-    const Cache &l2() const { return l2_; }
-
-  private:
-    static std::uint64_t l2Entry(void *ctx, Addr block_addr, Cycle now);
-    static std::uint64_t memEntry(void *ctx, Addr block_addr, Cycle now);
-
-    Cycle memoryAccess(Cycle now);
-
-    Params params_;
-    Cache l2_;
-    Cache icache_;
-    Cache dcache_;
-    Cycle busFreeCycle_ = 0;
-    unsigned l2BlockBytes_;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t prefetchIssued_ = 0;
+    std::uint64_t prefetchUseful_ = 0;
 };
 
 } // namespace reno

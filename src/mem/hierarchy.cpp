@@ -1,0 +1,128 @@
+#include "mem/hierarchy.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+MemHierarchy::MemHierarchy(const Params &params) : params_(params)
+{
+    // Assemble back to front: memory, then the shared stack deepest
+    // first, then the split L1s. The bus moves one block of the
+    // deepest cache level per request.
+    std::vector<CacheParams> stack;
+    stack.push_back(params_.l2);
+    for (const CacheParams &extra : params_.extraLevels)
+        stack.push_back(extra);
+    if (params_.modelWritebacks) {
+        for (CacheParams &level : stack)
+            level.writebackTraffic = true;
+    }
+
+    memory_ = std::make_unique<MainMemory>(params_.memory,
+                                           stack.back().blockBytes);
+    shared_.resize(stack.size());
+    for (std::size_t i = stack.size(); i-- > 0;) {
+        MemLevel *next = i + 1 < stack.size()
+                             ? static_cast<MemLevel *>(
+                                   shared_[i + 1].get())
+                             : static_cast<MemLevel *>(memory_.get());
+        shared_[i] = std::make_unique<Cache>(stack[i], next);
+    }
+
+    CacheParams icache_params = params_.icache;
+    CacheParams dcache_params = params_.dcache;
+    if (params_.modelWritebacks)
+        dcache_params.writebackTraffic = true;
+    icache_ = std::make_unique<Cache>(icache_params, shared_[0].get());
+    dcache_ = std::make_unique<Cache>(dcache_params, shared_[0].get());
+}
+
+std::vector<Cache *>
+MemHierarchy::levelsMutable()
+{
+    std::vector<Cache *> out;
+    out.reserve(2 + shared_.size());
+    out.push_back(icache_.get());
+    out.push_back(dcache_.get());
+    for (const auto &level : shared_)
+        out.push_back(level.get());
+    return out;
+}
+
+std::vector<const Cache *>
+MemHierarchy::levels() const
+{
+    const std::vector<Cache *> mut =
+        const_cast<MemHierarchy *>(this)->levelsMutable();
+    return {mut.begin(), mut.end()};
+}
+
+Cycle
+MemHierarchy::fetchAccess(Addr pc, Cycle now)
+{
+    return icache_->access(pc, now, MemAccessKind::Read);
+}
+
+Cycle
+MemHierarchy::dataAccess(Addr addr, Cycle now, bool is_write)
+{
+    return dcache_->access(addr, now,
+                           is_write ? MemAccessKind::Write
+                                    : MemAccessKind::Read);
+}
+
+void
+MemHierarchy::flush()
+{
+    for (Cache *level : levelsMutable())
+        level->flush();
+    memory_->flush();
+}
+
+void
+MemHierarchy::copyStateFrom(const MemHierarchy &other)
+{
+    if (shared_.size() != other.shared_.size())
+        fatal("memory hierarchy: copyStateFrom depth mismatch "
+              "(%zu shared levels vs %zu)",
+              shared_.size(), other.shared_.size());
+    icache_->copyStateFrom(*other.icache_);
+    dcache_->copyStateFrom(*other.dcache_);
+    for (std::size_t i = 0; i < shared_.size(); ++i)
+        shared_[i]->copyStateFrom(*other.shared_[i]);
+    memory_->copyStateFrom(*other.memory_);
+}
+
+void
+MemHierarchy::settle()
+{
+    for (Cache *level : levelsMutable())
+        level->settle();
+    memory_->settle();
+}
+
+MemHierarchy::State
+MemHierarchy::exportState() const
+{
+    State state;
+    for (const Cache *level : levels())
+        state.caches.push_back(level->exportState());
+    return state;
+}
+
+bool
+MemHierarchy::importState(const State &state)
+{
+    std::vector<Cache *> levels = levelsMutable();
+    if (state.caches.size() != levels.size())
+        return false;
+    memory_->settle();
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (!levels[i]->importState(state.caches[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace reno

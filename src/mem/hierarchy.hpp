@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The full memory hierarchy used by the core, assembled declaratively
+ * from MemLevel nodes: split L1s (I$ and D$) backed by a stack of
+ * shared levels (L2, then any number of deeper levels), terminated by
+ * main memory over a contended bus.
+ *
+ * The default reproduces the paper's configuration (section 4.1):
+ * 16KB 2-way 32B 1-cycle I$, 32KB 2-way 32B 2-cycle D$, 512KB 4-way
+ * 64B 10-cycle L2, 100-cycle main memory reached over a 16B bus
+ * clocked at one quarter of the core frequency, and a maximum of 16
+ * outstanding misses (MSHRs). Deeper stacks (an L3), per-level
+ * prefetchers and write-back traffic modeling are opt-in through
+ * Params, so the paper-geometry outputs are bit-identical to the
+ * fixed three-cache model this replaces.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+
+namespace reno
+{
+
+/** The hierarchy: I$ + D$ over shared levels over main memory. */
+class MemHierarchy
+{
+  public:
+    struct Params {
+        CacheParams icache{"icache", 16 * 1024, 2, 32, 1, 16, {},
+                           false};
+        CacheParams dcache{"dcache", 32 * 1024, 2, 32, 2, 16, {},
+                           false};
+        CacheParams l2{"l2", 512 * 1024, 4, 64, 10, 16, {}, false};
+        /** Shared levels below the L2 (an L3, an L4...), nearest
+         *  first. Empty = the paper's two-level stack. */
+        std::vector<CacheParams> extraLevels;
+        MemoryParams memory;
+        /** Model dirty-victim write-back traffic on every level's
+         *  bus (D$ and shared levels; the I$ never dirties lines).
+         *  Off by default: the paper's model carries none. */
+        bool modelWritebacks = false;
+    };
+
+    explicit MemHierarchy(const Params &params);
+    MemHierarchy() : MemHierarchy(Params{}) {}
+
+    /** Instruction fetch of the block containing @p pc. */
+    Cycle fetchAccess(Addr pc, Cycle now);
+
+    /** Data access. */
+    Cycle dataAccess(Addr addr, Cycle now, bool is_write);
+
+    /** Would a load of @p addr hit in the D$ right now? */
+    bool dcacheProbe(Addr addr) const { return dcache_->probe(addr); }
+    /** Would it hit in the first shared level (the L2)? */
+    bool l2Probe(Addr addr) const { return shared_[0]->probe(addr); }
+
+    /** Would it hit in ANY shared level? Load-latency classification
+     *  (MemHitLevel): a hit anywhere on-chip is a cache hit, not a
+     *  memory access, however deep the stack. Equals l2Probe() for
+     *  the paper's two-level default. */
+    bool
+    sharedProbe(Addr addr) const
+    {
+        for (const auto &level : shared_) {
+            if (level->probe(addr))
+                return true;
+        }
+        return false;
+    }
+
+    void flush();
+
+    /**
+     * Adopt another same-geometry hierarchy's state (tags, LRU,
+     * counters, prefetcher training, bus). MemHierarchy is
+     * deliberately not copyable (the levels hold pointers into their
+     * owner); this is the supported way to clone its state.
+     */
+    void copyStateFrom(const MemHierarchy &other);
+
+    /** Drop in-flight timing state everywhere (MSHRs, bus). */
+    void settle();
+
+    /** Snapshot of every cache level, access order: I$, D$, then the
+     *  shared stack nearest-first (persistence). */
+    struct State {
+        std::vector<CacheState> caches;
+    };
+    State exportState() const;
+    bool importState(const State &state);
+
+    const Cache &icache() const { return *icache_; }
+    const Cache &dcache() const { return *dcache_; }
+    /** The first shared level. */
+    const Cache &l2() const { return *shared_[0]; }
+
+    /** The shared stack below the L1s, nearest first. */
+    std::size_t numSharedLevels() const { return shared_.size(); }
+    const Cache &sharedLevel(std::size_t i) const
+    {
+        return *shared_[i];
+    }
+
+    const MainMemory &memory() const { return *memory_; }
+
+    /** Every cache level in State order: I$, D$, shared stack. */
+    std::vector<const Cache *> levels() const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    std::vector<Cache *> levelsMutable();
+
+    Params params_;
+    std::unique_ptr<MainMemory> memory_;
+    std::vector<std::unique_ptr<Cache>> shared_;  //!< L2 first
+    std::unique_ptr<Cache> icache_;
+    std::unique_ptr<Cache> dcache_;
+};
+
+} // namespace reno

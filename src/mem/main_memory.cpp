@@ -1,0 +1,47 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+MainMemory::MainMemory(const MemoryParams &params,
+                       unsigned transfer_bytes)
+    : params_(params)
+{
+    if (params_.busBytes == 0)
+        fatal("main memory: bus width must be positive");
+    if (params_.busClockDivider == 0)
+        fatal("main memory: bus clock divider must be positive");
+    if (transfer_bytes == 0)
+        fatal("main memory: transfer size must be positive");
+    // One block crosses the bus in transfer_bytes / busBytes beats,
+    // each taking busClockDivider core cycles.
+    const unsigned beats =
+        (transfer_bytes + params_.busBytes - 1) / params_.busBytes;
+    transferCycles_ = beats * params_.busClockDivider;
+}
+
+Cycle
+MainMemory::access(Addr addr, Cycle now, MemAccessKind kind)
+{
+    (void)addr;
+    const Cycle start = std::max(now, busFreeCycle_);
+    if (kind == MemAccessKind::Writeback) {
+        // A drained victim occupies the bus for its transfer; the
+        // DRAM write completes off the critical path.
+        ++writebacks_;
+        const Cycle done = start + transferCycles_;
+        busFreeCycle_ = done;
+        return done;
+    }
+    ++reads_;
+    const Cycle done =
+        start + params_.accessLatency + transferCycles_;
+    busFreeCycle_ = done;
+    return done;
+}
+
+} // namespace reno

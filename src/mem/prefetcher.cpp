@@ -1,0 +1,172 @@
+#include "mem/prefetcher.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+const char *
+prefetchKindName(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::None:
+        return "none";
+      case PrefetchKind::NextLine:
+        return "nextline";
+      case PrefetchKind::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Fetch the next `degree` sequential blocks on a demand miss. */
+class NextLinePrefetcher final : public Prefetcher
+{
+  public:
+    using Prefetcher::Prefetcher;
+
+    void
+    observe(Addr block, bool miss, std::vector<Addr> &out) override
+    {
+        if (!miss)
+            return;
+        for (unsigned d = 1; d <= params_.degree; ++d)
+            out.push_back(block + d);
+    }
+};
+
+/**
+ * Region-table stride detector. Each aligned `regionBytes` region
+ * tracks the last demand block and the last observed block stride;
+ * two consecutive confirmations of the same non-zero stride arm the
+ * entry, and every further confirming access runs `degree` strides
+ * ahead of the demand block.
+ */
+class StridePrefetcher final : public Prefetcher
+{
+  public:
+    StridePrefetcher(const PrefetcherParams &params,
+                     unsigned block_bytes)
+        : Prefetcher(params),
+          blocksPerRegion_(params.regionBytes / block_bytes),
+          table_(params.tableEntries)
+    {
+    }
+
+    void
+    observe(Addr block, bool miss, std::vector<Addr> &out) override
+    {
+        (void)miss;  // stride trains on the whole demand stream
+        const Addr region = block / blocksPerRegion_;
+        Entry &e = table_[region % table_.size()];
+        if (!e.live || e.regionTag != region) {
+            e = Entry{true, region, block, 0, 0};
+            return;
+        }
+        const std::int64_t stride =
+            static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(e.lastBlock);
+        // Same-block repeats (several words per block in a sequential
+        // walk) carry no stride information: skip them rather than
+        // resetting the learned stride.
+        if (stride == 0)
+            return;
+        if (stride == e.stride) {
+            if (e.confidence < SaturatedConfidence)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+        }
+        e.lastBlock = block;
+        if (e.confidence < ArmThreshold)
+            return;
+        for (unsigned d = 1; d <= params_.degree; ++d) {
+            const std::int64_t cand =
+                static_cast<std::int64_t>(block) +
+                e.stride * static_cast<std::int64_t>(d);
+            if (cand < 0)
+                break;
+            out.push_back(static_cast<Addr>(cand));
+        }
+    }
+
+    PrefetchState
+    exportState() const override
+    {
+        PrefetchState state;
+        for (std::size_t i = 0; i < table_.size(); ++i) {
+            const Entry &e = table_[i];
+            if (!e.live)
+                continue;
+            state.entries.push_back(
+                {static_cast<std::uint32_t>(i), e.regionTag,
+                 e.lastBlock, e.stride, e.confidence});
+        }
+        return state;
+    }
+
+    bool
+    importState(const PrefetchState &state) override
+    {
+        reset();
+        for (const PrefetchState::Entry &e : state.entries) {
+            if (e.index >= table_.size())
+                return false;
+            table_[e.index] =
+                Entry{true, e.regionTag, e.lastBlock, e.stride,
+                      e.confidence};
+        }
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        for (Entry &e : table_)
+            e = Entry{};
+    }
+
+  private:
+    static constexpr std::uint32_t ArmThreshold = 2;
+    static constexpr std::uint32_t SaturatedConfidence = 8;
+
+    struct Entry {
+        bool live = false;
+        Addr regionTag = 0;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        std::uint32_t confidence = 0;
+    };
+
+    unsigned blocksPerRegion_;
+    std::vector<Entry> table_;
+};
+
+} // namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const PrefetcherParams &params, unsigned blockBytes,
+               const std::string &owner)
+{
+    if (params.kind == PrefetchKind::None)
+        return nullptr;
+    if (params.degree == 0)
+        fatal("cache %s: prefetch degree must be positive",
+              owner.c_str());
+    if (params.kind == PrefetchKind::NextLine)
+        return std::make_unique<NextLinePrefetcher>(params);
+    if (params.tableEntries == 0)
+        fatal("cache %s: stride prefetcher needs a non-empty table",
+              owner.c_str());
+    if (params.regionBytes < blockBytes)
+        fatal("cache %s: stride region (%u B) smaller than a block "
+              "(%u B)",
+              owner.c_str(), params.regionBytes, blockBytes);
+    return std::make_unique<StridePrefetcher>(params, blockBytes);
+}
+
+} // namespace reno

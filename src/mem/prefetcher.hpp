@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pluggable hardware prefetchers. A prefetcher observes the demand
+ * block stream of the cache level it is attached to and proposes
+ * blocks to fill ahead of demand; the owning Cache issues the fills
+ * through its next level as MemAccessKind::Prefetch traffic.
+ *
+ * Two engines are provided:
+ *  - NextLine: on a demand miss to block B, fetch B+1 .. B+degree.
+ *  - Stride:   a region table (direct-mapped by aligned memory region)
+ *    learns the per-region block stride of the demand stream; after
+ *    two confirmations it runs `degree` strides ahead. Region-based
+ *    detection needs no program counter, so it trains identically
+ *    from the core's timing path and from the functional-warming
+ *    stream of sampled simulation.
+ *
+ * Training is a pure function of the demand block stream (never of
+ * cycle times), so warmed prefetcher tables compose across sampled-
+ * simulation checkpoint boundaries exactly like cache tags; the
+ * table is exported/imported alongside them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Which prefetch engine a cache level runs. */
+enum class PrefetchKind : std::uint8_t { None, NextLine, Stride };
+
+/** Display name of a prefetch kind ("none", "nextline", "stride"). */
+const char *prefetchKindName(PrefetchKind kind);
+
+/** Configuration of one level's prefetcher. */
+struct PrefetcherParams {
+    PrefetchKind kind = PrefetchKind::None;
+    unsigned degree = 2;         //!< blocks fetched ahead per trigger
+    unsigned tableEntries = 64;  //!< stride: region-table entries
+    unsigned regionBytes = 4096; //!< stride: detection region size
+};
+
+/** Snapshot of a prefetcher's training state (functional warming). */
+struct PrefetchState {
+    struct Entry {
+        std::uint32_t index = 0;   //!< region-table slot
+        Addr regionTag = 0;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        std::uint32_t confidence = 0;
+    };
+    std::vector<Entry> entries;  //!< only populated (tagged) slots
+};
+
+/** A prefetch engine attached to one cache level. */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(const PrefetcherParams &params)
+        : params_(params)
+    {
+    }
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access to @p block (block number, not byte
+     * address) and append candidate block numbers to @p out. Must be
+     * deterministic in the demand stream alone.
+     */
+    virtual void observe(Addr block, bool miss,
+                         std::vector<Addr> &out) = 0;
+
+    /** Export / import training state (checkpoint persistence). */
+    virtual PrefetchState exportState() const { return {}; }
+    virtual bool importState(const PrefetchState &state)
+    {
+        return state.entries.empty();
+    }
+
+    /** Forget all training. */
+    virtual void reset() {}
+
+    const PrefetcherParams &params() const { return params_; }
+
+  protected:
+    PrefetcherParams params_;
+};
+
+/**
+ * Build the engine @p params asks for; nullptr for PrefetchKind::None.
+ * @p blockBytes is the owning cache's block size (region-to-block
+ * conversion); fatal() on invalid parameters (zero degree, zero table,
+ * region smaller than a block).
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const PrefetcherParams &params,
+                                           unsigned blockBytes,
+                                           const std::string &owner);
+
+} // namespace reno

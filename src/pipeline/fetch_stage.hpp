@@ -11,7 +11,7 @@
 
 #include "branch/predictor.hpp"
 #include "emu/emulator.hpp"
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "pipeline/machine_state.hpp"
 #include "uarch/params.hpp"
 

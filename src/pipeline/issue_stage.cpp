@@ -143,7 +143,7 @@ IssueStage::tick()
                     fwd = st;
             }
             if (fwd && fwd->issued) {
-                d.memLevel = MemLevel::Forwarded;
+                d.memLevel = MemHitLevel::Forwarded;
                 d.completeCycle =
                     std::max(agen, fwd->completeCycle) +
                     params_.mem.dcache.latency;
@@ -152,11 +152,14 @@ IssueStage::tick()
                 // aggressive issue proceeds and the store's execution
                 // will catch the violation).
                 if (mem_.dcacheProbe(d.rec.effAddr))
-                    d.memLevel = MemLevel::L1;
-                else if (mem_.l2Probe(d.rec.effAddr))
-                    d.memLevel = MemLevel::L2;
+                    d.memLevel = MemHitLevel::L1;
+                else if (mem_.sharedProbe(d.rec.effAddr))
+                    // Any shared-level hit (L2, or an L3 in the deep
+                    // configs) classifies as an on-chip cache hit for
+                    // critical-path bucketing, not a memory access.
+                    d.memLevel = MemHitLevel::L2;
                 else
-                    d.memLevel = MemLevel::Memory;
+                    d.memLevel = MemHitLevel::Memory;
                 d.completeCycle =
                     mem_.dataAccess(d.rec.effAddr, agen, false);
             }

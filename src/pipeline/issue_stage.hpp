@@ -16,7 +16,7 @@
  */
 #pragma once
 
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "pipeline/machine_state.hpp"
 #include "pipeline/pipeline_stats.hpp"
 #include "reno/renamer.hpp"

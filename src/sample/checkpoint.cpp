@@ -13,7 +13,10 @@ namespace reno::sample
 namespace
 {
 
-constexpr const char *CheckpointTag = "reno-checkpoint v2";
+// v3 generalized the warm half to a hierarchy of arbitrary depth:
+// a "levels N" header followed by one per-cache block carrying dirty
+// and prefetched line flags plus the prefetcher training table.
+constexpr const char *CheckpointTag = "reno-checkpoint v3";
 constexpr const char *ProfileTag = "reno-funcprofile v1";
 
 std::string
@@ -83,28 +86,37 @@ keyU64(const std::string &line, const std::string &key,
 }
 
 void
-encodeCacheState(std::string &out, const char *name,
+encodeCacheState(std::string &out, const std::string &name,
                  const CacheState &state)
 {
-    out += strprintf("%s %llu %zu\n", name,
+    out += strprintf("cache %s %llu %zu %zu\n", name.c_str(),
                      static_cast<unsigned long long>(state.lruClock),
-                     state.validLines.size());
+                     state.validLines.size(),
+                     state.prefetch.entries.size());
     for (const CacheState::Line &l : state.validLines)
-        out += strprintf("line %u %llu %llu\n", l.index,
+        out += strprintf("line %u %llu %llu %d %d\n", l.index,
                          static_cast<unsigned long long>(l.tag),
-                         static_cast<unsigned long long>(l.lruStamp));
+                         static_cast<unsigned long long>(l.lruStamp),
+                         l.dirty ? 1 : 0, l.prefetched ? 1 : 0);
+    for (const PrefetchState::Entry &e : state.prefetch.entries)
+        out += strprintf("pfent %u %llu %llu %lld %u\n", e.index,
+                         static_cast<unsigned long long>(e.regionTag),
+                         static_cast<unsigned long long>(e.lastBlock),
+                         static_cast<long long>(e.stride),
+                         e.confidence);
 }
 
 bool
 decodeCacheState(std::istream &in, std::string &line,
-                 const std::string &name, CacheState *out)
+                 const std::string &expected_name, CacheState *out)
 {
     if (!std::getline(in, line))
         return false;
     std::istringstream hdr(line);
-    std::string key;
-    std::size_t count = 0;
-    if (!(hdr >> key >> out->lruClock >> count) || key != name)
+    std::string key, name;
+    std::size_t count = 0, pf_count = 0;
+    if (!(hdr >> key >> name >> out->lruClock >> count >> pf_count) ||
+        key != "cache" || name != expected_name)
         return false;
     out->validLines.clear();
     out->validLines.reserve(count);
@@ -113,10 +125,29 @@ decodeCacheState(std::istream &in, std::string &line,
             return false;
         std::istringstream ls(line);
         CacheState::Line l;
-        if (!(ls >> key >> l.index >> l.tag >> l.lruStamp) ||
+        int dirty = 0, prefetched = 0;
+        if (!(ls >> key >> l.index >> l.tag >> l.lruStamp >> dirty >>
+              prefetched) ||
             key != "line")
             return false;
+        l.dirty = dirty != 0;
+        l.prefetched = prefetched != 0;
         out->validLines.push_back(l);
+    }
+    out->prefetch.entries.clear();
+    out->prefetch.entries.reserve(pf_count);
+    for (std::size_t i = 0; i < pf_count; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream es(line);
+        PrefetchState::Entry e;
+        long long stride = 0;
+        if (!(es >> key >> e.index >> e.regionTag >> e.lastBlock >>
+              stride >> e.confidence) ||
+            key != "pfent")
+            return false;
+        e.stride = stride;
+        out->prefetch.entries.push_back(e);
     }
     return true;
 }
@@ -212,9 +243,11 @@ CheckpointStore::encode(const SampleCheckpoint &ckpt)
                      static_cast<unsigned long long>(
                          warm.lastFetchBlock));
     const MemHierarchy::State mem_state = warm.mem.exportState();
-    encodeCacheState(out, "icache", mem_state.icache);
-    encodeCacheState(out, "dcache", mem_state.dcache);
-    encodeCacheState(out, "l2", mem_state.l2);
+    const std::vector<const Cache *> levels = warm.mem.levels();
+    out += strprintf("levels %zu\n", mem_state.caches.size());
+    for (std::size_t i = 0; i < mem_state.caches.size(); ++i)
+        encodeCacheState(out, levels[i]->name(),
+                         mem_state.caches[i]);
     const BranchPredState bp = warm.bp.exportState();
     out += strprintf("bphist %llu %llu %u\n",
                      static_cast<unsigned long long>(bp.history),
@@ -340,11 +373,25 @@ CheckpointStore::decode(const std::string &text,
     if (!next_u64("lastblk", &lastblk))
         return false;
 
-    MemHierarchy::State mem_state;
-    if (!decodeCacheState(in, line, "icache", &mem_state.icache) ||
-        !decodeCacheState(in, line, "dcache", &mem_state.dcache) ||
-        !decodeCacheState(in, line, "l2", &mem_state.l2))
+    // Per-level blocks arrive in State order; each must carry the
+    // level name the target hierarchy expects, so a reordered or
+    // spliced file fails the decode instead of warming wrong levels.
+    std::vector<std::string> level_names = {mem_params.icache.name,
+                                            mem_params.dcache.name,
+                                            mem_params.l2.name};
+    for (const CacheParams &extra : mem_params.extraLevels)
+        level_names.push_back(extra.name);
+    std::uint64_t num_levels = 0;
+    if (!next_u64("levels", &num_levels) ||
+        num_levels != level_names.size())
         return false;
+    MemHierarchy::State mem_state;
+    mem_state.caches.resize(num_levels);
+    for (std::uint64_t i = 0; i < num_levels; ++i) {
+        if (!decodeCacheState(in, line, level_names[i],
+                              &mem_state.caches[i]))
+            return false;
+    }
 
     BranchPredState bp;
     if (!std::getline(in, line))

@@ -16,6 +16,11 @@ digestCacheParams(Fnv64 &h, const CacheParams &p)
     h.update(std::uint64_t{p.blockBytes});
     h.update(std::uint64_t{p.latency});
     h.update(std::uint64_t{p.numMshrs});
+    h.update(std::uint64_t{static_cast<unsigned>(p.prefetch.kind)});
+    h.update(std::uint64_t{p.prefetch.degree});
+    h.update(std::uint64_t{p.prefetch.tableEntries});
+    h.update(std::uint64_t{p.prefetch.regionBytes});
+    h.update(p.writebackTraffic);
 }
 
 } // namespace
@@ -25,10 +30,14 @@ warmConfigDigest(const MemHierarchy::Params &mem_params,
                  const BranchPredParams &bp_params)
 {
     Fnv64 h;
-    h.update("reno-warmcfg-v1");
+    h.update("reno-warmcfg-v2");
     digestCacheParams(h, mem_params.icache);
     digestCacheParams(h, mem_params.dcache);
     digestCacheParams(h, mem_params.l2);
+    h.update(std::uint64_t{mem_params.extraLevels.size()});
+    for (const CacheParams &level : mem_params.extraLevels)
+        digestCacheParams(h, level);
+    h.update(mem_params.modelWritebacks);
     h.update(std::uint64_t{mem_params.memory.accessLatency});
     h.update(std::uint64_t{mem_params.memory.busBytes});
     h.update(std::uint64_t{mem_params.memory.busClockDivider});

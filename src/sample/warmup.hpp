@@ -22,7 +22,7 @@
 
 #include "branch/predictor.hpp"
 #include "emu/emulator.hpp"
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "uarch/params.hpp"
 
 namespace reno::sample

@@ -45,7 +45,7 @@ struct PipeRecord {
 
     ElimKind elim = ElimKind::None;
     bool mispredicted = false;
-    MemLevel memLevel = MemLevel::None;
+    MemHitLevel memLevel = MemHitLevel::None;
 
     /** Destination mapping after rename ([p:d]); preg is
      *  InvalidPhysReg when the instruction has no destination. */

@@ -1,5 +1,7 @@
 #include "uarch/core.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace reno
@@ -92,6 +94,21 @@ Core::result() const
     r.icacheMisses = mem_.icache().misses();
     r.dcacheMisses = mem_.dcache().misses();
     r.l2Misses = mem_.l2().misses();
+    // Per-level slots: I$, D$, L2, then every deeper shared level
+    // aggregated into the "l3" slot (see NumMemStatLevels).
+    const std::vector<const Cache *> levels = mem_.levels();
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const unsigned slot = static_cast<unsigned>(
+            std::min<std::size_t>(i, NumMemStatLevels - 1));
+        const Cache &c = *levels[i];
+        r.memHits[slot] += c.hits();
+        r.memMshrMerges[slot] += c.mshrMerges();
+        r.memWritebacks[slot] += c.writebacks();
+        r.memPrefetchIssued[slot] += c.prefetchIssued();
+        r.memPrefetchUseful[slot] += c.prefetchUseful();
+        if (i >= 3)
+            r.l3Misses += c.misses();
+    }
     r.stallRob = stats_.stallRob;
     r.stallIq = stats_.stallIq;
     r.stallPregs = stats_.stallPregs;

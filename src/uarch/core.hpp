@@ -30,7 +30,7 @@
 #include "branch/predictor.hpp"
 #include "common/statset.hpp"
 #include "emu/emulator.hpp"
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "pipeline/commit_stage.hpp"
 #include "pipeline/fetch_stage.hpp"
 #include "pipeline/issue_stage.hpp"

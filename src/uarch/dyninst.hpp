@@ -32,7 +32,7 @@ enum class CommitDom : std::uint8_t {
 };
 
 /** Which level serviced a load (for critical-path bucketing). */
-enum class MemLevel : std::uint8_t { None, L1, L2, Memory, Forwarded };
+enum class MemHitLevel : std::uint8_t { None, L1, L2, Memory, Forwarded };
 
 /** One in-flight dynamic instruction. */
 struct DynInst {
@@ -62,7 +62,7 @@ struct DynInst {
     bool issued = false;
     Cycle issueCycle = InvalidCycle;
     Cycle completeCycle = InvalidCycle;
-    MemLevel memLevel = MemLevel::None;
+    MemHitLevel memLevel = MemHitLevel::None;
     IssueDom issueDom = IssueDom::Dispatch;
     InstSeq domProducer = 0;
 
@@ -124,7 +124,7 @@ struct DynInst {
         issued = false;
         issueCycle = InvalidCycle;
         completeCycle = InvalidCycle;
-        memLevel = MemLevel::None;
+        memLevel = MemHitLevel::None;
         issueDom = IssueDom::Dispatch;
         domProducer = 0;
         retireCycle = InvalidCycle;

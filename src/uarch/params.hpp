@@ -18,7 +18,7 @@
 #include <cstdint>
 
 #include "branch/predictor.hpp"
-#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
 #include "reno/renamer.hpp"
 
 namespace reno

@@ -21,6 +21,18 @@
 namespace reno
 {
 
+/**
+ * Per-cache-level stat slots. The composable hierarchy can be
+ * arbitrarily deep, but SimResult is a fixed-layout counter block, so
+ * levels map onto four named slots: the split L1s, the L2, and an
+ * "l3" slot that aggregates every deeper shared level. (The shipped
+ * configurations use at most three levels, so the aggregate slot is
+ * exact for them.)
+ */
+inline constexpr unsigned NumMemStatLevels = 4;
+inline constexpr const char *MemStatLevelNames[NumMemStatLevels] = {
+    "icache", "dcache", "l2", "l3"};
+
 /** Summary statistics of one simulation run. All fields are monotonic
  *  counters, so a measurement window's contribution is the field-wise
  *  difference of two snapshots. */
@@ -54,6 +66,17 @@ struct SimResult {
     std::uint64_t stallIq = 0;
     std::uint64_t stallPregs = 0;
     std::uint64_t stallLsq = 0;
+
+    /** Per-level memory-system counters, indexed by the
+     *  MemStatLevelNames slot. Misses for the first three slots live
+     *  in the icacheMisses/dcacheMisses/l2Misses scalars above;
+     *  l3Misses completes the set. */
+    std::uint64_t l3Misses = 0;
+    std::uint64_t memHits[NumMemStatLevels] = {};
+    std::uint64_t memMshrMerges[NumMemStatLevels] = {};
+    std::uint64_t memWritebacks[NumMemStatLevels] = {};
+    std::uint64_t memPrefetchIssued[NumMemStatLevels] = {};
+    std::uint64_t memPrefetchUseful[NumMemStatLevels] = {};
 
     double ipc() const { return cycles ? double(retired) / cycles : 0.0; }
 
@@ -92,10 +115,19 @@ static_assert(std::is_standard_layout_v<SimResult>,
               "SimStatField offsets require standard layout");
 
 // Registry order is the result-cache file order (format "reno-result
-// v1"): the scalar counters in declaration order, then the elim
-// array. Do not reorder -- persisted cache entries depend on it.
+// v2"): the scalar counters in declaration order, then the elim
+// array, then the per-memory-level counter block appended by v2. Do
+// not reorder -- persisted cache entries depend on it.
 #define RENO_ELIM_FIELD(k) \
     {"elim" #k, offsetof(SimResult, elim) + (k) * sizeof(std::uint64_t)}
+#define RENO_MEMLEVEL_FIELDS(arr, suffix)                          \
+    {"icache" suffix, offsetof(SimResult, arr)},                   \
+    {"dcache" suffix,                                              \
+     offsetof(SimResult, arr) + 1 * sizeof(std::uint64_t)},        \
+    {"l2" suffix,                                                  \
+     offsetof(SimResult, arr) + 2 * sizeof(std::uint64_t)},        \
+    {"l3" suffix,                                                  \
+     offsetof(SimResult, arr) + 3 * sizeof(std::uint64_t)}
 inline constexpr SimStatField SimResultFields[] = {
     {"cycles", offsetof(SimResult, cycles)},
     {"retired", offsetof(SimResult, retired)},
@@ -122,11 +154,20 @@ inline constexpr SimStatField SimResultFields[] = {
     RENO_ELIM_FIELD(2),
     RENO_ELIM_FIELD(3),
     RENO_ELIM_FIELD(4),
+    {"l3Misses", offsetof(SimResult, l3Misses)},
+    RENO_MEMLEVEL_FIELDS(memHits, "Hits"),
+    RENO_MEMLEVEL_FIELDS(memMshrMerges, "MshrMerges"),
+    RENO_MEMLEVEL_FIELDS(memWritebacks, "Writebacks"),
+    RENO_MEMLEVEL_FIELDS(memPrefetchIssued, "PrefetchIssued"),
+    RENO_MEMLEVEL_FIELDS(memPrefetchUseful, "PrefetchUseful"),
 };
+#undef RENO_MEMLEVEL_FIELDS
 #undef RENO_ELIM_FIELD
 
 static_assert(NumElimKinds == 5,
               "new ElimKind: add its RENO_ELIM_FIELD entry above");
+static_assert(NumMemStatLevels == 4,
+              "new mem stat slot: extend RENO_MEMLEVEL_FIELDS above");
 static_assert(std::size(SimResultFields) * sizeof(std::uint64_t) ==
                   sizeof(SimResult),
               "SimResult changed: update SimResultFields");

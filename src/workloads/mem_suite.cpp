@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Memory-bound suite: generated kernels whose behavior is dominated
+ * by the memory hierarchy rather than by the RENO-targeted rename
+ * idioms the paper suites stress. Each generator bakes its footprint
+ * and trip counts into the assembly text, so a workload's behavior is
+ * a pure function of its registered parameters:
+ *
+ *  - stream:  sequential read-modify-write passes over a buffer
+ *             (footprints sized to the D$, the L2, and beyond);
+ *  - stride:  constant-stride read-modify-write, stride larger than
+ *             an L1 block (spatial locality defeated; the pattern a
+ *             stride prefetcher recovers and a next-line one cannot);
+ *  - chase:   serialized pointer chasing around an LCG-permutation
+ *             ring with one node per 64B block (no ILP, no spatial
+ *             locality, latency-bound);
+ *  - tile:    a blocked (tiled) matrix multiply whose tile working
+ *             set fits the D$ while the full matrices do not.
+ *
+ * Every kernel prints a checksum through the print syscall, so any
+ * simulator configuration is checked against the functional emulator.
+ */
+#include "workloads/workload_sources.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace reno::workloads
+{
+
+namespace
+{
+
+/** Park generated text in static storage (Workload borrows it). */
+const char *
+intern(std::string text)
+{
+    static std::vector<std::unique_ptr<const std::string>> storage;
+    storage.push_back(
+        std::make_unique<const std::string>(std::move(text)));
+    return storage.back()->c_str();
+}
+
+} // namespace
+
+const char *
+memStreamSource(unsigned kb, unsigned passes)
+{
+    const unsigned bytes = kb * 1024;
+    const unsigned elems = bytes / 8;
+    return intern(strprintf(R"(# mem.stream: %u read-modify-write passes over a %u KB buffer
+        .data
+buf:    .space %u
+        .text
+_start:
+        # init pass: a[i] = i. Read-modify-write (the buffer starts
+        # zeroed) so loads pace the core against the store traffic --
+        # a store-only burst would run arbitrarily far ahead of the
+        # contended bus.
+        la   t0, buf
+        li   t1, %u
+        li   t2, 0
+init:
+        ldq  t3, 0(t0)
+        add  t3, t3, t2
+        stq  t3, 0(t0)
+        addi t0, t0, 8
+        addi t2, t2, 1
+        subi t1, t1, 1
+        bne  t1, init
+
+        li   s0, %u           # passes
+        li   s2, 0            # running checksum
+pass:
+        la   t0, buf
+        li   t1, %u
+loop:
+        ldq  t3, 0(t0)
+        add  s2, s2, t3
+        stq  s2, 0(t0)
+        addi t0, t0, 8
+        subi t1, t1, 1
+        bne  t1, loop
+        subi s0, s0, 1
+        bne  s0, pass
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            passes, kb, bytes, elems, passes, elems));
+}
+
+const char *
+memStrideSource(unsigned kb, unsigned stride_bytes, unsigned iters)
+{
+    const unsigned bytes = kb * 1024;
+    if (bytes & (bytes - 1))
+        fatal("memStrideSource: footprint must be a power of two");
+    return intern(strprintf(R"(# mem.stride: %u B-stride read-modify-write over a %u KB buffer
+        .data
+buf:    .space %u
+        .text
+_start:
+        la   s1, buf
+        li   s2, 0            # running checksum
+        li   s3, %u           # footprint mask (bytes - 1)
+        li   t0, 0            # byte cursor
+        li   t1, %u           # iterations
+loop:
+        and  t3, t0, s3
+        add  t4, s1, t3
+        ldq  t5, 0(t4)
+        add  s2, s2, t5
+        stq  s2, 0(t4)
+        addi t0, t0, %u
+        subi t1, t1, 1
+        bne  t1, loop
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            stride_bytes, kb, bytes, bytes - 1, iters,
+                            stride_bytes));
+}
+
+const char *
+memChaseSource(unsigned kb, unsigned hops)
+{
+    const unsigned bytes = kb * 1024;
+    const unsigned nodes = bytes / 64;  // one node per 64B block
+    if (nodes == 0 || (nodes & (nodes - 1)))
+        fatal("memChaseSource: node count must be a power of two");
+    return intern(strprintf(R"(# mem.chase: %u serialized hops around a %u-node pointer ring
+        .data
+ring:   .space %u
+        .text
+_start:
+        # Build the ring: node[i] -> node[(5*i + 12345) & (N-1)], a
+        # full-period LCG permutation (a = 1 mod 4, c odd), so the
+        # chase visits every node with no spatial pattern.
+        la   s1, ring
+        li   s3, %u           # N - 1
+        li   s4, %u           # N
+        li   t0, 0
+build:
+        muli t1, t0, 5
+        addi t1, t1, 12345
+        and  t1, t1, s3
+        slli t2, t1, 6
+        add  t2, t2, s1
+        slli t3, t0, 6
+        add  t3, t3, s1
+        ldq  t4, 0(t3)        # pacing load (see the stream kernel)
+        add  t2, t2, t4
+        stq  t2, 0(t3)
+        addi t0, t0, 1
+        slt  t5, t0, s4
+        bne  t5, build
+
+        li   t1, %u           # hops
+        mov  t0, s1
+chase:
+        ldq  t0, 0(t0)
+        subi t1, t1, 1
+        bne  t1, chase
+
+        sub  a0, t0, s1       # final node index as the checksum
+        srli a0, a0, 6
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            hops, nodes, bytes, nodes - 1, nodes,
+                            hops));
+}
+
+const char *
+memTileSource()
+{
+    // 48x48 8-byte matrices (18 KB each, 54 KB total: larger than the
+    // 32 KB D$) multiplied in 16x16 tiles (a tile's row stripes are a
+    // few KB: D$-resident).
+    constexpr unsigned N = 48;
+    constexpr unsigned T = 16;
+    constexpr unsigned MatBytes = N * N * 8;
+    return intern(strprintf(R"(# mem.tile: blocked %ux%u matrix multiply, %ux%u tiles
+        .data
+mata:   .space %u
+matb:   .space %u
+matc:   .space %u
+        .text
+_start:
+        la   a1, mata
+        la   a2, matb
+        la   a3, matc
+        li   s5, %u           # N
+
+        # init: A[i] = (i & 7) + 1, B[i] = (i >> 3) & 7 (C starts zero)
+        li   t0, 0
+        li   t1, %u           # N*N
+        mov  t2, a1
+        mov  t3, a2
+initm:
+        ldq  t5, 0(t2)        # pacing load (see the stream kernel)
+        andi t4, t0, 7
+        addi t4, t4, 1
+        add  t4, t4, t5
+        stq  t4, 0(t2)
+        ldq  t5, 0(t3)
+        srli t4, t0, 3
+        andi t4, t4, 7
+        add  t4, t4, t5
+        stq  t4, 0(t3)
+        addi t2, t2, 8
+        addi t3, t3, 8
+        addi t0, t0, 1
+        slt  t5, t0, t1
+        bne  t5, initm
+
+        li   s0, 0            # ii
+iiloop:
+        li   s1, 0            # jj
+jjloop:
+        li   s2, 0            # kk
+kkloop:
+        mov  s3, s0           # i = ii
+iloop:
+        mov  s4, s2           # k = kk
+kloop:
+        # t2 = A[i][k]
+        mul  t1, s3, s5
+        add  t1, t1, s4
+        slli t1, t1, 3
+        add  t1, t1, a1
+        ldq  t2, 0(t1)
+        # t3 = &B[k][jj], t4 = &C[i][jj]
+        mul  t5, s4, s5
+        add  t5, t5, s1
+        slli t5, t5, 3
+        add  t3, t5, a2
+        mul  t5, s3, s5
+        add  t5, t5, s1
+        slli t5, t5, 3
+        add  t4, t5, a3
+        li   t6, %u           # tile width
+jloop:
+        ldq  t7, 0(t3)
+        mul  t7, t7, t2
+        ldq  t8, 0(t4)
+        add  t8, t8, t7
+        stq  t8, 0(t4)
+        addi t3, t3, 8
+        addi t4, t4, 8
+        subi t6, t6, 1
+        bne  t6, jloop
+
+        addi s4, s4, 1
+        addi t0, s2, %u
+        slt  t5, s4, t0
+        bne  t5, kloop
+
+        addi s3, s3, 1
+        addi t0, s0, %u
+        slt  t5, s3, t0
+        bne  t5, iloop
+
+        addi s2, s2, %u
+        slt  t5, s2, s5
+        bne  t5, kkloop
+
+        addi s1, s1, %u
+        slt  t5, s1, s5
+        bne  t5, jjloop
+
+        addi s0, s0, %u
+        slt  t5, s0, s5
+        bne  t5, iiloop
+
+        # checksum: sum of C
+        li   t0, %u           # N*N
+        mov  t1, a3
+        li   t2, 0
+cksum:
+        ldq  t3, 0(t1)
+        add  t2, t2, t3
+        addi t1, t1, 8
+        subi t0, t0, 1
+        bne  t0, cksum
+
+        andi a0, t2, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            N, N, T, T, MatBytes, MatBytes, MatBytes,
+                            N, N * N, T, T, T, T, T, T, N * N));
+}
+
+} // namespace reno::workloads

@@ -40,4 +40,13 @@ extern const char *const media_mpeg2_dec;
 extern const char *const media_pegwit;
 extern const char *const media_gs;
 
+// Memory-bound suite (mem_suite.cpp): parameterized generators; the
+// returned pointers have static storage duration (Workload borrows
+// them for the process lifetime).
+const char *memStreamSource(unsigned kb, unsigned passes);
+const char *memStrideSource(unsigned kb, unsigned stride_bytes,
+                            unsigned iters);
+const char *memChaseSource(unsigned kb, unsigned hops);
+const char *memTileSource();
+
 } // namespace reno::workloads

@@ -103,11 +103,33 @@ synthWorkloads()
     return table;
 }
 
+const std::vector<Workload> &
+memWorkloads()
+{
+    using namespace workloads;
+    // Footprints straddle the default hierarchy: 32 KB fits the D$,
+    // 256 KB the 512 KB L2, 1 MB only main memory. Pass/iteration
+    // counts keep every kernel in the millions-of-instructions range.
+    static const std::vector<Workload> table = {
+        {"mem.stream.32k", "mem", memStreamSource(32, 64), 1},
+        {"mem.stream.256k", "mem", memStreamSource(256, 12), 1},
+        {"mem.stream.1m", "mem", memStreamSource(1024, 3), 1},
+        {"mem.stride.512k", "mem", memStrideSource(512, 128, 300000),
+         1},
+        {"mem.chase.64k", "mem", memChaseSource(64, 600000), 1},
+        {"mem.chase.1m", "mem", memChaseSource(1024, 150000), 1},
+        {"mem.tile.mm", "mem", memTileSource(), 1},
+    };
+    return table;
+}
+
 std::vector<const Workload *>
 suiteWorkloads(const std::string &suite)
 {
     const std::vector<Workload> &registry =
-        suite == "synth" ? synthWorkloads() : allWorkloads();
+        suite == "synth" ? synthWorkloads()
+        : suite == "mem" ? memWorkloads()
+                         : allWorkloads();
     std::vector<const Workload *> out;
     bool known = false;
     for (const auto &w : registry) {
@@ -118,7 +140,59 @@ suiteWorkloads(const std::string &suite)
     }
     if (!known)
         fatal("unknown workload suite '%s' (expected \"spec\", "
-              "\"media\" or \"synth\")", suite.c_str());
+              "\"media\", \"synth\" or \"mem\")", suite.c_str());
+    return out;
+}
+
+namespace
+{
+
+/** Iterative `*`/`?` glob match (no brackets, no escapes). */
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+} // namespace
+
+std::vector<const Workload *>
+workloadsMatching(const std::string &glob, const std::string &suite)
+{
+    const bool any_suite = suite.empty() || suite == "all";
+    std::vector<const Workload *> out;
+    for (const std::vector<Workload> *registry :
+         {&allWorkloads(), &synthWorkloads(), &memWorkloads()}) {
+        for (const Workload &w : *registry) {
+            if (globMatch(glob, w.name) &&
+                (any_suite || w.suite == suite))
+                out.push_back(&w);
+        }
+    }
+    if (out.empty())
+        fatal("--workloads '%s' matches no registered workload%s "
+              "(try reno-sweep --list)",
+              glob.c_str(),
+              any_suite ? "" : (" in suite '" + suite + "'").c_str());
     return out;
 }
 
@@ -143,6 +217,7 @@ knownSuites()
     };
     tally(allWorkloads(), true);
     tally(synthWorkloads(), false);
+    tally(memWorkloads(), false);
     return out;
 }
 
@@ -154,6 +229,10 @@ workloadByName(const std::string &name)
             return w;
     }
     for (const auto &w : synthWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    for (const auto &w : memWorkloads()) {
         if (w.name == name)
             return w;
     }

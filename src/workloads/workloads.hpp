@@ -52,8 +52,29 @@ const std::vector<Workload> &allWorkloads();
  */
 const std::vector<Workload> &synthWorkloads();
 
-/** Workloads of one suite ("spec", "media" or "synth"). */
+/**
+ * The "mem" suite: generated memory-bound kernels (streaming,
+ * strided, pointer-chasing and blocked-tiling, at footprints sized
+ * to each hierarchy level) exercising the composable memory
+ * hierarchy -- prefetchers, deep stacks, write-back traffic. Like
+ * "synth", generated deterministically and not part of
+ * allWorkloads().
+ */
+const std::vector<Workload> &memWorkloads();
+
+/** Workloads of one suite ("spec", "media", "synth" or "mem"). */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
+
+/**
+ * Every registered workload (paper registry + generated suites)
+ * whose name matches @p glob (`*` and `?` wildcards, e.g. "mem.*"
+ * or "gzip"); fatal() when nothing matches. A non-empty @p suite
+ * other than "all" further restricts the matches to that suite.
+ * Backs the drivers' --workloads filter.
+ */
+std::vector<const Workload *>
+workloadsMatching(const std::string &glob,
+                  const std::string &suite = "");
 
 /**
  * Every suite token suiteWorkloads() accepts, in registration order,

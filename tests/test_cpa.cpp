@@ -101,7 +101,7 @@ TEST(Cpa, LoadLatencyChargesLoadBuckets)
             s, 1, t, t + 100, t + 101,
             s == 1 ? IssueDom::Dispatch : IssueDom::Src0, s - 1,
             CommitDom::SelfComplete, InstClass::Load);
-        d.memLevel = MemLevel::Memory;
+        d.memLevel = MemHitLevel::Memory;
         cpa.onRetire(d);
         t += 100;
     }

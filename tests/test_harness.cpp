@@ -98,3 +98,50 @@ TEST(Harness, WithRenoAppliesConfig)
     EXPECT_TRUE(p.reno.cf);
     EXPECT_FALSE(p.reno.cse);
 }
+
+TEST(Harness, MemVariantSuffixesComposeOnPresets)
+{
+    const CoreParams base = CoreParams::fourWide();
+    NamedConfig cfg;
+
+    ASSERT_TRUE(configByName("RENO/l3", base, &cfg));
+    EXPECT_EQ(cfg.name, "RENO/l3");
+    EXPECT_TRUE(cfg.params.reno.ra);
+    ASSERT_EQ(cfg.params.mem.extraLevels.size(), 1u);
+    EXPECT_EQ(cfg.params.mem.extraLevels[0].name, "l3");
+
+    ASSERT_TRUE(configByName("BASE/pf-stride/wb", base, &cfg));
+    EXPECT_EQ(cfg.params.mem.dcache.prefetch.kind,
+              PrefetchKind::Stride);
+    EXPECT_EQ(cfg.params.mem.l2.prefetch.kind, PrefetchKind::Stride);
+    EXPECT_TRUE(cfg.params.mem.modelWritebacks);
+    EXPECT_FALSE(cfg.params.reno.me);
+
+    ASSERT_TRUE(configByName("ME+CF/pf-next", base, &cfg));
+    EXPECT_EQ(cfg.params.mem.dcache.prefetch.kind,
+              PrefetchKind::NextLine);
+
+    EXPECT_FALSE(configByName("RENO/bogus", base, &cfg));
+    EXPECT_FALSE(configByName("BOGUS/l3", base, &cfg));
+    EXPECT_FALSE(configByName("RENO/", base, &cfg));
+}
+
+TEST(Harness, MemVariantsRunEndToEnd)
+{
+    // A deep prefetching write-back configuration simulates correctly
+    // and reports per-level stats through the canonical registry.
+    // The streaming kernel guarantees a stride the prefetcher can arm.
+    const Workload &w = workloadByName("mem.stream.32k");
+    NamedConfig cfg;
+    ASSERT_TRUE(configByName("RENO/l3/pf-stride/wb",
+                             CoreParams::fourWide(), &cfg));
+    const RunOutput ref = runFunctional(w);
+    const RunOutput run = runWorkload(w, cfg.params);
+    EXPECT_EQ(run.output, ref.output);
+    EXPECT_EQ(run.memDigest, ref.memDigest);
+    EXPECT_GT(run.sim.memHits[1], 0u) << "dcache slot";
+    EXPECT_GT(run.sim.memPrefetchIssued[1] +
+                  run.sim.memPrefetchIssued[2],
+              0u)
+        << "stride prefetchers must issue on D$ or L2";
+}

@@ -220,10 +220,16 @@ void
 expectResultEq(const SimResult &got, const SimResult &want,
                const char *label)
 {
+    // The goldens freeze every counter that existed when they were
+    // recorded: the registry prefix up to the elim array. Counters
+    // appended later (the per-memory-level block) are asserted by
+    // their own tests, not frozen here.
     for (const SimStatField &f : simResultFields()) {
         EXPECT_EQ(statValue(got, f), statValue(want, f))
             << label << ": counter '" << f.name << "' diverged from "
             << "the pre-refactor golden result";
+        if (std::string_view(f.name) == "elim4")
+            break;
     }
 }
 

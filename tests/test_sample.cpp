@@ -483,3 +483,78 @@ TEST(Warming, WarmConfigDigestTracksMemAndBpredOnly)
     d.bpred.gshareEntries *= 2;
     EXPECT_NE(warmConfigDigest(a), warmConfigDigest(d));
 }
+
+TEST(Warming, SnapshotRoundTripAcrossHierarchyDepths)
+{
+    // For every memory-system variant (L3 stack, prefetchers,
+    // write-back modeling): a warm snapshot taken mid-stream must
+    // survive encode -> decode and reproduce the measurement window
+    // byte-identically, including the prefetcher training state.
+    const Workload &w = workloadByName("g721.enc");
+    IntervalWindow win;
+    win.startInst = 150'000;
+    win.warmupInsts = 500;
+    win.measureInsts = 3000;
+
+    for (const char *variant :
+         {"l3", "pf-next", "pf-stride", "wb", "l3/pf-stride/wb"}) {
+        CoreParams params = baseParams();
+        std::string tokens = variant;
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+            const std::size_t next = tokens.find('/', pos);
+            ASSERT_TRUE(applyMemVariant(
+                tokens.substr(pos, next == std::string::npos
+                                       ? std::string::npos
+                                       : next - pos),
+                &params))
+                << variant;
+            pos = next == std::string::npos ? next : next + 1;
+        }
+
+        const SimResult plain = runIntervalDetailed(w, params, win);
+
+        // Checkpoint BEFORE the window start so the decoded warm
+        // state must also compose with continued warming.
+        CheckpointStore store;
+        {
+            const Program &prog = assembleWorkload(w);
+            Emulator::Options opts;
+            opts.randSeed = w.seed;
+            Emulator emu(prog, opts);
+            WarmState warm(params.mem, params.bpred);
+            warmStep(emu, warm, 100'000);
+            store.store(w, 100'000, emu.checkpoint(), warm);
+        }
+        const SampleCheckpoint stored =
+            store.lookup(w, 100'000, params.mem, params.bpred);
+        ASSERT_TRUE(stored.usable()) << variant;
+
+        const std::string text = CheckpointStore::encode(stored);
+        SampleCheckpoint decoded;
+        ASSERT_TRUE(CheckpointStore::decode(text, params.mem,
+                                            params.bpred, &decoded))
+            << variant;
+        EXPECT_EQ(CheckpointStore::encode(decoded), text)
+            << variant << ": decode->encode must be the identity";
+
+        const SimResult via_ckpt =
+            runIntervalDetailed(w, params, win, &decoded);
+        for (const SimStatField &f : simResultFields()) {
+            EXPECT_EQ(statValue(via_ckpt, f), statValue(plain, f))
+                << variant << ": window stat '" << f.name
+                << "' diverged through the snapshot round-trip";
+        }
+    }
+}
+
+TEST(Warming, WarmConfigDigestTracksMemoryVariants)
+{
+    const CoreParams base = baseParams();
+    for (const std::string &token : memVariantNames()) {
+        CoreParams varied = base;
+        ASSERT_TRUE(applyMemVariant(token, &varied));
+        EXPECT_NE(warmConfigDigest(base), warmConfigDigest(varied))
+            << token << " must split the warm-state space";
+    }
+}

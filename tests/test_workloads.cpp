@@ -145,3 +145,75 @@ TEST(Workloads, VariantSeedsReachTheTimingCore)
     EXPECT_EQ(run.output, ref.output);
     EXPECT_EQ(run.memDigest, ref.memDigest);
 }
+
+// ---- the generated memory-bound suite --------------------------------
+
+TEST(MemSuite, RegistryAndFunctionalDeterminism)
+{
+    const auto mem = suiteWorkloads("mem");
+    EXPECT_EQ(mem.size(), 7u);
+    for (const SuiteInfo &s : knownSuites()) {
+        if (s.name == "mem")
+            EXPECT_FALSE(s.paper) << "mem is generated, not swept by "
+                                     "default";
+    }
+    for (const Workload *w : mem) {
+        const RunOutput a = runFunctional(*w);
+        const RunOutput b = runFunctional(*w);
+        EXPECT_EQ(a.output, b.output) << w->name;
+        EXPECT_EQ(a.memDigest, b.memDigest) << w->name;
+        EXPECT_FALSE(a.output.empty()) << w->name;
+        EXPECT_GT(a.emuInsts, 400'000u)
+            << w->name << " should be a long-running kernel";
+    }
+}
+
+TEST(MemSuite, TimingCoreMatchesFunctionalState)
+{
+    // Memory-bound kernels through the full detailed core (RENO on):
+    // architectural results must match the functional emulator. One
+    // representative per kernel family keeps the test fast.
+    for (const char *name :
+         {"mem.stream.32k", "mem.chase.64k", "mem.tile.mm"}) {
+        const Workload &w = workloadByName(name);
+        const RunOutput ref = runFunctional(w);
+        CoreParams params;
+        params.reno = RenoConfig::full();
+        const RunOutput run = runWorkload(w, params);
+        EXPECT_EQ(run.output, ref.output) << name;
+        EXPECT_EQ(run.memDigest, ref.memDigest) << name;
+        EXPECT_GT(run.sim.cycles, 0u) << name;
+    }
+}
+
+TEST(MemSuite, FootprintsStressTheIntendedLevels)
+{
+    // The 32 KB stream stays D$-resident after the first pass; the
+    // 1 MB one spills past the 512 KB L2 every pass.
+    CoreParams params;
+    const RunOutput small =
+        runWorkload(workloadByName("mem.stream.32k"), params);
+    const RunOutput big =
+        runWorkload(workloadByName("mem.stream.1m"), params);
+    const double small_mr =
+        double(small.sim.dcacheMisses) /
+        double(small.sim.retiredLoads + small.sim.retiredStores);
+    const double big_mr =
+        double(big.sim.dcacheMisses) /
+        double(big.sim.retiredLoads + big.sim.retiredStores);
+    EXPECT_LT(small_mr, 0.02);
+    EXPECT_GT(big_mr, 10 * small_mr);
+    EXPECT_GT(big.sim.l2Misses, big.sim.retired / 100)
+        << "the 1 MB stream must miss the L2 heavily";
+}
+
+TEST(Workloads, GlobMatchingSelectsAcrossSuites)
+{
+    EXPECT_EQ(workloadsMatching("mem.*").size(), 7u);
+    EXPECT_EQ(workloadsMatching("mem.stream.*").size(), 3u);
+    EXPECT_EQ(workloadsMatching("gzip").size(), 1u);
+    EXPECT_EQ(workloadsMatching("*.dec").size(), 6u);
+    EXPECT_EQ(workloadsMatching("synth.?????").size(), 3u)
+        << "exactly the five-letter tails: plain, phase, chase";
+    EXPECT_DEATH(workloadsMatching("no-such-*"), "matches no");
+}

@@ -32,11 +32,13 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "workload/config selection (as in reno-sweep):\n"
-        "  --suite spec|media|synth|all\n"
+        "  --suite spec|media|synth|mem|all\n"
         "                           workloads to sample (default all =\n"
-        "                           the paper suites; synth = long\n"
+        "                           the paper suites; synth/mem = long\n"
         "                           generated programs)\n"
         "  --workload NAME          one workload (repeatable)\n"
+        "  --workloads GLOB         workloads matching a glob, from\n"
+        "                           every suite (e.g. 'mem.chase.*')\n"
         "  --filter SUBSTR          keep matching workload names\n"
         "  --config NAME            preset (repeatable; default BASE,"
         " RENO)\n"
@@ -108,6 +110,7 @@ main(int argc, char **argv)
 {
     std::string suite = "all";
     std::string filter;
+    std::string workloads_glob;
     std::vector<std::string> workload_names;
     std::vector<std::string> config_names;
     unsigned width = 4;
@@ -145,6 +148,10 @@ main(int argc, char **argv)
             suite = value("--suite");
         } else if (matches("--workload")) {
             workload_names.push_back(value("--workload"));
+        } else if (matches("--workloads")) {
+            workloads_glob = value("--workloads");
+            if (workloads_glob.empty())
+                fatal("--workloads expects a glob pattern");
         } else if (matches("--filter")) {
             filter = value("--filter");
         } else if (matches("--config")) {
@@ -202,7 +209,11 @@ main(int argc, char **argv)
 
     // Workload set.
     std::vector<const Workload *> workloads;
-    if (!workload_names.empty()) {
+    if (!workloads_glob.empty()) {
+        if (!workload_names.empty())
+            fatal("--workloads and --workload are exclusive");
+        workloads = workloadsMatching(workloads_glob, suite);
+    } else if (!workload_names.empty()) {
         for (const std::string &name : workload_names)
             workloads.push_back(&workloadByName(name));
     } else if (suite == "all") {

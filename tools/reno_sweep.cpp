@@ -31,13 +31,15 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "campaign selection:\n"
-        "  --suite spec|media|synth|all\n"
+        "  --suite spec|media|synth|mem|all\n"
         "                           workloads to sweep (default all ="
         " the paper suites)\n"
         "  --workload NAME          one workload (repeatable)\n"
+        "  --workloads GLOB         workloads matching a glob, from\n"
+        "                           every suite (e.g. 'mem.stream.*')\n"
         "  --filter SUBSTR          keep matching workload names\n"
         "  --config NAME            preset (repeatable; default BASE,"
-        " RENO)\n"
+        " RENO), with optional memory variants (RENO/l3/pf-stride)\n"
         "  --width 4|6              machine width (default 4)\n"
         "  --cpa                    critical-path analysis per job\n"
         "\n"
@@ -62,6 +64,9 @@ usage(const char *argv0)
         "  --perf-json FILE         write wall-clock + aggregate IPC"
         " JSON\n"
         "                           (CI perf-smoke trend artifact)\n"
+        "  --mem-json FILE          write per-cache-level aggregate\n"
+        "                           miss-rate / write-back / prefetch"
+        " JSON\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
@@ -87,6 +92,7 @@ main(int argc, char **argv)
 {
     std::string suite = "all";
     std::string filter;
+    std::string workloads_glob;
     std::vector<std::string> workload_names;
     std::vector<std::string> config_names;
     unsigned width = 4;
@@ -97,6 +103,7 @@ main(int argc, char **argv)
     sweep::ReportFormat format = sweep::ReportFormat::Table;
     bool all_stats = false;
     std::string perf_json;
+    std::string mem_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -129,10 +136,18 @@ main(int argc, char **argv)
             perf_json = value("--perf-json");
             if (perf_json.empty())
                 fatal("--perf-json expects a file path");
+        } else if (matches("--mem-json")) {
+            mem_json = value("--mem-json");
+            if (mem_json.empty())
+                fatal("--mem-json expects a file path");
         } else if (matches("--suite")) {
             suite = value("--suite");
         } else if (matches("--workload")) {
             workload_names.push_back(value("--workload"));
+        } else if (matches("--workloads")) {
+            workloads_glob = value("--workloads");
+            if (workloads_glob.empty())
+                fatal("--workloads expects a glob pattern");
         } else if (matches("--filter")) {
             filter = value("--filter");
         } else if (matches("--config")) {
@@ -192,7 +207,11 @@ main(int argc, char **argv)
 
     // Workload set.
     std::vector<const Workload *> workloads;
-    if (!workload_names.empty()) {
+    if (!workloads_glob.empty()) {
+        if (!workload_names.empty())
+            fatal("--workloads and --workload are exclusive");
+        workloads = workloadsMatching(workloads_glob, suite);
+    } else if (!workload_names.empty()) {
         for (const std::string &name : workload_names)
             workloads.push_back(&workloadByName(name));
     } else if (suite == "all") {
@@ -242,6 +261,8 @@ main(int argc, char **argv)
             fatal("--all-stats applies to full simulations only");
         if (!perf_json.empty())
             fatal("--perf-json applies to full simulations only");
+        if (!mem_json.empty())
+            fatal("--mem-json applies to full simulations only");
         sample::SampleOptions sample_opts;
         sample_opts.plan = plan;
         sample_opts.plan.intervals = sample_intervals;
@@ -300,6 +321,57 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(total_retired),
             total_cycles ? double(total_retired) / double(total_cycles)
                          : 0.0);
+        std::fclose(f);
+    }
+
+    if (!mem_json.empty()) {
+        // Per-cache-level aggregate over every job: the CI artifact
+        // tracking memory-system behavior across the sweep.
+        std::uint64_t hits[NumMemStatLevels] = {};
+        std::uint64_t misses[NumMemStatLevels] = {};
+        std::uint64_t merges[NumMemStatLevels] = {};
+        std::uint64_t wbs[NumMemStatLevels] = {};
+        std::uint64_t pf_issued[NumMemStatLevels] = {};
+        std::uint64_t pf_useful[NumMemStatLevels] = {};
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const SimResult &r = results.at(i).sim;
+            const std::uint64_t miss_by_level[NumMemStatLevels] = {
+                r.icacheMisses, r.dcacheMisses, r.l2Misses,
+                r.l3Misses};
+            for (unsigned s = 0; s < NumMemStatLevels; ++s) {
+                hits[s] += r.memHits[s];
+                misses[s] += miss_by_level[s];
+                merges[s] += r.memMshrMerges[s];
+                wbs[s] += r.memWritebacks[s];
+                pf_issued[s] += r.memPrefetchIssued[s];
+                pf_useful[s] += r.memPrefetchUseful[s];
+            }
+        }
+        std::FILE *f = std::fopen(mem_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", mem_json.c_str());
+        std::fprintf(f, "{\n  \"jobs\": %zu,\n  \"levels\": [\n",
+                     results.size());
+        for (unsigned s = 0; s < NumMemStatLevels; ++s) {
+            const std::uint64_t accesses = hits[s] + misses[s];
+            std::fprintf(
+                f,
+                "    {\"level\": \"%s\", \"hits\": %llu, "
+                "\"misses\": %llu, \"miss_rate\": %.6f, "
+                "\"mshr_merges\": %llu, \"writebacks\": %llu, "
+                "\"prefetch_issued\": %llu, "
+                "\"prefetch_useful\": %llu}%s\n",
+                MemStatLevelNames[s],
+                static_cast<unsigned long long>(hits[s]),
+                static_cast<unsigned long long>(misses[s]),
+                accesses ? double(misses[s]) / double(accesses) : 0.0,
+                static_cast<unsigned long long>(merges[s]),
+                static_cast<unsigned long long>(wbs[s]),
+                static_cast<unsigned long long>(pf_issued[s]),
+                static_cast<unsigned long long>(pf_useful[s]),
+                s + 1 < NumMemStatLevels ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
     }
     return 0;
