@@ -8,7 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "asm/assembler.hpp"
-#include "branch/predictor.hpp"
+#include "bpred/predictor.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"
 #include "reno/renamer.hpp"

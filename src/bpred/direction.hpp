@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The DirectionPredictor interface: one pluggable conditional-branch
+ * direction engine of the composable prediction stack
+ * (bpred/predictor.hpp assembles the full front end), mirroring the
+ * MemLevel design of the memory hierarchy.
+ *
+ * A direction predictor answers "will the conditional branch at this
+ * PC be taken?" and is trained with the resolved outcome. The core
+ * does not simulate wrong-path fetch, so predict/train always run in
+ * correct-path order -- a predictor never needs history repair.
+ *
+ * Five engines are provided:
+ *  - Bimodal:    per-PC 2-bit counters (no history);
+ *  - GShare:     2-bit counters indexed by PC xor global history;
+ *  - Tournament: bimodal + gshare with a per-PC chooser (the paper's
+ *                16 Kbit hybrid; the default, byte-identical to the
+ *                seed predictor);
+ *  - Tage:       a bimodal base plus geometric-history tagged tables
+ *                (TAGE-lite: partial tags, useful bits, longest-match
+ *                provider with alt-prediction fallback);
+ *  - Perceptron: per-PC signed weight vectors over the global history
+ *                with threshold training.
+ *
+ * Training is a pure function of the resolved branch stream (never of
+ * cycle times), so warmed predictor tables compose across sampled-
+ * simulation checkpoint boundaries exactly like cache tags; every
+ * engine exports/imports its state through the same generic snapshot.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Which direction engine the stack runs. */
+enum class DirPredKind : std::uint8_t {
+    Bimodal,
+    GShare,
+    Tournament,
+    Tage,
+    Perceptron,
+};
+
+/** Display name ("bimodal", "gshare", "tournament", "tage",
+ *  "perceptron"). */
+const char *dirPredKindName(DirPredKind kind);
+
+/** Configuration of the direction engine. Only the fields of the
+ *  selected kind matter, but all are digested/serialized so two
+ *  configs compare equal iff they predict identically. */
+struct DirPredParams {
+    DirPredKind kind = DirPredKind::Tournament;
+
+    // Bimodal / GShare / Tournament (the paper's 16 Kbit budget).
+    unsigned bimodalEntries = 4096;  //!< 2-bit counters (8Kb)
+    unsigned gshareEntries = 2048;   //!< 2-bit counters (4Kb)
+    unsigned chooserEntries = 2048;  //!< 2-bit counters (4Kb)
+    unsigned historyBits = 11;       //!< gshare history length
+
+    // Tage: base bimodal + tagged tables with geometric histories.
+    unsigned tageBaseEntries = 4096;  //!< base 2-bit counters
+    unsigned tageTables = 4;          //!< tagged tables
+    unsigned tageEntries = 1024;      //!< entries per tagged table
+    unsigned tageTagBits = 9;         //!< partial tag width
+    unsigned tageMinHist = 4;         //!< shortest table history
+    unsigned tageMaxHist = 64;        //!< longest table history (<=64)
+
+    // Perceptron: per-PC weight rows over the global history.
+    unsigned perceptronEntries = 512;   //!< weight rows
+    unsigned perceptronHistBits = 16;   //!< inputs per row (<=63)
+};
+
+/**
+ * Generic snapshot of a direction predictor's tables for functional
+ * warming (sampled simulation): the global history register plus the
+ * engine's tables flattened to unsigned words (signed entries, e.g.
+ * perceptron weights, are stored as two's complement). Each engine
+ * documents its own table layout; importState validates shape.
+ * Statistics counters are excluded: measured windows are counter
+ * deltas, so the absolute base never matters.
+ */
+struct DirPredState {
+    std::uint64_t history = 0;
+    std::vector<std::vector<std::uint64_t>> tables;
+};
+
+/** One pluggable direction engine. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicted direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved outcome (advances global history). */
+    virtual void train(Addr pc, bool taken) = 0;
+
+    /** Export / import the table state (checkpoint persistence).
+     *  importState returns false on any shape mismatch. */
+    virtual DirPredState exportState() const = 0;
+    virtual bool importState(const DirPredState &state) = 0;
+
+    /** Deep copy (the composite predictor is copyable). */
+    virtual std::unique_ptr<DirectionPredictor> clone() const = 0;
+
+    virtual DirPredKind kind() const = 0;
+    const char *name() const { return dirPredKindName(kind()); }
+
+    /** Tage: predictions provided by a tagged (history) table. */
+    std::uint64_t providerHits() const { return providerHits_; }
+    /** Tage: predictions that fell through to the base/alt table. */
+    std::uint64_t altHits() const { return altHits_; }
+    /** Perceptron: predictions whose |dot product| cleared the
+     *  training threshold (high confidence). */
+    std::uint64_t confidentPredicts() const { return confident_; }
+
+  protected:
+    std::uint64_t providerHits_ = 0;
+    std::uint64_t altHits_ = 0;
+    std::uint64_t confident_ = 0;
+};
+
+/**
+ * Build the engine @p params asks for. fatal() on invalid geometry:
+ * zero or non-power-of-two table sizes, historyBits of 0 or > 63,
+ * zero tagged tables, a tag wider than 15 bits, a geometric history
+ * range with max < min or max > 64, or a perceptron history > 63.
+ */
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const DirPredParams &params);
+
+} // namespace reno

@@ -1,0 +1,95 @@
+#include "bpred/indirect.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+IndirectTargetTable::IndirectTargetTable(const IndirectParams &params)
+    : params_(params)
+{
+    if (!params.enabled)
+        return;
+    if (params.entries == 0 ||
+        (params.entries & (params.entries - 1)) != 0)
+        fatal("indirect-target table: entry count must be a non-zero "
+              "power of two (got %u)", params.entries);
+    if (params.historyBits == 0 || params.historyBits > 63)
+        fatal("indirect-target table: historyBits must be in [1, 63] "
+              "(got %u)", params.historyBits);
+    entries_.resize(params.entries);
+}
+
+unsigned
+IndirectTargetTable::index(Addr pc) const
+{
+    const std::uint64_t hist =
+        history_ & ((std::uint64_t{1} << params_.historyBits) - 1);
+    return static_cast<unsigned>(((pc >> 2) ^ hist) %
+                                 params_.entries);
+}
+
+bool
+IndirectTargetTable::lookup(Addr pc, Addr *target) const
+{
+    if (!params_.enabled)
+        return false;
+    const Entry &e = entries_[index(pc)];
+    if (!e.valid || e.tag != pc)
+        return false;
+    *target = e.target;
+    return true;
+}
+
+void
+IndirectTargetTable::update(Addr pc, Addr target)
+{
+    if (!params_.enabled)
+        return;
+    Entry &e = entries_[index(pc)];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+    // Path history: fold the resolved target in, so the next
+    // occurrence of a megamorphic site indexes by where control has
+    // been, not just where it is. The xor-fold pulls the high target
+    // bits into the low history bits (aligned code addresses differ
+    // mostly in their upper bits).
+    std::uint64_t t = target >> 2;
+    t ^= t >> 7;
+    t ^= t >> 17;
+    history_ = (history_ << 2) ^ t;
+}
+
+IndirectState
+IndirectTargetTable::exportState() const
+{
+    IndirectState state;
+    state.history = history_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].valid)
+            continue;
+        state.entries.push_back({static_cast<std::uint32_t>(i),
+                                 entries_[i].tag,
+                                 entries_[i].target});
+    }
+    return state;
+}
+
+bool
+IndirectTargetTable::importState(const IndirectState &state)
+{
+    if (!params_.enabled)
+        return state.entries.empty() && state.history == 0;
+    for (Entry &e : entries_)
+        e.valid = false;
+    for (const IndirectState::Entry &e : state.entries) {
+        if (e.index >= entries_.size())
+            return false;
+        entries_[e.index] = {true, e.tag, e.target};
+    }
+    history_ = state.history;
+    return true;
+}
+
+} // namespace reno

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Indirect-target table: a direct-mapped, target-history-indexed
+ * table for register-indirect jumps and calls whose target changes
+ * over time (virtual dispatch, interpreter loops) -- the megamorphic
+ * sites a last-target BTB keeps mispredicting. One component of the
+ * composable prediction stack (bpred/predictor.hpp).
+ *
+ * Disabled by default: the paper's configuration resolves indirect
+ * targets through the BTB alone, and the paper-geometry bench goldens
+ * depend on that. When enabled (the "itt" config variant), indirect
+ * lookups try the table first and fall back to the BTB; a path
+ * history of recent indirect targets picks the table slot, so one
+ * site's alternating targets land in distinct entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Configuration of the indirect-target table. */
+struct IndirectParams {
+    bool enabled = false;  //!< default off (paper geometry)
+    unsigned entries = 512;
+    unsigned historyBits = 8;  //!< folded target-history index bits
+};
+
+/** Snapshot of the table for functional warming. */
+struct IndirectState {
+    struct Entry {
+        std::uint32_t index = 0;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t history = 0;
+};
+
+/** Direct-mapped, history-hashed indirect-target table. */
+class IndirectTargetTable
+{
+  public:
+    /** fatal() on a zero-entry or non-power-of-two geometry or a
+     *  history wider than 63 bits (when enabled). */
+    explicit IndirectTargetTable(const IndirectParams &params);
+
+    bool enabled() const { return params_.enabled; }
+
+    /** Look up @p pc under the current path history; true on a
+     *  tag-matching hit. */
+    bool lookup(Addr pc, Addr *target) const;
+
+    /** Record the resolved @p target of the indirect at @p pc and
+     *  advance the path history. */
+    void update(Addr pc, Addr target);
+
+    /** Export / import the table (checkpoint persistence).
+     *  importState returns false on any out-of-range index. */
+    IndirectState exportState() const;
+    bool importState(const IndirectState &state);
+
+  private:
+    struct Entry {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+
+    unsigned index(Addr pc) const;
+
+    IndirectParams params_;
+    std::vector<Entry> entries_;
+    std::uint64_t history_ = 0;
+};
+
+} // namespace reno

@@ -1,0 +1,127 @@
+#include "bpred/predictor.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params)
+    : params_(params), dir_(makeDirectionPredictor(params.dir)),
+      btb_(params.btb), ras_(params.ras), indirect_(params.indirect)
+{
+}
+
+BranchPredictor::BranchPredictor(const BranchPredictor &other)
+    : params_(other.params_), dir_(other.dir_->clone()),
+      btb_(other.btb_), ras_(other.ras_),
+      indirect_(other.indirect_), lookups_(other.lookups_),
+      dirMispredicts_(other.dirMispredicts_),
+      targetMispredicts_(other.targetMispredicts_),
+      rasMispredicts_(other.rasMispredicts_)
+{
+}
+
+BranchPredictor &
+BranchPredictor::operator=(const BranchPredictor &other)
+{
+    if (this == &other)
+        return *this;
+    params_ = other.params_;
+    dir_ = other.dir_->clone();
+    btb_ = other.btb_;
+    ras_ = other.ras_;
+    indirect_ = other.indirect_;
+    lookups_ = other.lookups_;
+    dirMispredicts_ = other.dirMispredicts_;
+    targetMispredicts_ = other.targetMispredicts_;
+    rasMispredicts_ = other.rasMispredicts_;
+    return *this;
+}
+
+Prediction
+BranchPredictor::predict(Addr pc, const Instruction &inst)
+{
+    ++lookups_;
+    Prediction pred;
+    const Addr fall_through = pc + 4;
+    const Addr direct_target =
+        pc + 4 + static_cast<Addr>(static_cast<std::int64_t>(inst.imm) * 4);
+
+    switch (inst.info().cls) {
+      case InstClass::CtrlCond:
+        pred.taken = dir_->predict(pc);
+        pred.target = pred.taken ? direct_target : fall_through;
+        pred.targetValid = true;
+        break;
+      case InstClass::CtrlUncond:
+        pred.taken = true;
+        pred.target = direct_target;
+        pred.targetValid = true;
+        break;
+      case InstClass::CtrlCall: {
+        pred.taken = true;
+        // Push the return address.
+        ras_.push(fall_through);
+        if (inst.op == Opcode::BSR) {
+            pred.target = direct_target;
+            pred.targetValid = true;
+        } else if (indirect_.lookup(pc, &pred.target)) {
+            pred.targetValid = true;
+        } else {
+            pred.targetValid = btb_.lookup(pc, &pred.target);
+        }
+        break;
+      }
+      case InstClass::CtrlRet:
+        pred.taken = true;
+        if (inst.ra == RegRa && ras_.pop(&pred.target)) {
+            pred.targetValid = true;
+            pred.fromRas = true;
+        } else if (indirect_.lookup(pc, &pred.target)) {
+            pred.targetValid = true;
+        } else {
+            pred.targetValid = btb_.lookup(pc, &pred.target);
+        }
+        break;
+      default:
+        panic("predict() on non-control instruction");
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, const Instruction &inst, bool taken,
+                        Addr target)
+{
+    if (inst.info().cls == InstClass::CtrlCond)
+        dir_->train(pc, taken);
+    // Indirect targets live in the BTB (and, when enabled, the
+    // history-indexed indirect-target table).
+    if (inst.op == Opcode::JSR ||
+        (inst.op == Opcode::JMP && inst.ra != RegRa)) {
+        btb_.insert(pc, target);
+        indirect_.update(pc, target);
+    }
+}
+
+BranchPredState
+BranchPredictor::exportState() const
+{
+    BranchPredState state;
+    state.dir = dir_->exportState();
+    state.btb = btb_.exportState();
+    state.ras = ras_.exportState();
+    state.indirect = indirect_.exportState();
+    return state;
+}
+
+bool
+BranchPredictor::importState(const BranchPredState &state)
+{
+    return dir_->importState(state.dir) &&
+           btb_.importState(state.btb) &&
+           ras_.importState(state.ras) &&
+           indirect_.importState(state.indirect);
+}
+
+} // namespace reno

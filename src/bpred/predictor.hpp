@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Front-end branch prediction: a composable stack assembled from
+ * pluggable components, mirroring the declarative design of the
+ * memory hierarchy (src/mem/):
+ *
+ *   DirectionPredictor (bpred/direction.hpp)  -- conditional branches
+ *   Btb                (bpred/btb.hpp)        -- indirect targets
+ *   ReturnAddressStack (bpred/ras.hpp)        -- returns
+ *   IndirectTargetTable(bpred/indirect.hpp)   -- megamorphic sites
+ *                                                (optional)
+ *
+ * The default geometry -- tournament direction predictor with the
+ * 16 Kbit budget, 2K-entry 4-way BTB, 32-entry RAS, no indirect
+ * table -- is bit-identical to the paper's hardwired hybrid; the
+ * bench goldens depend on that. Non-default stacks are selected as
+ * '/'-suffix config variants ("RENO/tage", "BASE/perceptron/ras16";
+ * see harness/experiment.hpp).
+ *
+ * The core does not simulate wrong-path fetch (stall-until-resolve),
+ * so predictions are made and trained in correct-path order; a
+ * misprediction is charged as a front-end redirect bubble and
+ * attributed to the component that produced it (direction, target,
+ * or RAS).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bpred/btb.hpp"
+#include "bpred/direction.hpp"
+#include "bpred/indirect.hpp"
+#include "bpred/ras.hpp"
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace reno
+{
+
+/** Outcome of a lookup. */
+struct Prediction {
+    bool taken = false;
+    Addr target = 0;
+    bool targetValid = false;  //!< BTB/RAS/ITT produced a target
+    bool fromRas = false;      //!< target came from the RAS
+};
+
+/** Configuration of the full prediction stack. */
+struct BranchPredParams {
+    DirPredParams dir;
+    BtbParams btb;
+    RasParams ras;
+    IndirectParams indirect;
+};
+
+/**
+ * Snapshot of the stack's tables for functional warming (sampled
+ * simulation). Statistics counters are excluded: measured windows are
+ * counter deltas, so the absolute base never matters.
+ */
+struct BranchPredState {
+    DirPredState dir;
+    BtbState btb;
+    RasState ras;
+    IndirectState indirect;
+};
+
+/** The composed prediction stack. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredParams &params = {});
+
+    /** Deep copies (the direction engine is held by pointer; sampled
+     *  simulation copies warmed predictors into cores). */
+    BranchPredictor(const BranchPredictor &other);
+    BranchPredictor &operator=(const BranchPredictor &other);
+
+    /**
+     * Predict the control instruction at @p pc. Speculatively updates
+     * the RAS (push on call, pop on return).
+     */
+    Prediction predict(Addr pc, const Instruction &inst);
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, const Instruction &inst, bool taken, Addr target);
+
+    const BranchPredParams &params() const { return params_; }
+    const DirectionPredictor &direction() const { return *dir_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t dirMispredicts() const { return dirMispredicts_; }
+    std::uint64_t targetMispredicts() const { return targetMispredicts_; }
+    std::uint64_t rasMispredicts() const { return rasMispredicts_; }
+    std::uint64_t
+    mispredicts() const
+    {
+        return dirMispredicts_ + targetMispredicts_ + rasMispredicts_;
+    }
+    std::uint64_t rasOverflows() const { return ras_.overflows(); }
+
+    /** Record a misprediction (counted by the core at resolve time,
+     *  attributed to the component that produced the bad target). */
+    void noteDirMispredict() { ++dirMispredicts_; }
+    void noteTargetMispredict() { ++targetMispredicts_; }
+    void noteRasMispredict() { ++rasMispredicts_; }
+
+    /** Export / import the stack state (checkpoint persistence).
+     *  importState returns false on any shape mismatch. */
+    BranchPredState exportState() const;
+    bool importState(const BranchPredState &state);
+
+  private:
+    BranchPredParams params_;
+    std::unique_ptr<DirectionPredictor> dir_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    IndirectTargetTable indirect_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t dirMispredicts_ = 0;
+    std::uint64_t targetMispredicts_ = 0;
+    std::uint64_t rasMispredicts_ = 0;
+};
+
+} // namespace reno

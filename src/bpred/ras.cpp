@@ -1,0 +1,55 @@
+#include "bpred/ras.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+ReturnAddressStack::ReturnAddressStack(const RasParams &params)
+    : params_(params), stack_(params.entries, 0)
+{
+    if (params.entries == 0)
+        fatal("RAS: entry count must be non-zero");
+}
+
+void
+ReturnAddressStack::push(Addr addr)
+{
+    if (top_ >= params_.entries)
+        ++overflows_;  // clobbers the oldest live entry
+    stack_[top_ % params_.entries] = addr;
+    ++top_;
+}
+
+bool
+ReturnAddressStack::pop(Addr *target)
+{
+    if (top_ == 0) {
+        ++underflows_;
+        return false;
+    }
+    --top_;
+    *target = stack_[top_ % params_.entries];
+    return true;
+}
+
+RasState
+ReturnAddressStack::exportState() const
+{
+    RasState state;
+    state.stack = stack_;
+    state.top = top_;
+    return state;
+}
+
+bool
+ReturnAddressStack::importState(const RasState &state)
+{
+    if (state.stack.size() != stack_.size())
+        return false;
+    stack_ = state.stack;
+    top_ = state.top;
+    return true;
+}
+
+} // namespace reno

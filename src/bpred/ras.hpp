@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Return-address stack with explicit overflow/corruption modeling.
+ * One component of the composable prediction stack
+ * (bpred/predictor.hpp).
+ *
+ * The stack is a circular buffer: a push beyond capacity silently
+ * clobbers the oldest entry (the hardware reality), so a call chain
+ * deeper than the stack corrupts the returns of the outer frames --
+ * the overflows() counter tracks every clobbering push, and the
+ * composite predictor charges the resulting wrong targets to a
+ * dedicated RAS-mispredict counter. A pop of an empty stack counts an
+ * underflow and produces no target (the composite falls back to the
+ * BTB). The core trains in correct-path order, so wrong-path
+ * corruption does not arise; depth overflow is the modeled corruption
+ * source.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace reno
+{
+
+/** Geometry of the return-address stack. */
+struct RasParams {
+    unsigned entries = 32;
+};
+
+/** Snapshot of the stack for functional warming. Statistics counters
+ *  are excluded (measured windows are counter deltas). */
+struct RasState {
+    std::vector<Addr> stack;
+    unsigned top = 0;
+};
+
+/** Circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    /** fatal() on a zero-entry stack. */
+    explicit ReturnAddressStack(const RasParams &params);
+
+    /** Push a return address (call); counts an overflow when the
+     *  push clobbers a live entry. */
+    void push(Addr addr);
+
+    /** Pop the predicted return target; false (and an underflow
+     *  counted) when the stack is empty. */
+    bool pop(Addr *target);
+
+    bool empty() const { return top_ == 0; }
+
+    std::uint64_t overflows() const { return overflows_; }
+    std::uint64_t underflows() const { return underflows_; }
+
+    /** Export / import the stack (checkpoint persistence).
+     *  importState returns false on a size mismatch. */
+    RasState exportState() const;
+    bool importState(const RasState &state);
+
+  private:
+    RasParams params_;
+    std::vector<Addr> stack_;
+    unsigned top_ = 0;  //!< index of next push slot (not wrapped)
+    std::uint64_t overflows_ = 0;
+    std::uint64_t underflows_ = 0;
+};
+
+} // namespace reno

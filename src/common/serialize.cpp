@@ -68,13 +68,26 @@ serializeCoreParams(const CoreParams &p)
     emit(out, "ssitEntries", p.ssitEntries);
     emit(out, "numStoreSets", p.numStoreSets);
 
-    emit(out, "bpred.bimodal", p.bpred.bimodalEntries);
-    emit(out, "bpred.gshare", p.bpred.gshareEntries);
-    emit(out, "bpred.chooser", p.bpred.chooserEntries);
-    emit(out, "bpred.history", p.bpred.historyBits);
-    emit(out, "bpred.btb", p.bpred.btbEntries);
-    emit(out, "bpred.btbAssoc", p.bpred.btbAssoc);
-    emit(out, "bpred.ras", p.bpred.rasEntries);
+    out += strprintf("bpred.dir %s\n",
+                     dirPredKindName(p.bpred.dir.kind));
+    emit(out, "bpred.bimodal", p.bpred.dir.bimodalEntries);
+    emit(out, "bpred.gshare", p.bpred.dir.gshareEntries);
+    emit(out, "bpred.chooser", p.bpred.dir.chooserEntries);
+    emit(out, "bpred.history", p.bpred.dir.historyBits);
+    emit(out, "bpred.tageBase", p.bpred.dir.tageBaseEntries);
+    emit(out, "bpred.tageTables", p.bpred.dir.tageTables);
+    emit(out, "bpred.tageEntries", p.bpred.dir.tageEntries);
+    emit(out, "bpred.tageTag", p.bpred.dir.tageTagBits);
+    emit(out, "bpred.tageMinHist", p.bpred.dir.tageMinHist);
+    emit(out, "bpred.tageMaxHist", p.bpred.dir.tageMaxHist);
+    emit(out, "bpred.perceptron", p.bpred.dir.perceptronEntries);
+    emit(out, "bpred.perceptronHist", p.bpred.dir.perceptronHistBits);
+    emit(out, "bpred.btb", p.bpred.btb.entries);
+    emit(out, "bpred.btbAssoc", p.bpred.btb.assoc);
+    emit(out, "bpred.ras", p.bpred.ras.entries);
+    emit(out, "bpred.itt", p.bpred.indirect.enabled);
+    emit(out, "bpred.ittEntries", p.bpred.indirect.entries);
+    emit(out, "bpred.ittHistory", p.bpred.indirect.historyBits);
 
     emitCache(out, "icache", p.mem.icache);
     emitCache(out, "dcache", p.mem.dcache);

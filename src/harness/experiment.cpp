@@ -78,6 +78,86 @@ applyMemVariant(const std::string &token, CoreParams *params)
     return false;
 }
 
+std::vector<std::string>
+bpredVariantNames()
+{
+    return {"bimodal", "gshare",  "tournament", "tage",
+            "perceptron", "ras<N>", "btb<N>",   "itt"};
+}
+
+namespace
+{
+
+/** Parse the numeric tail of "ras16"/"btb512"-style tokens. */
+bool
+numericSuffix(const std::string &token, const char *prefix,
+              unsigned *value)
+{
+    const std::size_t len = std::string_view(prefix).size();
+    if (token.rfind(prefix, 0) != 0 || token.size() == len)
+        return false;
+    unsigned v = 0;
+    for (std::size_t i = len; i < token.size(); ++i) {
+        if (token[i] < '0' || token[i] > '9')
+            return false;
+        const unsigned digit = static_cast<unsigned>(token[i] - '0');
+        if (v > (~0u - digit) / 10)
+            return false;  // would overflow: reject, don't wrap
+        v = v * 10 + digit;
+    }
+    *value = v;
+    return true;
+}
+
+} // namespace
+
+bool
+applyBpredVariant(const std::string &token, CoreParams *params)
+{
+    if (token == "bimodal") {
+        params->bpred.dir.kind = DirPredKind::Bimodal;
+        return true;
+    }
+    if (token == "gshare") {
+        params->bpred.dir.kind = DirPredKind::GShare;
+        return true;
+    }
+    if (token == "tournament") {
+        params->bpred.dir.kind = DirPredKind::Tournament;
+        return true;
+    }
+    if (token == "tage") {
+        params->bpred.dir.kind = DirPredKind::Tage;
+        return true;
+    }
+    if (token == "perceptron") {
+        params->bpred.dir.kind = DirPredKind::Perceptron;
+        return true;
+    }
+    // Reject geometry the predictor constructors would fatal() on,
+    // so a bad token reads as "unknown variant" up front instead of
+    // aborting mid-campaign.
+    if (unsigned n = 0; numericSuffix(token, "ras", &n)) {
+        if (n == 0)
+            return false;
+        params->bpred.ras.entries = n;
+        return true;
+    }
+    if (unsigned n = 0; numericSuffix(token, "btb", &n)) {
+        if (n == 0 || (n & (n - 1)) != 0)
+            return false;
+        params->bpred.btb.entries = n;
+        if (params->bpred.btb.assoc > n)
+            params->bpred.btb.assoc = n;
+        return true;
+    }
+    if (token == "itt") {
+        params->bpred.indirect.enabled = true;
+        return true;
+    }
+    return false;
+}
+
 bool
 configByName(const std::string &name, const CoreParams &base,
              NamedConfig *out)
@@ -111,7 +191,8 @@ configByName(const std::string &name, const CoreParams &base,
             name.substr(pos + 1, next == std::string::npos
                                      ? std::string::npos
                                      : next - pos - 1);
-        if (!applyMemVariant(token, &found.params))
+        if (!applyMemVariant(token, &found.params) &&
+            !applyBpredVariant(token, &found.params))
             return false;
         pos = next;
     }
@@ -150,6 +231,10 @@ renderConfigList()
         out += "  " + name + "\n";
     out += "memory variants (append as /token, e.g. RENO/l3/wb):\n";
     for (const std::string &name : memVariantNames())
+        out += "  /" + name + "\n";
+    out += "branch-prediction variants (append as /token, e.g. "
+           "RENO/tage or BASE/perceptron/ras16):\n";
+    for (const std::string &name : bpredVariantNames())
         out += "  /" + name + "\n";
     return out;
 }

@@ -50,9 +50,11 @@ std::vector<NamedConfig> divisionOfLabor(const CoreParams &base);
  * Look up an evaluation configuration by name on top of @p base:
  * "BASE", "ME", "ME+CF", "RENO" (the build-up) or "RENO+FullInteg",
  * "FullInteg", "LoadsInteg" (division of labor), optionally followed
- * by '/'-separated memory-system variants ("RENO/l3",
- * "BASE/pf-stride/wb"; see memVariantNames()). Returns false and
- * leaves @p out untouched for an unknown name or variant.
+ * by '/'-separated memory-system or branch-prediction variants
+ * ("RENO/l3", "BASE/pf-stride/wb", "RENO/tage",
+ * "BASE/perceptron/ras16"; see memVariantNames() /
+ * bpredVariantNames()). Returns false and leaves @p out untouched
+ * for an unknown name or variant.
  */
 bool configByName(const std::string &name, const CoreParams &base,
                   NamedConfig *out);
@@ -71,6 +73,20 @@ std::vector<std::string> memVariantNames();
 
 /** Apply one variant token to @p params; false if unknown. */
 bool applyMemVariant(const std::string &token, CoreParams *params);
+
+/**
+ * Branch-prediction variant tokens configByName() accepts as
+ * suffixes:
+ *  - "bimodal", "gshare", "tournament", "tage", "perceptron":
+ *    select the direction engine (tournament is the paper default);
+ *  - "ras<N>":  an N-entry return-address stack (e.g. "ras16");
+ *  - "btb<N>":  an N-entry BTB (associativity capped at N);
+ *  - "itt":     enable the 512-entry indirect-target table.
+ */
+std::vector<std::string> bpredVariantNames();
+
+/** Apply one variant token to @p params; false if unknown. */
+bool applyBpredVariant(const std::string &token, CoreParams *params);
 
 /**
  * Suite iteration for campaign construction: (label, workloads) for

@@ -51,8 +51,16 @@ FetchStage::tick()
                 bp_.noteDirMispredict();
             } else if (rec.taken && (!target_known ||
                                      pred_npc != rec.npc)) {
+                // Attribute the bad target to the component that
+                // produced it: a wrong RAS pop (stack overflow
+                // clobbered the frame, or a non-call/return pairing)
+                // is a RAS mispredict; everything else is a
+                // BTB/indirect-table target mispredict.
                 mispredicted = true;
-                bp_.noteTargetMispredict();
+                if (pred.fromRas)
+                    bp_.noteRasMispredict();
+                else
+                    bp_.noteTargetMispredict();
             }
             bp_.update(pc, rec.inst, rec.taken, rec.npc);
             if (rec.taken)

@@ -9,7 +9,7 @@
  */
 #pragma once
 
-#include "branch/predictor.hpp"
+#include "bpred/predictor.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"
 #include "pipeline/machine_state.hpp"

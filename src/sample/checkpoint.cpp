@@ -15,8 +15,11 @@ namespace
 
 // v3 generalized the warm half to a hierarchy of arbitrary depth:
 // a "levels N" header followed by one per-cache block carrying dirty
-// and prefetched line flags plus the prefetcher training table.
-constexpr const char *CheckpointTag = "reno-checkpoint v3";
+// and prefetched line flags plus the prefetcher training table. v4
+// replaced the hardwired hybrid-predictor block with the generic
+// composable-stack encoding (any direction engine's tables, BTB,
+// RAS, indirect-target table).
+constexpr const char *CheckpointTag = "reno-checkpoint v4";
 constexpr const char *ProfileTag = "reno-funcprofile v1";
 
 std::string
@@ -249,29 +252,38 @@ CheckpointStore::encode(const SampleCheckpoint &ckpt)
         encodeCacheState(out, levels[i]->name(),
                          mem_state.caches[i]);
     const BranchPredState bp = warm.bp.exportState();
-    out += strprintf("bphist %llu %llu %u\n",
-                     static_cast<unsigned long long>(bp.history),
-                     static_cast<unsigned long long>(bp.btbLru),
-                     bp.rasTop);
-    out += strprintf("bimodal %s\n",
-                     hexEncode(bp.bimodal.data(), bp.bimodal.size())
-                         .c_str());
-    out += strprintf("gshare %s\n",
-                     hexEncode(bp.gshare.data(), bp.gshare.size())
-                         .c_str());
-    out += strprintf("chooser %s\n",
-                     hexEncode(bp.chooser.data(), bp.chooser.size())
-                         .c_str());
-    out += strprintf("btb %zu\n", bp.btb.size());
-    for (const BranchPredState::Btb &e : bp.btb)
+    out += strprintf("bpdir %llu %zu\n",
+                     static_cast<unsigned long long>(bp.dir.history),
+                     bp.dir.tables.size());
+    for (const std::vector<std::uint64_t> &table : bp.dir.tables) {
+        out += strprintf("dtab %zu", table.size());
+        // Signed rendering: two's-complement words (perceptron
+        // weights) print as small negative numbers, not 20-digit
+        // wrap-arounds.
+        for (const std::uint64_t v : table)
+            out += strprintf(" %lld",
+                             static_cast<long long>(v));
+        out += '\n';
+    }
+    out += strprintf("btb %zu %llu\n", bp.btb.entries.size(),
+                     static_cast<unsigned long long>(
+                         bp.btb.lruClock));
+    for (const BtbState::Entry &e : bp.btb.entries)
         out += strprintf("btbent %u %llu %llu %llu\n", e.index,
                          static_cast<unsigned long long>(e.tag),
                          static_cast<unsigned long long>(e.target),
                          static_cast<unsigned long long>(e.lruStamp));
-    out += strprintf("ras %zu", bp.ras.size());
-    for (const Addr a : bp.ras)
+    out += strprintf("ras %zu %u", bp.ras.stack.size(), bp.ras.top);
+    for (const Addr a : bp.ras.stack)
         out += strprintf(" %llu", static_cast<unsigned long long>(a));
     out += '\n';
+    out += strprintf("itt %zu %llu\n", bp.indirect.entries.size(),
+                     static_cast<unsigned long long>(
+                         bp.indirect.history));
+    for (const IndirectState::Entry &e : bp.indirect.entries)
+        out += strprintf("ittent %u %llu %llu\n", e.index,
+                         static_cast<unsigned long long>(e.tag),
+                         static_cast<unsigned long long>(e.target));
 
     // Integrity digest over everything above.
     Fnv64 h;
@@ -394,51 +406,83 @@ CheckpointStore::decode(const std::string &text,
     }
 
     BranchPredState bp;
-    if (!std::getline(in, line))
-        return false;
     {
-        std::istringstream hdr(line);
-        std::string key;
-        if (!(hdr >> key >> bp.history >> bp.btbLru >> bp.rasTop) ||
-            key != "bphist")
-            return false;
-    }
-    if (!std::getline(in, line) ||
-        !keyValue(line, "bimodal", &hex) ||
-        !hexDecode(hex, &bp.bimodal))
-        return false;
-    if (!std::getline(in, line) || !keyValue(line, "gshare", &hex) ||
-        !hexDecode(hex, &bp.gshare))
-        return false;
-    if (!std::getline(in, line) || !keyValue(line, "chooser", &hex) ||
-        !hexDecode(hex, &bp.chooser))
-        return false;
-    std::uint64_t nbtb = 0;
-    if (!next_u64("btb", &nbtb))
-        return false;
-    for (std::uint64_t i = 0; i < nbtb; ++i) {
+        std::size_t ntables = 0;
         if (!std::getline(in, line))
             return false;
-        std::istringstream es(line);
+        std::istringstream hdr(line);
         std::string key;
-        BranchPredState::Btb e;
-        if (!(es >> key >> e.index >> e.tag >> e.target >>
-              e.lruStamp) ||
-            key != "btbent")
+        if (!(hdr >> key >> bp.dir.history >> ntables) ||
+            key != "bpdir")
             return false;
-        bp.btb.push_back(e);
+        bp.dir.tables.resize(ntables);
+        for (std::size_t t = 0; t < ntables; ++t) {
+            if (!std::getline(in, line))
+                return false;
+            std::istringstream ts(line);
+            std::size_t len = 0;
+            if (!(ts >> key >> len) || key != "dtab")
+                return false;
+            bp.dir.tables[t].resize(len);
+            for (std::size_t i = 0; i < len; ++i) {
+                long long v = 0;
+                if (!(ts >> v))
+                    return false;
+                bp.dir.tables[t][i] = static_cast<std::uint64_t>(v);
+            }
+        }
+    }
+    {
+        std::size_t nbtb = 0;
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream hdr(line);
+        std::string key;
+        if (!(hdr >> key >> nbtb >> bp.btb.lruClock) || key != "btb")
+            return false;
+        for (std::size_t i = 0; i < nbtb; ++i) {
+            if (!std::getline(in, line))
+                return false;
+            std::istringstream es(line);
+            BtbState::Entry e;
+            if (!(es >> key >> e.index >> e.tag >> e.target >>
+                  e.lruStamp) ||
+                key != "btbent")
+                return false;
+            bp.btb.entries.push_back(e);
+        }
     }
     if (!std::getline(in, line) || line.rfind("ras ", 0) != 0)
         return false;
     {
         std::istringstream rs(line.substr(4));
         std::size_t n = 0;
-        if (!(rs >> n))
+        if (!(rs >> n >> bp.ras.top))
             return false;
-        bp.ras.resize(n);
+        bp.ras.stack.resize(n);
         for (std::size_t i = 0; i < n; ++i) {
-            if (!(rs >> bp.ras[i]))
+            if (!(rs >> bp.ras.stack[i]))
                 return false;
+        }
+    }
+    {
+        std::size_t nitt = 0;
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream hdr(line);
+        std::string key;
+        if (!(hdr >> key >> nitt >> bp.indirect.history) ||
+            key != "itt")
+            return false;
+        for (std::size_t i = 0; i < nitt; ++i) {
+            if (!std::getline(in, line))
+                return false;
+            std::istringstream es(line);
+            IndirectState::Entry e;
+            if (!(es >> key >> e.index >> e.tag >> e.target) ||
+                key != "ittent")
+                return false;
+            bp.indirect.entries.push_back(e);
         }
     }
 

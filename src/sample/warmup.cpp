@@ -30,7 +30,7 @@ warmConfigDigest(const MemHierarchy::Params &mem_params,
                  const BranchPredParams &bp_params)
 {
     Fnv64 h;
-    h.update("reno-warmcfg-v2");
+    h.update("reno-warmcfg-v3");
     digestCacheParams(h, mem_params.icache);
     digestCacheParams(h, mem_params.dcache);
     digestCacheParams(h, mem_params.l2);
@@ -41,13 +41,26 @@ warmConfigDigest(const MemHierarchy::Params &mem_params,
     h.update(std::uint64_t{mem_params.memory.accessLatency});
     h.update(std::uint64_t{mem_params.memory.busBytes});
     h.update(std::uint64_t{mem_params.memory.busClockDivider});
-    h.update(std::uint64_t{bp_params.bimodalEntries});
-    h.update(std::uint64_t{bp_params.gshareEntries});
-    h.update(std::uint64_t{bp_params.chooserEntries});
-    h.update(std::uint64_t{bp_params.historyBits});
-    h.update(std::uint64_t{bp_params.btbEntries});
-    h.update(std::uint64_t{bp_params.btbAssoc});
-    h.update(std::uint64_t{bp_params.rasEntries});
+    const DirPredParams &dir = bp_params.dir;
+    h.update(std::uint64_t{static_cast<unsigned>(dir.kind)});
+    h.update(std::uint64_t{dir.bimodalEntries});
+    h.update(std::uint64_t{dir.gshareEntries});
+    h.update(std::uint64_t{dir.chooserEntries});
+    h.update(std::uint64_t{dir.historyBits});
+    h.update(std::uint64_t{dir.tageBaseEntries});
+    h.update(std::uint64_t{dir.tageTables});
+    h.update(std::uint64_t{dir.tageEntries});
+    h.update(std::uint64_t{dir.tageTagBits});
+    h.update(std::uint64_t{dir.tageMinHist});
+    h.update(std::uint64_t{dir.tageMaxHist});
+    h.update(std::uint64_t{dir.perceptronEntries});
+    h.update(std::uint64_t{dir.perceptronHistBits});
+    h.update(std::uint64_t{bp_params.btb.entries});
+    h.update(std::uint64_t{bp_params.btb.assoc});
+    h.update(std::uint64_t{bp_params.ras.entries});
+    h.update(bp_params.indirect.enabled);
+    h.update(std::uint64_t{bp_params.indirect.entries});
+    h.update(std::uint64_t{bp_params.indirect.historyBits});
     return h.value();
 }
 

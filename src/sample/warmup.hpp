@@ -20,7 +20,7 @@
 
 #include <cstdint>
 
-#include "branch/predictor.hpp"
+#include "bpred/predictor.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"
 #include "uarch/params.hpp"

@@ -90,7 +90,14 @@ Core::result() const
     r.violationSquashes = stats_.violationSquashes;
     r.misintegrationFlushes = stats_.misintegrationFlushes;
     r.bpLookups = bp_.lookups();
-    r.bpMispredicts = bp_.dirMispredicts() + bp_.targetMispredicts();
+    r.bpMispredicts = bp_.mispredicts();
+    r.bpDirMispredicts = bp_.dirMispredicts();
+    r.bpTargetMispredicts = bp_.targetMispredicts();
+    r.bpRasMispredicts = bp_.rasMispredicts();
+    r.bpRasOverflows = bp_.rasOverflows();
+    r.bpTageProviderHits = bp_.direction().providerHits();
+    r.bpTageAltHits = bp_.direction().altHits();
+    r.bpPerceptronConfident = bp_.direction().confidentPredicts();
     r.icacheMisses = mem_.icache().misses();
     r.dcacheMisses = mem_.dcache().misses();
     r.l2Misses = mem_.l2().misses();

@@ -27,7 +27,7 @@
 
 #include <cstdint>
 
-#include "branch/predictor.hpp"
+#include "bpred/predictor.hpp"
 #include "common/statset.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"

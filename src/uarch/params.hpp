@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "branch/predictor.hpp"
+#include "bpred/predictor.hpp"
 #include "mem/hierarchy.hpp"
 #include "reno/renamer.hpp"
 

@@ -78,6 +78,17 @@ struct SimResult {
     std::uint64_t memPrefetchIssued[NumMemStatLevels] = {};
     std::uint64_t memPrefetchUseful[NumMemStatLevels] = {};
 
+    /** Branch-prediction breakdown (v3): bpMispredicts above is the
+     *  sum of the three mispredict components. The TAGE and
+     *  perceptron counters are zero under other direction engines. */
+    std::uint64_t bpDirMispredicts = 0;
+    std::uint64_t bpTargetMispredicts = 0;
+    std::uint64_t bpRasMispredicts = 0;
+    std::uint64_t bpRasOverflows = 0;
+    std::uint64_t bpTageProviderHits = 0;
+    std::uint64_t bpTageAltHits = 0;
+    std::uint64_t bpPerceptronConfident = 0;
+
     double ipc() const { return cycles ? double(retired) / cycles : 0.0; }
 
     std::uint64_t
@@ -115,9 +126,10 @@ static_assert(std::is_standard_layout_v<SimResult>,
               "SimStatField offsets require standard layout");
 
 // Registry order is the result-cache file order (format "reno-result
-// v2"): the scalar counters in declaration order, then the elim
-// array, then the per-memory-level counter block appended by v2. Do
-// not reorder -- persisted cache entries depend on it.
+// v3"): the scalar counters in declaration order, then the elim
+// array, then the per-memory-level counter block appended by v2,
+// then the branch-prediction block appended by v3. Do not reorder --
+// persisted cache entries depend on it.
 #define RENO_ELIM_FIELD(k) \
     {"elim" #k, offsetof(SimResult, elim) + (k) * sizeof(std::uint64_t)}
 #define RENO_MEMLEVEL_FIELDS(arr, suffix)                          \
@@ -160,6 +172,14 @@ inline constexpr SimStatField SimResultFields[] = {
     RENO_MEMLEVEL_FIELDS(memWritebacks, "Writebacks"),
     RENO_MEMLEVEL_FIELDS(memPrefetchIssued, "PrefetchIssued"),
     RENO_MEMLEVEL_FIELDS(memPrefetchUseful, "PrefetchUseful"),
+    {"bpDirMispredicts", offsetof(SimResult, bpDirMispredicts)},
+    {"bpTargetMispredicts", offsetof(SimResult, bpTargetMispredicts)},
+    {"bpRasMispredicts", offsetof(SimResult, bpRasMispredicts)},
+    {"bpRasOverflows", offsetof(SimResult, bpRasOverflows)},
+    {"bpTageProviderHits", offsetof(SimResult, bpTageProviderHits)},
+    {"bpTageAltHits", offsetof(SimResult, bpTageAltHits)},
+    {"bpPerceptronConfident",
+     offsetof(SimResult, bpPerceptronConfident)},
 };
 #undef RENO_MEMLEVEL_FIELDS
 #undef RENO_ELIM_FIELD

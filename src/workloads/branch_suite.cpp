@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Branch-behavior suite: generated kernels whose performance is
+ * dominated by the front end rather than by the RENO-targeted rename
+ * idioms or the memory hierarchy. Each kernel isolates one failure
+ * mode of the prediction stack, so sweeping the bpred config variants
+ * over the suite separates the engines:
+ *
+ *  - bias:  a heavily biased branch (taken 1 in 16) -- any per-PC
+ *           counter captures it; the suite's control;
+ *  - alt:   period-2 and period-4 alternation -- a bimodal counter
+ *           dithers at 50%, any history predictor is near-perfect;
+ *  - loop:  a short-trip-count loop nest (3 x 5) -- exit branches
+ *           predictable only from history of the right length
+ *           (TAGE's geometric tables);
+ *  - corr:  a pseudo-random bit tested by two branches in a row --
+ *           the second is 100% correlated with the first, invisible
+ *           to per-PC counters, trivial for global history;
+ *  - call:  a recursive call tree whose depth cycles 1..24 --
+ *           returns resolve through the RAS; a shallow stack
+ *           (the "ras16" variant) overflows and mispredicts;
+ *  - ind:   megamorphic indirect dispatch rotating over an 8-entry
+ *           function table -- a last-target BTB mispredicts every
+ *           dispatch; path-history indirect prediction (the "itt"
+ *           variant) learns the rotation.
+ *
+ * Every kernel prints a checksum through the print syscall, so any
+ * simulator configuration is checked against the functional
+ * emulator.
+ */
+#include "workloads/workload_sources.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace reno::workloads
+{
+
+namespace
+{
+
+/** The shared checksum-print + exit epilogue (fold s2 to 16 bits). */
+constexpr const char *ChecksumEpilogue = R"(
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+} // namespace
+
+const char *
+branchBiasSource(unsigned iters)
+{
+    return intern(strprintf(R"(# branch.bias: one branch taken 1 in 16 over %u iterations
+        .text
+_start:
+        li   s0, %u           # iterations
+        li   s1, 0            # i
+        li   s2, 0            # running checksum
+loop:
+        andi t0, s1, 15
+        beq  t0, rare         # taken once per 16 iterations
+        addi s2, s2, 1
+resume:
+        addi s1, s1, 1
+        subi s0, s0, 1
+        bne  s0, loop
+%s)",
+                            iters, iters, ChecksumEpilogue) +
+                  strprintf(R"(rare:
+        add  s2, s2, s1
+        br   resume
+)"));
+}
+
+const char *
+branchAltSource(unsigned iters)
+{
+    return intern(strprintf(R"(# branch.alt: period-2 and period-4 alternating branches, %u iterations
+        .text
+_start:
+        li   s0, %u           # iterations
+        li   s1, 0            # i
+        li   s2, 0            # running checksum
+loop:
+        andi t0, s1, 1
+        beq  t0, even         # alternates taken/not-taken
+        addi s2, s2, 3
+even:
+        andi t0, s1, 3
+        bne  t0, skip         # not-taken once per 4 iterations
+        addi s2, s2, 7
+skip:
+        addi s1, s1, 1
+        subi s0, s0, 1
+        bne  s0, loop
+%s)",
+                            iters, iters, ChecksumEpilogue));
+}
+
+const char *
+branchLoopSource(unsigned outer)
+{
+    return intern(strprintf(R"(# branch.loop: %u passes over a 5 x 3 short-trip loop nest
+        .text
+_start:
+        li   s0, %u           # outer iterations
+        li   s2, 0            # running checksum
+outer:
+        li   s3, 5
+mid:
+        li   s4, 3
+inner:
+        add  s2, s2, s4
+        subi s4, s4, 1
+        bne  s4, inner        # taken 2 of 3
+        add  s2, s2, s3
+        subi s3, s3, 1
+        bne  s3, mid          # taken 4 of 5
+        subi s0, s0, 1
+        bne  s0, outer
+%s)",
+                            outer, outer, ChecksumEpilogue));
+}
+
+const char *
+branchCorrSource(unsigned iters)
+{
+    return intern(strprintf(R"(# branch.corr: two branches testing the same pseudo-random bit, %u iterations
+        .text
+_start:
+        li   s0, %u           # iterations
+        li   s1, 0            # i
+        li   s2, 0            # running checksum
+        li   s3, 12345        # LCG state
+loop:
+        muli s3, s3, 25173
+        addi s3, s3, 13849
+        srli t0, s3, 9
+        andi t0, t0, 1        # pseudo-random bit b (~50/50)
+        beq  t0, nota         # branch A on b
+        addi s2, s2, 1
+nota:
+        andi t1, s1, 7
+        add  s2, s2, t1       # filler between the pair
+        beq  t0, notb         # branch B on the same b: correlated
+        addi s2, s2, 2
+notb:
+        addi s1, s1, 1
+        subi s0, s0, 1
+        bne  s0, loop
+%s)",
+                            iters, iters, ChecksumEpilogue));
+}
+
+const char *
+branchCallSource(unsigned iters, unsigned max_depth)
+{
+    // Frames are 16 bytes; the stack must hold max_depth + 1 frames.
+    const unsigned stack_bytes = (max_depth + 2) * 16;
+    return intern(strprintf(R"(# branch.call: recursive call tree, depth cycling 1..%u, %u calls
+        .data
+stk:    .space %u
+        .text
+_start:
+        la   sp, stk
+        addi sp, sp, %u       # stack top
+        li   s0, %u           # iterations
+        li   s2, 0            # running checksum
+        li   s4, 0            # depth, cycling 1..%u
+        li   s5, %u           # depth bound
+main:
+        addi s4, s4, 1
+        slt  t0, s4, s5
+        bne  t0, depth_ok
+        li   s4, 1
+depth_ok:
+        mov  a0, s4
+        bsr  ra, func
+        add  s2, s2, v0
+        subi s0, s0, 1
+        bne  s0, main
+%s)",
+                            max_depth, iters, stack_bytes,
+                            stack_bytes - 8, iters, max_depth,
+                            max_depth + 1, ChecksumEpilogue) +
+                  R"(func:
+        # v0 = a0 + func(a0 - 1); 0 at the base
+        beq  a0, base
+        subi sp, sp, 16
+        stq  ra, 0(sp)
+        stq  a0, 8(sp)
+        subi a0, a0, 1
+        bsr  ra, func
+        ldq  t0, 8(sp)
+        add  v0, v0, t0
+        ldq  ra, 0(sp)
+        addi sp, sp, 16
+        jmp  (ra)
+base:
+        li   v0, 0
+        jmp  (ra)
+)");
+}
+
+const char *
+branchIndSource(unsigned iters, unsigned targets)
+{
+    if (targets == 0 || targets > 8 ||
+        (targets & (targets - 1)) != 0)
+        fatal("branchIndSource: target count must be a power of two "
+              "<= 8");
+    // Fill the dispatch table with the handler addresses, then drive
+    // it with a full rotation (stride 5 is coprime with the table
+    // size): the target changes every dispatch, so a last-target BTB
+    // never predicts it, while the recent-target path history
+    // determines the next target exactly.
+    std::string fill;
+    std::string handlers;
+    for (unsigned h = 0; h < targets; ++h) {
+        fill += strprintf(R"(        la   t1, h%u
+        stq  t1, %u(t0)
+)",
+                          h, h * 8);
+        handlers += strprintf(R"(h%u:
+        li   v0, %u
+        jmp  (ra)
+)",
+                              h, h * 17 + 3);
+    }
+    return intern(strprintf(R"(# branch.ind: megamorphic dispatch rotating over %u handlers, %u calls
+        .data
+jtab:   .space %u
+stk:    .space 64
+        .text
+_start:
+        la   sp, stk
+        addi sp, sp, 56
+        la   t0, jtab
+%s        li   s0, %u           # iterations
+        li   s1, 0            # i
+        li   s2, 0            # running checksum
+loop:
+        muli t0, s1, 5
+        addi t0, t0, 3
+        andi t0, t0, %u       # handler index: a full rotation
+        slli t0, t0, 3
+        addi s1, s1, 1
+        la   t1, jtab
+        add  t1, t1, t0
+        ldq  t2, 0(t1)
+        jsr  ra, (t2)
+        add  s2, s2, v0
+        subi s0, s0, 1
+        bne  s0, loop
+%s)",
+                            targets, iters, targets * 8, fill.c_str(),
+                            iters, targets - 1, ChecksumEpilogue) +
+                  handlers);
+}
+
+} // namespace reno::workloads

@@ -30,10 +30,8 @@
 namespace reno::workloads
 {
 
-namespace
-{
-
-/** Park generated text in static storage (Workload borrows it). */
+/** Park generated text in static storage (Workload borrows it);
+ *  shared by every generated suite. */
 const char *
 intern(std::string text)
 {
@@ -42,8 +40,6 @@ intern(std::string text)
         std::make_unique<const std::string>(std::move(text)));
     return storage.back()->c_str();
 }
-
-} // namespace
 
 const char *
 memStreamSource(unsigned kb, unsigned passes)

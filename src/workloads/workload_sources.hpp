@@ -6,6 +6,8 @@
  */
 #pragma once
 
+#include <string>
+
 namespace reno::workloads
 {
 
@@ -40,6 +42,11 @@ extern const char *const media_mpeg2_dec;
 extern const char *const media_pegwit;
 extern const char *const media_gs;
 
+// Shared by the generated suites: park generated kernel text in
+// static storage (Workload borrows the pointer for the process
+// lifetime). Defined in mem_suite.cpp.
+const char *intern(std::string text);
+
 // Memory-bound suite (mem_suite.cpp): parameterized generators; the
 // returned pointers have static storage duration (Workload borrows
 // them for the process lifetime).
@@ -48,5 +55,15 @@ const char *memStrideSource(unsigned kb, unsigned stride_bytes,
                             unsigned iters);
 const char *memChaseSource(unsigned kb, unsigned hops);
 const char *memTileSource();
+
+// Branch-behavior suite (branch_suite.cpp): parameterized generators
+// isolating one prediction-stack failure mode each; static storage
+// duration like the mem generators.
+const char *branchBiasSource(unsigned iters);
+const char *branchAltSource(unsigned iters);
+const char *branchLoopSource(unsigned outer);
+const char *branchCorrSource(unsigned iters);
+const char *branchCallSource(unsigned iters, unsigned max_depth);
+const char *branchIndSource(unsigned iters, unsigned targets);
 
 } // namespace reno::workloads

@@ -123,13 +123,32 @@ memWorkloads()
     return table;
 }
 
+const std::vector<Workload> &
+branchWorkloads()
+{
+    using namespace workloads;
+    // Each kernel isolates one prediction-stack failure mode (see
+    // branch_suite.cpp); iteration counts keep every kernel in the
+    // millions-of-instructions range.
+    static const std::vector<Workload> table = {
+        {"branch.bias", "branch", branchBiasSource(250000), 1},
+        {"branch.alt", "branch", branchAltSource(200000), 1},
+        {"branch.loop", "branch", branchLoopSource(25000), 1},
+        {"branch.corr", "branch", branchCorrSource(150000), 1},
+        {"branch.call", "branch", branchCallSource(10000, 24), 1},
+        {"branch.ind", "branch", branchIndSource(120000, 8), 1},
+    };
+    return table;
+}
+
 std::vector<const Workload *>
 suiteWorkloads(const std::string &suite)
 {
     const std::vector<Workload> &registry =
-        suite == "synth" ? synthWorkloads()
-        : suite == "mem" ? memWorkloads()
-                         : allWorkloads();
+        suite == "synth"    ? synthWorkloads()
+        : suite == "mem"    ? memWorkloads()
+        : suite == "branch" ? branchWorkloads()
+                            : allWorkloads();
     std::vector<const Workload *> out;
     bool known = false;
     for (const auto &w : registry) {
@@ -140,7 +159,8 @@ suiteWorkloads(const std::string &suite)
     }
     if (!known)
         fatal("unknown workload suite '%s' (expected \"spec\", "
-              "\"media\", \"synth\" or \"mem\")", suite.c_str());
+              "\"media\", \"synth\", \"mem\" or \"branch\")",
+              suite.c_str());
     return out;
 }
 
@@ -181,7 +201,8 @@ workloadsMatching(const std::string &glob, const std::string &suite)
     const bool any_suite = suite.empty() || suite == "all";
     std::vector<const Workload *> out;
     for (const std::vector<Workload> *registry :
-         {&allWorkloads(), &synthWorkloads(), &memWorkloads()}) {
+         {&allWorkloads(), &synthWorkloads(), &memWorkloads(),
+          &branchWorkloads()}) {
         for (const Workload &w : *registry) {
             if (globMatch(glob, w.name) &&
                 (any_suite || w.suite == suite))
@@ -218,6 +239,7 @@ knownSuites()
     tally(allWorkloads(), true);
     tally(synthWorkloads(), false);
     tally(memWorkloads(), false);
+    tally(branchWorkloads(), false);
     return out;
 }
 
@@ -233,6 +255,10 @@ workloadByName(const std::string &name)
             return w;
     }
     for (const auto &w : memWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    for (const auto &w : branchWorkloads()) {
         if (w.name == name)
             return w;
     }

@@ -62,7 +62,17 @@ const std::vector<Workload> &synthWorkloads();
  */
 const std::vector<Workload> &memWorkloads();
 
-/** Workloads of one suite ("spec", "media", "synth" or "mem"). */
+/**
+ * The "branch" suite: generated front-end-bound kernels (biased,
+ * alternating, loop-nest and correlated branch patterns, deep call
+ * trees, megamorphic indirect dispatch), each isolating one failure
+ * mode of the composable prediction stack. Like "synth" and "mem",
+ * generated deterministically and not part of allWorkloads().
+ */
+const std::vector<Workload> &branchWorkloads();
+
+/** Workloads of one suite ("spec", "media", "synth", "mem" or
+ *  "branch"). */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
 /**

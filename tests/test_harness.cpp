@@ -145,3 +145,68 @@ TEST(Harness, MemVariantsRunEndToEnd)
               0u)
         << "stride prefetchers must issue on D$ or L2";
 }
+
+TEST(Harness, BpredVariantSuffixesComposeOnPresets)
+{
+    const CoreParams base = CoreParams::fourWide();
+    NamedConfig cfg;
+
+    ASSERT_TRUE(configByName("RENO/tage", base, &cfg));
+    EXPECT_EQ(cfg.name, "RENO/tage");
+    EXPECT_TRUE(cfg.params.reno.ra);
+    EXPECT_EQ(cfg.params.bpred.dir.kind, DirPredKind::Tage);
+
+    ASSERT_TRUE(configByName("BASE/perceptron/ras16", base, &cfg));
+    EXPECT_EQ(cfg.params.bpred.dir.kind, DirPredKind::Perceptron);
+    EXPECT_EQ(cfg.params.bpred.ras.entries, 16u);
+    EXPECT_FALSE(cfg.params.reno.me);
+
+    // Memory and branch-prediction variants compose in one chain.
+    ASSERT_TRUE(configByName("RENO/l3/tage/itt", base, &cfg));
+    EXPECT_EQ(cfg.params.mem.extraLevels.size(), 1u);
+    EXPECT_EQ(cfg.params.bpred.dir.kind, DirPredKind::Tage);
+    EXPECT_TRUE(cfg.params.bpred.indirect.enabled);
+
+    ASSERT_TRUE(configByName("BASE/btb256", base, &cfg));
+    EXPECT_EQ(cfg.params.bpred.btb.entries, 256u);
+
+    // A BTB smaller than the default associativity stays legal.
+    ASSERT_TRUE(configByName("BASE/btb2", base, &cfg));
+    EXPECT_EQ(cfg.params.bpred.btb.entries, 2u);
+    EXPECT_EQ(cfg.params.bpred.btb.assoc, 2u);
+
+    EXPECT_FALSE(configByName("RENO/ras", base, &cfg))
+        << "rasN needs a number";
+    EXPECT_FALSE(configByName("RENO/ras16x", base, &cfg));
+    EXPECT_FALSE(configByName("RENO/tage2", base, &cfg));
+    EXPECT_FALSE(configByName("RENO/ras0", base, &cfg))
+        << "geometry the predictor would fatal() on is rejected here";
+    EXPECT_FALSE(configByName("RENO/btb100", base, &cfg))
+        << "BTB size must be a power of two";
+    EXPECT_FALSE(configByName("RENO/ras4294967297", base, &cfg))
+        << "overflowing counts are rejected, not wrapped";
+}
+
+TEST(Harness, BpredVariantsRunEndToEnd)
+{
+    // A fully non-default stack simulates correctly and fills the
+    // per-predictor stat breakdown. branch.call exercises direction,
+    // RAS (with overflow at 16 entries against depth 24) and calls.
+    const Workload &w = workloadByName("branch.call");
+    NamedConfig cfg;
+    ASSERT_TRUE(configByName("RENO/tage/ras16/itt",
+                             CoreParams::fourWide(), &cfg));
+    const RunOutput ref = runFunctional(w);
+    const RunOutput run = runWorkload(w, cfg.params);
+    EXPECT_EQ(run.output, ref.output);
+    EXPECT_EQ(run.memDigest, ref.memDigest);
+    EXPECT_EQ(run.sim.bpMispredicts,
+              run.sim.bpDirMispredicts + run.sim.bpTargetMispredicts +
+                  run.sim.bpRasMispredicts)
+        << "the breakdown must sum to the total";
+    EXPECT_GT(run.sim.bpRasOverflows, 0u)
+        << "a 16-entry RAS must overflow at depth 24";
+    EXPECT_GT(run.sim.bpRasMispredicts, 0u)
+        << "overflow corruption must surface as RAS mispredicts";
+    EXPECT_GT(run.sim.bpTageProviderHits, 0u);
+}

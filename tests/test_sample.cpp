@@ -260,7 +260,7 @@ TEST(Checkpointing, EncodeDecodeRoundTrip)
 
     // Wrong warm-state parameters are rejected.
     CoreParams other = params;
-    other.bpred.historyBits = 9;
+    other.bpred.dir.historyBits = 9;
     EXPECT_FALSE(CheckpointStore::decode(text, other.mem,
                                          other.bpred, &decoded));
 }
@@ -480,7 +480,7 @@ TEST(Warming, WarmConfigDigestTracksMemAndBpredOnly)
     c.mem.dcache.sizeBytes *= 2;
     EXPECT_NE(warmConfigDigest(a), warmConfigDigest(c));
     CoreParams d = a;
-    d.bpred.gshareEntries *= 2;
+    d.bpred.dir.gshareEntries *= 2;
     EXPECT_NE(warmConfigDigest(a), warmConfigDigest(d));
 }
 
@@ -557,4 +557,88 @@ TEST(Warming, WarmConfigDigestTracksMemoryVariants)
         EXPECT_NE(warmConfigDigest(base), warmConfigDigest(varied))
             << token << " must split the warm-state space";
     }
+}
+
+TEST(Warming, SnapshotRoundTripAcrossBpredVariants)
+{
+    // For every branch-prediction variant (direction engines, shallow
+    // RAS, small BTB, indirect-target table): a warm snapshot taken
+    // mid-stream must survive encode -> decode and reproduce the
+    // measurement window byte-identically, including the predictor's
+    // tables and history registers. branch.ind exercises every
+    // component: conditional loop branches, indirect calls (RAS
+    // pushes + BTB/ITT targets) and returns (RAS pops).
+    const Workload &w = workloadByName("branch.ind");
+    IntervalWindow win;
+    win.startInst = 150'000;
+    win.warmupInsts = 500;
+    win.measureInsts = 3000;
+
+    for (const char *variant :
+         {"bimodal", "gshare", "tage", "perceptron", "ras16/btb256",
+          "tage/itt"}) {
+        CoreParams params = baseParams();
+        std::string tokens = variant;
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+            const std::size_t next = tokens.find('/', pos);
+            ASSERT_TRUE(applyBpredVariant(
+                tokens.substr(pos, next == std::string::npos
+                                       ? std::string::npos
+                                       : next - pos),
+                &params))
+                << variant;
+            pos = next == std::string::npos ? next : next + 1;
+        }
+
+        const SimResult plain = runIntervalDetailed(w, params, win);
+
+        // Checkpoint BEFORE the window start so the decoded warm
+        // state must also compose with continued warming.
+        CheckpointStore store;
+        {
+            const Program &prog = assembleWorkload(w);
+            Emulator::Options opts;
+            opts.randSeed = w.seed;
+            Emulator emu(prog, opts);
+            WarmState warm(params.mem, params.bpred);
+            warmStep(emu, warm, 100'000);
+            store.store(w, 100'000, emu.checkpoint(), warm);
+        }
+        const SampleCheckpoint stored =
+            store.lookup(w, 100'000, params.mem, params.bpred);
+        ASSERT_TRUE(stored.usable()) << variant;
+
+        const std::string text = CheckpointStore::encode(stored);
+        SampleCheckpoint decoded;
+        ASSERT_TRUE(CheckpointStore::decode(text, params.mem,
+                                            params.bpred, &decoded))
+            << variant;
+        EXPECT_EQ(CheckpointStore::encode(decoded), text)
+            << variant << ": decode->encode must be the identity";
+
+        const SimResult via_ckpt =
+            runIntervalDetailed(w, params, win, &decoded);
+        for (const SimStatField &f : simResultFields()) {
+            EXPECT_EQ(statValue(via_ckpt, f), statValue(plain, f))
+                << variant << ": window stat '" << f.name
+                << "' diverged through the snapshot round-trip";
+        }
+    }
+}
+
+TEST(Warming, WarmConfigDigestTracksBpredVariants)
+{
+    const CoreParams base = baseParams();
+    for (const char *token : {"bimodal", "gshare", "tage",
+                              "perceptron", "ras16", "btb256", "itt"}) {
+        CoreParams varied = base;
+        ASSERT_TRUE(applyBpredVariant(token, &varied));
+        EXPECT_NE(warmConfigDigest(base), warmConfigDigest(varied))
+            << token << " must split the warm-state space";
+    }
+    // The default spelled explicitly is the same warm space.
+    CoreParams tournament = base;
+    ASSERT_TRUE(applyBpredVariant("tournament", &tournament));
+    EXPECT_EQ(warmConfigDigest(base), warmConfigDigest(tournament));
 }

@@ -223,8 +223,8 @@ TEST(Sweep, DigestTracksEveryParamsField)
     mutate([](CoreParams &p) { p.schedLoop = 2; });
     mutate([](CoreParams &p) { p.branchResolveExtra = 5; });
     mutate([](CoreParams &p) { p.numStoreSets = 128; });
-    mutate([](CoreParams &p) { p.bpred.historyBits = 12; });
-    mutate([](CoreParams &p) { p.bpred.btbEntries = 1024; });
+    mutate([](CoreParams &p) { p.bpred.dir.historyBits = 12; });
+    mutate([](CoreParams &p) { p.bpred.btb.entries = 1024; });
     mutate([](CoreParams &p) { p.mem.dcache.sizeBytes = 16 * 1024; });
     mutate([](CoreParams &p) { p.mem.l2.latency = 12; });
     mutate([](CoreParams &p) { p.mem.memory.accessLatency = 200; });

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness/experiment.hpp"
 
 using namespace reno;
@@ -210,10 +212,93 @@ TEST(MemSuite, FootprintsStressTheIntendedLevels)
 TEST(Workloads, GlobMatchingSelectsAcrossSuites)
 {
     EXPECT_EQ(workloadsMatching("mem.*").size(), 7u);
+    EXPECT_EQ(workloadsMatching("branch.*").size(), 6u);
     EXPECT_EQ(workloadsMatching("mem.stream.*").size(), 3u);
     EXPECT_EQ(workloadsMatching("gzip").size(), 1u);
     EXPECT_EQ(workloadsMatching("*.dec").size(), 6u);
     EXPECT_EQ(workloadsMatching("synth.?????").size(), 3u)
         << "exactly the five-letter tails: plain, phase, chase";
     EXPECT_DEATH(workloadsMatching("no-such-*"), "matches no");
+}
+
+TEST(BranchSuite, RegistryAndFunctionalDeterminism)
+{
+    const auto branch = suiteWorkloads("branch");
+    EXPECT_EQ(branch.size(), 6u);
+    for (const SuiteInfo &s : knownSuites()) {
+        if (s.name == "branch")
+            EXPECT_FALSE(s.paper)
+                << "branch is generated, not swept by default";
+    }
+    for (const Workload *w : branch) {
+        const RunOutput a = runFunctional(*w);
+        const RunOutput b = runFunctional(*w);
+        EXPECT_EQ(a.output, b.output) << w->name;
+        EXPECT_EQ(a.memDigest, b.memDigest) << w->name;
+        EXPECT_FALSE(a.output.empty()) << w->name;
+        EXPECT_GT(a.emuInsts, 1'000'000u)
+            << w->name << " should be a long-running kernel";
+    }
+}
+
+TEST(BranchSuite, TimingCoreMatchesFunctionalState)
+{
+    // Front-end-bound kernels through the full detailed core (RENO
+    // on): architectural results must match the functional emulator.
+    // The call and indirect kernels exercise the paths the paper
+    // suites never reach (recursion through the RAS, megamorphic
+    // dispatch through the BTB).
+    for (const char *name : {"branch.call", "branch.ind"}) {
+        const Workload &w = workloadByName(name);
+        const RunOutput ref = runFunctional(w);
+        CoreParams params;
+        params.reno = RenoConfig::full();
+        const RunOutput run = runWorkload(w, params);
+        EXPECT_EQ(run.output, ref.output) << name;
+        EXPECT_EQ(run.memDigest, ref.memDigest) << name;
+        EXPECT_GT(run.sim.cycles, 0u) << name;
+    }
+}
+
+TEST(BranchSuite, KernelsIsolateFailureModes)
+{
+    const CoreParams base;
+
+    // bias: nearly every branch predictable by any per-PC counter.
+    const RunOutput bias =
+        runWorkload(workloadByName("branch.bias"), base);
+    EXPECT_LT(double(bias.sim.bpMispredicts),
+              0.05 * double(bias.sim.bpLookups));
+
+    // alt: alternation defeats a history-less bimodal, not the
+    // default tournament.
+    CoreParams bimodal = base;
+    ASSERT_TRUE(applyBpredVariant("bimodal", &bimodal));
+    const Workload &alt = workloadByName("branch.alt");
+    const RunOutput alt_tour = runWorkload(alt, base);
+    const RunOutput alt_bim = runWorkload(alt, bimodal);
+    EXPECT_GT(alt_bim.sim.bpDirMispredicts,
+              100 * std::max<std::uint64_t>(
+                        alt_tour.sim.bpDirMispredicts, 1));
+
+    // call: depth 24 overflows a 16-entry RAS, not the default 32.
+    CoreParams ras16 = base;
+    ASSERT_TRUE(applyBpredVariant("ras16", &ras16));
+    const Workload &call = workloadByName("branch.call");
+    const RunOutput call_deep = runWorkload(call, base);
+    const RunOutput call_shallow = runWorkload(call, ras16);
+    EXPECT_EQ(call_deep.sim.bpRasMispredicts, 0u);
+    EXPECT_GT(call_shallow.sim.bpRasMispredicts, 1000u);
+    EXPECT_GT(call_shallow.sim.bpRasOverflows, 0u);
+
+    // ind: the rotating dispatch defeats the last-target BTB; the
+    // indirect-target table recovers it.
+    CoreParams itt = base;
+    ASSERT_TRUE(applyBpredVariant("itt", &itt));
+    const Workload &ind = workloadByName("branch.ind");
+    const RunOutput ind_btb = runWorkload(ind, base);
+    const RunOutput ind_itt = runWorkload(ind, itt);
+    EXPECT_GT(ind_btb.sim.bpTargetMispredicts, 100'000u);
+    EXPECT_LT(ind_itt.sim.bpTargetMispredicts, 1000u);
+    EXPECT_LT(ind_itt.sim.cycles, ind_btb.sim.cycles / 2);
 }

@@ -32,7 +32,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "workload/config selection (as in reno-sweep):\n"
-        "  --suite spec|media|synth|mem|all\n"
+        "  --suite spec|media|synth|mem|branch|all\n"
         "                           workloads to sample (default all =\n"
         "                           the paper suites; synth/mem = long\n"
         "                           generated programs)\n"

@@ -31,7 +31,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "campaign selection:\n"
-        "  --suite spec|media|synth|mem|all\n"
+        "  --suite spec|media|synth|mem|branch|all\n"
         "                           workloads to sweep (default all ="
         " the paper suites)\n"
         "  --workload NAME          one workload (repeatable)\n"
@@ -66,6 +66,9 @@ usage(const char *argv0)
         "                           (CI perf-smoke trend artifact)\n"
         "  --mem-json FILE          write per-cache-level aggregate\n"
         "                           miss-rate / write-back / prefetch"
+        " JSON\n"
+        "  --bpred-json FILE        write per-workload branch MPKI /\n"
+        "                           accuracy / mispredict-breakdown"
         " JSON\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
@@ -104,6 +107,7 @@ main(int argc, char **argv)
     bool all_stats = false;
     std::string perf_json;
     std::string mem_json;
+    std::string bpred_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -140,6 +144,10 @@ main(int argc, char **argv)
             mem_json = value("--mem-json");
             if (mem_json.empty())
                 fatal("--mem-json expects a file path");
+        } else if (matches("--bpred-json")) {
+            bpred_json = value("--bpred-json");
+            if (bpred_json.empty())
+                fatal("--bpred-json expects a file path");
         } else if (matches("--suite")) {
             suite = value("--suite");
         } else if (matches("--workload")) {
@@ -263,6 +271,8 @@ main(int argc, char **argv)
             fatal("--perf-json applies to full simulations only");
         if (!mem_json.empty())
             fatal("--mem-json applies to full simulations only");
+        if (!bpred_json.empty())
+            fatal("--bpred-json applies to full simulations only");
         sample::SampleOptions sample_opts;
         sample_opts.plan = plan;
         sample_opts.plan.intervals = sample_intervals;
@@ -372,6 +382,73 @@ main(int argc, char **argv)
                 s + 1 < NumMemStatLevels ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+
+    if (!bpred_json.empty()) {
+        // Per-job front-end accuracy: the CI artifact tracking
+        // branch-prediction behavior per workload and per predictor
+        // variant, plus a campaign-wide aggregate.
+        std::FILE *f = std::fopen(bpred_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", bpred_json.c_str());
+        std::uint64_t agg_retired = 0, agg_lookups = 0,
+                      agg_mispredicts = 0;
+        std::fprintf(f, "{\n  \"jobs\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const sweep::Job &job = results.job(i);
+            const SimResult &r = results.at(i).sim;
+            agg_retired += r.retired;
+            agg_lookups += r.bpLookups;
+            agg_mispredicts += r.bpMispredicts;
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"config\": \"%s\", "
+                "\"retired\": %llu, \"lookups\": %llu, "
+                "\"mispredicts\": %llu, \"dir\": %llu, "
+                "\"target\": %llu, \"ras\": %llu, "
+                "\"ras_overflows\": %llu, \"mpki\": %.4f, "
+                "\"accuracy\": %.6f, \"tage_provider\": %llu, "
+                "\"tage_alt\": %llu, "
+                "\"perceptron_confident\": %llu}%s\n",
+                job.workload->name.c_str(),
+                job.config.name.c_str(),
+                static_cast<unsigned long long>(r.retired),
+                static_cast<unsigned long long>(r.bpLookups),
+                static_cast<unsigned long long>(r.bpMispredicts),
+                static_cast<unsigned long long>(r.bpDirMispredicts),
+                static_cast<unsigned long long>(
+                    r.bpTargetMispredicts),
+                static_cast<unsigned long long>(r.bpRasMispredicts),
+                static_cast<unsigned long long>(r.bpRasOverflows),
+                r.retired ? 1000.0 * double(r.bpMispredicts) /
+                                double(r.retired)
+                          : 0.0,
+                r.bpLookups ? 1.0 - double(r.bpMispredicts) /
+                                        double(r.bpLookups)
+                            : 0.0,
+                static_cast<unsigned long long>(r.bpTageProviderHits),
+                static_cast<unsigned long long>(r.bpTageAltHits),
+                static_cast<unsigned long long>(
+                    r.bpPerceptronConfident),
+                i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(
+            f,
+            "  ],\n"
+            "  \"aggregate\": {\"retired\": %llu, \"lookups\": %llu, "
+            "\"mispredicts\": %llu, \"mpki\": %.4f, "
+            "\"accuracy\": %.6f}\n"
+            "}\n",
+            static_cast<unsigned long long>(agg_retired),
+            static_cast<unsigned long long>(agg_lookups),
+            static_cast<unsigned long long>(agg_mispredicts),
+            agg_retired ? 1000.0 * double(agg_mispredicts) /
+                              double(agg_retired)
+                        : 0.0,
+            agg_lookups ? 1.0 - double(agg_mispredicts) /
+                                    double(agg_lookups)
+                        : 0.0);
         std::fclose(f);
     }
     return 0;
