@@ -1,0 +1,27 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace reno
+{
+
+std::uint64_t
+SteadyClock::nowMicros()
+{
+    using namespace std::chrono;
+    // A fixed per-process origin keeps timestamps small and positive
+    // (Chrome trace timestamps render best near zero).
+    static const steady_clock::time_point origin = steady_clock::now();
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(steady_clock::now() - origin)
+            .count());
+}
+
+Clock &
+steadyClock()
+{
+    static SteadyClock clock;
+    return clock;
+}
+
+} // namespace reno

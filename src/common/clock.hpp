@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Wall-clock abstraction for the observability layer. Everything that
+ * timestamps events (the event tracer, phase accounting, progress
+ * heartbeats) reads time through a Clock pointer, so tests inject a
+ * ManualClock and assert on exact, deterministic timestamps while
+ * production code uses the monotonic steady clock.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace reno
+{
+
+/** Monotonic microsecond clock. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Microseconds since an arbitrary fixed origin; never decreases. */
+    virtual std::uint64_t nowMicros() = 0;
+};
+
+/** std::chrono::steady_clock, origin at first use. */
+class SteadyClock final : public Clock
+{
+  public:
+    std::uint64_t nowMicros() override;
+};
+
+/** Hand-advanced clock for deterministic tests. */
+class ManualClock final : public Clock
+{
+  public:
+    std::uint64_t
+    nowMicros() override
+    {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advance(std::uint64_t micros)
+    {
+        now_.fetch_add(micros, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> now_{0};
+};
+
+/** The process-wide steady clock instance. */
+Clock &steadyClock();
+
+} // namespace reno

@@ -1,11 +1,67 @@
 #include "common/log.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace reno
 {
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::FILE *g_sink = nullptr;  // nullptr = stderr
+
+LogLevel
+parseLevel(const char *s)
+{
+    if (!s || !*s)
+        return LogLevel::Info;
+    if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "0") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(s, "info") == 0 || std::strcmp(s, "1") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "2") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(s, "error") == 0 || std::strcmp(s, "3") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(s, "silent") == 0 || std::strcmp(s, "4") == 0)
+        return LogLevel::Silent;
+    std::fprintf(stderr, "warn: ignoring invalid RENO_LOG_LEVEL='%s'\n",
+                 s);
+    return LogLevel::Info;
+}
+
+LogLevel &
+threshold()
+{
+    static LogLevel level = parseLevel(std::getenv("RENO_LOG_LEVEL"));
+    return level;
+}
+
+/** One locked fprintf, so concurrent messages never interleave. */
+void
+emit(LogLevel level, const char *prefix, const char *fmt,
+     va_list args)
+{
+    if (level < threshold())
+        return;
+    const std::string s = vstrprintf(fmt, args);
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::FILE *sink = g_sink ? g_sink : stderr;
+    std::fprintf(sink, "%s%s\n", prefix, s.c_str());
+    std::fflush(sink);
+}
+
+} // namespace
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -31,14 +87,37 @@ strprintf(const char *fmt, ...)
     return s;
 }
 
+std::FILE *
+setLogSink(std::FILE *sink)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::FILE *prev = g_sink;
+    g_sink = sink;
+    return prev;
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    const LogLevel prev = threshold();
+    threshold() = level;
+    return prev;
+}
+
+LogLevel
+logThreshold()
+{
+    return threshold();
+}
+
 void
 panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::string s = vstrprintf(fmt, args);
+    // Silent above every threshold: a crash report must print.
+    emit(LogLevel::Silent, "panic: ", fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
 }
 
@@ -47,9 +126,8 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::string s = vstrprintf(fmt, args);
+    emit(LogLevel::Silent, "fatal: ", fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n", s.c_str());
     std::exit(1);
 }
 
@@ -58,9 +136,8 @@ warn(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::string s = vstrprintf(fmt, args);
+    emit(LogLevel::Warn, "warn: ", fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
 }
 
 void
@@ -68,9 +145,8 @@ inform(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::string s = vstrprintf(fmt, args);
+    emit(LogLevel::Info, "info: ", fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
 }
 
 } // namespace reno

@@ -3,14 +3,32 @@
  * Error-reporting helpers in the gem5 spirit: panic() for internal
  * simulator bugs (aborts), fatal() for user/configuration errors
  * (clean exit), warn()/inform() for status messages.
+ *
+ * All four route through one mutex-guarded sink (stderr by default,
+ * redirectable with setLogSink() for tests), each message written
+ * with a single fprintf so concurrent pool workers never interleave
+ * partial lines. warn()/inform() honor a severity threshold set with
+ * setLogThreshold() or the RENO_LOG_LEVEL environment variable
+ * (debug/info/warn/error/silent, or 0-4); panic()/fatal() always
+ * print.
  */
 #pragma once
 
 #include <cstdarg>
+#include <cstdio>
 #include <string>
 
 namespace reno
 {
+
+/** Message severities, least to most severe. */
+enum class LogLevel {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4,
+};
 
 /** Print a formatted message and abort; use for simulator bugs. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -20,11 +38,27 @@ namespace reno
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a warning to stderr; simulation continues. */
+/** Print a warning; simulation continues. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print an informational message to stderr. */
+/** Print an informational message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Redirect warn()/inform() (and fatal()/panic()) to @p sink, not
+ * owned; nullptr restores stderr. Returns the previous sink.
+ */
+std::FILE *setLogSink(std::FILE *sink);
+
+/**
+ * Suppress messages below @p level. Returns the previous threshold.
+ * The initial threshold comes from RENO_LOG_LEVEL (name or 0-4;
+ * unset or invalid = Info).
+ */
+LogLevel setLogThreshold(LogLevel level);
+
+/** The active threshold (resolving RENO_LOG_LEVEL on first use). */
+LogLevel logThreshold();
 
 /** vsnprintf into a std::string. */
 std::string vstrprintf(const char *fmt, va_list args);

@@ -8,6 +8,7 @@
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "emu/emulator.hpp"
+#include "obs/phase.hpp"
 
 namespace reno
 {
@@ -296,7 +297,11 @@ runWorkload(const Workload &workload, const CoreParams &params,
     if (cpa)
         core.setRetireListener(cpa);
     RunOutput out;
-    out.sim = core.run();
+    {
+        obs::PhaseSpan phase("sim.detailed");
+        out.sim = core.run();
+        phase.setInsts(out.sim.retired);
+    }
     if (cpa)
         cpa->finish();
     out.output = emu.output();
@@ -313,7 +318,11 @@ runFunctional(const Workload &workload)
     opts.randSeed = workload.seed;
     Emulator emu(prog, opts);
     RunOutput out;
-    out.emuInsts = emu.run();
+    {
+        obs::PhaseSpan phase("sim.functional");
+        out.emuInsts = emu.run();
+        phase.setInsts(out.emuInsts);
+    }
     out.output = emu.output();
     out.memDigest = emu.memory().digest();
     return out;

@@ -1,0 +1,119 @@
+#include "obs/progress.hpp"
+
+namespace reno::obs
+{
+
+ProgressMeter &
+ProgressMeter::instance()
+{
+    static ProgressMeter meter;
+    return meter;
+}
+
+void
+ProgressMeter::enable(std::FILE *sink, Clock *clock,
+                      std::uint64_t interval_ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = sink;
+    clock_ = clock ? clock : &steadyClock();
+    intervalMicros_ = interval_ms * 1000;
+    startMicros_ = clock_->nowMicros();
+    lastEmitMicros_ = 0;
+    emittedOnce_ = false;
+    total_ = done_ = failed_ = cacheHits_ = simulatedInsts_ = 0;
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    emitLine(true);
+    enabled_.store(false, std::memory_order_relaxed);
+    sink_ = nullptr;
+}
+
+void
+ProgressMeter::addTotal(std::uint64_t jobs)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += jobs;
+}
+
+void
+ProgressMeter::jobDone(std::uint64_t insts, bool from_cache,
+                       bool failed)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    if (failed)
+        ++failed_;
+    if (from_cache)
+        ++cacheHits_;
+    simulatedInsts_ += insts;
+    emitLine(false);
+}
+
+void
+ProgressMeter::emitLine(bool force)
+{
+    if (!sink_)
+        return;
+    const std::uint64_t now = clock_->nowMicros();
+    if (!force && emittedOnce_ &&
+        now - lastEmitMicros_ < intervalMicros_)
+        return;
+    lastEmitMicros_ = now;
+    emittedOnce_ = true;
+
+    const double elapsed_s =
+        static_cast<double>(now - startMicros_) / 1e6;
+    const double minstr_per_s =
+        elapsed_s > 0.0
+            ? static_cast<double>(simulatedInsts_) / 1e6 / elapsed_s
+            : 0.0;
+    // ETA from the mean pace so far; unknown (-1) until a job lands.
+    double eta_s = -1.0;
+    if (done_ > 0 && total_ >= done_)
+        eta_s = elapsed_s / static_cast<double>(done_) *
+                static_cast<double>(total_ - done_);
+
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"elapsed_s\": %.3f, \"done\": %llu, \"total\": %llu, "
+        "\"failed\": %llu, \"cache_hits\": %llu, "
+        "\"simulated_insts\": %llu, \"minstr_per_s\": %.3f, "
+        "\"eta_s\": %.3f}\n",
+        elapsed_s, static_cast<unsigned long long>(done_),
+        static_cast<unsigned long long>(total_),
+        static_cast<unsigned long long>(failed_),
+        static_cast<unsigned long long>(cacheHits_),
+        static_cast<unsigned long long>(simulatedInsts_),
+        minstr_per_s, eta_s);
+    std::fputs(line, sink_);
+    std::fflush(sink_);
+}
+
+std::uint64_t
+ProgressMeter::done() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+}
+
+std::uint64_t
+ProgressMeter::total() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+} // namespace reno::obs

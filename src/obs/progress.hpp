@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Live campaign progress as an NDJSON heartbeat stream
+ * (reno-sweep / reno-sample --progress[=FILE]).
+ *
+ * The campaign engine reports totals and per-job completions; the
+ * meter emits one JSON object per line, rate-limited to one heartbeat
+ * per interval (plus a final line at finish()), so a dashboard -- or
+ * `tail -f` -- can follow a long sweep without scraping stderr:
+ *
+ *   {"elapsed_s": 12.5, "done": 40, "total": 128, "failed": 0,
+ *    "cache_hits": 12, "simulated_insts": 4000000,
+ *    "minstr_per_s": 3.2, "eta_s": 27.5}
+ *
+ * Lines are written under one mutex with a single fputs + fflush, so
+ * concurrent pool workers never interleave partial lines. Disabled
+ * (the default), jobDone() is one relaxed atomic load.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace reno::obs
+{
+
+/** Process-wide campaign progress meter. */
+class ProgressMeter
+{
+  public:
+    static ProgressMeter &instance();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start heartbeating to @p sink (not owned; stderr or an opened
+     * file). @p clock defaults to the steady clock; @p interval_ms
+     * is the minimum spacing between heartbeats (0 = every event,
+     * which tests use with a ManualClock).
+     */
+    void enable(std::FILE *sink, Clock *clock = nullptr,
+                std::uint64_t interval_ms = 500);
+
+    /** Emit a final heartbeat and stop. Idempotent. */
+    void finish();
+
+    /** Grow the expected job total (before or during a run). */
+    void addTotal(std::uint64_t jobs);
+
+    /**
+     * Record one finished job. @p insts counts simulated instructions
+     * (0 for cache hits); cache hits and failures are tallied
+     * separately so the stream distinguishes fresh work from replay.
+     */
+    void jobDone(std::uint64_t insts, bool from_cache,
+                 bool failed = false);
+
+    std::uint64_t done() const;
+    std::uint64_t total() const;
+
+  private:
+    ProgressMeter() = default;
+
+    void emitLine(bool force);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::FILE *sink_ = nullptr;
+    Clock *clock_ = nullptr;
+    std::uint64_t intervalMicros_ = 0;
+    std::uint64_t startMicros_ = 0;
+    std::uint64_t lastEmitMicros_ = 0;
+    bool emittedOnce_ = false;
+
+    std::uint64_t total_ = 0;
+    std::uint64_t done_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t simulatedInsts_ = 0;
+};
+
+} // namespace reno::obs

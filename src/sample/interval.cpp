@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
+#include "obs/phase.hpp"
 
 namespace reno::sample
 {
@@ -118,18 +119,27 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
         warmConfigDigest(params) ==
             warmConfigDigest(ckpt->warm->memParams(),
                              ckpt->warm->bpParams())) {
-        emu.restore(*ckpt->emu);
+        {
+            obs::PhaseSpan phase("sample.restore");
+            emu.restore(*ckpt->emu);
+        }
         if (ckpt->emu->instCount == window.startInst) {
             inject = ckpt->warm.get();
         } else {
             scratch = std::make_unique<WarmState>(*ckpt->warm);
+            obs::PhaseSpan phase("sample.fastforward");
+            const std::uint64_t ff_start = emu.instCount();
             warmStep(emu, *scratch, window.startInst);
+            phase.setInsts(emu.instCount() - ff_start);
             inject = scratch.get();
         }
     } else {
         scratch = std::make_unique<WarmState>(params.mem,
                                               params.bpred);
+        obs::PhaseSpan phase("sample.fastforward");
+        const std::uint64_t ff_start = emu.instCount();
         warmStep(emu, *scratch, window.startInst);
+        phase.setInsts(emu.instCount() - ff_start);
         inject = scratch.get();
     }
     if (emu.done())
@@ -140,10 +150,20 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
     core.memHierarchy().settle();
     core.branchPredictor() = inject->bp;
 
-    core.runUntilRetired(window.warmupInsts);
+    if (window.warmupInsts > 0) {
+        obs::PhaseSpan phase("sample.warmup");
+        core.runUntilRetired(window.warmupInsts);
+        phase.setInsts(core.result().retired);
+    }
     const SimResult pre = core.result();
-    core.runUntilRetired(window.warmupInsts + window.measureInsts);
-    return deltaResult(core.result(), pre);
+    SimResult post;
+    {
+        obs::PhaseSpan phase("sample.detailed");
+        post = core.runUntilRetired(window.warmupInsts +
+                                    window.measureInsts);
+        phase.setInsts(post.retired - pre.retired);
+    }
+    return deltaResult(post, pre);
 }
 
 SampledEstimate

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/report.hpp"
 #include "harness/experiment.hpp"
+#include "obs/phase.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace reno::sample
@@ -85,6 +86,9 @@ prepareWorkload(WorkloadPrep &prep,
                 sweep::ResultCache &cache)
 {
     const Workload &w = *prep.workload;
+    // Trace-only wrapper: the leaf phases inside (sim.functional,
+    // sample.capture) do the PhaseStats accounting.
+    obs::TraceSpan prep_span("sample.prepare:" + w.name, "phase");
 
     const std::uint64_t pkey = profileKey(w);
     if (!store.lookupProfile(pkey, &prep.profile)) {
@@ -144,12 +148,14 @@ prepareWorkload(WorkloadPrep &prep,
         opts.randSeed = w.seed;
         Emulator emu(prog, opts);
         WarmState warm(rep.mem, rep.bpred);
+        obs::PhaseSpan phase("sample.capture");
         for (const std::size_t i : capture) {
             warmStep(emu, warm, prep.windows[i].window.startInst);
             prep.checkpoints[gi][i] = store.store(
                 w, prep.windows[i].window.startInst,
                 emu.checkpoint(), warm);
         }
+        phase.setInsts(emu.instCount());
     }
 }
 

@@ -1,11 +1,17 @@
 #include "sweep/campaign.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <thread>
 
+#include "common/clock.hpp"
+#include "common/digest.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace reno::sweep
@@ -165,12 +171,28 @@ Campaign::run(const CampaignOptions &options) const
     out.stats_.unique = slots.size();
     out.stats_.workers = workers;
 
+    auto &metrics = obs::MetricsRegistry::instance();
+    auto &progress = obs::ProgressMeter::instance();
+    auto &tracer = obs::Tracer::instance();
+    progress.addTotal(slots.size());
+
     // Satisfy from the cache first.
     std::vector<Slot *> misses;
     for (Slot &slot : slots) {
         if (cache.lookup(slot.digest, &slot.result)) {
             slot.ready = true;
             ++out.stats_.cacheHits;
+            if (tracer.enabled()) {
+                tracer.instant("cache-hit:" +
+                                   slot.job->workload->name + "/" +
+                                   slot.job->config.name,
+                               "cache",
+                               obs::TraceArgs()
+                                   .add("digest",
+                                        digestHex(slot.digest))
+                                   .str());
+            }
+            progress.jobDone(0, true);
         } else {
             misses.push_back(&slot);
         }
@@ -180,25 +202,84 @@ Campaign::run(const CampaignOptions &options) const
     // results land in pre-allocated slots, so collection order (and
     // therefore all downstream output) is independent of scheduling.
     out.stats_.simulated = misses.size();
-    if (workers <= 1 || misses.size() <= 1) {
-        for (Slot *slot : misses) {
+
+    // Host-side engine telemetry only: timing never feeds back into
+    // the simulated results, which stay byte-identical with obs off.
+    std::atomic<std::uint64_t> busy_micros{0};
+    auto run_slot = [&](Slot *slot, std::uint64_t enqueue_us) {
+        const std::uint64_t start_us = steadyClock().nowMicros();
+        metrics.histogram("sweep.job.queue_wait_ms")
+            .record(static_cast<double>(start_us - enqueue_us) / 1e3);
+        {
+            obs::TraceSpan span(
+                "job:" + slot->job->workload->name + "/" +
+                    slot->job->config.name,
+                "job",
+                obs::TraceArgs()
+                    .add("workload", slot->job->workload->name)
+                    .add("config", slot->job->config.name)
+                    .add("tag", slot->job->tag)
+                    .add("digest", digestHex(slot->digest))
+                    .add("sampled",
+                         std::uint64_t(slot->job->sampled() ? 1 : 0))
+                    .add("cache", "miss")
+                    .str());
             slot->result = executeJob(*slot->job);
-            slot->ready = true;
         }
+        const std::uint64_t end_us = steadyClock().nowMicros();
+        busy_micros.fetch_add(end_us - start_us,
+                              std::memory_order_relaxed);
+        metrics.histogram("sweep.job.latency_ms")
+            .record(static_cast<double>(end_us - start_us) / 1e3);
+        progress.jobDone(slot->result.sim.retired, false);
+        slot->ready = true;
+    };
+
+    const std::uint64_t exec_start_us = steadyClock().nowMicros();
+    unsigned used_workers = 1;
+    if (workers <= 1 || misses.size() <= 1) {
+        for (Slot *slot : misses)
+            run_slot(slot, steadyClock().nowMicros());
     } else {
         ThreadPool pool(
             unsigned(std::min<std::size_t>(workers, misses.size())));
+        used_workers = pool.numWorkers();
         for (Slot *slot : misses) {
-            pool.submit([slot] {
-                slot->result = executeJob(*slot->job);
-                slot->ready = true;
+            const std::uint64_t enqueue_us = steadyClock().nowMicros();
+            pool.submit([&run_slot, slot, enqueue_us] {
+                run_slot(slot, enqueue_us);
             });
         }
         pool.waitIdle();
     }
+    const std::uint64_t exec_wall_us =
+        steadyClock().nowMicros() - exec_start_us;
 
     for (Slot *slot : misses)
         cache.store(slot->digest, slot->result);
+
+    metrics.counter("sweep.jobs.submitted").inc(out.stats_.jobs);
+    metrics.counter("sweep.jobs.unique").inc(out.stats_.unique);
+    metrics.counter("sweep.jobs.simulated").inc(out.stats_.simulated);
+    metrics.counter("sweep.jobs.cache_hits").inc(out.stats_.cacheHits);
+    metrics.gauge("sweep.pool.workers")
+        .set(static_cast<double>(used_workers));
+    if (!misses.empty() && exec_wall_us) {
+        metrics.gauge("sweep.pool.utilization")
+            .set(static_cast<double>(
+                     busy_micros.load(std::memory_order_relaxed)) /
+                 (static_cast<double>(used_workers) *
+                  static_cast<double>(exec_wall_us)));
+    }
+    metrics.gauge("sweep.cache.hit_ratio").set(cache.hitRatio());
+    metrics.gauge("sweep.cache.memory_hits")
+        .set(static_cast<double>(cache.memoryHits()));
+    metrics.gauge("sweep.cache.disk_hits")
+        .set(static_cast<double>(cache.diskHits()));
+    metrics.gauge("sweep.cache.misses")
+        .set(static_cast<double>(cache.misses()));
+    metrics.gauge("sweep.cache.stores")
+        .set(static_cast<double>(cache.stores()));
 
     out.results_.reserve(jobs_.size());
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
@@ -215,6 +296,14 @@ Campaign::run(const CampaignOptions &options) const
                      out.stats_.jobs, out.stats_.unique,
                      out.stats_.simulated, out.stats_.cacheHits,
                      workers);
+        std::fprintf(
+            stderr,
+            "[sweep] cache: %llu memory hits, %llu disk hits, "
+            "%llu misses, %llu stores\n",
+            static_cast<unsigned long long>(cache.memoryHits()),
+            static_cast<unsigned long long>(cache.diskHits()),
+            static_cast<unsigned long long>(cache.misses()),
+            static_cast<unsigned long long>(cache.stores()));
     }
     return out;
 }

@@ -60,9 +60,20 @@ ResultCache::store(std::uint64_t digest, const JobResult &result)
     {
         std::lock_guard<std::mutex> lock(mu_);
         mem_[digest] = result;
+        ++stores_;
     }
     if (!dir_.empty())
         storeToDisk(digest, result);
+}
+
+double
+ResultCache::hitRatio() const
+{
+    const std::uint64_t hits = memoryHits_ + diskHits_;
+    const std::uint64_t lookups = hits + misses_;
+    return lookups ? static_cast<double>(hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
 }
 
 std::size_t

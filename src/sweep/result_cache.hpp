@@ -45,6 +45,9 @@ class ResultCache
     std::uint64_t memoryHits() const { return memoryHits_; }
     std::uint64_t diskHits() const { return diskHits_; }
     std::uint64_t misses() const { return misses_; }
+    std::uint64_t stores() const { return stores_; }
+    /** lookup() hits of either kind over total lookups; 0 when idle. */
+    double hitRatio() const;
     std::size_t size() const;
     const std::string &dir() const { return dir_; }
 
@@ -65,6 +68,7 @@ class ResultCache
     std::uint64_t memoryHits_ = 0;
     std::uint64_t diskHits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t stores_ = 0;
 };
 
 } // namespace reno::sweep

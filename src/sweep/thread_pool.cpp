@@ -1,5 +1,8 @@
 #include "sweep/thread_pool.hpp"
 
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
 namespace reno::sweep
 {
 
@@ -9,7 +12,7 @@ ThreadPool::ThreadPool(unsigned num_workers)
         num_workers = 1;
     workers_.reserve(num_workers);
     for (unsigned i = 0; i < num_workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -42,8 +45,11 @@ ThreadPool::waitIdle()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned lane)
 {
+    if (obs::Tracer::instance().enabled())
+        obs::Tracer::instance().threadName(
+            strprintf("pool-worker-%u", lane));
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         taskReady_.wait(lock,

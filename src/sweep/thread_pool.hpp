@@ -40,7 +40,7 @@ class ThreadPool
     unsigned numWorkers() const { return unsigned(workers_.size()); }
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned lane);
 
     std::mutex mu_;
     std::condition_variable taskReady_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace reno
 {
@@ -51,9 +52,25 @@ Core::runUntilRetired(std::uint64_t retired_bound)
     std::uint64_t last_retired = stats_.retired;
     Cycle last_progress = state_.now;
 
+    // Periodic counter sampling for traces (--trace-sample). The
+    // interval is read once per call: purely observational, never
+    // part of CoreParams, so job digests and results are unaffected.
+    const std::uint64_t sample_interval =
+        obs::Tracer::instance().enabled()
+            ? obs::Tracer::instance().cycleSampleInterval()
+            : 0;
+    Cycle next_sample =
+        sample_interval
+            ? (state_.now / sample_interval + 1) * sample_interval
+            : 0;
+
     while (!state_.finished && stats_.retired < retired_bound &&
            state_.now < params_.maxCycles) {
         tick();
+        if (sample_interval && state_.now >= next_sample) {
+            sampleStatsCounter();
+            next_sample += sample_interval;
+        }
         if (stats_.retired != last_retired) {
             last_retired = stats_.retired;
             last_progress = state_.now;
@@ -70,6 +87,16 @@ Core::runUntilRetired(std::uint64_t retired_bound)
     if (!state_.finished && stats_.retired < retired_bound)
         warn("simulation hit the cycle limit before program exit");
     return result();
+}
+
+void
+Core::sampleStatsCounter()
+{
+    obs::TraceArgs args;
+    args.add("cycle", static_cast<std::uint64_t>(state_.now));
+    for (const auto &[name, value] : statSet_.dump())
+        args.add(name.c_str(), value);
+    obs::Tracer::instance().counter("core.stats", args.str());
 }
 
 SimResult

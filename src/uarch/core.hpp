@@ -94,6 +94,9 @@ class Core
     const MachineState &machineState() const { return state_; }
 
   private:
+    /** Emit every pipeline counter as one trace counter sample. */
+    void sampleStatsCounter();
+
     CoreParams params_;
     Emulator &emu_;
     RenoRenamer renamer_;

@@ -8,6 +8,7 @@
  * full detailed simulations too and reports the per-workload IPC
  * error (the CI accuracy gate).
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,6 +16,8 @@
 
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
+#include "obs/phase.hpp"
+#include "obs/session.hpp"
 #include "sample/sampler.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/reporter.hpp"
@@ -70,6 +73,19 @@ usage(const char *argv0)
         "\n"
         "output:\n"
         "  --report table|json|csv  reporter (default table)\n"
+        "  --perf-json FILE         write wall-clock JSON with the\n"
+        "                           per-phase breakdown (fast-forward\n"
+        "                           vs warmup vs detailed)\n"
+        "\n"
+        "observability (off by default; results are byte-identical\n"
+        "either way):\n"
+        "  --trace-out FILE         record a Chrome trace-event /\n"
+        "                           Perfetto JSON of the run\n"
+        "  --trace-sample N         + sample pipeline counters every N\n"
+        "                           simulated cycles\n"
+        "  --metrics-json FILE      write engine metrics JSON\n"
+        "  --progress[=FILE]        stream NDJSON progress heartbeats\n"
+        "                           (default sink: stderr)\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
@@ -118,6 +134,7 @@ main(int argc, char **argv)
     double max_error = 0.0;
     sample::SamplePlan plan;
     sweep::ReportFormat format = sweep::ReportFormat::Table;
+    std::string perf_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -195,9 +212,18 @@ main(int argc, char **argv)
                 fatal("--report expects table, json or csv, got '%s'",
                       v.c_str());
             format = *f;
+        } else if (matches("--perf-json")) {
+            perf_json = value("--perf-json");
+            if (perf_json.empty())
+                fatal("--perf-json expects a file path");
         } else if (bool takes_value;
                    sweep::isCampaignFlag(arg, &takes_value)) {
             // Engine flags; parsed by parseCampaignArgs below.
+            if (takes_value)
+                ++i;
+        } else if (bool takes_value;
+                   obs::isObsFlag(arg, &takes_value)) {
+            // Observability flags; parsed by parseObsArgs below.
             if (takes_value)
                 ++i;
         } else {
@@ -254,6 +280,46 @@ main(int argc, char **argv)
     sample::SampleOptions options;
     options.plan = plan;
     options.campaign = sweep::parseCampaignArgs(argc, argv);
+    const obs::Session obs_session(obs::parseObsArgs(argc, argv));
+    if (!perf_json.empty())
+        obs::PhaseStats::instance().enable();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto write_perf_json = [&] {
+        if (perf_json.empty())
+            return;
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::FILE *f = std::fopen(perf_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", perf_json.c_str());
+        // Phases are disjoint leaves (fast-forward vs warmup vs
+        // detailed ...), so their seconds sum to ~the simulation
+        // share of wall_seconds.
+        const auto phases = obs::PhaseStats::instance().snapshot();
+        std::fprintf(f,
+                     "{\n  \"wall_seconds\": %.3f,\n"
+                     "  \"phases\": [\n",
+                     wall_seconds);
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const auto &[name, totals] = phases[i];
+            std::fprintf(
+                f,
+                "    {\"phase\": \"%s\", \"seconds\": %.3f, "
+                "\"insts\": %llu, \"minstr_per_s\": %.3f, "
+                "\"count\": %llu}%s\n",
+                name.c_str(),
+                static_cast<double>(totals.micros) / 1e6,
+                static_cast<unsigned long long>(totals.insts),
+                totals.instsPerSec() / 1e6,
+                static_cast<unsigned long long>(totals.count),
+                i + 1 < phases.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    };
 
     if (validate) {
         const sample::ValidationReport report =
@@ -270,6 +336,7 @@ main(int argc, char **argv)
                      report.sampledSeconds,
                      report.sampledStats.simulated,
                      report.speedup());
+        write_perf_json();
         if (max_error > 0.0 && report.maxAbsErrorPct > max_error) {
             std::fprintf(stderr,
                          "[sample] FAIL: max |IPC error| %.2f%% "
@@ -284,5 +351,6 @@ main(int argc, char **argv)
         sample::runSampledCampaign(workloads, configs, options);
     const std::string rendered = sample::renderSampled(sampled, format);
     std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    write_perf_json();
     return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
+#include "obs/session.hpp"
 #include "sample/sampler.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/reporter.hpp"
@@ -70,6 +71,19 @@ usage(const char *argv0)
         "  --bpred-json FILE        write per-workload branch MPKI /\n"
         "                           accuracy / mispredict-breakdown"
         " JSON\n"
+        "\n"
+        "observability (off by default; results are byte-identical\n"
+        "either way):\n"
+        "  --trace-out FILE         record a Chrome trace-event /\n"
+        "                           Perfetto JSON of the run (open at\n"
+        "                           ui.perfetto.dev)\n"
+        "  --trace-sample N         + sample pipeline counters every N\n"
+        "                           simulated cycles\n"
+        "  --metrics-json FILE      write engine metrics (job latency,\n"
+        "                           queue wait, pool utilization,\n"
+        "                           cache hit ratio, phase rates)\n"
+        "  --progress[=FILE]        stream NDJSON progress heartbeats\n"
+        "                           (default sink: stderr)\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
@@ -208,6 +222,11 @@ main(int argc, char **argv)
             // Engine flags; parsed by parseCampaignArgs below.
             if (takes_value)
                 ++i;
+        } else if (bool takes_value;
+                   obs::isObsFlag(arg, &takes_value)) {
+            // Observability flags; parsed by parseObsArgs below.
+            if (takes_value)
+                ++i;
         } else {
             fatal("unknown argument '%s' (try --help)", arg.c_str());
         }
@@ -259,6 +278,7 @@ main(int argc, char **argv)
 
     const sweep::CampaignOptions opts =
         sweep::parseCampaignArgs(argc, argv);
+    const obs::Session obs_session(obs::parseObsArgs(argc, argv));
 
     if (plan_tuned && sample_intervals == 0)
         fatal("--warmup/--measure require --sample");
