@@ -110,6 +110,11 @@ serializeCoreParams(const CoreParams &p)
     emit(out, "reno.exactOverflow", p.reno.exactOverflowCheck);
     emit(out, "reno.verifyValues", p.reno.verifyValues);
 
+    emit(out, "sys.numCores", p.sys.numCores);
+    emit(out, "sys.snoopLatency", p.sys.snoopLatency);
+    emit(out, "sys.interventionLatency", p.sys.interventionLatency);
+    emit(out, "sys.upgradeLatency", p.sys.upgradeLatency);
+
     emit(out, "freeAddAddFusion", p.freeAddAddFusion);
     emit(out, "maxCycles", p.maxCycles);
 

@@ -108,6 +108,8 @@ Emulator::doSyscall()
         randState_ = randState_ * 6364136223846793005ULL +
                      1442695040888963407ULL;
         return randState_ >> 16;
+      case SysCoreId:
+        return opts_.coreId;
       default:
         fatal("unknown syscall %llu at pc 0x%llx",
               static_cast<unsigned long long>(num),

@@ -15,6 +15,8 @@
  *   3 print_char(a0)
  *   4 clock()           v0 = retired instruction count (deterministic)
  *   5 rand()            v0 = next value of a deterministic LCG
+ *   6 core_id()         v0 = Options::coreId (0 outside a System) --
+ *                       SPMD kernels derive core-private addresses
  */
 #pragma once
 
@@ -37,6 +39,7 @@ enum : std::uint64_t {
     SysPrintChar = 3,
     SysClock = 4,
     SysRand = 5,
+    SysCoreId = 6,
 };
 
 /** Architectural register file + pc. */
@@ -104,6 +107,9 @@ class Emulator
         Addr stackTop = DefaultStackTop;
         std::uint64_t maxInsts = 100'000'000;  //!< runaway guard
         std::uint64_t randSeed = 1;
+        /** Returned by the core_id syscall; a multi-core System's
+         *  harness sets it to the core index. */
+        std::uint64_t coreId = 0;
     };
 
     explicit Emulator(const Program &prog, Options opts);

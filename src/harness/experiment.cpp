@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "emu/emulator.hpp"
 #include "obs/phase.hpp"
+#include "sys/system.hpp"
 
 namespace reno
 {
@@ -159,6 +160,29 @@ applyBpredVariant(const std::string &token, CoreParams *params)
     return false;
 }
 
+std::vector<std::string>
+sysVariantNames()
+{
+    return {"<N>c"};
+}
+
+bool
+applySysVariant(const std::string &token, CoreParams *params)
+{
+    // "<N>c": N cores sharing the lower hierarchy. Mirror the bpred
+    // idiom: geometry the System constructor would fatal() on ("0c",
+    // more than MaxCores) reads as "unknown variant" up front.
+    if (token.size() < 2 || token.back() != 'c')
+        return false;
+    unsigned n = 0;
+    if (!numericSuffix(token.substr(0, token.size() - 1), "", &n))
+        return false;
+    if (n == 0 || n > SysParams::MaxCores)
+        return false;
+    params->sys.numCores = n;
+    return true;
+}
+
 bool
 configByName(const std::string &name, const CoreParams &base,
              NamedConfig *out)
@@ -193,7 +217,8 @@ configByName(const std::string &name, const CoreParams &base,
                                      ? std::string::npos
                                      : next - pos - 1);
         if (!applyMemVariant(token, &found.params) &&
-            !applyBpredVariant(token, &found.params))
+            !applyBpredVariant(token, &found.params) &&
+            !applySysVariant(token, &found.params))
             return false;
         pos = next;
     }
@@ -236,6 +261,11 @@ renderConfigList()
     out += "branch-prediction variants (append as /token, e.g. "
            "RENO/tage or BASE/perceptron/ras16):\n";
     for (const std::string &name : bpredVariantNames())
+        out += "  /" + name + "\n";
+    out += strprintf("multi-core variants (append as /token, e.g. "
+                     "RENO/2c or RENO/4c/l3; up to %u cores):\n",
+                     SysParams::MaxCores);
+    for (const std::string &name : sysVariantNames())
         out += "  /" + name + "\n";
     return out;
 }
@@ -289,6 +319,11 @@ RunOutput
 runWorkload(const Workload &workload, const CoreParams &params,
             CriticalPathAnalyzer *cpa)
 {
+    // Multi-core configurations take the System path; a single core
+    // keeps the historical code path untouched, so its outputs stay
+    // byte-identical to every pre-System release.
+    if (params.sys.numCores > 1)
+        return runWorkloadMulti(workload, params, cpa);
     const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;
     opts.randSeed = workload.seed;
@@ -307,6 +342,50 @@ runWorkload(const Workload &workload, const CoreParams &params,
     out.output = emu.output();
     out.memDigest = emu.memory().digest();
     out.emuInsts = emu.instCount();
+    return out;
+}
+
+RunOutput
+runWorkloadMulti(const Workload &workload, const CoreParams &params,
+                 CriticalPathAnalyzer *cpa)
+{
+    if (cpa)
+        fatal("critical-path analysis is single-core only "
+              "(config runs %u cores)", params.sys.numCores);
+    const Program &prog = assembleWorkload(workload);
+
+    // SPMD: every core runs the same kernel; per-core behavior comes
+    // from the core_id syscall and a per-core rand stream.
+    std::vector<std::unique_ptr<Emulator>> emus;
+    std::vector<Emulator *> emu_ptrs;
+    for (unsigned i = 0; i < params.sys.numCores; ++i) {
+        Emulator::Options opts;
+        opts.randSeed = workload.seed + i;
+        opts.coreId = i;
+        emus.push_back(std::make_unique<Emulator>(prog, opts));
+        emu_ptrs.push_back(emus.back().get());
+    }
+    System sys(params, emu_ptrs);
+
+    RunOutput out;
+    {
+        obs::PhaseSpan phase("sim.detailed");
+        out.sim = sys.run();
+        phase.setInsts(out.sim.retired);
+    }
+    // Functional reference: outputs concatenate in core order; the
+    // memory digests fold into one order-dependent FNV-style hash.
+    // One core reports its digest raw, keeping the N=1 System
+    // byte-identical to the single-core path.
+    std::uint64_t digest = 1469598103934665603ULL;
+    for (const auto &emu : emus) {
+        out.output += emu->output();
+        digest = (digest ^ emu->memory().digest()) *
+                 1099511628211ULL;
+        out.emuInsts += emu->instCount();
+    }
+    out.memDigest = emus.size() == 1 ? emus[0]->memory().digest()
+                                     : digest;
     return out;
 }
 

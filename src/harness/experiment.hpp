@@ -50,11 +50,12 @@ std::vector<NamedConfig> divisionOfLabor(const CoreParams &base);
  * Look up an evaluation configuration by name on top of @p base:
  * "BASE", "ME", "ME+CF", "RENO" (the build-up) or "RENO+FullInteg",
  * "FullInteg", "LoadsInteg" (division of labor), optionally followed
- * by '/'-separated memory-system or branch-prediction variants
- * ("RENO/l3", "BASE/pf-stride/wb", "RENO/tage",
- * "BASE/perceptron/ras16"; see memVariantNames() /
- * bpredVariantNames()). Returns false and leaves @p out untouched
- * for an unknown name or variant.
+ * by '/'-separated memory-system, branch-prediction or multi-core
+ * variants ("RENO/l3", "BASE/pf-stride/wb", "RENO/tage",
+ * "BASE/perceptron/ras16", "RENO/2c", "RENO/4c/l3"; see
+ * memVariantNames() / bpredVariantNames() / sysVariantNames()).
+ * Returns false and leaves @p out untouched for an unknown name or
+ * variant.
  */
 bool configByName(const std::string &name, const CoreParams &base,
                   NamedConfig *out);
@@ -89,6 +90,18 @@ std::vector<std::string> bpredVariantNames();
 bool applyBpredVariant(const std::string &token, CoreParams *params);
 
 /**
+ * Multi-core variant tokens configByName() accepts as suffixes:
+ *  - "<N>c": run N cores (private L1s + bpred each) over the shared
+ *    hierarchy under snooping MESI coherence, e.g. "2c", "4c".
+ * Core counts the System constructor would fatal() on ("0c", more
+ * than SysParams::MaxCores) are rejected as unknown variants.
+ */
+std::vector<std::string> sysVariantNames();
+
+/** Apply one variant token to @p params; false if unknown. */
+bool applySysVariant(const std::string &token, CoreParams *params);
+
+/**
  * Suite iteration for campaign construction: (label, workloads) for
  * the paper's two benchmark suites.
  */
@@ -111,9 +124,25 @@ std::string renderSuiteList();
  */
 const Program &assembleWorkload(const Workload &workload);
 
-/** Run @p workload on @p params; optionally attach a CPA. */
+/**
+ * Run @p workload on @p params; optionally attach a CPA. A config
+ * with sys.numCores > 1 dispatches to runWorkloadMulti(); one core
+ * takes the historical single-core path, byte-identical outputs.
+ */
 RunOutput runWorkload(const Workload &workload, const CoreParams &params,
                       CriticalPathAnalyzer *cpa = nullptr);
+
+/**
+ * Run @p workload SPMD on an N-core System: every core executes the
+ * kernel with its own emulator (core_id syscall = core index, rand
+ * seeded workload.seed + index). The RunOutput concatenates per-core
+ * program outputs in core order and folds the per-core memory
+ * digests into one hash. fatal()s when @p cpa is non-null: critical
+ * -path analysis is single-core only.
+ */
+RunOutput runWorkloadMulti(const Workload &workload,
+                           const CoreParams &params,
+                           CriticalPathAnalyzer *cpa = nullptr);
 
 /** Run just the functional emulator (reference state / output). */
 RunOutput runFunctional(const Workload &workload);

@@ -80,6 +80,9 @@ Cache::fill(Addr block, Cycle now, bool dirty, bool prefetched)
             next_->access(victim->tag * params_.blockBytes, now,
                           MemAccessKind::Writeback);
     }
+    if (victim->valid && evictionListener_)
+        evictionListener_(victim->tag * params_.blockBytes,
+                          victim->dirty);
     *victim = Line{true, dirty, prefetched, block, ++lruClock_};
 }
 
@@ -213,11 +216,37 @@ Cache::access(Addr addr, Cycle now, MemAccessKind kind)
     return fill_done + params_.latency;
 }
 
+Cache::CohResult
+Cache::invalidateBlock(Addr addr)
+{
+    Line *line = findLine(blockAddr(addr));
+    if (!line)
+        return {};
+    const CohResult result{true, line->dirty};
+    *line = Line{};
+    return result;
+}
+
+Cache::CohResult
+Cache::cleanBlock(Addr addr)
+{
+    Line *line = findLine(blockAddr(addr));
+    if (!line)
+        return {};
+    const CohResult result{true, line->dirty};
+    line->dirty = false;
+    return result;
+}
+
 void
 Cache::flush()
 {
-    for (auto &line : lines_)
+    for (auto &line : lines_) {
+        if (line.valid && evictionListener_)
+            evictionListener_(line.tag * params_.blockBytes,
+                              line.dirty);
         line = Line{};
+    }
     mshrs_.clear();
     prefetchFills_.clear();
     if (prefetcher_)

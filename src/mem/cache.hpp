@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -115,6 +116,35 @@ class Cache final : public MemLevel
     CacheState exportState() const;
     bool importState(const CacheState &state);
 
+    /**
+     * Coherence hooks (multi-core): a snooping bus invalidates or
+     * cleans one block in a remote L1. Both return whether the block
+     * was present, and whether its line was dirty, so the bus can
+     * account the flushed data. Neither notifies the eviction
+     * listener: the bus is already updating its own directory.
+     */
+    struct CohResult {
+        bool present = false;
+        bool wasDirty = false;
+    };
+    /** Drop @p addr's block (M/E/S -> I). */
+    CohResult invalidateBlock(Addr addr);
+    /** Clear @p addr's block's dirty bit (M -> S intervention: the
+     *  data was flushed to the shared level; the copy stays). */
+    CohResult cleanBlock(Addr addr);
+
+    /**
+     * Observer of demand evictions: called with the victim's byte
+     * address and dirty flag whenever fill() replaces a valid line
+     * (and for every valid line dropped by flush()). A coherence bus
+     * uses it to retire its directory entry for the departing block.
+     */
+    using EvictionListener = std::function<void(Addr, bool)>;
+    void setEvictionListener(EvictionListener listener)
+    {
+        evictionListener_ = std::move(listener);
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t mshrMerges() const { return mshrMerges_; }
@@ -164,6 +194,7 @@ class Cache final : public MemLevel
     std::map<Addr, Cycle> prefetchFills_;
 
     MemLevel *next_;
+    EvictionListener evictionListener_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::vector<Addr> prefetchBuf_;  //!< scratch, avoids per-access alloc
 

@@ -1,41 +1,69 @@
 #include "mem/hierarchy.hpp"
 
+#include "coherence/mesi.hpp"
 #include "common/log.hpp"
 
 namespace reno
 {
 
-MemHierarchy::MemHierarchy(const Params &params) : params_(params)
+MemHierarchy::MemHierarchy(const Params &params, const Attach *attach)
+    : params_(params)
 {
-    // Assemble back to front: memory, then the shared stack deepest
-    // first, then the split L1s. The bus moves one block of the
-    // deepest cache level per request.
-    std::vector<CacheParams> stack;
-    stack.push_back(params_.l2);
-    for (const CacheParams &extra : params_.extraLevels)
-        stack.push_back(extra);
-    if (params_.modelWritebacks) {
-        for (CacheParams &level : stack)
-            level.writebackTraffic = true;
+    if (!attach) {
+        // Assemble back to front: memory, then the shared stack
+        // deepest first, then the split L1s. The bus moves one block
+        // of the deepest cache level per request.
+        std::vector<CacheParams> stack;
+        stack.push_back(params_.l2);
+        for (const CacheParams &extra : params_.extraLevels)
+            stack.push_back(extra);
+        if (params_.modelWritebacks) {
+            for (CacheParams &level : stack)
+                level.writebackTraffic = true;
+        }
+
+        memory_ = std::make_unique<MainMemory>(params_.memory,
+                                               stack.back().blockBytes);
+        shared_.resize(stack.size());
+        for (std::size_t i = stack.size(); i-- > 0;) {
+            MemLevel *next = i + 1 < stack.size()
+                                 ? static_cast<MemLevel *>(
+                                       shared_[i + 1].get())
+                                 : static_cast<MemLevel *>(memory_.get());
+            shared_[i] = std::make_unique<Cache>(stack[i], next);
+        }
+        for (const auto &level : shared_)
+            sharedView_.push_back(level.get());
+    } else {
+        // Attached mode: the shared stack (and main memory) belong to
+        // the System; this hierarchy builds only the private L1s on
+        // top of the borrowed backend, and wires its D$ into the
+        // coherence bus.
+        if (!attach->backend || attach->shared.empty())
+            fatal("memory hierarchy: attach without a shared stack");
+        attach_ = *attach;
+        sharedView_ = attach_.shared;
     }
 
-    memory_ = std::make_unique<MainMemory>(params_.memory,
-                                           stack.back().blockBytes);
-    shared_.resize(stack.size());
-    for (std::size_t i = stack.size(); i-- > 0;) {
-        MemLevel *next = i + 1 < stack.size()
-                             ? static_cast<MemLevel *>(
-                                   shared_[i + 1].get())
-                             : static_cast<MemLevel *>(memory_.get());
-        shared_[i] = std::make_unique<Cache>(stack[i], next);
-    }
-
+    MemLevel *const l1_next =
+        attach ? attach_.backend
+               : static_cast<MemLevel *>(shared_[0].get());
     CacheParams icache_params = params_.icache;
     CacheParams dcache_params = params_.dcache;
     if (params_.modelWritebacks)
         dcache_params.writebackTraffic = true;
-    icache_ = std::make_unique<Cache>(icache_params, shared_[0].get());
-    dcache_ = std::make_unique<Cache>(dcache_params, shared_[0].get());
+    icache_ = std::make_unique<Cache>(icache_params, l1_next);
+    dcache_ = std::make_unique<Cache>(dcache_params, l1_next);
+
+    if (attach_.bus) {
+        attach_.bus->attachCore(attach_.coreId, dcache_.get());
+        CoherenceBus *const bus = attach_.bus;
+        const unsigned core = attach_.coreId;
+        dcache_->setEvictionListener(
+            [bus, core](Addr addr, bool dirty) {
+                bus->onEviction(core, addr, dirty);
+            });
+    }
 }
 
 std::vector<Cache *>
@@ -67,6 +95,9 @@ MemHierarchy::fetchAccess(Addr pc, Cycle now)
 Cycle
 MemHierarchy::dataAccess(Addr addr, Cycle now, bool is_write)
 {
+    if (attach_.bus)
+        now += attach_.bus->beforeDataAccess(attach_.coreId, addr,
+                                             is_write, now);
     return dcache_->access(addr, now,
                            is_write ? MemAccessKind::Write
                                     : MemAccessKind::Read);
@@ -77,7 +108,8 @@ MemHierarchy::flush()
 {
     for (Cache *level : levelsMutable())
         level->flush();
-    memory_->flush();
+    if (memory_)
+        memory_->flush();
 }
 
 void
@@ -91,7 +123,8 @@ MemHierarchy::copyStateFrom(const MemHierarchy &other)
     dcache_->copyStateFrom(*other.dcache_);
     for (std::size_t i = 0; i < shared_.size(); ++i)
         shared_[i]->copyStateFrom(*other.shared_[i]);
-    memory_->copyStateFrom(*other.memory_);
+    if (memory_)
+        memory_->copyStateFrom(*other.memory_);
 }
 
 void
@@ -99,7 +132,8 @@ MemHierarchy::settle()
 {
     for (Cache *level : levelsMutable())
         level->settle();
-    memory_->settle();
+    if (memory_)
+        memory_->settle();
 }
 
 MemHierarchy::State
@@ -117,7 +151,8 @@ MemHierarchy::importState(const State &state)
     std::vector<Cache *> levels = levelsMutable();
     if (state.caches.size() != levels.size())
         return false;
-    memory_->settle();
+    if (memory_)
+        memory_->settle();
     for (std::size_t i = 0; i < levels.size(); ++i) {
         if (!levels[i]->importState(state.caches[i]))
             return false;

@@ -26,6 +26,8 @@
 namespace reno
 {
 
+class CoherenceBus;
+
 /** The hierarchy: I$ + D$ over shared levels over main memory. */
 class MemHierarchy
 {
@@ -46,19 +48,47 @@ class MemHierarchy
         bool modelWritebacks = false;
     };
 
-    explicit MemHierarchy(const Params &params);
+    /**
+     * Multi-core attachment: build only the private L1s and back them
+     * by a shared stack owned elsewhere (the System), with every data
+     * access snooped by the coherence bus first. The borrowed
+     * pointers must outlive the hierarchy.
+     */
+    struct Attach {
+        MemLevel *backend = nullptr;  //!< first shared level (the L2)
+        /** The shared stack, nearest first (probes and reporting). */
+        std::vector<const Cache *> shared;
+        CoherenceBus *bus = nullptr;
+        unsigned coreId = 0;
+    };
+
+    /** Owning mode when @p attach is null (identical to the
+     *  single-core constructor), attached mode otherwise. */
+    MemHierarchy(const Params &params, const Attach *attach);
+    explicit MemHierarchy(const Params &params)
+        : MemHierarchy(params, nullptr)
+    {
+    }
     MemHierarchy() : MemHierarchy(Params{}) {}
+
+    /** True when the shared stack is borrowed from a System. */
+    bool attached() const { return attach_.backend != nullptr; }
 
     /** Instruction fetch of the block containing @p pc. */
     Cycle fetchAccess(Addr pc, Cycle now);
 
-    /** Data access. */
+    /** Data access. In attached mode the coherence bus snoops first
+     *  and its penalty delays the D$ lookup. */
     Cycle dataAccess(Addr addr, Cycle now, bool is_write);
 
     /** Would a load of @p addr hit in the D$ right now? */
     bool dcacheProbe(Addr addr) const { return dcache_->probe(addr); }
     /** Would it hit in the first shared level (the L2)? */
-    bool l2Probe(Addr addr) const { return shared_[0]->probe(addr); }
+    bool
+    l2Probe(Addr addr) const
+    {
+        return sharedStack().front()->probe(addr);
+    }
 
     /** Would it hit in ANY shared level? Load-latency classification
      *  (MemHitLevel): a hit anywhere on-chip is a cache hit, not a
@@ -67,7 +97,7 @@ class MemHierarchy
     bool
     sharedProbe(Addr addr) const
     {
-        for (const auto &level : shared_) {
+        for (const Cache *level : sharedStack()) {
             if (level->probe(addr))
                 return true;
         }
@@ -97,29 +127,44 @@ class MemHierarchy
 
     const Cache &icache() const { return *icache_; }
     const Cache &dcache() const { return *dcache_; }
-    /** The first shared level. */
-    const Cache &l2() const { return *shared_[0]; }
+    /** The first shared level (owned or borrowed). */
+    const Cache &l2() const { return *sharedStack().front(); }
 
-    /** The shared stack below the L1s, nearest first. */
-    std::size_t numSharedLevels() const { return shared_.size(); }
+    /** The shared stack below the L1s, nearest first (owned in
+     *  single-core mode, borrowed from the System when attached). */
+    std::size_t numSharedLevels() const { return sharedView_.size(); }
     const Cache &sharedLevel(std::size_t i) const
     {
-        return *shared_[i];
+        return *sharedView_[i];
     }
 
+    /** Owning mode only (the System owns memory when attached). */
     const MainMemory &memory() const { return *memory_; }
 
-    /** Every cache level in State order: I$, D$, shared stack. */
+    /**
+     * Every cache level this hierarchy OWNS, in State order: I$, D$,
+     * then the shared stack when owning. Attached hierarchies report
+     * (and persist, via exportState) only their private L1s; the
+     * System accounts the shared stack once.
+     */
     std::vector<const Cache *> levels() const;
 
     const Params &params() const { return params_; }
 
   private:
     std::vector<Cache *> levelsMutable();
+    const std::vector<const Cache *> &sharedStack() const
+    {
+        return sharedView_;
+    }
 
     Params params_;
+    Attach attach_;
     std::unique_ptr<MainMemory> memory_;
     std::vector<std::unique_ptr<Cache>> shared_;  //!< L2 first
+    /** The shared stack as borrowed views: shared_ when owning,
+     *  attach_.shared when attached (probe/report hot path). */
+    std::vector<const Cache *> sharedView_;
     std::unique_ptr<Cache> icache_;
     std::unique_ptr<Cache> dcache_;
 };

@@ -18,8 +18,10 @@ namespace
 // and prefetched line flags plus the prefetcher training table. v4
 // replaced the hardwired hybrid-predictor block with the generic
 // composable-stack encoding (any direction engine's tables, BTB,
-// RAS, indirect-target table).
-constexpr const char *CheckpointTag = "reno-checkpoint v4";
+// RAS, indirect-target table). v5 added multi-core slots: a "cores N"
+// header followed by one functional block per core (each core of a
+// System runs its own emulator), then the shared warm half.
+constexpr const char *CheckpointTag = "reno-checkpoint v5";
 constexpr const char *ProfileTag = "reno-funcprofile v1";
 
 std::string
@@ -155,6 +157,103 @@ decodeCacheState(std::istream &in, std::string &line,
     return true;
 }
 
+/** One core's functional half ("core i" header + snapshot). */
+void
+encodeEmuHalf(std::string &out, unsigned core,
+              const EmuCheckpoint &emu)
+{
+    out += strprintf("core %u\n", core);
+    out += strprintf("prog %llu\n",
+                     static_cast<unsigned long long>(emu.progDigest));
+    out += strprintf("inst %llu\n",
+                     static_cast<unsigned long long>(emu.instCount));
+    out += strprintf("exit %llu\n",
+                     static_cast<unsigned long long>(emu.exitCode));
+    out += strprintf("rand %llu\n",
+                     static_cast<unsigned long long>(emu.randState));
+    out += strprintf("done %d\n", emu.done ? 1 : 0);
+    out += strprintf("pc %llu\n",
+                     static_cast<unsigned long long>(emu.state.pc));
+    out += "regs";
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        out += strprintf(" %llu",
+                         static_cast<unsigned long long>(
+                             emu.state.regs[r]));
+    out += '\n';
+    out += strprintf("output %s\n",
+                     hexEncode(reinterpret_cast<const std::uint8_t *>(
+                                   emu.output.data()),
+                               emu.output.size())
+                         .c_str());
+    out += strprintf("pages %zu\n", emu.mem.pages().size());
+    for (const auto &[page_num, page] : emu.mem.pages())
+        out += strprintf("page %llu %s\n",
+                         static_cast<unsigned long long>(page_num),
+                         hexEncode(page.data(), page.size()).c_str());
+}
+
+bool
+decodeEmuHalf(std::istream &in, std::string &line, unsigned core,
+              EmuCheckpoint *emu)
+{
+    auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
+        return std::getline(in, line) && keyU64(line, key, v);
+    };
+    std::uint64_t hdr_core = 0;
+    if (!next_u64("core", &hdr_core) || hdr_core != core)
+        return false;
+    std::uint64_t done = 0;
+    if (!next_u64("prog", &emu->progDigest) ||
+        !next_u64("inst", &emu->instCount) ||
+        !next_u64("exit", &emu->exitCode) ||
+        !next_u64("rand", &emu->randState) ||
+        !next_u64("done", &done))
+        return false;
+    emu->done = done != 0;
+    if (!next_u64("pc", &emu->state.pc))
+        return false;
+
+    if (!std::getline(in, line) || line.rfind("regs", 0) != 0)
+        return false;
+    {
+        std::istringstream regs(line.substr(4));
+        for (unsigned r = 0; r < NumLogRegs; ++r) {
+            if (!(regs >> emu->state.regs[r]))
+                return false;
+        }
+    }
+
+    std::string hex;
+    std::vector<std::uint8_t> bytes;
+    if (!std::getline(in, line) || !keyValue(line, "output", &hex) ||
+        !hexDecode(hex, &bytes))
+        return false;
+    emu->output.assign(bytes.begin(), bytes.end());
+
+    std::uint64_t npages = 0;
+    if (!next_u64("pages", &npages))
+        return false;
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        if (!std::getline(in, line) || line.rfind("page ", 0) != 0)
+            return false;
+        const std::size_t space = line.find(' ', 5);
+        if (space == std::string::npos)
+            return false;
+        std::uint64_t page_num = 0;
+        try {
+            page_num = std::stoull(line.substr(5, space - 5));
+        } catch (...) {
+            return false;
+        }
+        if (!hexDecode(line.substr(space + 1), &bytes) ||
+            bytes.size() != SparseMemory::PageSize)
+            return false;
+        emu->mem.load(page_num << SparseMemory::PageBits, bytes.data(),
+                      bytes.size());
+    }
+    return true;
+}
+
 } // namespace
 
 std::uint64_t
@@ -203,45 +302,23 @@ CheckpointStore::encode(const SampleCheckpoint &ckpt)
 {
     if (!ckpt.usable())
         fatal("encoding an unusable checkpoint");
-    const EmuCheckpoint &emu = *ckpt.emu;
     const WarmState &warm = *ckpt.warm;
 
     std::string out = CheckpointTag;
     out += '\n';
 
-    // --- functional half ----------------------------------------------
-    out += strprintf("prog %llu\n",
-                     static_cast<unsigned long long>(emu.progDigest));
-    out += strprintf("inst %llu\n",
-                     static_cast<unsigned long long>(emu.instCount));
-    out += strprintf("exit %llu\n",
-                     static_cast<unsigned long long>(emu.exitCode));
-    out += strprintf("rand %llu\n",
-                     static_cast<unsigned long long>(emu.randState));
-    out += strprintf("done %d\n", emu.done ? 1 : 0);
-    out += strprintf("pc %llu\n",
-                     static_cast<unsigned long long>(emu.state.pc));
-    out += "regs";
-    for (unsigned r = 0; r < NumLogRegs; ++r)
-        out += strprintf(" %llu",
-                         static_cast<unsigned long long>(
-                             emu.state.regs[r]));
-    out += '\n';
-    out += strprintf("output %s\n",
-                     hexEncode(reinterpret_cast<const std::uint8_t *>(
-                                   emu.output.data()),
-                               emu.output.size())
-                         .c_str());
-    out += strprintf("pages %zu\n", emu.mem.pages().size());
-    for (const auto &[page_num, page] : emu.mem.pages())
-        out += strprintf("page %llu %s\n",
-                         static_cast<unsigned long long>(page_num),
-                         hexEncode(page.data(), page.size()).c_str());
+    // --- functional half, one block per core --------------------------
+    out += strprintf("cores %u\n", ckpt.numCores());
+    encodeEmuHalf(out, 0, *ckpt.emu);
+    for (std::size_t i = 0; i < ckpt.extraEmus.size(); ++i)
+        encodeEmuHalf(out, static_cast<unsigned>(i + 1),
+                      *ckpt.extraEmus[i]);
 
     // --- warm half ----------------------------------------------------
     out += strprintf("warmcfg %llu\n",
                      static_cast<unsigned long long>(warmConfigDigest(
-                         warm.memParams(), warm.bpParams())));
+                         warm.memParams(), warm.bpParams(),
+                         ckpt.numCores())));
     out += strprintf("lastblk %llu\n",
                      static_cast<unsigned long long>(
                          warm.lastFetchBlock));
@@ -297,7 +374,8 @@ bool
 CheckpointStore::decode(const std::string &text,
                         const MemHierarchy::Params &mem_params,
                         const BranchPredParams &bp_params,
-                        SampleCheckpoint *out)
+                        SampleCheckpoint *out,
+                        unsigned expected_cores)
 {
     // Verify the trailing integrity digest first.
     const std::size_t digest_pos = text.rfind("digest ");
@@ -321,65 +399,33 @@ CheckpointStore::decode(const std::string &text,
     if (!std::getline(in, line) || line != CheckpointTag)
         return false;
 
-    auto emu = std::make_shared<EmuCheckpoint>();
-    std::uint64_t done = 0;
     auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
         return std::getline(in, line) && keyU64(line, key, v);
     };
-    if (!next_u64("prog", &emu->progDigest) ||
-        !next_u64("inst", &emu->instCount) ||
-        !next_u64("exit", &emu->exitCode) ||
-        !next_u64("rand", &emu->randState) ||
-        !next_u64("done", &done))
-        return false;
-    emu->done = done != 0;
-    if (!next_u64("pc", &emu->state.pc))
+
+    std::uint64_t num_cores = 0;
+    if (!next_u64("cores", &num_cores) || num_cores == 0 ||
+        num_cores != expected_cores)
         return false;
 
-    if (!std::getline(in, line) || line.rfind("regs", 0) != 0)
+    auto emu = std::make_shared<EmuCheckpoint>();
+    if (!decodeEmuHalf(in, line, 0, emu.get()))
         return false;
-    {
-        std::istringstream regs(line.substr(4));
-        for (unsigned r = 0; r < NumLogRegs; ++r) {
-            if (!(regs >> emu->state.regs[r]))
-                return false;
-        }
-    }
-
-    std::string hex;
-    std::vector<std::uint8_t> bytes;
-    if (!std::getline(in, line) || !keyValue(line, "output", &hex) ||
-        !hexDecode(hex, &bytes))
-        return false;
-    emu->output.assign(bytes.begin(), bytes.end());
-
-    std::uint64_t npages = 0;
-    if (!next_u64("pages", &npages))
-        return false;
-    for (std::uint64_t p = 0; p < npages; ++p) {
-        if (!std::getline(in, line) || line.rfind("page ", 0) != 0)
+    std::vector<std::shared_ptr<const EmuCheckpoint>> extra;
+    for (std::uint64_t c = 1; c < num_cores; ++c) {
+        auto e = std::make_shared<EmuCheckpoint>();
+        if (!decodeEmuHalf(in, line, static_cast<unsigned>(c),
+                           e.get()))
             return false;
-        const std::size_t space = line.find(' ', 5);
-        if (space == std::string::npos)
-            return false;
-        std::uint64_t page_num = 0;
-        try {
-            page_num = std::stoull(line.substr(5, space - 5));
-        } catch (...) {
-            return false;
-        }
-        if (!hexDecode(line.substr(space + 1), &bytes) ||
-            bytes.size() != SparseMemory::PageSize)
-            return false;
-        emu->mem.load(page_num << SparseMemory::PageBits, bytes.data(),
-                      bytes.size());
+        extra.push_back(std::move(e));
     }
 
     // Warm half: the file's warm-config digest must match the models
     // we are asked to rebuild onto.
     std::uint64_t warmcfg = 0;
     if (!next_u64("warmcfg", &warmcfg) ||
-        warmcfg != warmConfigDigest(mem_params, bp_params))
+        warmcfg != warmConfigDigest(mem_params, bp_params,
+                                    static_cast<unsigned>(num_cores)))
         return false;
     std::uint64_t lastblk = 0;
     if (!next_u64("lastblk", &lastblk))
@@ -494,6 +540,7 @@ CheckpointStore::decode(const std::string &text,
 
     out->emu = std::move(emu);
     out->warm = std::move(warm);
+    out->extraEmus = std::move(extra);
     return true;
 }
 
@@ -597,11 +644,12 @@ SampleCheckpoint
 CheckpointStore::lookup(const Workload &workload,
                         std::uint64_t start_inst,
                         const MemHierarchy::Params &mem_params,
-                        const BranchPredParams &bp_params)
+                        const BranchPredParams &bp_params,
+                        unsigned num_cores)
 {
     const std::uint64_t key = checkpointKey(
         workload, start_inst,
-        warmConfigDigest(mem_params, bp_params));
+        warmConfigDigest(mem_params, bp_params, num_cores));
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = mem_.find(key);
@@ -614,7 +662,7 @@ CheckpointStore::lookup(const Workload &workload,
     if (!readFile(checkpointPath(key), &text))
         return {};
     SampleCheckpoint ckpt;
-    if (!decode(text, mem_params, bp_params, &ckpt)) {
+    if (!decode(text, mem_params, bp_params, &ckpt, num_cores)) {
         warn("checkpoint store: ignoring malformed entry %s",
              checkpointPath(key).c_str());
         return {};
@@ -626,15 +674,19 @@ CheckpointStore::lookup(const Workload &workload,
 SampleCheckpoint
 CheckpointStore::store(const Workload &workload,
                        std::uint64_t start_inst, EmuCheckpoint emu,
-                       const WarmState &warm)
+                       const WarmState &warm,
+                       std::vector<std::shared_ptr<const EmuCheckpoint>>
+                           extra_emus)
 {
-    const std::uint64_t key = checkpointKey(
-        workload, start_inst,
-        warmConfigDigest(warm.memParams(), warm.bpParams()));
     SampleCheckpoint ckpt;
     ckpt.emu =
         std::make_shared<const EmuCheckpoint>(std::move(emu));
     ckpt.warm = std::make_shared<const WarmState>(warm);
+    ckpt.extraEmus = std::move(extra_emus);
+    const std::uint64_t key = checkpointKey(
+        workload, start_inst,
+        warmConfigDigest(warm.memParams(), warm.bpParams(),
+                         ckpt.numCores()));
     {
         std::lock_guard<std::mutex> lock(mu_);
         mem_[key] = ckpt;

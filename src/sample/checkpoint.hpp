@@ -65,19 +65,24 @@ class CheckpointStore
     explicit CheckpointStore(std::string dir = "");
 
     /**
-     * Look up the checkpoint at (workload, start, warm params);
-     * memory first, then disk. Returns an unusable (empty)
+     * Look up the checkpoint at (workload, start, warm params, core
+     * count); memory first, then disk. Returns an unusable (empty)
      * SampleCheckpoint on a miss.
      */
     SampleCheckpoint lookup(const Workload &workload,
                             std::uint64_t start_inst,
                             const MemHierarchy::Params &mem_params,
-                            const BranchPredParams &bp_params);
+                            const BranchPredParams &bp_params,
+                            unsigned num_cores = 1);
 
-    /** Insert a checkpoint (memory, plus disk when persistent). */
-    SampleCheckpoint store(const Workload &workload,
-                           std::uint64_t start_inst,
-                           EmuCheckpoint emu, const WarmState &warm);
+    /** Insert a checkpoint (memory, plus disk when persistent).
+     *  Multi-core checkpoints pass the remaining cores' functional
+     *  snapshots in @p extra_emus (entry i is core i + 1). */
+    SampleCheckpoint
+    store(const Workload &workload, std::uint64_t start_inst,
+          EmuCheckpoint emu, const WarmState &warm,
+          std::vector<std::shared_ptr<const EmuCheckpoint>>
+              extra_emus = {});
 
     bool lookupProfile(std::uint64_t key, FuncProfile *out);
     void storeProfile(std::uint64_t key, const FuncProfile &profile);
@@ -86,12 +91,15 @@ class CheckpointStore
 
     /** Serialize / parse the checkpoint persistence format. decode()
      *  rebuilds the warm state onto models constructed from the given
-     *  parameters; any mismatch or corruption returns false. */
+     *  parameters and requires the file to snapshot exactly
+     *  @p expected_cores cores; any mismatch or corruption returns
+     *  false. */
     static std::string encode(const SampleCheckpoint &ckpt);
     static bool decode(const std::string &text,
                        const MemHierarchy::Params &mem_params,
                        const BranchPredParams &bp_params,
-                       SampleCheckpoint *out);
+                       SampleCheckpoint *out,
+                       unsigned expected_cores = 1);
 
     /** Serialize / parse the profile persistence format. */
     static std::string encodeProfile(const FuncProfile &profile);

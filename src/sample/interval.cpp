@@ -102,6 +102,13 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
 {
     if (window.measureInsts == 0)
         fatal("runIntervalDetailed: window has no measured insts");
+    // Sampling is single-core: functional warming replays one
+    // instruction stream, which cannot reproduce the interleaved
+    // shared-hierarchy state of an N-core System.
+    if (params.sys.numCores > 1)
+        fatal("sampled simulation is single-core only (config runs "
+              "%u cores); run multi-core configs detailed",
+              params.sys.numCores);
 
     const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;

@@ -95,13 +95,31 @@ void accumulateResult(SimResult &into, const SimResult &add);
  * job without being part of its content digest.
  */
 struct SampleCheckpoint {
-    std::shared_ptr<const EmuCheckpoint> emu;
+    std::shared_ptr<const EmuCheckpoint> emu;  //!< core 0
     std::shared_ptr<const WarmState> warm;
+    /** Remaining cores' functional checkpoints on a multi-core
+     *  System (entry i is core i + 1): every core runs its own
+     *  emulator, so each needs its own functional snapshot. Empty on
+     *  a single-core checkpoint. */
+    std::vector<std::shared_ptr<const EmuCheckpoint>> extraEmus;
+
+    /** Cores this checkpoint snapshots. */
+    unsigned
+    numCores() const
+    {
+        return 1 + static_cast<unsigned>(extraEmus.size());
+    }
 
     bool
     usable() const
     {
-        return emu != nullptr && warm != nullptr;
+        if (emu == nullptr || warm == nullptr)
+            return false;
+        for (const auto &extra : extraEmus) {
+            if (extra == nullptr)
+                return false;
+        }
+        return true;
     }
 };
 

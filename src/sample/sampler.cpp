@@ -171,6 +171,13 @@ runSampledCampaign(const std::vector<const Workload *> &workloads,
     if (options.plan.intervals == 0 || options.plan.measureInsts == 0)
         fatal("sampled campaign needs a plan with intervals > 0 and "
               "measured insts > 0");
+    for (const NamedConfig &cfg : configs) {
+        if (cfg.params.sys.numCores > 1)
+            fatal("sampled simulation is single-core only (config "
+                  "'%s' runs %u cores); run multi-core configs with "
+                  "reno-sweep instead", cfg.name.c_str(),
+                  cfg.params.sys.numCores);
+    }
 
     // One result cache spans the prep probe and the campaign run, and
     // the checkpoint store shares its persistence directory.

@@ -27,10 +27,12 @@ digestCacheParams(Fnv64 &h, const CacheParams &p)
 
 std::uint64_t
 warmConfigDigest(const MemHierarchy::Params &mem_params,
-                 const BranchPredParams &bp_params)
+                 const BranchPredParams &bp_params,
+                 unsigned num_cores)
 {
     Fnv64 h;
-    h.update("reno-warmcfg-v3");
+    h.update("reno-warmcfg-v4");
+    h.update(std::uint64_t{num_cores});
     digestCacheParams(h, mem_params.icache);
     digestCacheParams(h, mem_params.dcache);
     digestCacheParams(h, mem_params.l2);
@@ -67,7 +69,8 @@ warmConfigDigest(const MemHierarchy::Params &mem_params,
 std::uint64_t
 warmConfigDigest(const CoreParams &params)
 {
-    return warmConfigDigest(params.mem, params.bpred);
+    return warmConfigDigest(params.mem, params.bpred,
+                            params.sys.numCores);
 }
 
 WarmState::WarmState(const MemHierarchy::Params &mem_params,

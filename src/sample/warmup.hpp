@@ -28,9 +28,12 @@
 namespace reno::sample
 {
 
-/** Digest of the parameters warm state depends on (mem + bpred). */
+/** Digest of the parameters warm state depends on (mem + bpred +
+ *  core count: a multi-core System shapes shared-level contents, so
+ *  its warm state never aliases a single-core one). */
 std::uint64_t warmConfigDigest(const MemHierarchy::Params &mem_params,
-                               const BranchPredParams &bp_params);
+                               const BranchPredParams &bp_params,
+                               unsigned num_cores = 1);
 std::uint64_t warmConfigDigest(const CoreParams &params);
 
 /** Functionally warmed microarchitectural state. */

@@ -17,9 +17,10 @@ namespace
 // The serialized SimResult fields and their file order come from the
 // canonical registry in uarch/sim_result.hpp, whose order is frozen
 // to this file format. v2 appended the per-memory-level counter
-// block, v3 the branch-prediction breakdown; older entries fail the
-// tag check and are recomputed.
-constexpr const char *FormatTag = "reno-result v3";
+// block, v3 the branch-prediction breakdown, v4 the multi-core
+// coherence + per-core block; older entries fail the tag check and
+// are recomputed.
+constexpr const char *FormatTag = "reno-result v4";
 
 } // namespace
 

@@ -8,11 +8,14 @@
 namespace reno
 {
 
-Core::Core(const CoreParams &params, Emulator &emu)
+Core::Core(const CoreParams &params, Emulator &emu,
+           const MemHierarchy::Attach *attach)
     : params_(params), emu_(emu), renamer_(params.reno, params.numPregs),
-      mem_(params.mem), bp_(params.bpred),
+      mem_(params.mem, attach), bp_(params.bpred),
       ssets_(params.ssitEntries, params.numStoreSets),
-      state_(params_), statSet_("core"), stats_(statSet_),
+      state_(params_),
+      statSet_(attach ? strprintf("core%u", attach->coreId) : "core"),
+      stats_(statSet_),
       fetch_(params_, emu_, mem_, bp_, state_),
       rename_(params_, renamer_, ssets_, state_, stats_),
       issue_(params_, mem_, ssets_, renamer_, state_, stats_),
@@ -96,7 +99,11 @@ Core::sampleStatsCounter()
     args.add("cycle", static_cast<std::uint64_t>(state_.now));
     for (const auto &[name, value] : statSet_.dump())
         args.add(name.c_str(), value);
-    obs::Tracer::instance().counter("core.stats", args.str());
+    // The set's name gives each core of a System its own trace lane
+    // ("core0.stats", "core1.stats", ...); single-core runs keep the
+    // historical "core.stats" lane.
+    obs::Tracer::instance().counter(statSet_.name() + ".stats",
+                                    args.str());
 }
 
 SimResult
@@ -127,9 +134,12 @@ Core::result() const
     r.bpPerceptronConfident = bp_.direction().confidentPredicts();
     r.icacheMisses = mem_.icache().misses();
     r.dcacheMisses = mem_.dcache().misses();
-    r.l2Misses = mem_.l2().misses();
     // Per-level slots: I$, D$, L2, then every deeper shared level
-    // aggregated into the "l3" slot (see NumMemStatLevels).
+    // aggregated into the "l3" slot (see NumMemStatLevels). An
+    // attached core reports only its private L1s (levels() stops
+    // there); the owning System accounts the shared stack once.
+    if (!mem_.attached())
+        r.l2Misses = mem_.l2().misses();
     const std::vector<const Cache *> levels = mem_.levels();
     for (std::size_t i = 0; i < levels.size(); ++i) {
         const unsigned slot = static_cast<unsigned>(
@@ -143,6 +153,10 @@ Core::result() const
         if (i >= 3)
             r.l3Misses += c.misses();
     }
+    // Per-core slot 0: a lone core IS core 0. The System remaps these
+    // into each core's slot when it aggregates.
+    r.coreCycles[0] = state_.now;
+    r.coreRetired[0] = stats_.retired;
     r.stallRob = stats_.stallRob;
     r.stallIq = stats_.stallIq;
     r.stallPregs = stats_.stallPregs;

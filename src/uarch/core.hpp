@@ -51,7 +51,15 @@ namespace reno
 class Core
 {
   public:
-    Core(const CoreParams &params, Emulator &emu);
+    /**
+     * @param attach  null for the single-core machine (the core owns
+     *                its whole hierarchy); non-null inside a System,
+     *                where the core builds only its private L1s and
+     *                bpred stack over the System's shared hierarchy
+     *                and coherence bus.
+     */
+    Core(const CoreParams &params, Emulator &emu,
+         const MemHierarchy::Attach *attach = nullptr);
 
     /** Run to program completion (or the cycle limit). */
     SimResult run();
@@ -93,10 +101,13 @@ class Core
     /** The explicit machine state (tests, visualization). */
     const MachineState &machineState() const { return state_; }
 
-  private:
-    /** Emit every pipeline counter as one trace counter sample. */
+    /** Emit every pipeline counter as one trace counter sample on
+     *  this core's lane ("core.stats", or "core<i>.stats" inside a
+     *  System). run()/runUntilRetired() call it on the --trace-sample
+     *  interval; a System drives it directly from its own loop. */
     void sampleStatsCounter();
 
+  private:
     CoreParams params_;
     Emulator &emu_;
     RenoRenamer renamer_;

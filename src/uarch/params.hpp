@@ -24,6 +24,31 @@
 namespace reno
 {
 
+/**
+ * Multi-core system shape: how many cores share the lower hierarchy,
+ * and the latencies the snooping MESI bus charges on top of the
+ * cache-timing path. With one core (the default) the coherence bus
+ * never fires and the model is the paper's single-core machine.
+ */
+struct SysParams {
+    /** Cores sharing the L2/L3 stack and main memory. 1..MaxCores;
+     *  the System constructor fatal()s outside that range. */
+    unsigned numCores = 1;
+    /** Hard cap: per-core SimResult slots aggregate cores 3+ into the
+     *  last slot, and the round-robin interleave is O(numCores) per
+     *  cycle, so the model is not meant for manycore scales. */
+    static constexpr unsigned MaxCores = 8;
+
+    /** Bus snoop that transfers no dirty data (E->S downgrade,
+     *  invalidating clean remote copies). */
+    unsigned snoopLatency = 3;
+    /** Dirty-line intervention: a remote M line is flushed to the
+     *  shared level and forwarded. */
+    unsigned interventionLatency = 12;
+    /** Ownership upgrade on a write that hits a Shared line. */
+    unsigned upgradeLatency = 6;
+};
+
 /** Per-class and total issue bandwidth. */
 struct IssueWidths {
     unsigned intOps = 3;   //!< integer ALU/mul/div/branch slots
@@ -66,6 +91,7 @@ struct CoreParams {
     BranchPredParams bpred;
     MemHierarchy::Params mem;
     RenoConfig reno;
+    SysParams sys;
 
     /**
      * When true (default), fusing a deferred register-immediate

@@ -33,6 +33,16 @@ inline constexpr unsigned NumMemStatLevels = 4;
 inline constexpr const char *MemStatLevelNames[NumMemStatLevels] = {
     "icache", "dcache", "l2", "l3"};
 
+/**
+ * Per-core stat slots of a multi-core System run, mirroring the
+ * per-level scheme above: cores 0..2 get their own slot, every deeper
+ * core aggregates into the last ("c3") slot. A single-core run fills
+ * slot 0 only (coreCycles[0] == cycles).
+ */
+inline constexpr unsigned NumCoreStatSlots = 4;
+inline constexpr const char *CoreStatSlotNames[NumCoreStatSlots] = {
+    "c0", "c1", "c2", "c3"};
+
 /** Summary statistics of one simulation run. All fields are monotonic
  *  counters, so a measurement window's contribution is the field-wise
  *  difference of two snapshots. */
@@ -89,7 +99,28 @@ struct SimResult {
     std::uint64_t bpTageAltHits = 0;
     std::uint64_t bpPerceptronConfident = 0;
 
+    /** Multi-core block (v4). The coherence counters are the snooping
+     *  MESI bus's event totals; the per-core arrays are indexed by the
+     *  CoreStatSlotNames slot. All zero on a single-core run except
+     *  coreCycles[0]/coreRetired[0], which mirror cycles/retired. */
+    std::uint64_t cohInvalidations = 0;
+    std::uint64_t cohInterventions = 0;
+    std::uint64_t cohUpgradeMisses = 0;
+    std::uint64_t cohWritebacks = 0;
+    std::uint64_t coreCycles[NumCoreStatSlots] = {};
+    std::uint64_t coreRetired[NumCoreStatSlots] = {};
+
     double ipc() const { return cycles ? double(retired) / cycles : 0.0; }
+
+    /** IPC of one core slot (multi-core runs; slot 0 == ipc() for a
+     *  single-core run). Aggregated slots report the slot's combined
+     *  retired count over its combined cycles. */
+    double
+    coreIpc(unsigned slot) const
+    {
+        return slot < NumCoreStatSlots && coreCycles[slot]
+            ? double(coreRetired[slot]) / coreCycles[slot] : 0.0;
+    }
 
     std::uint64_t
     eliminatedTotal() const
@@ -126,12 +157,21 @@ static_assert(std::is_standard_layout_v<SimResult>,
               "SimStatField offsets require standard layout");
 
 // Registry order is the result-cache file order (format "reno-result
-// v3"): the scalar counters in declaration order, then the elim
+// v4"): the scalar counters in declaration order, then the elim
 // array, then the per-memory-level counter block appended by v2,
-// then the branch-prediction block appended by v3. Do not reorder --
-// persisted cache entries depend on it.
+// then the branch-prediction block appended by v3, then the
+// multi-core coherence + per-core block appended by v4. Do not
+// reorder -- persisted cache entries depend on it.
 #define RENO_ELIM_FIELD(k) \
     {"elim" #k, offsetof(SimResult, elim) + (k) * sizeof(std::uint64_t)}
+#define RENO_CORESLOT_FIELDS(arr, suffix)                           \
+    {"c0" suffix, offsetof(SimResult, arr)},                        \
+    {"c1" suffix,                                                   \
+     offsetof(SimResult, arr) + 1 * sizeof(std::uint64_t)},         \
+    {"c2" suffix,                                                   \
+     offsetof(SimResult, arr) + 2 * sizeof(std::uint64_t)},         \
+    {"c3" suffix,                                                   \
+     offsetof(SimResult, arr) + 3 * sizeof(std::uint64_t)}
 #define RENO_MEMLEVEL_FIELDS(arr, suffix)                          \
     {"icache" suffix, offsetof(SimResult, arr)},                   \
     {"dcache" suffix,                                              \
@@ -180,7 +220,14 @@ inline constexpr SimStatField SimResultFields[] = {
     {"bpTageAltHits", offsetof(SimResult, bpTageAltHits)},
     {"bpPerceptronConfident",
      offsetof(SimResult, bpPerceptronConfident)},
+    {"cohInvalidations", offsetof(SimResult, cohInvalidations)},
+    {"cohInterventions", offsetof(SimResult, cohInterventions)},
+    {"cohUpgradeMisses", offsetof(SimResult, cohUpgradeMisses)},
+    {"cohWritebacks", offsetof(SimResult, cohWritebacks)},
+    RENO_CORESLOT_FIELDS(coreCycles, "Cycles"),
+    RENO_CORESLOT_FIELDS(coreRetired, "Retired"),
 };
+#undef RENO_CORESLOT_FIELDS
 #undef RENO_MEMLEVEL_FIELDS
 #undef RENO_ELIM_FIELD
 
@@ -188,6 +235,8 @@ static_assert(NumElimKinds == 5,
               "new ElimKind: add its RENO_ELIM_FIELD entry above");
 static_assert(NumMemStatLevels == 4,
               "new mem stat slot: extend RENO_MEMLEVEL_FIELDS above");
+static_assert(NumCoreStatSlots == 4,
+              "new core stat slot: extend RENO_CORESLOT_FIELDS above");
 static_assert(std::size(SimResultFields) * sizeof(std::uint64_t) ==
                   sizeof(SimResult),
               "SimResult changed: update SimResultFields");

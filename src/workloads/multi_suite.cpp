@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Multi-core suite: generated SPMD kernels whose behavior is
+ * dominated by inter-core coherence rather than by per-core rename or
+ * memory behavior. Every core of a System runs the same kernel; the
+ * core_id syscall (v0 = 6) differentiates them, so each kernel also
+ * runs -- and self-checks -- on a single core, where it generates no
+ * coherence traffic at all.
+ *
+ *  - prodcons: all cores hand values around one shared ring, one slot
+ *              per cache line, staggered by core id (read slot i,
+ *              write slot i+1): steady-state invalidation traffic and
+ *              dirty-line interventions;
+ *  - lock:     every iteration read-modify-writes one shared lock
+ *              line, then a shared critical-section line, then does a
+ *              little private work: the ownership of two hot lines
+ *              ping-pongs (upgrade misses) the way contended spin
+ *              locks do;
+ *  - false:    each core read-modify-writes its own private word, but
+ *              the words are @p pad_bytes apart: at pad 8 they share
+ *              a line (false sharing, pure invalidation ping-pong),
+ *              at pad >= the line size the traffic disappears while
+ *              the computation -- and the printed checksum -- stays
+ *              identical;
+ *  - stream:   each core streams a disjoint region: zero coherence
+ *              traffic, pure shared-stack and memory-bus contention.
+ *
+ * Every kernel prints a checksum through the print syscall, so any
+ * configuration is checked against the functional emulator per core.
+ */
+#include "workloads/workload_sources.hpp"
+
+#include "common/log.hpp"
+
+namespace reno::workloads
+{
+
+const char *
+multiProdconsSource(unsigned slots, unsigned iters)
+{
+    if (slots == 0 || (slots & (slots - 1)) != 0)
+        fatal("multiProdconsSource: slot count must be a power of two");
+    // One 32 B line per slot: every hand-off moves whole-line
+    // ownership between cores.
+    return intern(strprintf(R"(# multi.prodcons: ring hand-off over %u line-sized shared slots
+        .data
+ring:   .space %u
+        .text
+_start:
+        li   v0, 6
+        syscall
+        mov  s5, v0           # core id
+        la   s1, ring
+        li   s3, %u           # slot mask
+        and  t0, s5, s3       # cursor: staggered by core id
+        li   t1, %u           # iterations
+        li   s2, 0            # running checksum
+loop:
+        slli t2, t0, 5        # slot -> byte offset (32 B slots)
+        add  t2, t2, s1
+        ldq  t3, 0(t2)        # consume the current slot
+        add  s2, s2, t3
+        addi t0, t0, 1
+        and  t0, t0, s3
+        slli t4, t0, 5
+        add  t4, t4, s1
+        stq  s2, 0(t4)        # produce into the next slot
+        subi t1, t1, 1
+        bne  t1, loop
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            slots, slots * 32, slots - 1, iters));
+}
+
+const char *
+multiLockSource(unsigned iters)
+{
+    return intern(strprintf(R"(# multi.lock: %u acquire/work/release rounds on one shared lock line
+        .data
+lock:   .space 32
+crit:   .space 32
+        .text
+_start:
+        li   v0, 6
+        syscall
+        mov  s5, v0           # core id
+        la   s1, lock
+        la   s4, crit
+        li   t1, %u           # rounds
+        li   s2, 0            # running checksum
+loop:
+        # acquire: read-modify-write the lock word (S -> M upgrade
+        # whenever another core touched it since)
+        ldq  t2, 0(s1)
+        addi t2, t2, 1
+        stq  t2, 0(s1)
+        add  s2, s2, t2
+        # critical section: bump a shared counter on a second hot line
+        ldq  t3, 0(s4)
+        add  t3, t3, s5
+        addi t3, t3, 1
+        stq  t3, 0(s4)
+        add  s2, s2, t3
+        # private work: space out the acquisitions
+        li   t4, 8
+work:
+        addi s2, s2, 3
+        subi t4, t4, 1
+        bne  t4, work
+        subi t1, t1, 1
+        bne  t1, loop
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            iters, iters));
+}
+
+const char *
+multiFalseSource(unsigned iters, unsigned pad_bytes)
+{
+    if (pad_bytes < 8 || pad_bytes > 256)
+        fatal("multiFalseSource: padding must be in [8, 256] bytes "
+              "(got %u)", pad_bytes);
+    // 8 slots (SysParams::MaxCores) at the maximum padding.
+    return intern(strprintf(R"(# multi.false: per-core counters %u bytes apart (8 = false sharing)
+        .data
+slots:  .space 2048
+        .text
+_start:
+        li   v0, 6
+        syscall
+        muli t0, v0, %u       # this core's slot offset
+        la   s1, slots
+        add  s1, s1, t0
+        li   t1, %u           # iterations
+        li   s2, 0            # running checksum
+loop:
+        ldq  t2, 0(s1)        # private counter, maybe-shared line
+        addi t2, t2, 1
+        stq  t2, 0(s1)
+        add  s2, s2, t2
+        subi t1, t1, 1
+        bne  t1, loop
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        # (identical across paddings and core counts: the padding only
+        # moves the counter, never the arithmetic)
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            pad_bytes, pad_bytes, iters));
+}
+
+const char *
+multiStreamSource(unsigned kb_per_core, unsigned passes)
+{
+    const unsigned region = kb_per_core * 1024;
+    const unsigned elems = region / 8;
+    // 8 regions (SysParams::MaxCores): every core count up to the cap
+    // streams disjoint memory.
+    return intern(strprintf(R"(# multi.stream: %u passes over a private %u KB region per core
+        .data
+buf:    .space %u
+        .text
+_start:
+        li   v0, 6
+        syscall
+        li   t0, %u           # region bytes
+        mul  t0, t0, v0
+        la   s1, buf
+        add  s1, s1, t0       # this core's region
+
+        # init pass: a[i] += i (read-modify-write paces the core
+        # against the contended bus, as in mem.stream)
+        mov  t0, s1
+        li   t1, %u
+        li   t2, 0
+init:
+        ldq  t3, 0(t0)
+        add  t3, t3, t2
+        stq  t3, 0(t0)
+        addi t0, t0, 8
+        addi t2, t2, 1
+        subi t1, t1, 1
+        bne  t1, init
+
+        li   s0, %u           # passes
+        li   s2, 0            # running checksum
+pass:
+        mov  t0, s1
+        li   t1, %u
+loop:
+        ldq  t3, 0(t0)
+        add  s2, s2, t3
+        stq  s2, 0(t0)
+        addi t0, t0, 8
+        subi t1, t1, 1
+        bne  t1, loop
+        subi s0, s0, 1
+        bne  s0, pass
+
+        # fold the 64-bit sum so the printed checksum sees every bit
+        srli t0, s2, 32
+        xor  a0, s2, t0
+        srli t0, a0, 16
+        xor  a0, a0, t0
+        andi a0, a0, 65535
+        li   v0, 1
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                            passes, kb_per_core, region * 8, region,
+                            elems, passes, elems));
+}
+
+} // namespace reno::workloads

@@ -66,4 +66,12 @@ const char *branchCorrSource(unsigned iters);
 const char *branchCallSource(unsigned iters, unsigned max_depth);
 const char *branchIndSource(unsigned iters, unsigned targets);
 
+// Multi-core suite (multi_suite.cpp): SPMD kernels differentiated by
+// the core_id syscall, each targeting one coherence behavior; static
+// storage duration like the other generated suites.
+const char *multiProdconsSource(unsigned slots, unsigned iters);
+const char *multiLockSource(unsigned iters);
+const char *multiFalseSource(unsigned iters, unsigned pad_bytes);
+const char *multiStreamSource(unsigned kb_per_core, unsigned passes);
+
 } // namespace reno::workloads

@@ -141,6 +141,51 @@ branchWorkloads()
     return table;
 }
 
+const std::vector<Workload> &
+multiWorkloads()
+{
+    using namespace workloads;
+    // SPMD coherence kernels (multi_suite.cpp): the false-sharing
+    // pair differs only in counter padding (8 B shares a 32 B line,
+    // 256 B does not), so their invalidation counts bracket the
+    // false-sharing effect while their checksums stay identical.
+    static const std::vector<Workload> table = {
+        {"multi.prodcons", "multi", multiProdconsSource(64, 60000), 1},
+        {"multi.lock", "multi", multiLockSource(30000), 1},
+        {"multi.false", "multi", multiFalseSource(150000, 8), 1},
+        {"multi.false.pad", "multi", multiFalseSource(150000, 256), 1},
+        {"multi.stream", "multi", multiStreamSource(32, 6), 1},
+    };
+    return table;
+}
+
+namespace
+{
+
+/** Every registry, paper first (workloadsMatching's search order). */
+std::vector<const std::vector<Workload> *>
+allRegistries()
+{
+    return {&allWorkloads(), &synthWorkloads(), &memWorkloads(),
+            &branchWorkloads(), &multiWorkloads()};
+}
+
+/** The known suite names as one quoted, comma-separated list, for
+ *  error messages ("\"spec\", \"media\", ..."). */
+std::string
+knownSuiteList()
+{
+    std::string out;
+    for (const SuiteInfo &s : knownSuites()) {
+        if (!out.empty())
+            out += ", ";
+        out += "\"" + s.name + "\"";
+    }
+    return out;
+}
+
+} // namespace
+
 std::vector<const Workload *>
 suiteWorkloads(const std::string &suite)
 {
@@ -148,6 +193,7 @@ suiteWorkloads(const std::string &suite)
         suite == "synth"    ? synthWorkloads()
         : suite == "mem"    ? memWorkloads()
         : suite == "branch" ? branchWorkloads()
+        : suite == "multi"  ? multiWorkloads()
                             : allWorkloads();
     std::vector<const Workload *> out;
     bool known = false;
@@ -158,9 +204,8 @@ suiteWorkloads(const std::string &suite)
         }
     }
     if (!known)
-        fatal("unknown workload suite '%s' (expected \"spec\", "
-              "\"media\", \"synth\", \"mem\" or \"branch\")",
-              suite.c_str());
+        fatal("unknown workload suite '%s' (known suites: %s)",
+              suite.c_str(), knownSuiteList().c_str());
     return out;
 }
 
@@ -200,9 +245,7 @@ workloadsMatching(const std::string &glob, const std::string &suite)
 {
     const bool any_suite = suite.empty() || suite == "all";
     std::vector<const Workload *> out;
-    for (const std::vector<Workload> *registry :
-         {&allWorkloads(), &synthWorkloads(), &memWorkloads(),
-          &branchWorkloads()}) {
+    for (const std::vector<Workload> *registry : allRegistries()) {
         for (const Workload &w : *registry) {
             if (globMatch(glob, w.name) &&
                 (any_suite || w.suite == suite))
@@ -211,9 +254,12 @@ workloadsMatching(const std::string &glob, const std::string &suite)
     }
     if (out.empty())
         fatal("--workloads '%s' matches no registered workload%s "
-              "(try reno-sweep --list)",
+              "(known suites: %s; globs match workload names, e.g. "
+              "\"mem.*\", \"gzip\", \"multi.false*\"; "
+              "reno-sweep --list prints every name)",
               glob.c_str(),
-              any_suite ? "" : (" in suite '" + suite + "'").c_str());
+              any_suite ? "" : (" in suite '" + suite + "'").c_str(),
+              knownSuiteList().c_str());
     return out;
 }
 
@@ -240,29 +286,21 @@ knownSuites()
     tally(synthWorkloads(), false);
     tally(memWorkloads(), false);
     tally(branchWorkloads(), false);
+    tally(multiWorkloads(), false);
     return out;
 }
 
 const Workload &
 workloadByName(const std::string &name)
 {
-    for (const auto &w : allWorkloads()) {
-        if (w.name == name)
-            return w;
+    for (const std::vector<Workload> *registry : allRegistries()) {
+        for (const auto &w : *registry) {
+            if (w.name == name)
+                return w;
+        }
     }
-    for (const auto &w : synthWorkloads()) {
-        if (w.name == name)
-            return w;
-    }
-    for (const auto &w : memWorkloads()) {
-        if (w.name == name)
-            return w;
-    }
-    for (const auto &w : branchWorkloads()) {
-        if (w.name == name)
-            return w;
-    }
-    fatal("unknown workload '%s'", name.c_str());
+    fatal("unknown workload '%s' (reno-sweep --list prints every "
+          "registered name)", name.c_str());
 }
 
 } // namespace reno

@@ -71,8 +71,20 @@ const std::vector<Workload> &memWorkloads();
  */
 const std::vector<Workload> &branchWorkloads();
 
-/** Workloads of one suite ("spec", "media", "synth", "mem" or
- *  "branch"). */
+/**
+ * The "multi" suite: generated SPMD coherence kernels (shared-ring
+ * hand-off, lock contention, false sharing with and without padding,
+ * disjoint parallel streaming) exercising the multi-core System and
+ * its snooping MESI bus. Each kernel reads its core index from the
+ * core_id syscall, so the suite also runs -- coherence-silently -- on
+ * a single core. Like the other generated suites, not part of
+ * allWorkloads().
+ */
+const std::vector<Workload> &multiWorkloads();
+
+/** Workloads of one suite ("spec", "media", "synth", "mem", "branch"
+ *  or "multi"); fatal() for an unknown suite, listing the known
+ *  ones. */
 std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 
 /**

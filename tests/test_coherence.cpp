@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Multi-core coherence tests: the MESI state lattice on the snooping
+ * bus (every legal transition plus the invalidation/intervention/
+ * upgrade counters), false-sharing ping-pong detection on the "multi"
+ * suite, 1-core System identity with the single-core path, config
+ * variant parsing (/2c, /4c), and checkpoint round-trips across core
+ * counts.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "coherence/mesi.hpp"
+#include "harness/experiment.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+#include "sample/checkpoint.hpp"
+#include "sample/warmup.hpp"
+#include "sys/system.hpp"
+#include "uarch/params.hpp"
+#include "workloads/workload_sources.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace reno;
+using namespace reno::workloads;
+
+namespace
+{
+
+/** A two-core bus over real L1 D$ models, as the System wires it. */
+struct BusRig {
+    SysParams sys;
+    MainMemory mem;
+    Cache d0, d1;
+    CoherenceBus bus;
+
+    static CacheParams
+    l1Params()
+    {
+        CacheParams p;
+        p.name = "d$";
+        p.sizeBytes = 1024;
+        p.assoc = 2;
+        p.blockBytes = 32;
+        return p;
+    }
+
+    BusRig()
+        : mem(MemoryParams{}, 32), d0(l1Params(), &mem),
+          d1(l1Params(), &mem), bus(sys, 32, 2)
+    {
+        bus.attachCore(0, &d0);
+        bus.attachCore(1, &d1);
+    }
+
+    /** One demand access as MemHierarchy issues it: snoop, then D$. */
+    Cycle
+    access(unsigned core, Addr addr, bool write)
+    {
+        const Cycle penalty =
+            bus.beforeDataAccess(core, addr, write, 0);
+        (core == 0 ? d0 : d1)
+            .access(addr, 0,
+                    write ? MemAccessKind::Write : MemAccessKind::Read);
+        return penalty;
+    }
+};
+
+/** Small private kernels so the detailed runs stay fast. */
+Workload
+testWorkload(const char *name, const char *source)
+{
+    return Workload{name, "test", source, 1};
+}
+
+} // namespace
+
+TEST(Mesi, ReadMissTakesExclusive)
+{
+    BusRig rig;
+    EXPECT_EQ(rig.access(0, 0x1000, false), 0u)
+        << "sole-copy fill pays no bus penalty";
+    EXPECT_EQ(rig.bus.state(0, 0x1000), MesiState::Exclusive);
+    EXPECT_EQ(rig.bus.state(1, 0x1000), MesiState::Invalid);
+}
+
+TEST(Mesi, SecondReaderSharesCleanLine)
+{
+    BusRig rig;
+    rig.access(0, 0x1000, false);
+    EXPECT_EQ(rig.access(1, 0x1000, false),
+              Cycle{rig.sys.snoopLatency})
+        << "E -> S downgrade is a snoop, not an intervention";
+    EXPECT_EQ(rig.bus.state(0, 0x1000), MesiState::Shared);
+    EXPECT_EQ(rig.bus.state(1, 0x1000), MesiState::Shared);
+    EXPECT_EQ(rig.bus.interventions(), 0u);
+    EXPECT_EQ(rig.bus.invalidations(), 0u);
+}
+
+TEST(Mesi, WriteUpgradesExclusiveSilently)
+{
+    BusRig rig;
+    rig.access(0, 0x2000, false);
+    EXPECT_EQ(rig.access(0, 0x2000, true), 0u)
+        << "E -> M never touches the bus";
+    EXPECT_EQ(rig.bus.state(0, 0x2000), MesiState::Modified);
+    EXPECT_EQ(rig.bus.upgradeMisses(), 0u);
+}
+
+TEST(Mesi, WriteMissOverSharersIsUpgradeMiss)
+{
+    BusRig rig;
+    rig.access(0, 0x3000, false);
+    rig.access(1, 0x3000, false);  // both Shared
+    EXPECT_EQ(rig.access(0, 0x3000, true),
+              Cycle{rig.sys.upgradeLatency});
+    EXPECT_EQ(rig.bus.upgradeMisses(), 1u);
+    EXPECT_EQ(rig.bus.invalidations(), 1u);
+    EXPECT_EQ(rig.bus.state(0, 0x3000), MesiState::Modified);
+    EXPECT_EQ(rig.bus.state(1, 0x3000), MesiState::Invalid);
+    EXPECT_FALSE(rig.d1.probe(0x3000))
+        << "the remote L1's tag array must agree with the directory";
+}
+
+TEST(Mesi, RemoteReadOfModifiedIntervenes)
+{
+    BusRig rig;
+    rig.access(0, 0x4000, true);  // Modified in core 0
+    EXPECT_EQ(rig.access(1, 0x4000, false),
+              Cycle{rig.sys.interventionLatency});
+    EXPECT_EQ(rig.bus.interventions(), 1u);
+    EXPECT_EQ(rig.bus.writebacks(), 1u)
+        << "the dirty line flushes to the shared level";
+    EXPECT_EQ(rig.bus.state(0, 0x4000), MesiState::Shared);
+    EXPECT_EQ(rig.bus.state(1, 0x4000), MesiState::Shared);
+    EXPECT_TRUE(rig.d0.probe(0x4000))
+        << "an intervention downgrades; the copy stays resident";
+}
+
+TEST(Mesi, RemoteWriteInvalidatesModifiedOwner)
+{
+    BusRig rig;
+    rig.access(0, 0x5000, true);  // Modified in core 0
+    EXPECT_EQ(rig.access(1, 0x5000, true),
+              Cycle{rig.sys.interventionLatency});
+    EXPECT_EQ(rig.bus.interventions(), 1u);
+    EXPECT_EQ(rig.bus.invalidations(), 1u);
+    EXPECT_EQ(rig.bus.writebacks(), 1u);
+    EXPECT_EQ(rig.bus.state(0, 0x5000), MesiState::Invalid);
+    EXPECT_EQ(rig.bus.state(1, 0x5000), MesiState::Modified);
+    EXPECT_FALSE(rig.d0.probe(0x5000));
+}
+
+TEST(Mesi, EvictionRetiresDirectoryEntry)
+{
+    BusRig rig;
+    rig.access(0, 0x6000, false);
+    rig.bus.onEviction(0, 0x6000, false);
+    EXPECT_EQ(rig.bus.state(0, 0x6000), MesiState::Invalid);
+    // The next reader is the sole copy again: Exclusive, no snoop.
+    EXPECT_EQ(rig.access(1, 0x6000, false), 0u);
+    EXPECT_EQ(rig.bus.state(1, 0x6000), MesiState::Exclusive);
+}
+
+TEST(Mesi, DistinctBlocksNeverInteract)
+{
+    BusRig rig;
+    rig.access(0, 0x7000, true);
+    rig.access(1, 0x7020, true);  // next 32 B block
+    EXPECT_EQ(rig.bus.invalidations(), 0u);
+    EXPECT_EQ(rig.bus.interventions(), 0u);
+    EXPECT_EQ(rig.bus.state(0, 0x7000), MesiState::Modified);
+    EXPECT_EQ(rig.bus.state(1, 0x7020), MesiState::Modified);
+}
+
+TEST(Mesi, SameBlockOffsetsShareOneLine)
+{
+    BusRig rig;
+    rig.access(0, 0x8000, true);
+    // A different byte of the same 32 B block ping-pongs ownership.
+    rig.access(1, 0x8008, true);
+    EXPECT_EQ(rig.bus.invalidations(), 1u);
+    EXPECT_EQ(rig.bus.state(0, 0x8000), MesiState::Invalid);
+}
+
+TEST(Mesi, ConstructionValidatesGeometry)
+{
+    SysParams sys;
+    EXPECT_DEATH(CoherenceBus(sys, 48, 2), "power of two");
+    EXPECT_DEATH(CoherenceBus(sys, 32, 0), "positive");
+    EXPECT_DEATH(CoherenceBus(sys, 32, 33), "at most 32");
+}
+
+TEST(SysVariant, ParsesCoreCountSuffixes)
+{
+    CoreParams params = CoreParams::fourWide();
+    EXPECT_TRUE(applySysVariant("2c", &params));
+    EXPECT_EQ(params.sys.numCores, 2u);
+    EXPECT_TRUE(applySysVariant("4c", &params));
+    EXPECT_EQ(params.sys.numCores, 4u);
+    EXPECT_TRUE(applySysVariant("8c", &params));
+    EXPECT_EQ(params.sys.numCores, 8u);
+}
+
+TEST(SysVariant, RejectsCountsTheSystemWouldFatalOn)
+{
+    CoreParams params = CoreParams::fourWide();
+    EXPECT_FALSE(applySysVariant("0c", &params));
+    EXPECT_FALSE(applySysVariant("9c", &params));
+    EXPECT_FALSE(applySysVariant("c", &params));
+    EXPECT_FALSE(applySysVariant("xc", &params));
+    EXPECT_FALSE(applySysVariant("2", &params));
+    EXPECT_EQ(params.sys.numCores, 1u) << "rejects leave params alone";
+}
+
+TEST(SysVariant, ConfigByNameComposesWithOtherVariants)
+{
+    const CoreParams base = CoreParams::fourWide();
+    NamedConfig cfg;
+    ASSERT_TRUE(configByName("RENO/2c", base, &cfg));
+    EXPECT_EQ(cfg.params.sys.numCores, 2u);
+    ASSERT_TRUE(configByName("RENO/4c/l3", base, &cfg));
+    EXPECT_EQ(cfg.params.sys.numCores, 4u);
+    EXPECT_FALSE(cfg.params.mem.extraLevels.empty());
+    EXPECT_FALSE(configByName("RENO/0c", base, &cfg));
+    EXPECT_FALSE(configByName("RENO/9c", base, &cfg));
+}
+
+TEST(SuiteErrors, UnknownSuiteListsKnownSuites)
+{
+    EXPECT_DEATH(suiteWorkloads("nope"), "known suites");
+    EXPECT_DEATH(workloadsMatching("multi.*", "nope"), "known suites");
+}
+
+TEST(MultiSuite, RegisteredAndListed)
+{
+    const std::vector<const Workload *> multi = suiteWorkloads("multi");
+    ASSERT_FALSE(multi.empty());
+    for (const Workload *w : multi)
+        EXPECT_EQ(w->suite, "multi");
+    EXPECT_FALSE(workloadsMatching("multi.false*", "all").empty());
+}
+
+TEST(System, OneCoreMatchesSingleCorePathExactly)
+{
+    // The acceptance bar for the whole subsystem: an N=1 System is
+    // byte-identical to the historical single-core path -- same
+    // cycles, same counters, same program output, same memory digest.
+    const Workload w =
+        testWorkload("t.lock1", multiLockSource(1500));
+    CoreParams params = CoreParams::fourWide();
+    const RunOutput single = runWorkload(w, params);
+
+    params.sys.numCores = 1;
+    const RunOutput sys = runWorkloadMulti(w, params);
+    EXPECT_EQ(sys.sim.cycles, single.sim.cycles);
+    EXPECT_EQ(sys.sim.retired, single.sim.retired);
+    EXPECT_EQ(sys.output, single.output);
+    EXPECT_EQ(sys.memDigest, single.memDigest);
+    EXPECT_EQ(sys.emuInsts, single.emuInsts);
+    EXPECT_EQ(sys.sim.cohInvalidations, 0u);
+    EXPECT_EQ(sys.sim.cohInterventions, 0u);
+    // The registry rows must agree too (per-core slots aside: the
+    // System reports core 0 in slot c0, exactly like a bare Core).
+    for (const SimStatField &field : simResultFields())
+        EXPECT_EQ(statValue(sys.sim, field),
+                  statValue(single.sim, field))
+            << field.name;
+}
+
+TEST(System, MultiCoreRunIsDeterministic)
+{
+    const Workload w =
+        testWorkload("t.prodcons", multiProdconsSource(16, 2000));
+    NamedConfig cfg;
+    ASSERT_TRUE(
+        configByName("RENO/2c", CoreParams::fourWide(), &cfg));
+    const RunOutput a = runWorkload(w, cfg.params);
+    const RunOutput b = runWorkload(w, cfg.params);
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+    for (const SimStatField &field : simResultFields())
+        EXPECT_EQ(statValue(a.sim, field), statValue(b.sim, field))
+            << field.name;
+}
+
+TEST(System, FalseSharingPingPongsAndPaddingCuresIt)
+{
+    // Two cores read-modify-write counters 8 bytes apart (one 32 B
+    // block): ownership ping-pongs, so invalidations scale with the
+    // iteration count. The same kernel with 256 B padding puts each
+    // counter in its own block: coherence traffic vanishes and the
+    // computed checksums do not change.
+    const unsigned iters = 3000;
+    const Workload shared_w =
+        testWorkload("t.false", multiFalseSource(iters, 8));
+    const Workload padded_w =
+        testWorkload("t.false.pad", multiFalseSource(iters, 256));
+    NamedConfig cfg;
+    ASSERT_TRUE(
+        configByName("RENO/2c", CoreParams::fourWide(), &cfg));
+
+    const RunOutput shared = runWorkload(shared_w, cfg.params);
+    const RunOutput padded = runWorkload(padded_w, cfg.params);
+    EXPECT_GT(shared.sim.cohInvalidations, iters / 2)
+        << "false sharing must show up as invalidation traffic";
+    EXPECT_LT(padded.sim.cohInvalidations,
+              shared.sim.cohInvalidations / 20)
+        << "padding to a block apart must kill the ping-pong";
+    EXPECT_EQ(shared.output, padded.output)
+        << "padding moves the counters, not the arithmetic";
+    EXPECT_GT(shared.sim.dcacheMisses, padded.sim.dcacheMisses + iters)
+        << "every ping-pong invalidation forces a D$ refill";
+}
+
+TEST(System, PerCoreSlotsAndSharedStackInResult)
+{
+    const Workload w =
+        testWorkload("t.stream", multiStreamSource(2, 2));
+    NamedConfig cfg;
+    ASSERT_TRUE(
+        configByName("RENO/2c", CoreParams::fourWide(), &cfg));
+    const RunOutput out = runWorkload(w, cfg.params);
+    EXPECT_GT(out.sim.coreCycles[0], 0u);
+    EXPECT_GT(out.sim.coreCycles[1], 0u);
+    EXPECT_GT(out.sim.coreRetired[0], 0u);
+    EXPECT_GT(out.sim.coreRetired[1], 0u);
+    EXPECT_EQ(out.sim.coreCycles[2], 0u) << "only 2 cores ran";
+    EXPECT_EQ(out.sim.retired,
+              out.sim.coreRetired[0] + out.sim.coreRetired[1]);
+    EXPECT_GE(out.sim.cycles, std::max(out.sim.coreCycles[0],
+                                       out.sim.coreCycles[1]))
+        << "system cycles bound every core's completion time";
+}
+
+TEST(System, ConstructorValidatesEmulatorCount)
+{
+    const Workload w =
+        testWorkload("t.lock2", multiLockSource(10));
+    const Program &prog = assembleWorkload(w);
+    Emulator::Options opts;
+    Emulator emu(prog, opts);
+    CoreParams params = CoreParams::fourWide();
+    params.sys.numCores = 2;
+    std::vector<Emulator *> one = {&emu};
+    EXPECT_DEATH(System(params, one), "emulator");
+    params.sys.numCores = 0;
+    EXPECT_DEATH(System(params, one), "core count");
+}
+
+TEST(Checkpoint, RoundTripsAcrossCoreCounts)
+{
+    const Workload w =
+        testWorkload("t.ckpt", multiLockSource(4000));
+    const Program &prog = assembleWorkload(w);
+    const CoreParams params = CoreParams::fourWide();
+
+    for (const unsigned cores : {1u, 2u, 4u}) {
+        sample::SampleCheckpoint ckpt;
+        {
+            Emulator::Options opts;
+            opts.randSeed = w.seed;
+            opts.coreId = 0;
+            Emulator emu(prog, opts);
+            emu.runUntil(500);
+            ckpt.emu = std::make_shared<const EmuCheckpoint>(
+                emu.checkpoint());
+        }
+        for (unsigned i = 1; i < cores; ++i) {
+            Emulator::Options opts;
+            opts.randSeed = w.seed + i;
+            opts.coreId = i;
+            Emulator emu(prog, opts);
+            emu.runUntil(500 + 100 * i);
+            ckpt.extraEmus.push_back(
+                std::make_shared<const EmuCheckpoint>(
+                    emu.checkpoint()));
+        }
+        ckpt.warm = std::make_shared<const sample::WarmState>(
+            params.mem, params.bpred);
+        ASSERT_TRUE(ckpt.usable());
+        ASSERT_EQ(ckpt.numCores(), cores);
+
+        const std::string text =
+            sample::CheckpointStore::encode(ckpt);
+        sample::SampleCheckpoint back;
+        ASSERT_TRUE(sample::CheckpointStore::decode(
+            text, params.mem, params.bpred, &back, cores))
+            << cores << " cores";
+        ASSERT_TRUE(back.usable());
+        EXPECT_EQ(back.numCores(), cores);
+        EXPECT_EQ(back.emu->instCount, ckpt.emu->instCount);
+        for (unsigned i = 1; i < cores; ++i)
+            EXPECT_EQ(back.extraEmus[i - 1]->instCount,
+                      ckpt.extraEmus[i - 1]->instCount);
+
+        // A file snapshotting N cores never restores as N' cores.
+        sample::SampleCheckpoint wrong;
+        EXPECT_FALSE(sample::CheckpointStore::decode(
+            text, params.mem, params.bpred, &wrong, cores + 1));
+    }
+}
+
+TEST(Checkpoint, StoreKeysSeparateCoreCounts)
+{
+    const Workload w =
+        testWorkload("t.ckpt2", multiLockSource(4000));
+    const Program &prog = assembleWorkload(w);
+    const CoreParams params = CoreParams::fourWide();
+    sample::CheckpointStore store;  // in-memory
+
+    Emulator::Options opts;
+    opts.randSeed = w.seed;
+    Emulator emu0(prog, opts);
+    emu0.runUntil(300);
+    opts.randSeed = w.seed + 1;
+    opts.coreId = 1;
+    Emulator emu1(prog, opts);
+    emu1.runUntil(300);
+
+    sample::WarmState warm(params.mem, params.bpred);
+    std::vector<std::shared_ptr<const EmuCheckpoint>> extras = {
+        std::make_shared<const EmuCheckpoint>(emu1.checkpoint())};
+    store.store(w, 300, emu0.checkpoint(), warm, extras);
+
+    EXPECT_TRUE(store
+                    .lookup(w, 300, params.mem, params.bpred,
+                            /*num_cores=*/2)
+                    .usable());
+    EXPECT_FALSE(store
+                     .lookup(w, 300, params.mem, params.bpred,
+                             /*num_cores=*/1)
+                     .usable())
+        << "a 2-core checkpoint must never satisfy a 1-core lookup";
+}
+
+TEST(Sampling, MultiCoreConfigsAreRejected)
+{
+    const Workload w =
+        testWorkload("t.sample", multiLockSource(4000));
+    CoreParams params = CoreParams::fourWide();
+    params.sys.numCores = 2;
+    sample::IntervalWindow window;
+    window.startInst = 0;
+    window.warmupInsts = 0;
+    window.measureInsts = 100;
+    EXPECT_DEATH(sample::runIntervalDetailed(w, params, window),
+                 "single-core only");
+}
+
+TEST(Emulator, CoreIdSyscallReturnsConfiguredId)
+{
+    // li v0, 6; syscall -> v0 = core id (0 outside a System).
+    const Workload w =
+        testWorkload("t.coreid", multiFalseSource(1, 8));
+    const Program &prog = assembleWorkload(w);
+    Emulator::Options opts;
+    opts.coreId = 3;
+    Emulator a(prog, opts);
+    opts.coreId = 0;
+    Emulator b(prog, opts);
+    while (!a.done())
+        a.runUntil(a.instCount() + 10000);
+    while (!b.done())
+        b.runUntil(b.instCount() + 10000);
+    EXPECT_NE(a.memory().digest(), b.memory().digest())
+        << "the kernel's counter address depends on the core id";
+}

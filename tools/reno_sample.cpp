@@ -35,7 +35,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "workload/config selection (as in reno-sweep):\n"
-        "  --suite spec|media|synth|mem|branch|all\n"
+        "  --suite spec|media|synth|mem|branch|multi|all\n"
         "                           workloads to sample (default all =\n"
         "                           the paper suites; synth/mem = long\n"
         "                           generated programs)\n"
@@ -46,6 +46,10 @@ usage(const char *argv0)
         "  --config NAME            preset (repeatable; default BASE,"
         " RENO)\n"
         "  --width 4|6              machine width (default 4)\n"
+        "  --cores N                accepted for symmetry with\n"
+        "                           reno-sweep, but sampling is\n"
+        "                           single-core: N must be 1 (run\n"
+        "                           multi-core configs with reno-sweep)\n"
         "\n"
         "sampling plan:\n"
         "  --sample N               measured intervals per program"
@@ -181,6 +185,16 @@ main(int argc, char **argv)
                 width = 6;
             else
                 fatal("--width expects 4 or 6, got '%s'", v.c_str());
+        } else if (matches("--cores")) {
+            // Sampled simulation replays one functional stream; an
+            // N-core System has no sampled path. Accept the flag so
+            // reno-sweep command lines port over, but only at N = 1.
+            const std::string v = value("--cores");
+            if (v != "1")
+                fatal("sampled simulation is single-core only "
+                      "(--cores %s); run multi-core configs with "
+                      "reno-sweep instead",
+                      v.c_str());
         } else if (matches("--sample")) {
             plan.intervals = parseCount("--sample", value("--sample"));
         } else if (matches("--warmup")) {

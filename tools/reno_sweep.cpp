@@ -32,7 +32,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "campaign selection:\n"
-        "  --suite spec|media|synth|mem|branch|all\n"
+        "  --suite spec|media|synth|mem|branch|multi|all\n"
         "                           workloads to sweep (default all ="
         " the paper suites)\n"
         "  --workload NAME          one workload (repeatable)\n"
@@ -42,7 +42,11 @@ usage(const char *argv0)
         "  --config NAME            preset (repeatable; default BASE,"
         " RENO), with optional memory variants (RENO/l3/pf-stride)\n"
         "  --width 4|6              machine width (default 4)\n"
+        "  --cores N                run every config on an N-core\n"
+        "                           MESI-coherent System (same as a\n"
+        "                           /Nc config suffix; 1..8)\n"
         "  --cpa                    critical-path analysis per job\n"
+        "                           (single-core only)\n"
         "\n"
         "sampled simulation (estimates instead of full runs):\n"
         "  --sample N               measured intervals per program\n"
@@ -66,11 +70,14 @@ usage(const char *argv0)
         " JSON\n"
         "                           (CI perf-smoke trend artifact)\n"
         "  --mem-json FILE          write per-cache-level aggregate\n"
-        "                           miss-rate / write-back / prefetch"
-        " JSON\n"
+        "                           miss-rate / write-back / prefetch\n"
+        "                           JSON, plus coherence bus traffic\n"
         "  --bpred-json FILE        write per-workload branch MPKI /\n"
         "                           accuracy / mispredict-breakdown"
         " JSON\n"
+        "  --multi-json FILE        write per-job coherence traffic\n"
+        "                           (invalidations, interventions,\n"
+        "                           upgrades) + per-core IPC JSON\n"
         "\n"
         "observability (off by default; results are byte-identical\n"
         "either way):\n"
@@ -122,6 +129,8 @@ main(int argc, char **argv)
     std::string perf_json;
     std::string mem_json;
     std::string bpred_json;
+    std::string multi_json;
+    unsigned cores = 0;  //!< 0 = leave configs as parsed
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -162,6 +171,19 @@ main(int argc, char **argv)
             bpred_json = value("--bpred-json");
             if (bpred_json.empty())
                 fatal("--bpred-json expects a file path");
+        } else if (matches("--multi-json")) {
+            multi_json = value("--multi-json");
+            if (multi_json.empty())
+                fatal("--multi-json expects a file path");
+        } else if (matches("--cores")) {
+            const std::string v = value("--cores");
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || n == 0 ||
+                n > SysParams::MaxCores)
+                fatal("--cores expects 1..%u, got '%s'",
+                      SysParams::MaxCores, v.c_str());
+            cores = static_cast<unsigned>(n);
         } else if (matches("--suite")) {
             suite = value("--suite");
         } else if (matches("--workload")) {
@@ -275,6 +297,18 @@ main(int argc, char **argv)
         }
         configs.push_back(cfg);
     }
+    if (cores > 1) {
+        // Equivalent to a /Nc suffix on every selected config; the
+        // suffix keeps multi-core rows distinguishable in reports.
+        for (NamedConfig &cfg : configs) {
+            if (cfg.params.sys.numCores > 1)
+                fatal("--cores conflicts with config '%s' (already "
+                      "runs %u cores)",
+                      cfg.name.c_str(), cfg.params.sys.numCores);
+            cfg.params.sys.numCores = cores;
+            cfg.name += strprintf("/%uc", cores);
+        }
+    }
 
     const sweep::CampaignOptions opts =
         sweep::parseCampaignArgs(argc, argv);
@@ -293,6 +327,8 @@ main(int argc, char **argv)
             fatal("--mem-json applies to full simulations only");
         if (!bpred_json.empty())
             fatal("--bpred-json applies to full simulations only");
+        if (!multi_json.empty())
+            fatal("--multi-json applies to full simulations only");
         sample::SampleOptions sample_opts;
         sample_opts.plan = plan;
         sample_opts.plan.intervals = sample_intervals;
@@ -363,8 +399,14 @@ main(int argc, char **argv)
         std::uint64_t wbs[NumMemStatLevels] = {};
         std::uint64_t pf_issued[NumMemStatLevels] = {};
         std::uint64_t pf_useful[NumMemStatLevels] = {};
+        std::uint64_t coh_inv = 0, coh_itv = 0, coh_upg = 0,
+                      coh_wb = 0;
         for (std::size_t i = 0; i < results.size(); ++i) {
             const SimResult &r = results.at(i).sim;
+            coh_inv += r.cohInvalidations;
+            coh_itv += r.cohInterventions;
+            coh_upg += r.cohUpgradeMisses;
+            coh_wb += r.cohWritebacks;
             const std::uint64_t miss_by_level[NumMemStatLevels] = {
                 r.icacheMisses, r.dcacheMisses, r.l2Misses,
                 r.l3Misses};
@@ -401,7 +443,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(pf_useful[s]),
                 s + 1 < NumMemStatLevels ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(
+            f,
+            "  ],\n"
+            "  \"coherence\": {\"invalidations\": %llu, "
+            "\"interventions\": %llu, \"upgrade_misses\": %llu, "
+            "\"writebacks\": %llu}\n"
+            "}\n",
+            static_cast<unsigned long long>(coh_inv),
+            static_cast<unsigned long long>(coh_itv),
+            static_cast<unsigned long long>(coh_upg),
+            static_cast<unsigned long long>(coh_wb));
         std::fclose(f);
     }
 
@@ -469,6 +521,69 @@ main(int argc, char **argv)
             agg_lookups ? 1.0 - double(agg_mispredicts) /
                                     double(agg_lookups)
                         : 0.0);
+        std::fclose(f);
+    }
+
+    if (!multi_json.empty()) {
+        // Coherence traffic + per-core throughput per job: the CI
+        // artifact tracking multi-core behavior (coherence.json).
+        // Single-core jobs appear with zero coherence traffic, so
+        // the artifact doubles as a no-false-traffic check.
+        std::FILE *f = std::fopen(multi_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", multi_json.c_str());
+        std::uint64_t agg_inv = 0, agg_itv = 0, agg_upg = 0,
+                      agg_wb = 0;
+        std::fprintf(f, "{\n  \"jobs\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const sweep::Job &job = results.job(i);
+            const SimResult &r = results.at(i).sim;
+            agg_inv += r.cohInvalidations;
+            agg_itv += r.cohInterventions;
+            agg_upg += r.cohUpgradeMisses;
+            agg_wb += r.cohWritebacks;
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"config\": \"%s\", "
+                "\"cores\": %u, \"cycles\": %llu, "
+                "\"invalidations\": %llu, \"interventions\": %llu, "
+                "\"upgrade_misses\": %llu, \"writebacks\": %llu, "
+                "\"per_core\": [",
+                job.workload->name.c_str(), job.config.name.c_str(),
+                job.config.params.sys.numCores,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.cohInvalidations),
+                static_cast<unsigned long long>(r.cohInterventions),
+                static_cast<unsigned long long>(r.cohUpgradeMisses),
+                static_cast<unsigned long long>(r.cohWritebacks));
+            bool first = true;
+            for (unsigned s = 0; s < NumCoreStatSlots; ++s) {
+                if (r.coreCycles[s] == 0)
+                    continue;
+                std::fprintf(
+                    f,
+                    "%s{\"slot\": \"%s\", \"cycles\": %llu, "
+                    "\"retired\": %llu, \"ipc\": %.4f}",
+                    first ? "" : ", ", CoreStatSlotNames[s],
+                    static_cast<unsigned long long>(r.coreCycles[s]),
+                    static_cast<unsigned long long>(r.coreRetired[s]),
+                    r.coreIpc(s));
+                first = false;
+            }
+            std::fprintf(f, "]}%s\n",
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(
+            f,
+            "  ],\n"
+            "  \"aggregate\": {\"invalidations\": %llu, "
+            "\"interventions\": %llu, \"upgrade_misses\": %llu, "
+            "\"writebacks\": %llu}\n"
+            "}\n",
+            static_cast<unsigned long long>(agg_inv),
+            static_cast<unsigned long long>(agg_itv),
+            static_cast<unsigned long long>(agg_upg),
+            static_cast<unsigned long long>(agg_wb));
         std::fclose(f);
     }
     return 0;
