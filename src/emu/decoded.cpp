@@ -1,0 +1,219 @@
+#include "emu/decoded.hpp"
+
+#include "common/log.hpp"
+
+namespace reno
+{
+
+namespace
+{
+
+/** Handler for a decoded instruction; one target per op shape. */
+Handler
+handlerFor(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::ADD:   return Handler::Add;
+      case Opcode::SUB:   return Handler::Sub;
+      case Opcode::MUL:   return Handler::Mul;
+      case Opcode::DIV:   return Handler::Div;
+      case Opcode::DIVU:  return Handler::Divu;
+      case Opcode::REM:   return Handler::Rem;
+      case Opcode::AND:   return Handler::And;
+      case Opcode::OR:    return Handler::Or;
+      case Opcode::XOR:   return Handler::Xor;
+      case Opcode::BIC:   return Handler::Bic;
+      case Opcode::SLL:   return Handler::Sll;
+      case Opcode::SRL:   return Handler::Srl;
+      case Opcode::SRA:   return Handler::Sra;
+      case Opcode::SEQ:   return Handler::Seq;
+      case Opcode::SLT:   return Handler::Slt;
+      case Opcode::SLE:   return Handler::Sle;
+      case Opcode::SLTU:  return Handler::Sltu;
+      case Opcode::SLEU:  return Handler::Sleu;
+      case Opcode::ADDI:  return Handler::AddI;
+      case Opcode::MULI:  return Handler::MulI;
+      case Opcode::ANDI:  return Handler::AndI;
+      case Opcode::ORI:   return Handler::OrI;
+      case Opcode::XORI:  return Handler::XorI;
+      case Opcode::SLLI:  return Handler::SllI;
+      case Opcode::SRLI:  return Handler::SrlI;
+      case Opcode::SRAI:  return Handler::SraI;
+      case Opcode::SEQI:  return Handler::SeqI;
+      case Opcode::SLTI:  return Handler::SltI;
+      case Opcode::SLEI:  return Handler::SleI;
+      case Opcode::SLTUI: return Handler::SltuI;
+      case Opcode::SLEUI: return Handler::SleuI;
+      case Opcode::LUI:   return Handler::Lui;
+      case Opcode::LDQ:
+      case Opcode::LDL:
+      case Opcode::LDBU:  return Handler::Load;
+      case Opcode::STQ:
+      case Opcode::STL:
+      case Opcode::STB:   return Handler::Store;
+      case Opcode::BEQ:   return Handler::Beq;
+      case Opcode::BNE:   return Handler::Bne;
+      case Opcode::BLT:   return Handler::Blt;
+      case Opcode::BGE:   return Handler::Bge;
+      case Opcode::BLE:   return Handler::Ble;
+      case Opcode::BGT:   return Handler::Bgt;
+      case Opcode::BR:    return Handler::Br;
+      case Opcode::BSR:   return Handler::Bsr;
+      case Opcode::JSR:   return Handler::Jsr;
+      case Opcode::JMP:   return Handler::Jmp;
+      case Opcode::SYSCALL: return Handler::Syscall;
+      default:
+        panic("handlerFor: unmapped opcode %u",
+              static_cast<unsigned>(inst.op));
+    }
+}
+
+DecodedOp
+makeOp(const Instruction &inst, Addr pc)
+{
+    DecodedOp op;
+    op.inst = inst;
+    op.pc = pc;
+    op.target = pc + 4 +
+                static_cast<Addr>(std::int64_t{inst.imm} * 4);
+    op.immS = std::int64_t{inst.imm};
+    op.immZ = static_cast<std::uint64_t>(inst.imm) & 0xffff;
+    op.handler = handlerFor(inst);
+    op.ra = inst.ra;
+    op.rb = inst.rb;
+    op.rc = inst.rc;
+    op.memSize = static_cast<std::uint8_t>(inst.info().memSize);
+    op.signedLoad = inst.info().signedLoad;
+    return op;
+}
+
+} // namespace
+
+DecodedBlock
+decodeBlock(const std::uint32_t *words, Addr text_base,
+            std::size_t num_words, Addr entry, bool superblock,
+            const DecodeLimits &limits)
+{
+    const Addr text_end = text_base + num_words * 4;
+    const auto in_text = [&](Addr pc) {
+        return pc >= text_base && pc < text_end && (pc & 3) == 0;
+    };
+
+    DecodedBlock blk;
+    blk.entry = entry;
+    blk.lo = entry;
+    blk.hi = entry;
+
+    const unsigned max_ops =
+        superblock ? limits.maxSuperblockOps : limits.maxBlockOps;
+    unsigned links = 0;
+    Addr pc = entry;
+    while (blk.ops.size() < max_ops) {
+        if (!in_text(pc))
+            break;
+        const std::uint32_t word = words[(pc - text_base) >> 2];
+        // An undecodable word ends the block; if control actually
+        // reaches it, the interpreter fallback reproduces decode()'s
+        // panic. Never decode-ahead into a panic.
+        if ((word >> 26) >= NumOpcodeValues)
+            break;
+        const Instruction inst = decode(word);
+        blk.ops.push_back(makeOp(inst, pc));
+        blk.lo = std::min(blk.lo, pc);
+        blk.hi = std::max(blk.hi, pc + 4);
+
+        if (inst.op == Opcode::BR || inst.op == Opcode::BSR) {
+            const Addr target = blk.ops.back().target;
+            if (superblock && links < limits.maxChainLinks &&
+                in_text(target)) {
+                ++links;
+                pc = target;
+                continue;
+            }
+            blk.chainable = in_text(target);
+            break;
+        }
+        const InstClass cls = inst.info().cls;
+        if (cls == InstClass::CtrlCond || cls == InstClass::CtrlRet ||
+            inst.op == Opcode::JSR)
+            break;
+        // ALU / memory / syscall: fall through.
+        pc += 4;
+    }
+    return blk;
+}
+
+DecodedBlock *
+BlockCache::find(Addr pc)
+{
+    ++stats_.lookups;
+    auto it = blocks_.find(pc);
+    if (it == blocks_.end())
+        return nullptr;
+    ++stats_.hits;
+    return it->second.get();
+}
+
+DecodedBlock *
+BlockCache::insert(DecodedBlock block)
+{
+    ++stats_.blocksDecoded;
+    stats_.opsDecoded += block.ops.size();
+    auto owned = std::make_unique<DecodedBlock>(std::move(block));
+    DecodedBlock *raw = owned.get();
+    blocks_[raw->entry] = std::move(owned);
+    return raw;
+}
+
+DecodedBlock *
+BlockCache::replace(DecodedBlock block)
+{
+    // The old block is freed: links anywhere in the cache may point
+    // at it, so drop them all (they re-fill on the next transition).
+    unlinkAll();
+    ++stats_.superblocksChained;
+    stats_.opsDecoded += block.ops.size();
+    auto owned = std::make_unique<DecodedBlock>(std::move(block));
+    DecodedBlock *raw = owned.get();
+    blocks_[raw->entry] = std::move(owned);
+    return raw;
+}
+
+std::size_t
+BlockCache::invalidateRange(Addr lo, Addr hi)
+{
+    ++stats_.invalidationEvents;
+    std::size_t dropped = 0;
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+        const DecodedBlock &b = *it->second;
+        if (b.lo < hi && b.hi > lo) {
+            it = blocks_.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    if (dropped > 0)
+        unlinkAll();
+    stats_.invalidatedBlocks += dropped;
+    return dropped;
+}
+
+void
+BlockCache::clear()
+{
+    blocks_.clear();
+    ++generation_;
+}
+
+void
+BlockCache::unlinkAll()
+{
+    ++generation_;
+    for (auto &[entry, blk] : blocks_) {
+        blk->linkTaken = nullptr;
+        blk->linkFall = nullptr;
+    }
+}
+
+} // namespace reno

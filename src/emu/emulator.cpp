@@ -1,12 +1,55 @@
 #include "emu/emulator.hpp"
 
+#include <algorithm>
 #include <climits>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
 
 #include "common/digest.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+// Threaded dispatch (computed goto) removes the per-op switch's bounds
+// check and gives each handler its own indirect-branch site, which the
+// host BTB predicts far better than one shared switch branch. Portable
+// fallback: a plain switch over Handler.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(RENO_NO_COMPUTED_GOTO)
+#define RENO_COMPUTED_GOTO 1
+#else
+#define RENO_COMPUTED_GOTO 0
+#endif
 
 namespace reno
 {
+
+namespace
+{
+
+bool &
+decodedDefaultFlag()
+{
+    static bool flag = [] {
+        const char *mode = std::getenv("RENO_EMU_MODE");
+        return mode == nullptr || std::string_view{mode} != "interp";
+    }();
+    return flag;
+}
+
+} // namespace
+
+bool
+defaultDecodedExec()
+{
+    return decodedDefaultFlag();
+}
+
+void
+setDefaultDecodedExec(bool decoded)
+{
+    decodedDefaultFlag() = decoded;
+}
 
 std::uint64_t
 evalAlu(Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm)
@@ -71,7 +114,9 @@ evalAlu(Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm)
 }
 
 Emulator::Emulator(const Program &prog, Options opts)
-    : prog_(prog), opts_(opts), randState_(opts.randSeed)
+    : prog_(prog), opts_(opts), randState_(opts.randSeed),
+      code_(prog.text), textBase_(prog.textBase),
+      textEnd_(prog.textBase + prog.text.size() * 4)
 {
     // Load text and data images.
     for (size_t i = 0; i < prog.text.size(); ++i)
@@ -80,6 +125,31 @@ Emulator::Emulator(const Program &prog, Options opts)
         mem_.load(prog.dataBase, prog.data.data(), prog.data.size());
     state_.pc = prog.entry;
     state_.setReg(RegSp, opts.stackTop);
+}
+
+Emulator::Emulator(Emulator &&other) noexcept
+    : prog_(other.prog_), opts_(other.opts_), state_(other.state_),
+      mem_(std::move(other.mem_)), output_(std::move(other.output_)),
+      instCount_(other.instCount_), exitCode_(other.exitCode_),
+      randState_(other.randState_), done_(other.done_),
+      code_(std::move(other.code_)), textBase_(other.textBase_),
+      textEnd_(other.textEnd_), cache_(std::move(other.cache_)),
+      curBlock_(other.curBlock_), curIdx_(other.curIdx_),
+      decodedInsts_(other.decodedInsts_),
+      interpInsts_(other.interpInsts_)
+{
+    // Zero the source's stats so its destructor flush is a no-op
+    // (a moved-from unordered_map keeps no blocks, but the plain
+    //  stats struct would otherwise be flushed twice).
+    other.cache_ = BlockCache{};
+    other.curBlock_ = nullptr;
+    other.decodedInsts_ = 0;
+    other.interpInsts_ = 0;
+}
+
+Emulator::~Emulator()
+{
+    flushBlockMetrics();
 }
 
 std::uint64_t
@@ -121,7 +191,10 @@ ExecRecord
 Emulator::step()
 {
     if (done_)
-        panic("Emulator::step after exit");
+        panic("Emulator::step after exit (pc 0x%llx, %llu instructions "
+              "retired)",
+              static_cast<unsigned long long>(state_.pc),
+              static_cast<unsigned long long>(instCount_));
     if (instCount_ >= opts_.maxInsts)
         fatal("emulator exceeded %llu instructions (runaway program?)",
               static_cast<unsigned long long>(opts_.maxInsts));
@@ -129,9 +202,29 @@ Emulator::step()
         fatal("pc 0x%llx outside text segment",
               static_cast<unsigned long long>(state_.pc));
 
+    // Source the decoded form from the block cache when possible. The
+    // cursor tracks the position inside the current block across
+    // step() calls, so the per-step oracle/warmup path skips both the
+    // hash lookup and the re-decode on every instruction of a block.
+    const DecodedOp *dop = nullptr;
+    if (opts_.decodedExec) {
+        if (!(curBlock_ != nullptr && curIdx_ < curBlock_->ops.size() &&
+              curBlock_->ops[curIdx_].pc == state_.pc)) {
+            curBlock_ = lookupOrDecode(state_.pc);
+            curIdx_ = 0;
+        }
+        if (curBlock_ != nullptr && curIdx_ < curBlock_->ops.size() &&
+            curBlock_->ops[curIdx_].pc == state_.pc)
+            dop = &curBlock_->ops[curIdx_];
+        else
+            curBlock_ = nullptr;
+    }
+
     ExecRecord rec;
     rec.pc = state_.pc;
-    rec.inst = prog_.instAt(state_.pc);
+    rec.inst = dop != nullptr
+                   ? dop->inst
+                   : decode(code_[(state_.pc - textBase_) >> 2]);
     const Instruction &inst = rec.inst;
     const unsigned nsrc = inst.numSrcs();
     for (unsigned i = 0; i < nsrc; ++i)
@@ -168,6 +261,11 @@ Emulator::step()
                           static_cast<std::int64_t>(inst.imm));
         rec.storeData = rec.srcVal[1];
         mem_.write(rec.effAddr, rec.storeData, inst.info().memSize);
+        // Write-to-code guard: keep the executable image coherent and
+        // drop decoded blocks built from the overwritten words.
+        if (rec.effAddr < textEnd_ &&
+            rec.effAddr + inst.info().memSize > textBase_)
+            noteCodeWrite(rec.effAddr, inst.info().memSize);
         break;
       case InstClass::CtrlCond: {
         const auto v = static_cast<std::int64_t>(rec.srcVal[0]);
@@ -213,23 +311,494 @@ Emulator::step()
     rec.npc = npc;
     rec.exited = done_;
     ++instCount_;
+
+    if (dop != nullptr) {
+        ++decodedInsts_;
+        // Keep the cursor when execution continues inside this block
+        // (fall-through, or a chained transfer in a superblock).
+        // noteCodeWrite() may have nulled curBlock_; dop is then
+        // dangling, so only the pointer test below may touch it.
+        if (curBlock_ != nullptr && curIdx_ + 1 < curBlock_->ops.size() &&
+            curBlock_->ops[curIdx_ + 1].pc == npc)
+            ++curIdx_;
+        else
+            curBlock_ = nullptr;
+    } else {
+        ++interpInsts_;
+    }
     return rec;
 }
 
 std::uint64_t
 Emulator::run()
 {
-    while (!done_)
-        step();
-    return instCount_;
+    return runBounded(std::numeric_limits<std::uint64_t>::max());
 }
 
 std::uint64_t
 Emulator::runUntil(std::uint64_t inst_bound)
 {
-    while (!done_ && instCount_ < inst_bound)
-        step();
+    if (inst_bound < instCount_)
+        fatal("Emulator::runUntil: bound %llu is below the %llu "
+              "instructions already retired",
+              static_cast<unsigned long long>(inst_bound),
+              static_cast<unsigned long long>(instCount_));
+    return runBounded(inst_bound);
+}
+
+std::uint64_t
+Emulator::runBounded(std::uint64_t inst_bound)
+{
+    if (!opts_.decodedExec) {
+        while (!done_ && instCount_ < inst_bound)
+            step();
+        return instCount_;
+    }
+
+    // The decoded engine reads registers unguarded; it relies on
+    // regs[RegZero] being 0 (SET_REG re-zeroes it after every write).
+    state_.regs[RegZero] = 0;
+    while (!done_ && instCount_ < inst_bound) {
+        if (instCount_ >= opts_.maxInsts)
+            fatal("emulator exceeded %llu instructions (runaway "
+                  "program?)",
+                  static_cast<unsigned long long>(opts_.maxInsts));
+
+        DecodedBlock *blk;
+        std::size_t idx = 0;
+        if (curBlock_ != nullptr && curIdx_ < curBlock_->ops.size() &&
+            curBlock_->ops[curIdx_].pc == state_.pc) {
+            // Resume mid-block (step()/checkpoint-chop cursor).
+            blk = curBlock_;
+            idx = curIdx_;
+        } else {
+            blk = lookupOrDecode(state_.pc);
+        }
+        curBlock_ = nullptr;
+        if (blk == nullptr) {
+            // pc outside text or an un-decodable word: one interpreter
+            // step reproduces the exact fatal/panic diagnostics.
+            step();
+            continue;
+        }
+        const std::uint64_t before = instCount_;
+        execDecoded(blk, idx, std::min(inst_bound, opts_.maxInsts));
+        decodedInsts_ += instCount_ - before;
+    }
     return instCount_;
+}
+
+DecodedBlock *
+Emulator::lookupOrDecode(Addr pc)
+{
+    constexpr DecodeLimits kLimits{};
+    if (DecodedBlock *blk = cache_.find(pc)) {
+        ++blk->execCount;
+        if (!blk->isSuperblock && blk->chainable &&
+            blk->execCount >= opts_.hotThreshold) {
+            // Hot block ending in a direct unconditional transfer:
+            // re-decode it chained through into a superblock.
+            DecodedBlock sb = decodeBlock(code_.data(), textBase_,
+                                          code_.size(), pc,
+                                          /*superblock=*/true, kLimits);
+            sb.isSuperblock = true;
+            sb.execCount = blk->execCount;
+            blk = cache_.replace(std::move(sb));
+        }
+        return blk;
+    }
+    if (!prog_.inText(pc))
+        return nullptr;
+    DecodedBlock blk = decodeBlock(code_.data(), textBase_, code_.size(),
+                                   pc, /*superblock=*/false, kLimits);
+    if (blk.ops.empty())
+        return nullptr;
+    blk.execCount = 1;
+    return cache_.insert(std::move(blk));
+}
+
+void
+Emulator::noteCodeWrite(Addr addr, unsigned size)
+{
+    // mem_ already holds the new bytes; re-sync the touched words.
+    const Addr lo = std::max(addr, textBase_) & ~Addr{3};
+    const Addr hi = std::min(addr + size, textEnd_);
+    for (Addr w = lo; w < hi; w += 4)
+        code_[(w - textBase_) >> 2] =
+            static_cast<std::uint32_t>(mem_.read(w, 4));
+    cache_.invalidateRange(addr, addr + size);
+    curBlock_ = nullptr;  // may point at a dropped block
+}
+
+void
+Emulator::syncCodeFromMemory()
+{
+    for (std::size_t i = 0; i < code_.size(); ++i)
+        code_[i] = static_cast<std::uint32_t>(
+            mem_.read(textBase_ + i * 4, 4));
+}
+
+void
+Emulator::flushBlockMetrics() const
+{
+    const BlockCacheStats &s = cache_.stats();
+    if (s.lookups == 0 && decodedInsts_ == 0 && interpInsts_ == 0)
+        return;
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("emu.block_cache.lookups").inc(s.lookups);
+    reg.counter("emu.block_cache.hits").inc(s.hits);
+    reg.counter("emu.block_cache.blocks_decoded").inc(s.blocksDecoded);
+    reg.counter("emu.block_cache.superblocks_chained")
+        .inc(s.superblocksChained);
+    reg.counter("emu.block_cache.ops_decoded").inc(s.opsDecoded);
+    reg.counter("emu.block_cache.invalidation_events")
+        .inc(s.invalidationEvents);
+    reg.counter("emu.block_cache.invalidated_blocks")
+        .inc(s.invalidatedBlocks);
+    reg.counter("emu.insts.decoded").inc(decodedInsts_);
+    reg.counter("emu.insts.interpreted").inc(interpInsts_);
+}
+
+void
+Emulator::execDecoded(DecodedBlock *blk, std::size_t start_idx,
+                      std::uint64_t limit)
+{
+    std::uint64_t *const regs = state_.regs;
+
+// Write a destination register, preserving the regs[RegZero] == 0
+// invariant branchlessly (a write to r31 lands and is re-zeroed).
+#define SET_REG(r, v)                                                   \
+    do {                                                                \
+        regs[(r)] = (v);                                                \
+        regs[RegZero] = 0;                                              \
+    } while (0)
+
+#define S64(x) static_cast<std::int64_t>(x)
+
+// Retire a non-terminal op and fall through to the next one.
+#define ADVANCE()                                                       \
+    do {                                                                \
+        ++instCount_;                                                   \
+        ++op;                                                           \
+        if (op == opEnd) {                                              \
+            npc = op[-1].pc + 4;                                        \
+            takenEdge = false;                                          \
+            goto block_done;                                            \
+        }                                                               \
+        if (instCount_ >= limit)                                        \
+            goto pause;                                                 \
+        DISPATCH();                                                     \
+    } while (0)
+
+// Retire the block's terminal op and redirect to next_pc.
+#define FINISH(next_pc, taken)                                          \
+    do {                                                                \
+        ++instCount_;                                                   \
+        npc = (next_pc);                                                \
+        takenEdge = (taken);                                            \
+        goto block_done;                                                \
+    } while (0)
+
+// BR/BSR: chained through inside a superblock (the next op sits at the
+// transfer target), terminal otherwise.
+#define CHAIN_OR_FINISH()                                               \
+    do {                                                                \
+        if (op + 1 != opEnd) {                                          \
+            ++instCount_;                                               \
+            ++op;                                                       \
+            if (instCount_ >= limit)                                    \
+                goto pause;                                             \
+            DISPATCH();                                                 \
+        }                                                               \
+        FINISH(op->target, true);                                       \
+    } while (0)
+
+#if RENO_COMPUTED_GOTO
+    // One entry per Handler, in exact enum order (decoded.hpp).
+    static const void *const kJump[] = {
+        &&lbl_Add, &&lbl_Sub, &&lbl_Mul, &&lbl_Div, &&lbl_Divu,
+        &&lbl_Rem, &&lbl_And, &&lbl_Or, &&lbl_Xor, &&lbl_Bic,
+        &&lbl_Sll, &&lbl_Srl, &&lbl_Sra, &&lbl_Seq, &&lbl_Slt,
+        &&lbl_Sle, &&lbl_Sltu, &&lbl_Sleu, &&lbl_AddI, &&lbl_MulI,
+        &&lbl_AndI, &&lbl_OrI, &&lbl_XorI, &&lbl_SllI, &&lbl_SrlI,
+        &&lbl_SraI, &&lbl_SeqI, &&lbl_SltI, &&lbl_SleI, &&lbl_SltuI,
+        &&lbl_SleuI, &&lbl_Lui, &&lbl_Load, &&lbl_Store, &&lbl_Beq,
+        &&lbl_Bne, &&lbl_Blt, &&lbl_Bge, &&lbl_Ble, &&lbl_Bgt,
+        &&lbl_Br, &&lbl_Bsr, &&lbl_Jsr, &&lbl_Jmp, &&lbl_Syscall,
+    };
+    static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                  static_cast<std::size_t>(Handler::NumHandlers));
+#define HANDLER(name) lbl_##name
+#define DISPATCH() goto *kJump[static_cast<std::size_t>(op->handler)]
+#else
+#define HANDLER(name) case Handler::name
+#define DISPATCH() goto dispatch
+#endif
+
+    for (;;) {
+        const DecodedOp *op = blk->ops.data() + start_idx;
+        const DecodedOp *const opEnd = blk->ops.data() + blk->ops.size();
+        start_idx = 0;
+        Addr npc = 0;
+        bool takenEdge = false;
+
+#if RENO_COMPUTED_GOTO
+        DISPATCH();
+#else
+      dispatch:
+        switch (op->handler) {
+#endif
+
+    HANDLER(Add):
+        SET_REG(op->rc, regs[op->ra] + regs[op->rb]);
+        ADVANCE();
+    HANDLER(Sub):
+        SET_REG(op->rc, regs[op->ra] - regs[op->rb]);
+        ADVANCE();
+    HANDLER(Mul):
+        SET_REG(op->rc, regs[op->ra] * regs[op->rb]);
+        ADVANCE();
+    HANDLER(Div):
+        // DIV/DIVU/REM share evalAlu's edge-case semantics
+        // (divide-by-zero, INT64_MIN / -1); they are rare enough that
+        // the call costs nothing measurable.
+        SET_REG(op->rc,
+                evalAlu(Opcode::DIV, regs[op->ra], regs[op->rb], 0));
+        ADVANCE();
+    HANDLER(Divu):
+        SET_REG(op->rc,
+                evalAlu(Opcode::DIVU, regs[op->ra], regs[op->rb], 0));
+        ADVANCE();
+    HANDLER(Rem):
+        SET_REG(op->rc,
+                evalAlu(Opcode::REM, regs[op->ra], regs[op->rb], 0));
+        ADVANCE();
+    HANDLER(And):
+        SET_REG(op->rc, regs[op->ra] & regs[op->rb]);
+        ADVANCE();
+    HANDLER(Or):
+        SET_REG(op->rc, regs[op->ra] | regs[op->rb]);
+        ADVANCE();
+    HANDLER(Xor):
+        SET_REG(op->rc, regs[op->ra] ^ regs[op->rb]);
+        ADVANCE();
+    HANDLER(Bic):
+        SET_REG(op->rc, regs[op->ra] & ~regs[op->rb]);
+        ADVANCE();
+    HANDLER(Sll):
+        SET_REG(op->rc, regs[op->ra] << (regs[op->rb] & 63));
+        ADVANCE();
+    HANDLER(Srl):
+        SET_REG(op->rc, regs[op->ra] >> (regs[op->rb] & 63));
+        ADVANCE();
+    HANDLER(Sra):
+        SET_REG(op->rc,
+                static_cast<std::uint64_t>(
+                    S64(regs[op->ra]) >> (regs[op->rb] & 63)));
+        ADVANCE();
+    HANDLER(Seq):
+        SET_REG(op->rc, regs[op->ra] == regs[op->rb] ? 1 : 0);
+        ADVANCE();
+    HANDLER(Slt):
+        SET_REG(op->rc, S64(regs[op->ra]) < S64(regs[op->rb]) ? 1 : 0);
+        ADVANCE();
+    HANDLER(Sle):
+        SET_REG(op->rc, S64(regs[op->ra]) <= S64(regs[op->rb]) ? 1 : 0);
+        ADVANCE();
+    HANDLER(Sltu):
+        SET_REG(op->rc, regs[op->ra] < regs[op->rb] ? 1 : 0);
+        ADVANCE();
+    HANDLER(Sleu):
+        SET_REG(op->rc, regs[op->ra] <= regs[op->rb] ? 1 : 0);
+        ADVANCE();
+
+    HANDLER(AddI):
+        SET_REG(op->rc,
+                regs[op->ra] + static_cast<std::uint64_t>(op->immS));
+        ADVANCE();
+    HANDLER(MulI):
+        SET_REG(op->rc,
+                regs[op->ra] * static_cast<std::uint64_t>(op->immS));
+        ADVANCE();
+    HANDLER(AndI):
+        SET_REG(op->rc, regs[op->ra] & op->immZ);
+        ADVANCE();
+    HANDLER(OrI):
+        SET_REG(op->rc, regs[op->ra] | op->immZ);
+        ADVANCE();
+    HANDLER(XorI):
+        SET_REG(op->rc, regs[op->ra] ^ op->immZ);
+        ADVANCE();
+    HANDLER(SllI):
+        SET_REG(op->rc,
+                regs[op->ra] << static_cast<unsigned>(op->immS & 63));
+        ADVANCE();
+    HANDLER(SrlI):
+        SET_REG(op->rc,
+                regs[op->ra] >> static_cast<unsigned>(op->immS & 63));
+        ADVANCE();
+    HANDLER(SraI):
+        SET_REG(op->rc,
+                static_cast<std::uint64_t>(
+                    S64(regs[op->ra]) >>
+                    static_cast<unsigned>(op->immS & 63)));
+        ADVANCE();
+    HANDLER(SeqI):
+        SET_REG(op->rc,
+                regs[op->ra] == static_cast<std::uint64_t>(op->immS)
+                    ? 1 : 0);
+        ADVANCE();
+    HANDLER(SltI):
+        SET_REG(op->rc, S64(regs[op->ra]) < op->immS ? 1 : 0);
+        ADVANCE();
+    HANDLER(SleI):
+        SET_REG(op->rc, S64(regs[op->ra]) <= op->immS ? 1 : 0);
+        ADVANCE();
+    HANDLER(SltuI):
+        SET_REG(op->rc,
+                regs[op->ra] < static_cast<std::uint64_t>(op->immS)
+                    ? 1 : 0);
+        ADVANCE();
+    HANDLER(SleuI):
+        SET_REG(op->rc,
+                regs[op->ra] <= static_cast<std::uint64_t>(op->immS)
+                    ? 1 : 0);
+        ADVANCE();
+    HANDLER(Lui):
+        SET_REG(op->rc, static_cast<std::uint64_t>(op->immS << 16));
+        ADVANCE();
+
+    HANDLER(Load): {
+        const Addr ea = regs[op->ra] + static_cast<Addr>(op->immS);
+        std::uint64_t v = mem_.read(ea, op->memSize);
+        if (op->signedLoad)
+            v = static_cast<std::uint64_t>(
+                signExtend(v, op->memSize * 8u));
+        SET_REG(op->rc, v);
+        ADVANCE();
+    }
+    HANDLER(Store): {
+        const Addr ea = regs[op->ra] + static_cast<Addr>(op->immS);
+        const unsigned size = op->memSize;
+        mem_.write(ea, regs[op->rb], size);
+        if (ea < textEnd_ && ea + size > textBase_) {
+            // Self-modifying code: the invalidation below may free
+            // the very block being executed, so read everything we
+            // still need from *op first, then leave the block. The
+            // outer loop re-decodes from the patched image.
+            const Addr next = op->pc + 4;
+            noteCodeWrite(ea, size);
+            ++instCount_;
+            state_.pc = next;
+            return;
+        }
+        ADVANCE();
+    }
+
+    HANDLER(Beq): {
+        const bool t = S64(regs[op->ra]) == 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+    HANDLER(Bne): {
+        const bool t = S64(regs[op->ra]) != 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+    HANDLER(Blt): {
+        const bool t = S64(regs[op->ra]) < 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+    HANDLER(Bge): {
+        const bool t = S64(regs[op->ra]) >= 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+    HANDLER(Ble): {
+        const bool t = S64(regs[op->ra]) <= 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+    HANDLER(Bgt): {
+        const bool t = S64(regs[op->ra]) > 0;
+        FINISH(t ? op->target : op->pc + 4, t);
+    }
+
+    HANDLER(Br):
+        CHAIN_OR_FINISH();
+    HANDLER(Bsr):
+        SET_REG(op->rc, op->pc + 4);
+        CHAIN_OR_FINISH();
+    HANDLER(Jsr): {
+        // Read the jump target before the link write (ra may be rc).
+        const Addr t = regs[op->ra] & ~Addr{3};
+        SET_REG(op->rc, op->pc + 4);
+        FINISH(t, true);
+    }
+    HANDLER(Jmp):
+        FINISH(regs[op->ra] & ~Addr{3}, true);
+
+    HANDLER(Syscall): {
+        // doSyscall's diagnostics (and nothing else) read state_.pc.
+        state_.pc = op->pc;
+        const std::uint64_t ret = doSyscall();
+        SET_REG(RegV0, ret);
+        if (done_) {
+            state_.pc = op->pc + 4;
+            ++instCount_;
+            return;
+        }
+        ADVANCE();
+    }
+
+#if !RENO_COMPUTED_GOTO
+        }
+        panic("execDecoded: bad handler");
+#endif
+
+      block_done:
+        state_.pc = npc;
+        if (instCount_ >= limit)
+            return;
+        {
+            // Block linking: follow the cached successor for this edge
+            // when it is still the right one and is not due for
+            // superblock promotion; otherwise take the slow path
+            // (hash lookup + decode/promotion) and re-link.
+            DecodedBlock *next =
+                takenEdge ? blk->linkTaken : blk->linkFall;
+            if (next != nullptr && next->entry == npc &&
+                (next->isSuperblock || !next->chainable ||
+                 next->execCount + 1 < opts_.hotThreshold)) {
+                ++next->execCount;
+                blk = next;
+                continue;
+            }
+            const std::uint64_t gen = cache_.generation();
+            next = lookupOrDecode(npc);
+            if (next == nullptr)
+                return;  // caller's step() fallback diagnoses this pc
+            // A generation bump means blocks were freed (superblock
+            // promotion) and blk may dangle -- skip re-linking then.
+            if (cache_.generation() == gen)
+                (takenEdge ? blk->linkTaken : blk->linkFall) = next;
+            blk = next;
+            continue;
+        }
+
+      pause:
+        // Budget exhausted mid-block: park the architectural pc at the
+        // next op and remember the position so run/step can resume
+        // without a lookup.
+        state_.pc = op->pc;
+        curBlock_ = blk;
+        curIdx_ = static_cast<std::size_t>(op - blk->ops.data());
+        return;
+    }
+
+#undef HANDLER
+#undef DISPATCH
+#undef CHAIN_OR_FINISH
+#undef FINISH
+#undef ADVANCE
+#undef S64
+#undef SET_REG
 }
 
 std::uint64_t
@@ -272,12 +841,19 @@ Emulator::restore(const EmuCheckpoint &ckpt)
               static_cast<unsigned long long>(ckpt.progDigest),
               static_cast<unsigned long long>(programDigest(prog_)));
     state_ = ckpt.state;
+    state_.regs[RegZero] = 0;  // decoded engine relies on this
     mem_.restore(ckpt.mem);
     output_ = ckpt.output;
     instCount_ = ckpt.instCount;
     exitCode_ = ckpt.exitCode;
     randState_ = ckpt.randState;
     done_ = ckpt.done;
+    // The checkpoint's memory image is authoritative for code too (it
+    // may carry self-modified text): re-sync and drop stale blocks.
+    syncCodeFromMemory();
+    cache_.clear();
+    curBlock_ = nullptr;
+    curIdx_ = 0;
 }
 
 } // namespace reno

@@ -22,14 +22,26 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "common/types.hpp"
+#include "emu/decoded.hpp"
 #include "isa/inst.hpp"
 #include "mem/sparse_memory.hpp"
 
 namespace reno
 {
+
+/**
+ * Process-wide default for Options::decodedExec. Initialized from the
+ * RENO_EMU_MODE environment variable ("interp" selects the per-step
+ * interpreter, anything else the decoded engine) and overridable by
+ * the CLIs' --emu flag. Outputs are bit-exact either way; the decoded
+ * engine is simply faster.
+ */
+bool defaultDecodedExec();
+void setDefaultDecodedExec(bool decoded);
 
 /** Syscall numbers. */
 enum : std::uint64_t {
@@ -110,10 +122,26 @@ class Emulator
         /** Returned by the core_id syscall; a multi-core System's
          *  harness sets it to the core index. */
         std::uint64_t coreId = 0;
+        /** Execute over pre-decoded superblocks (src/emu/decoded.hpp)
+         *  instead of decoding every instruction on every step. A
+         *  pure accelerator: state transitions, ExecRecords, output,
+         *  digests and checkpoints are bit-exact either way. */
+        bool decodedExec = defaultDecodedExec();
+        /** Block executions before a chainable block is re-decoded
+         *  as a superblock across its unconditional transfers. */
+        std::uint64_t hotThreshold = 16;
     };
 
     explicit Emulator(const Program &prog, Options opts);
     explicit Emulator(const Program &prog) : Emulator(prog, Options{}) {}
+    ~Emulator();
+
+    Emulator(const Emulator &) = delete;
+    Emulator &operator=(const Emulator &) = delete;
+    /** Movable (the source keeps running state but forfeits its
+     *  block cache and stats, so metrics are flushed exactly once). */
+    Emulator(Emulator &&other) noexcept;
+    Emulator &operator=(Emulator &&) = delete;
 
     /** Execute one instruction. Invalid after done(). */
     ExecRecord step();
@@ -124,6 +152,7 @@ class Emulator
     /**
      * Fast-forward: run until at least @p inst_bound instructions have
      * executed (or the program exits). Returns the instruction count.
+     * fatal() on a bound below the instructions already retired.
      */
     std::uint64_t runUntil(std::uint64_t inst_bound);
 
@@ -149,8 +178,43 @@ class Emulator
     const std::string &output() const { return output_; }
     const Program &program() const { return prog_; }
 
+    /** Cumulative decoded-block cache statistics (see decoded.hpp). */
+    const BlockCacheStats &blockStats() const { return cache_.stats(); }
+    std::size_t cachedBlocks() const { return cache_.numBlocks(); }
+
+    /** Instructions retired via the decoded engine / the per-step
+     *  interpreter (they sum to instCount()). */
+    std::uint64_t decodedInsts() const { return decodedInsts_; }
+    std::uint64_t interpInsts() const { return interpInsts_; }
+
   private:
     std::uint64_t doSyscall();
+
+    /** Shared bounded-run loop behind run()/runUntil(): retire
+     *  instructions until exit or instCount() reaches @p inst_bound. */
+    std::uint64_t runBounded(std::uint64_t inst_bound);
+
+    /** Threaded-dispatch engine: execute @p blk from @p start_idx,
+     *  following block links, until exit, an un-decodable pc, or
+     *  instCount() reaches @p limit. Pre: instCount() < limit. */
+    void execDecoded(DecodedBlock *blk, std::size_t start_idx,
+                     std::uint64_t limit);
+
+    /** Cached block entered at @p pc, decoding (and, when hot,
+     *  superblock-promoting) on demand. nullptr when @p pc cannot be
+     *  decoded -- the caller falls back to step(). */
+    DecodedBlock *lookupOrDecode(Addr pc);
+
+    /** A store overlapped [addr, addr+size) in the text segment:
+     *  re-sync the affected code words from memory and invalidate
+     *  every overlapping decoded block. */
+    void noteCodeWrite(Addr addr, unsigned size);
+
+    /** Rebuild the mutable code image from memory (restore path). */
+    void syncCodeFromMemory();
+
+    /** Accumulate block-cache stats into the obs MetricsRegistry. */
+    void flushBlockMetrics() const;
 
     const Program &prog_;
     Options opts_;
@@ -161,6 +225,19 @@ class Emulator
     std::uint64_t exitCode_ = 0;
     std::uint64_t randState_;
     bool done_ = false;
+
+    // Decoded-execution engine (pure accelerator; src/emu/decoded.hpp).
+    std::vector<std::uint32_t> code_;  //!< mutable text image (SMC)
+    Addr textBase_ = 0;
+    Addr textEnd_ = 0;
+    BlockCache cache_;
+    /** Cursor into the block containing pc, kept across step() calls
+     *  and mid-block pauses; valid iff curBlock_ != nullptr and
+     *  curBlock_->ops[curIdx_].pc == state_.pc. */
+    DecodedBlock *curBlock_ = nullptr;
+    std::size_t curIdx_ = 0;
+    std::uint64_t decodedInsts_ = 0;
+    std::uint64_t interpInsts_ = 0;
 };
 
 } // namespace reno

@@ -91,6 +91,11 @@ WarmState::WarmState(const WarmState &other)
 void
 warmStep(Emulator &emu, WarmState &warm, std::uint64_t inst_bound)
 {
+    // Warming must observe every access, so this is per-step by
+    // nature; step() still rides the emulator's decoded-block cursor
+    // (one table walk per block, not per instruction). The pure
+    // fast-forward to a window start -- no warming -- goes through
+    // Emulator::runUntil and the full superblock engine.
     const Addr iblock_bytes = warm.memParams().icache.blockBytes;
     while (!emu.done() && emu.instCount() < inst_bound) {
         const Addr pc = emu.state().pc;

@@ -15,6 +15,11 @@
  * Warm state depends only on the memory-hierarchy and predictor
  * parameters, never on the RENO configuration, so one warming pass
  * serves every configuration of a sweep.
+ *
+ * Warming consumes the emulator one step() at a time (it must see
+ * every access); the decoded-superblock engine still accelerates it
+ * through the per-step block cursor, and accelerates the access-blind
+ * fast-forward to the first window by the full superblock margin.
  */
 #pragma once
 

@@ -9,6 +9,9 @@
  * overlay driven by the cores' address streams, see mesi.hpp). The
  * System owns the shared hierarchy, the bus and the cores; the
  * caller owns the emulators, one per core, which must outlive it.
+ * The emulators default to the decoded-superblock engine
+ * (src/emu/decoded.hpp) -- each core's oracle steps ride its own
+ * block cache, and the streams stay bit-exact in either mode.
  *
  * Stepping is deterministic: every system cycle ticks the unfinished
  * cores in core order, so all bus/shared-level state mutations within

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "emu/emulator.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/session.hpp"
 #include "sample/sampler.hpp"
@@ -50,6 +52,10 @@ usage(const char *argv0)
         "                           reno-sweep, but sampling is\n"
         "                           single-core: N must be 1 (run\n"
         "                           multi-core configs with reno-sweep)\n"
+        "  --emu interp|decoded     functional-emulator engine\n"
+        "                           (default decoded superblocks;\n"
+        "                           interp = per-step; bit-exact\n"
+        "                           either way)\n"
         "\n"
         "sampling plan:\n"
         "  --sample N               measured intervals per program"
@@ -185,6 +191,15 @@ main(int argc, char **argv)
                 width = 6;
             else
                 fatal("--width expects 4 or 6, got '%s'", v.c_str());
+        } else if (matches("--emu")) {
+            const std::string v = value("--emu");
+            if (v == "interp")
+                setDefaultDecodedExec(false);
+            else if (v == "decoded")
+                setDefaultDecodedExec(true);
+            else
+                fatal("--emu expects interp or decoded, got '%s'",
+                      v.c_str());
         } else if (matches("--cores")) {
             // Sampled simulation replays one functional stream; an
             // N-core System has no sampled path. Accept the flag so
@@ -331,7 +346,33 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(totals.count),
                 i + 1 < phases.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        // Decoded-block cache totals (flushed by every Emulator on
+        // destruction): how much of the functional work ran through
+        // the superblock engine, and how well its cache held up.
+        auto &reg = obs::MetricsRegistry::instance();
+        const auto c = [&](const char *name) {
+            return static_cast<unsigned long long>(
+                reg.counter(name).value());
+        };
+        std::fprintf(
+            f,
+            "  ],\n"
+            "  \"emu\": {\n"
+            "    \"mode\": \"%s\",\n"
+            "    \"insts_decoded\": %llu,\n"
+            "    \"insts_interpreted\": %llu,\n"
+            "    \"block_cache\": {\"lookups\": %llu, \"hits\": %llu, "
+            "\"blocks_decoded\": %llu, \"superblocks_chained\": %llu, "
+            "\"invalidation_events\": %llu, "
+            "\"invalidated_blocks\": %llu}\n"
+            "  }\n}\n",
+            defaultDecodedExec() ? "decoded" : "interp",
+            c("emu.insts.decoded"), c("emu.insts.interpreted"),
+            c("emu.block_cache.lookups"), c("emu.block_cache.hits"),
+            c("emu.block_cache.blocks_decoded"),
+            c("emu.block_cache.superblocks_chained"),
+            c("emu.block_cache.invalidation_events"),
+            c("emu.block_cache.invalidated_blocks"));
         std::fclose(f);
     };
 
