@@ -1,5 +1,7 @@
 #include "coherence/mesi.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "uarch/params.hpp"
 
@@ -155,6 +157,57 @@ CoherenceBus::onEviction(unsigned core, Addr addr, bool)
     }
     if (entry.sharers == 0)
         directory_.erase(it);
+}
+
+CoherenceBusState
+CoherenceBus::exportState() const
+{
+    CoherenceBusState out;
+    out.lines.reserve(directory_.size());
+    for (const auto &[line, entry] : directory_)
+        out.lines.push_back(
+            {line, entry.sharers, entry.owner, entry.modified});
+    std::sort(out.lines.begin(), out.lines.end(),
+              [](const CoherenceBusState::Line &a,
+                 const CoherenceBusState::Line &b) {
+                  return a.line < b.line;
+              });
+    out.invalidations = invalidations_;
+    out.interventions = interventions_;
+    out.upgradeMisses = upgradeMisses_;
+    out.writebacks = writebacks_;
+    return out;
+}
+
+bool
+CoherenceBus::importState(const CoherenceBusState &state)
+{
+    const std::uint32_t legal_sharers =
+        numCores_ >= 32 ? ~0u : (1u << numCores_) - 1;
+    for (std::size_t i = 0; i < state.lines.size(); ++i) {
+        const CoherenceBusState::Line &l = state.lines[i];
+        if (l.sharers == 0 || (l.sharers & ~legal_sharers) != 0)
+            return false;
+        if (l.owner >= static_cast<int>(numCores_) ||
+            (l.owner >= 0 && !(l.sharers & (1u << l.owner))) ||
+            (l.modified && l.owner < 0))
+            return false;
+        if (i > 0 && state.lines[i - 1].line >= l.line)
+            return false;
+    }
+    directory_.clear();
+    for (const CoherenceBusState::Line &l : state.lines) {
+        DirEntry entry;
+        entry.sharers = l.sharers;
+        entry.owner = l.owner;
+        entry.modified = l.modified;
+        directory_.emplace(l.line, entry);
+    }
+    invalidations_ = state.invalidations;
+    interventions_ = state.interventions;
+    upgradeMisses_ = state.upgradeMisses;
+    writebacks_ = state.writebacks;
+    return true;
 }
 
 MesiState

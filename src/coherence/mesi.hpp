@@ -48,6 +48,27 @@ enum class MesiState { Invalid, Shared, Exclusive, Modified };
 const char *mesiStateName(MesiState s);
 
 /**
+ * Serializable snapshot of a CoherenceBus: the line-state directory
+ * (sorted by line address, so the encoding of a given state is
+ * unique) plus the event counters. Produced by functional warming and
+ * by the checkpoint store; importState() rebuilds the directory on a
+ * bus of the same core count.
+ */
+struct CoherenceBusState {
+    struct Line {
+        Addr line = 0;              //!< block-aligned address
+        std::uint32_t sharers = 0;  //!< presence bitmask by core
+        int owner = -1;             //!< E/M holder, -1 when shared
+        bool modified = false;
+    };
+    std::vector<Line> lines;  //!< ascending by line address
+    std::uint64_t invalidations = 0;
+    std::uint64_t interventions = 0;
+    std::uint64_t upgradeMisses = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/**
  * The snooping bus: a line-state directory over every core's private
  * D$, plus the event counters the SimResult coherence block reports.
  * Deterministic: state depends only on the order of calls, and the
@@ -79,6 +100,14 @@ class CoherenceBus
 
     /** Current MESI state of @p addr's line in @p core's D$. */
     MesiState state(unsigned core, Addr addr) const;
+
+    /** Snapshot the directory (sorted) and the counters. */
+    CoherenceBusState exportState() const;
+
+    /** Replace directory and counters from a snapshot. Returns false
+     *  (leaving the bus unchanged) when an entry names a core beyond
+     *  this bus's count, is empty, or breaks the sorted order. */
+    bool importState(const CoherenceBusState &state);
 
     std::uint64_t invalidations() const { return invalidations_; }
     std::uint64_t interventions() const { return interventions_; }

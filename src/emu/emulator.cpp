@@ -849,10 +849,21 @@ Emulator::restore(const EmuCheckpoint &ckpt)
     randState_ = ckpt.randState;
     done_ = ckpt.done;
     // The checkpoint's memory image is authoritative for code too (it
-    // may carry self-modified text): re-sync and drop stale blocks.
-    syncCodeFromMemory();
-    cache_.clear();
-    curBlock_ = nullptr;
+    // may carry self-modified text). Decoded blocks are a pure
+    // function of the text bytes, so instead of dropping the whole
+    // cache, re-sync word by word and invalidate only the words the
+    // checkpoint actually changed -- a sampled run restoring many
+    // windows of the same program keeps its decode work.
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        const Addr w = textBase_ + i * 4;
+        const auto word =
+            static_cast<std::uint32_t>(mem_.read(w, 4));
+        if (code_[i] == word)
+            continue;
+        code_[i] = word;
+        cache_.invalidateRange(w, w + 4);
+    }
+    curBlock_ = nullptr;  // the cursor may point at a dropped block
     curIdx_ = 0;
 }
 

@@ -407,6 +407,36 @@ runFunctional(const Workload &workload)
     return out;
 }
 
+RunOutput
+runFunctionalMulti(const Workload &workload, unsigned num_cores)
+{
+    if (num_cores <= 1)
+        return runFunctional(workload);
+    const Program &prog = assembleWorkload(workload);
+    std::vector<std::unique_ptr<Emulator>> emus;
+    for (unsigned i = 0; i < num_cores; ++i) {
+        Emulator::Options opts;
+        opts.randSeed = workload.seed + i;
+        opts.coreId = i;
+        emus.push_back(std::make_unique<Emulator>(prog, opts));
+    }
+    RunOutput out;
+    {
+        obs::PhaseSpan phase("sim.functional");
+        for (auto &emu : emus)
+            out.emuInsts += emu->run();
+        phase.setInsts(out.emuInsts);
+    }
+    std::uint64_t digest = 1469598103934665603ULL;
+    for (const auto &emu : emus) {
+        out.output += emu->output();
+        digest = (digest ^ emu->memory().digest()) *
+                 1099511628211ULL;
+    }
+    out.memDigest = digest;
+    return out;
+}
+
 double
 speedupPercent(std::uint64_t base_cycles, std::uint64_t cycles)
 {

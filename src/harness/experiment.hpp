@@ -147,6 +147,16 @@ RunOutput runWorkloadMulti(const Workload &workload,
 /** Run just the functional emulator (reference state / output). */
 RunOutput runFunctional(const Workload &workload);
 
+/**
+ * Functional-only SPMD run over @p num_cores emulator streams
+ * (constructed exactly as runWorkloadMulti constructs them). emuInsts
+ * is the aggregate dynamic instruction count, outputs concatenate in
+ * core order, and the memory digest folds per-core digests with the
+ * same hash as runWorkloadMulti (raw digest at one core).
+ */
+RunOutput runFunctionalMulti(const Workload &workload,
+                             unsigned num_cores);
+
 /** Percentage speedup of @p cycles against @p base_cycles. */
 double speedupPercent(std::uint64_t base_cycles, std::uint64_t cycles);
 

@@ -59,6 +59,10 @@ class ProgressMeter
      * Record one finished job. @p insts counts simulated instructions
      * (0 for cache hits); cache hits and failures are tallied
      * separately so the stream distinguishes fresh work from replay.
+     * On a multi-core job @p insts must be the AGGREGATE retired
+     * count over every core (SimResult::retired of a System run
+     * already is), so minstr_per_s and eta_s track total simulation
+     * work, not core 0's share.
      */
     void jobDone(std::uint64_t insts, bool from_cache,
                  bool failed = false);

@@ -20,7 +20,12 @@ namespace
 // composable-stack encoding (any direction engine's tables, BTB,
 // RAS, indirect-target table). v5 added multi-core slots: a "cores N"
 // header followed by one functional block per core (each core of a
-// System runs its own emulator), then the shared warm half.
+// System runs its own emulator), then the warm half. On one core the
+// warm half is the single-core WarmState layout, byte-stable across
+// versions; on N > 1 cores it is the SysWarmState layout -- the MESI
+// directory ("bus" + sorted "busln" lines), the shared stack
+// ("sharedlevels" + cache blocks) and one "corewarm" block per core
+// (lastblk, private L1s, full predictor state).
 constexpr const char *CheckpointTag = "reno-checkpoint v5";
 constexpr const char *ProfileTag = "reno-funcprofile v1";
 
@@ -254,81 +259,12 @@ decodeEmuHalf(std::istream &in, std::string &line, unsigned core,
     return true;
 }
 
-} // namespace
-
-std::uint64_t
-checkpointDigest(const EmuCheckpoint &ckpt)
+/** The composable-predictor state block (direction tables, BTB, RAS,
+ *  indirect-target table) -- one per warm state, shared between the
+ *  single-core warm half and each multi-core "corewarm" block. */
+void
+encodeBpredState(std::string &out, const BranchPredState &bp)
 {
-    Fnv64 h;
-    h.update("reno-ckpt-digest-v1");
-    for (unsigned r = 0; r < NumLogRegs; ++r)
-        h.update(ckpt.state.regs[r]);
-    h.update(ckpt.state.pc);
-    h.update(ckpt.mem.digest());
-    h.update(ckpt.output);
-    h.update(ckpt.instCount);
-    h.update(ckpt.exitCode);
-    h.update(ckpt.randState);
-    h.update(ckpt.done);
-    h.update(ckpt.progDigest);
-    return h.value();
-}
-
-std::uint64_t
-checkpointKey(const Workload &workload, std::uint64_t start_inst,
-              std::uint64_t warm_digest)
-{
-    Fnv64 h;
-    h.update("reno-ckpt-key-v2");
-    h.update(std::string(workload.source));
-    h.update(workload.seed);
-    h.update(start_inst);
-    h.update(warm_digest);
-    return h.value();
-}
-
-std::uint64_t
-profileKey(const Workload &workload)
-{
-    Fnv64 h;
-    h.update("reno-funcprofile-key-v1");
-    h.update(std::string(workload.source));
-    h.update(workload.seed);
-    return h.value();
-}
-
-std::string
-CheckpointStore::encode(const SampleCheckpoint &ckpt)
-{
-    if (!ckpt.usable())
-        fatal("encoding an unusable checkpoint");
-    const WarmState &warm = *ckpt.warm;
-
-    std::string out = CheckpointTag;
-    out += '\n';
-
-    // --- functional half, one block per core --------------------------
-    out += strprintf("cores %u\n", ckpt.numCores());
-    encodeEmuHalf(out, 0, *ckpt.emu);
-    for (std::size_t i = 0; i < ckpt.extraEmus.size(); ++i)
-        encodeEmuHalf(out, static_cast<unsigned>(i + 1),
-                      *ckpt.extraEmus[i]);
-
-    // --- warm half ----------------------------------------------------
-    out += strprintf("warmcfg %llu\n",
-                     static_cast<unsigned long long>(warmConfigDigest(
-                         warm.memParams(), warm.bpParams(),
-                         ckpt.numCores())));
-    out += strprintf("lastblk %llu\n",
-                     static_cast<unsigned long long>(
-                         warm.lastFetchBlock));
-    const MemHierarchy::State mem_state = warm.mem.exportState();
-    const std::vector<const Cache *> levels = warm.mem.levels();
-    out += strprintf("levels %zu\n", mem_state.caches.size());
-    for (std::size_t i = 0; i < mem_state.caches.size(); ++i)
-        encodeCacheState(out, levels[i]->name(),
-                         mem_state.caches[i]);
-    const BranchPredState bp = warm.bp.exportState();
     out += strprintf("bpdir %llu %zu\n",
                      static_cast<unsigned long long>(bp.dir.history),
                      bp.dir.tables.size());
@@ -361,97 +297,13 @@ CheckpointStore::encode(const SampleCheckpoint &ckpt)
         out += strprintf("ittent %u %llu %llu\n", e.index,
                          static_cast<unsigned long long>(e.tag),
                          static_cast<unsigned long long>(e.target));
-
-    // Integrity digest over everything above.
-    Fnv64 h;
-    h.update(out);
-    out += strprintf("digest %llu\n",
-                     static_cast<unsigned long long>(h.value()));
-    return out;
 }
 
 bool
-CheckpointStore::decode(const std::string &text,
-                        const MemHierarchy::Params &mem_params,
-                        const BranchPredParams &bp_params,
-                        SampleCheckpoint *out,
-                        unsigned expected_cores)
+decodeBpredState(std::istream &in, std::string &line,
+                 BranchPredState *out)
 {
-    // Verify the trailing integrity digest first.
-    const std::size_t digest_pos = text.rfind("digest ");
-    if (digest_pos == std::string::npos)
-        return false;
-    {
-        std::uint64_t stored = 0;
-        const std::string digest_line =
-            text.substr(digest_pos,
-                        text.find('\n', digest_pos) - digest_pos);
-        if (!keyU64(digest_line, "digest", &stored))
-            return false;
-        Fnv64 h;
-        h.update(text.substr(0, digest_pos));
-        if (h.value() != stored)
-            return false;
-    }
-
-    std::istringstream in(text);
-    std::string line;
-    if (!std::getline(in, line) || line != CheckpointTag)
-        return false;
-
-    auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
-        return std::getline(in, line) && keyU64(line, key, v);
-    };
-
-    std::uint64_t num_cores = 0;
-    if (!next_u64("cores", &num_cores) || num_cores == 0 ||
-        num_cores != expected_cores)
-        return false;
-
-    auto emu = std::make_shared<EmuCheckpoint>();
-    if (!decodeEmuHalf(in, line, 0, emu.get()))
-        return false;
-    std::vector<std::shared_ptr<const EmuCheckpoint>> extra;
-    for (std::uint64_t c = 1; c < num_cores; ++c) {
-        auto e = std::make_shared<EmuCheckpoint>();
-        if (!decodeEmuHalf(in, line, static_cast<unsigned>(c),
-                           e.get()))
-            return false;
-        extra.push_back(std::move(e));
-    }
-
-    // Warm half: the file's warm-config digest must match the models
-    // we are asked to rebuild onto.
-    std::uint64_t warmcfg = 0;
-    if (!next_u64("warmcfg", &warmcfg) ||
-        warmcfg != warmConfigDigest(mem_params, bp_params,
-                                    static_cast<unsigned>(num_cores)))
-        return false;
-    std::uint64_t lastblk = 0;
-    if (!next_u64("lastblk", &lastblk))
-        return false;
-
-    // Per-level blocks arrive in State order; each must carry the
-    // level name the target hierarchy expects, so a reordered or
-    // spliced file fails the decode instead of warming wrong levels.
-    std::vector<std::string> level_names = {mem_params.icache.name,
-                                            mem_params.dcache.name,
-                                            mem_params.l2.name};
-    for (const CacheParams &extra : mem_params.extraLevels)
-        level_names.push_back(extra.name);
-    std::uint64_t num_levels = 0;
-    if (!next_u64("levels", &num_levels) ||
-        num_levels != level_names.size())
-        return false;
-    MemHierarchy::State mem_state;
-    mem_state.caches.resize(num_levels);
-    for (std::uint64_t i = 0; i < num_levels; ++i) {
-        if (!decodeCacheState(in, line, level_names[i],
-                              &mem_state.caches[i]))
-            return false;
-    }
-
-    BranchPredState bp;
+    BranchPredState &bp = *out;
     {
         std::size_t ntables = 0;
         if (!std::getline(in, line))
@@ -467,7 +319,8 @@ CheckpointStore::decode(const std::string &text,
                 return false;
             std::istringstream ts(line);
             std::size_t len = 0;
-            if (!(ts >> key >> len) || key != "dtab")
+            std::string key2;
+            if (!(ts >> key2 >> len) || key2 != "dtab")
                 return false;
             bp.dir.tables[t].resize(len);
             for (std::size_t i = 0; i < len; ++i) {
@@ -531,17 +384,406 @@ CheckpointStore::decode(const std::string &text,
             bp.indirect.entries.push_back(e);
         }
     }
+    return true;
+}
+
+/** Multi-core warm half: MESI directory, shared stack, then one
+ *  "corewarm" block (lastblk + L1s + predictor) per core. */
+void
+encodeSysWarmHalf(std::string &out, const SysWarmState &warm)
+{
+    out += strprintf("warmcfg %llu\n",
+                     static_cast<unsigned long long>(warmConfigDigest(
+                         warm.memParams(), warm.bpParams(),
+                         warm.numCores())));
+    const CoherenceBusState bus = warm.bus().exportState();
+    out += strprintf("bus %zu %llu %llu %llu %llu\n",
+                     bus.lines.size(),
+                     static_cast<unsigned long long>(
+                         bus.invalidations),
+                     static_cast<unsigned long long>(
+                         bus.interventions),
+                     static_cast<unsigned long long>(
+                         bus.upgradeMisses),
+                     static_cast<unsigned long long>(bus.writebacks));
+    for (const CoherenceBusState::Line &l : bus.lines)
+        out += strprintf("busln %llu %u %d %d\n",
+                         static_cast<unsigned long long>(l.line),
+                         l.sharers, l.owner, l.modified ? 1 : 0);
+    out += strprintf("sharedlevels %zu\n", warm.numSharedLevels());
+    for (std::size_t i = 0; i < warm.numSharedLevels(); ++i)
+        encodeCacheState(out, warm.sharedLevel(i).name(),
+                         warm.sharedLevel(i).exportState());
+    for (unsigned c = 0; c < warm.numCores(); ++c) {
+        out += strprintf("corewarm %u\n", c);
+        out += strprintf("lastblk %llu\n",
+                         static_cast<unsigned long long>(
+                             warm.lastFetchBlock(c)));
+        const MemHierarchy::State mem_state =
+            warm.coreMem(c).exportState();
+        const std::vector<const Cache *> levels =
+            warm.coreMem(c).levels();
+        out += strprintf("levels %zu\n", mem_state.caches.size());
+        for (std::size_t i = 0; i < mem_state.caches.size(); ++i)
+            encodeCacheState(out, levels[i]->name(),
+                             mem_state.caches[i]);
+        encodeBpredState(out, warm.coreBp(c).exportState());
+    }
+}
+
+bool
+decodeSysWarmHalf(std::istream &in, std::string &line,
+                  const MemHierarchy::Params &mem_params,
+                  const BranchPredParams &bp_params,
+                  unsigned num_cores,
+                  std::shared_ptr<SysWarmState> *out,
+                  std::string *why)
+{
+    const auto fail = [why](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
+        return std::getline(in, line) && keyU64(line, key, v);
+    };
+
+    auto warm = std::make_shared<SysWarmState>(mem_params, bp_params,
+                                               num_cores);
+
+    std::uint64_t warmcfg = 0;
+    if (!next_u64("warmcfg", &warmcfg) ||
+        warmcfg != warmConfigDigest(mem_params, bp_params, num_cores))
+        return fail("warm-config digest does not match the target "
+                    "models");
+
+    CoherenceBusState bus;
+    {
+        if (!std::getline(in, line))
+            return fail("truncated warm half (no bus block)");
+        std::istringstream hdr(line);
+        std::string key;
+        std::size_t nlines = 0;
+        if (!(hdr >> key >> nlines >> bus.invalidations >>
+              bus.interventions >> bus.upgradeMisses >>
+              bus.writebacks) ||
+            key != "bus")
+            return fail("corrupt MESI bus header");
+        bus.lines.reserve(nlines);
+        for (std::size_t i = 0; i < nlines; ++i) {
+            if (!std::getline(in, line))
+                return fail("truncated MESI directory");
+            std::istringstream ls(line);
+            CoherenceBusState::Line l;
+            int modified = 0;
+            if (!(ls >> key >> l.line >> l.sharers >> l.owner >>
+                  modified) ||
+                key != "busln")
+                return fail("corrupt MESI directory line");
+            l.modified = modified != 0;
+            bus.lines.push_back(l);
+        }
+    }
+    if (!warm->bus().importState(bus))
+        return fail(strprintf("MESI directory does not fit a %u-core "
+                              "bus", num_cores));
+
+    std::uint64_t nshared = 0;
+    if (!next_u64("sharedlevels", &nshared) ||
+        nshared != warm->numSharedLevels())
+        return fail("shared-stack depth does not match the target "
+                    "geometry");
+    for (std::size_t i = 0; i < nshared; ++i) {
+        CacheState state;
+        if (!decodeCacheState(in, line, warm->sharedLevel(i).name(),
+                              &state) ||
+            !warm->sharedLevel(i).importState(state))
+            return fail(strprintf("corrupt shared-level block "
+                                  "('%s')",
+                                  warm->sharedLevel(i).name()
+                                      .c_str()));
+    }
+
+    for (unsigned c = 0; c < num_cores; ++c) {
+        std::uint64_t hdr_core = 0;
+        if (!next_u64("corewarm", &hdr_core) || hdr_core != c)
+            return fail(strprintf("corrupt per-core warm block "
+                                  "(core %u)", c));
+        std::uint64_t lastblk = 0;
+        if (!next_u64("lastblk", &lastblk))
+            return fail(strprintf("corrupt per-core warm block "
+                                  "(core %u)", c));
+        warm->lastFetchBlock(c) = lastblk;
+        std::uint64_t nlevels = 0;
+        MemHierarchy::State mem_state;
+        const std::vector<const Cache *> levels =
+            warm->coreMem(c).levels();
+        if (!next_u64("levels", &nlevels) ||
+            nlevels != levels.size())
+            return fail(strprintf("corrupt per-core warm block "
+                                  "(core %u)", c));
+        mem_state.caches.resize(nlevels);
+        for (std::size_t i = 0; i < nlevels; ++i) {
+            if (!decodeCacheState(in, line, levels[i]->name(),
+                                  &mem_state.caches[i]))
+                return fail(strprintf("corrupt per-core warm block "
+                                      "(core %u, '%s')", c,
+                                      levels[i]->name().c_str()));
+        }
+        if (!warm->coreMem(c).importState(mem_state))
+            return fail(strprintf("per-core L1 state does not fit "
+                                  "(core %u)", c));
+        BranchPredState bp;
+        if (!decodeBpredState(in, line, &bp) ||
+            !warm->coreBp(c).importState(bp))
+            return fail(strprintf("corrupt per-core predictor block "
+                                  "(core %u)", c));
+    }
+    *out = std::move(warm);
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+checkpointDigest(const EmuCheckpoint &ckpt)
+{
+    Fnv64 h;
+    h.update("reno-ckpt-digest-v1");
+    for (unsigned r = 0; r < NumLogRegs; ++r)
+        h.update(ckpt.state.regs[r]);
+    h.update(ckpt.state.pc);
+    h.update(ckpt.mem.digest());
+    h.update(ckpt.output);
+    h.update(ckpt.instCount);
+    h.update(ckpt.exitCode);
+    h.update(ckpt.randState);
+    h.update(ckpt.done);
+    h.update(ckpt.progDigest);
+    return h.value();
+}
+
+std::uint64_t
+checkpointKey(const Workload &workload, std::uint64_t start_inst,
+              std::uint64_t warm_digest)
+{
+    Fnv64 h;
+    h.update("reno-ckpt-key-v2");
+    h.update(std::string(workload.source));
+    h.update(workload.seed);
+    h.update(start_inst);
+    h.update(warm_digest);
+    return h.value();
+}
+
+std::uint64_t
+profileKey(const Workload &workload, unsigned num_cores)
+{
+    Fnv64 h;
+    h.update("reno-funcprofile-key-v1");
+    h.update(std::string(workload.source));
+    h.update(workload.seed);
+    // Folded only beyond one core: single-core keys predate
+    // multi-core profiles, and leaving them unchanged keeps existing
+    // disk caches valid.
+    if (num_cores > 1)
+        h.update(std::uint64_t{num_cores});
+    return h.value();
+}
+
+std::string
+CheckpointStore::encode(const SampleCheckpoint &ckpt)
+{
+    if (!ckpt.usable())
+        fatal("encoding an unusable checkpoint");
+    if (ckpt.sysWarm && ckpt.sysWarm->numCores() != ckpt.numCores())
+        fatal("encoding a checkpoint whose warm state spans %u cores "
+              "but snapshots %u", ckpt.sysWarm->numCores(),
+              ckpt.numCores());
+
+    std::string out = CheckpointTag;
+    out += '\n';
+
+    // --- functional half, one block per core --------------------------
+    out += strprintf("cores %u\n", ckpt.numCores());
+    encodeEmuHalf(out, 0, *ckpt.emu);
+    for (std::size_t i = 0; i < ckpt.extraEmus.size(); ++i)
+        encodeEmuHalf(out, static_cast<unsigned>(i + 1),
+                      *ckpt.extraEmus[i]);
+
+    // --- warm half ----------------------------------------------------
+    if (ckpt.sysWarm) {
+        encodeSysWarmHalf(out, *ckpt.sysWarm);
+    } else {
+        const WarmState &warm = *ckpt.warm;
+        out += strprintf("warmcfg %llu\n",
+                         static_cast<unsigned long long>(
+                             warmConfigDigest(warm.memParams(),
+                                              warm.bpParams(),
+                                              ckpt.numCores())));
+        out += strprintf("lastblk %llu\n",
+                         static_cast<unsigned long long>(
+                             warm.lastFetchBlock));
+        const MemHierarchy::State mem_state = warm.mem.exportState();
+        const std::vector<const Cache *> levels = warm.mem.levels();
+        out += strprintf("levels %zu\n", mem_state.caches.size());
+        for (std::size_t i = 0; i < mem_state.caches.size(); ++i)
+            encodeCacheState(out, levels[i]->name(),
+                             mem_state.caches[i]);
+        encodeBpredState(out, warm.bp.exportState());
+    }
+
+    // Integrity digest over everything above.
+    Fnv64 h;
+    h.update(out);
+    out += strprintf("digest %llu\n",
+                     static_cast<unsigned long long>(h.value()));
+    return out;
+}
+
+bool
+CheckpointStore::decode(const std::string &text,
+                        const MemHierarchy::Params &mem_params,
+                        const BranchPredParams &bp_params,
+                        SampleCheckpoint *out,
+                        unsigned expected_cores, std::string *why)
+{
+    const auto fail = [why](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    // Verify the trailing integrity digest first.
+    const std::size_t digest_pos = text.rfind("digest ");
+    if (digest_pos == std::string::npos)
+        return fail("no integrity digest (truncated file?)");
+    {
+        std::uint64_t stored = 0;
+        const std::string digest_line =
+            text.substr(digest_pos,
+                        text.find('\n', digest_pos) - digest_pos);
+        if (!keyU64(digest_line, "digest", &stored))
+            return fail("malformed integrity digest");
+        Fnv64 h;
+        h.update(text.substr(0, digest_pos));
+        if (h.value() != stored)
+            return fail("integrity digest mismatch (corrupt or "
+                        "spliced file)");
+    }
+
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != CheckpointTag)
+        return fail(strprintf("bad or truncated header (expected "
+                              "'%s')", CheckpointTag));
+
+    auto next_u64 = [&in, &line](const char *key, std::uint64_t *v) {
+        return std::getline(in, line) && keyU64(line, key, v);
+    };
+
+    std::uint64_t num_cores = 0;
+    if (!next_u64("cores", &num_cores) || num_cores == 0)
+        return fail("missing or zero core count");
+    if (num_cores != expected_cores)
+        return fail(strprintf("checkpoint snapshots %llu cores, "
+                              "expected %u",
+                              static_cast<unsigned long long>(
+                                  num_cores),
+                              expected_cores));
+
+    auto emu = std::make_shared<EmuCheckpoint>();
+    if (!decodeEmuHalf(in, line, 0, emu.get()))
+        return fail("corrupt functional block (core 0)");
+    std::vector<std::shared_ptr<const EmuCheckpoint>> extra;
+    for (std::uint64_t c = 1; c < num_cores; ++c) {
+        auto e = std::make_shared<EmuCheckpoint>();
+        if (!decodeEmuHalf(in, line, static_cast<unsigned>(c),
+                           e.get()))
+            return fail(strprintf("corrupt functional block "
+                                  "(core %llu)",
+                                  static_cast<unsigned long long>(c)));
+        extra.push_back(std::move(e));
+    }
+
+    // Warm half. Multi-core checkpoints carry the SysWarmState
+    // layout; single-core ones the historical WarmState layout.
+    if (num_cores > 1) {
+        std::shared_ptr<SysWarmState> sys_warm;
+        if (!decodeSysWarmHalf(in, line, mem_params, bp_params,
+                               static_cast<unsigned>(num_cores),
+                               &sys_warm, why))
+            return false;
+        out->emu = std::move(emu);
+        out->warm = nullptr;
+        out->extraEmus = std::move(extra);
+        out->sysWarm = std::move(sys_warm);
+        return true;
+    }
+
+    // The file's warm-config digest must match the models we are
+    // asked to rebuild onto.
+    std::uint64_t warmcfg = 0;
+    if (!next_u64("warmcfg", &warmcfg) ||
+        warmcfg != warmConfigDigest(mem_params, bp_params,
+                                    static_cast<unsigned>(num_cores)))
+        return fail("warm-config digest does not match the target "
+                    "models");
+    std::uint64_t lastblk = 0;
+    if (!next_u64("lastblk", &lastblk))
+        return fail("corrupt warm half (lastblk)");
+
+    // Per-level blocks arrive in State order; each must carry the
+    // level name the target hierarchy expects, so a reordered or
+    // spliced file fails the decode instead of warming wrong levels.
+    std::vector<std::string> level_names = {mem_params.icache.name,
+                                            mem_params.dcache.name,
+                                            mem_params.l2.name};
+    for (const CacheParams &extra_level : mem_params.extraLevels)
+        level_names.push_back(extra_level.name);
+    std::uint64_t num_levels = 0;
+    if (!next_u64("levels", &num_levels) ||
+        num_levels != level_names.size())
+        return fail("cache-level count does not match the target "
+                    "geometry");
+    MemHierarchy::State mem_state;
+    mem_state.caches.resize(num_levels);
+    for (std::uint64_t i = 0; i < num_levels; ++i) {
+        if (!decodeCacheState(in, line, level_names[i],
+                              &mem_state.caches[i]))
+            return fail(strprintf("corrupt cache block ('%s')",
+                                  level_names[i].c_str()));
+    }
+
+    BranchPredState bp;
+    if (!decodeBpredState(in, line, &bp))
+        return fail("corrupt predictor block");
 
     auto warm = std::make_shared<WarmState>(mem_params, bp_params);
     warm->lastFetchBlock = lastblk;
     if (!warm->mem.importState(mem_state) ||
         !warm->bp.importState(bp))
-        return false;
+        return fail("warm tables do not fit the target models");
 
     out->emu = std::move(emu);
     out->warm = std::move(warm);
     out->extraEmus = std::move(extra);
+    out->sysWarm = nullptr;
     return true;
+}
+
+SampleCheckpoint
+CheckpointStore::decodeOrDie(const std::string &text,
+                             const MemHierarchy::Params &mem_params,
+                             const BranchPredParams &bp_params,
+                             unsigned expected_cores)
+{
+    SampleCheckpoint out;
+    std::string why;
+    if (!decode(text, mem_params, bp_params, &out, expected_cores,
+                &why))
+        fatal("checkpoint decode failed: %s", why.c_str());
+    return out;
 }
 
 std::string
@@ -662,9 +904,11 @@ CheckpointStore::lookup(const Workload &workload,
     if (!readFile(checkpointPath(key), &text))
         return {};
     SampleCheckpoint ckpt;
-    if (!decode(text, mem_params, bp_params, &ckpt, num_cores)) {
-        warn("checkpoint store: ignoring malformed entry %s",
-             checkpointPath(key).c_str());
+    std::string why;
+    if (!decode(text, mem_params, bp_params, &ckpt, num_cores,
+                &why)) {
+        warn("checkpoint store: ignoring malformed entry %s (%s)",
+             checkpointPath(key).c_str(), why.c_str());
         return {};
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -674,19 +918,46 @@ CheckpointStore::lookup(const Workload &workload,
 SampleCheckpoint
 CheckpointStore::store(const Workload &workload,
                        std::uint64_t start_inst, EmuCheckpoint emu,
-                       const WarmState &warm,
-                       std::vector<std::shared_ptr<const EmuCheckpoint>>
-                           extra_emus)
+                       const WarmState &warm)
 {
     SampleCheckpoint ckpt;
     ckpt.emu =
         std::make_shared<const EmuCheckpoint>(std::move(emu));
     ckpt.warm = std::make_shared<const WarmState>(warm);
-    ckpt.extraEmus = std::move(extra_emus);
+    const std::uint64_t key = checkpointKey(
+        workload, start_inst,
+        warmConfigDigest(warm.memParams(), warm.bpParams(), 1));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mem_[key] = ckpt;
+    }
+    if (!dir_.empty())
+        writeFileAtomic(dir_, checkpointPath(key), encode(ckpt));
+    return ckpt;
+}
+
+SampleCheckpoint
+CheckpointStore::storeMulti(const Workload &workload,
+                            std::uint64_t start_inst,
+                            std::vector<EmuCheckpoint> emus,
+                            const SysWarmState &warm)
+{
+    if (emus.size() != warm.numCores())
+        fatal("checkpoint store: %u-core warm state given %zu "
+              "functional snapshots",
+              warm.numCores(), emus.size());
+    SampleCheckpoint ckpt;
+    ckpt.emu =
+        std::make_shared<const EmuCheckpoint>(std::move(emus[0]));
+    for (std::size_t i = 1; i < emus.size(); ++i)
+        ckpt.extraEmus.push_back(
+            std::make_shared<const EmuCheckpoint>(
+                std::move(emus[i])));
+    ckpt.sysWarm = std::make_shared<const SysWarmState>(warm);
     const std::uint64_t key = checkpointKey(
         workload, start_inst,
         warmConfigDigest(warm.memParams(), warm.bpParams(),
-                         ckpt.numCores()));
+                         warm.numCores()));
     {
         std::lock_guard<std::mutex> lock(mu_);
         mem_[key] = ckpt;

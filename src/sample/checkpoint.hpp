@@ -49,8 +49,13 @@ std::uint64_t checkpointKey(const Workload &workload,
                             std::uint64_t start_inst,
                             std::uint64_t warm_digest);
 
-/** Cache key of a workload's functional profile. */
-std::uint64_t profileKey(const Workload &workload);
+/** Cache key of a workload's functional profile. A multi-core
+ *  profile (aggregate SPMD instruction count over @p num_cores
+ *  emulator streams) keys separately; single-core keys are unchanged
+ *  from before multi-core sampling existed, so existing caches stay
+ *  valid. */
+std::uint64_t profileKey(const Workload &workload,
+                         unsigned num_cores = 1);
 
 /**
  * Thread-safe store of sampled-simulation checkpoints and functional
@@ -75,14 +80,19 @@ class CheckpointStore
                             const BranchPredParams &bp_params,
                             unsigned num_cores = 1);
 
-    /** Insert a checkpoint (memory, plus disk when persistent).
-     *  Multi-core checkpoints pass the remaining cores' functional
-     *  snapshots in @p extra_emus (entry i is core i + 1). */
+    /** Insert a single-core checkpoint (memory, plus disk when
+     *  persistent). */
     SampleCheckpoint
     store(const Workload &workload, std::uint64_t start_inst,
-          EmuCheckpoint emu, const WarmState &warm,
-          std::vector<std::shared_ptr<const EmuCheckpoint>>
-              extra_emus = {});
+          EmuCheckpoint emu, const WarmState &warm);
+
+    /** Insert a multi-core checkpoint: one functional snapshot per
+     *  core (core order, warm.numCores() of them) plus the shared
+     *  warmed system state, which is cloned. */
+    SampleCheckpoint
+    storeMulti(const Workload &workload, std::uint64_t start_inst,
+               std::vector<EmuCheckpoint> emus,
+               const SysWarmState &warm);
 
     bool lookupProfile(std::uint64_t key, FuncProfile *out);
     void storeProfile(std::uint64_t key, const FuncProfile &profile);
@@ -93,13 +103,23 @@ class CheckpointStore
      *  rebuilds the warm state onto models constructed from the given
      *  parameters and requires the file to snapshot exactly
      *  @p expected_cores cores; any mismatch or corruption returns
-     *  false. */
+     *  false (and, when @p why is non-null, names the reason). */
     static std::string encode(const SampleCheckpoint &ckpt);
     static bool decode(const std::string &text,
                        const MemHierarchy::Params &mem_params,
                        const BranchPredParams &bp_params,
                        SampleCheckpoint *out,
-                       unsigned expected_cores = 1);
+                       unsigned expected_cores = 1,
+                       std::string *why = nullptr);
+
+    /** decode() that fatal()s with the rejection reason instead of
+     *  returning false -- for callers (and tests) that treat a
+     *  malformed checkpoint as a hard error. */
+    static SampleCheckpoint
+    decodeOrDie(const std::string &text,
+                const MemHierarchy::Params &mem_params,
+                const BranchPredParams &bp_params,
+                unsigned expected_cores = 1);
 
     /** Serialize / parse the profile persistence format. */
     static std::string encodeProfile(const FuncProfile &profile);

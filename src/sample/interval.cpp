@@ -1,10 +1,12 @@
 #include "sample/interval.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "obs/phase.hpp"
+#include "sys/system.hpp"
 
 namespace reno::sample
 {
@@ -102,13 +104,10 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
 {
     if (window.measureInsts == 0)
         fatal("runIntervalDetailed: window has no measured insts");
-    // Sampling is single-core: functional warming replays one
-    // instruction stream, which cannot reproduce the interleaved
-    // shared-hierarchy state of an N-core System.
+    // Multi-core configurations take the interleaved-warming engine;
+    // one core keeps the historical path, byte-identical results.
     if (params.sys.numCores > 1)
-        fatal("sampled simulation is single-core only (config runs "
-              "%u cores); run multi-core configs detailed",
-              params.sys.numCores);
+        return runIntervalMulti(workload, params, window, ckpt);
 
     const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;
@@ -173,6 +172,108 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
     return deltaResult(post, pre);
 }
 
+SimResult
+runIntervalMulti(const Workload &workload, const CoreParams &params,
+                 const IntervalWindow &window,
+                 const SampleCheckpoint *ckpt)
+{
+    if (window.measureInsts == 0)
+        fatal("runIntervalMulti: window has no measured insts");
+    const unsigned n = params.sys.numCores;
+    if (n < 1 || n > SysParams::MaxCores)
+        fatal("runIntervalMulti: core count must be in [1, %u] "
+              "(got %u)", SysParams::MaxCores, n);
+
+    // SPMD, exactly as runWorkloadMulti constructs the cores: the
+    // kernel differentiates through the core_id syscall and a
+    // per-core rand stream.
+    const Program &prog = assembleWorkload(workload);
+    std::vector<std::unique_ptr<Emulator>> emus;
+    std::vector<Emulator *> emu_ptrs;
+    for (unsigned i = 0; i < n; ++i) {
+        Emulator::Options opts;
+        opts.randSeed = workload.seed + i;
+        opts.coreId = i;
+        emus.push_back(std::make_unique<Emulator>(prog, opts));
+        emu_ptrs.push_back(emus.back().get());
+    }
+    const auto aggregate = [&emu_ptrs] {
+        std::uint64_t total = 0;
+        for (const Emulator *emu : emu_ptrs)
+            total += emu->instCount();
+        return total;
+    };
+
+    // Bring functional state and warm tables to the window start (an
+    // aggregate position). A usable checkpoint skips the warmed
+    // prefix; the stateless interleave rule makes the chopped and
+    // unchopped streams bit-identical.
+    const SysWarmState *inject = nullptr;
+    std::unique_ptr<SysWarmState> scratch;
+    if (ckpt && ckpt->usable() && ckpt->numCores() == n &&
+        ckpt->instCount() <= window.startInst &&
+        warmConfigDigest(params) ==
+            warmConfigDigest(ckpt->sysWarm->memParams(),
+                             ckpt->sysWarm->bpParams(),
+                             ckpt->sysWarm->numCores())) {
+        {
+            obs::PhaseSpan phase("sample.restore");
+            emus[0]->restore(*ckpt->emu);
+            for (unsigned i = 1; i < n; ++i)
+                emus[i]->restore(*ckpt->extraEmus[i - 1]);
+        }
+        if (ckpt->instCount() == window.startInst) {
+            inject = ckpt->sysWarm.get();
+        } else {
+            scratch = std::make_unique<SysWarmState>(*ckpt->sysWarm);
+            obs::PhaseSpan phase("sample.fastforward");
+            const std::uint64_t ff_start = aggregate();
+            warmStepMulti(emu_ptrs, *scratch, window.startInst);
+            phase.setInsts(aggregate() - ff_start);
+            inject = scratch.get();
+        }
+    } else {
+        scratch = std::make_unique<SysWarmState>(params.mem,
+                                                 params.bpred, n);
+        obs::PhaseSpan phase("sample.fastforward");
+        warmStepMulti(emu_ptrs, *scratch, window.startInst);
+        phase.setInsts(aggregate());
+        inject = scratch.get();
+    }
+    if (std::all_of(emu_ptrs.begin(), emu_ptrs.end(),
+                    [](const Emulator *e) { return e->done(); }))
+        return SimResult{};
+
+    System sys(params, emu_ptrs);
+    for (std::size_t i = 0; i < sys.numSharedLevels(); ++i) {
+        sys.sharedLevel(i).copyStateFrom(inject->sharedLevel(i));
+        sys.sharedLevel(i).settle();
+    }
+    if (!sys.bus().importState(inject->bus().exportState()))
+        fatal("runIntervalMulti: warmed MESI directory does not fit "
+              "a %u-core bus", n);
+    for (unsigned i = 0; i < n; ++i) {
+        sys.core(i).memHierarchy().copyStateFrom(inject->coreMem(i));
+        sys.core(i).memHierarchy().settle();
+        sys.core(i).branchPredictor() = inject->coreBp(i);
+    }
+
+    if (window.warmupInsts > 0) {
+        obs::PhaseSpan phase("sample.warmup");
+        sys.runUntilRetired(window.warmupInsts);
+        phase.setInsts(sys.result().retired);
+    }
+    const SimResult pre = sys.result();
+    SimResult post;
+    {
+        obs::PhaseSpan phase("sample.detailed");
+        post = sys.runUntilRetired(window.warmupInsts +
+                                   window.measureInsts);
+        phase.setInsts(post.retired - pre.retired);
+    }
+    return deltaResult(post, pre);
+}
+
 SampledEstimate
 aggregateIntervals(std::uint64_t total_insts,
                    const std::vector<PlannedInterval> &plan,
@@ -191,6 +292,8 @@ aggregateIntervals(std::uint64_t total_insts,
     // stratum it represents. Exactly measured strata contribute their
     // true cost (scale factor ~1).
     double est_cycles = 0.0;
+    double core_cycles[NumCoreStatSlots] = {};
+    double core_retired[NumCoreStatSlots] = {};
     std::uint64_t observed_rep = 0;
     for (std::size_t i = 0; i < windows.size(); ++i) {
         const SimResult &w = windows[i];
@@ -198,15 +301,28 @@ aggregateIntervals(std::uint64_t total_insts,
             continue;  // the program ended before this window measured
         accumulateResult(est.sum, w);
         ++est.measuredIntervals;
-        est_cycles += static_cast<double>(w.cycles) *
-                      (static_cast<double>(plan[i].repInsts) /
-                       static_cast<double>(w.retired));
+        const double scale = static_cast<double>(plan[i].repInsts) /
+                             static_cast<double>(w.retired);
+        est_cycles += static_cast<double>(w.cycles) * scale;
+        // Per-core retire slots fold with the same stratum scale, so
+        // each slot's cycle/retire ratio is a stratified IPC estimate
+        // for that core.
+        for (unsigned s = 0; s < NumCoreStatSlots; ++s) {
+            core_cycles[s] +=
+                static_cast<double>(w.coreCycles[s]) * scale;
+            core_retired[s] +=
+                static_cast<double>(w.coreRetired[s]) * scale;
+        }
         observed_rep += plan[i].repInsts;
         if (!plan[i].exact)
             est.intervalIpc.push_back(w.ipc());
     }
     if (est_cycles <= 0.0 || observed_rep == 0)
         return est;
+    for (unsigned s = 0; s < NumCoreStatSlots; ++s) {
+        if (core_cycles[s] > 0.0 && core_retired[s] > 0.0)
+            est.coreIpcEst[s] = core_retired[s] / core_cycles[s];
+    }
 
     // Scale up for strata that measured nothing (program shorter than
     // planned -- rare, but keeps the estimate total-covering).

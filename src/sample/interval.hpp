@@ -14,6 +14,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -96,12 +97,17 @@ void accumulateResult(SimResult &into, const SimResult &add);
  */
 struct SampleCheckpoint {
     std::shared_ptr<const EmuCheckpoint> emu;  //!< core 0
+    /** Single-core warmed tables; null on multi-core checkpoints
+     *  (which warm through sysWarm instead). */
     std::shared_ptr<const WarmState> warm;
     /** Remaining cores' functional checkpoints on a multi-core
      *  System (entry i is core i + 1): every core runs its own
      *  emulator, so each needs its own functional snapshot. Empty on
      *  a single-core checkpoint. */
     std::vector<std::shared_ptr<const EmuCheckpoint>> extraEmus;
+    /** Multi-core warmed state: shared stack, MESI directory and the
+     *  per-core L1/bpred slices. Null on single-core checkpoints. */
+    std::shared_ptr<const SysWarmState> sysWarm;
 
     /** Cores this checkpoint snapshots. */
     unsigned
@@ -110,16 +116,29 @@ struct SampleCheckpoint {
         return 1 + static_cast<unsigned>(extraEmus.size());
     }
 
+    /** Aggregate instruction position (the sum over the cores). */
+    std::uint64_t
+    instCount() const
+    {
+        std::uint64_t total = emu ? emu->instCount : 0;
+        for (const auto &extra : extraEmus)
+            total += extra ? extra->instCount : 0;
+        return total;
+    }
+
     bool
     usable() const
     {
-        if (emu == nullptr || warm == nullptr)
+        if (emu == nullptr)
             return false;
         for (const auto &extra : extraEmus) {
             if (extra == nullptr)
                 return false;
         }
-        return true;
+        if (extraEmus.empty())
+            return warm != nullptr;
+        return sysWarm != nullptr &&
+               sysWarm->numCores() == numCores();
     }
 };
 
@@ -138,6 +157,22 @@ SimResult runIntervalDetailed(const Workload &workload,
                               const IntervalWindow &window,
                               const SampleCheckpoint *ckpt = nullptr);
 
+/**
+ * The multi-core interval engine (runIntervalDetailed dispatches
+ * here when params.sys.numCores > 1; the single-core path is
+ * untouched). Window positions and lengths are AGGREGATE retired
+ * -instruction counts -- the sum over the cores -- matching the
+ * deterministic interleave of functional warming (warmStepMulti) and
+ * of System::runUntilRetired. Warming drives all N emulator streams
+ * through the shared stack and the warming-mode MESI bus, then the
+ * warmed directory, shared levels, L1s and predictors are injected
+ * into a fresh System for the detailed window.
+ */
+SimResult runIntervalMulti(const Workload &workload,
+                           const CoreParams &params,
+                           const IntervalWindow &window,
+                           const SampleCheckpoint *ckpt = nullptr);
+
 /** Whole-program estimate aggregated from measured windows. */
 struct SampledEstimate {
     std::uint64_t totalInsts = 0;   //!< full dynamic instruction count
@@ -148,6 +183,12 @@ struct SampledEstimate {
     double ipc = 0.0;      //!< stratified whole-program estimate
     double ipcCi95 = 0.0;  //!< 95% confidence half-width on the mean
     std::uint64_t estCycles = 0;  //!< stratified cycle estimate
+
+    /** Stratified per-core IPC estimates by CoreStatSlot (cores
+     *  beyond the last slot aggregate into it, like SimResult's
+     *  per-core arrays). Slots that measured nothing hold 0; on a
+     *  single core, slot 0 equals the whole-machine estimate. */
+    std::array<double, NumCoreStatSlots> coreIpcEst{};
 
     std::vector<double> intervalIpc;  //!< per sampled (non-exact) window
 };

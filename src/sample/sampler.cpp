@@ -1,7 +1,10 @@
 #include "sample/sampler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
+#include <memory>
 
 #include "common/log.hpp"
 #include "common/report.hpp"
@@ -50,11 +53,14 @@ groupByWarmConfig(const std::vector<NamedConfig> &configs)
     return groups;
 }
 
-/** Per-workload planning state shared by the prep passes. */
+/** Per-workload planning state shared by the prep passes. Profiles
+ *  and interval plans are per core count: an N-core config samples
+ *  the AGGREGATE instruction stream, whose length and interval
+ *  boundaries differ from the single-core stream's. */
 struct WorkloadPrep {
     const Workload *workload = nullptr;
-    FuncProfile profile;
-    std::vector<PlannedInterval> windows;
+    std::map<unsigned, FuncProfile> profiles;
+    std::map<unsigned, std::vector<PlannedInterval>> windows;
     /** checkpoints[group][window]; unusable = warm from the start. */
     std::vector<std::vector<SampleCheckpoint>> checkpoints;
 };
@@ -90,31 +96,45 @@ prepareWorkload(WorkloadPrep &prep,
     // sample.capture) do the PhaseStats accounting.
     obs::TraceSpan prep_span("sample.prepare:" + w.name, "phase");
 
-    const std::uint64_t pkey = profileKey(w);
-    if (!store.lookupProfile(pkey, &prep.profile)) {
-        const RunOutput out = runFunctional(w);
-        prep.profile.totalInsts = out.emuInsts;
-        prep.profile.memDigest = out.memDigest;
-        store.storeProfile(pkey, prep.profile);
+    // Profile and plan once per distinct core count: the aggregate
+    // instruction stream of an N-core SPMD run is N times as long,
+    // so its interval boundaries are its own.
+    for (const WarmGroup &group : groups) {
+        const unsigned cores =
+            group.representative->params.sys.numCores;
+        if (prep.windows.count(cores))
+            continue;
+        FuncProfile profile;
+        const std::uint64_t pkey = profileKey(w, cores);
+        if (!store.lookupProfile(pkey, &profile)) {
+            const RunOutput out = runFunctionalMulti(w, cores);
+            profile.totalInsts = out.emuInsts;
+            profile.memDigest = out.memDigest;
+            store.storeProfile(pkey, profile);
+        }
+        prep.profiles[cores] = profile;
+        prep.windows[cores] =
+            planIntervals(profile.totalInsts, plan);
     }
 
-    prep.windows = planIntervals(prep.profile.totalInsts, plan);
-    prep.checkpoints.assign(
-        groups.size(),
-        std::vector<SampleCheckpoint>(prep.windows.size()));
+    prep.checkpoints.assign(groups.size(), {});
 
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
         const WarmGroup &group = groups[gi];
         const CoreParams &rep = group.representative->params;
+        const unsigned cores = rep.sys.numCores;
+        const std::vector<PlannedInterval> &windows =
+            prep.windows.at(cores);
+        prep.checkpoints[gi].resize(windows.size());
 
         // An interval needs a checkpoint only if some configuration
         // of this group misses the result cache at that interval.
         std::vector<std::size_t> needed;
-        for (std::size_t i = 0; i < prep.windows.size(); ++i) {
+        for (std::size_t i = 0; i < windows.size(); ++i) {
             bool miss = false;
             for (const std::size_t ci : group.configIndices) {
                 const sweep::Job job = intervalJob(
-                    w, configs[ci], prep.windows[i].window,
+                    w, configs[ci], windows[i].window,
                     static_cast<unsigned>(i));
                 sweep::JobResult scratch;
                 if (!cache.lookup(sweep::jobDigest(job), &scratch)) {
@@ -133,8 +153,8 @@ prepareWorkload(WorkloadPrep &prep,
         std::vector<std::size_t> capture;
         for (const std::size_t i : needed) {
             SampleCheckpoint ckpt = store.lookup(
-                w, prep.windows[i].window.startInst, rep.mem,
-                rep.bpred);
+                w, windows[i].window.startInst, rep.mem, rep.bpred,
+                cores);
             if (ckpt.usable())
                 prep.checkpoints[gi][i] = std::move(ckpt);
             else
@@ -144,18 +164,53 @@ prepareWorkload(WorkloadPrep &prep,
             continue;
 
         const Program &prog = assembleWorkload(w);
-        Emulator::Options opts;
-        opts.randSeed = w.seed;
-        Emulator emu(prog, opts);
-        WarmState warm(rep.mem, rep.bpred);
+        if (cores == 1) {
+            Emulator::Options opts;
+            opts.randSeed = w.seed;
+            Emulator emu(prog, opts);
+            WarmState warm(rep.mem, rep.bpred);
+            obs::PhaseSpan phase("sample.capture");
+            for (const std::size_t i : capture) {
+                warmStep(emu, warm, windows[i].window.startInst);
+                prep.checkpoints[gi][i] = store.store(
+                    w, windows[i].window.startInst,
+                    emu.checkpoint(), warm);
+            }
+            phase.setInsts(emu.instCount());
+            continue;
+        }
+
+        // Multi-core capture: one interleaved warming pass drives
+        // every emulator stream through the shared stack and the
+        // warming-mode MESI bus; each ascending aggregate position
+        // snapshots all N functional states plus the system warm
+        // state.
+        std::vector<std::unique_ptr<Emulator>> emus;
+        std::vector<Emulator *> emu_ptrs;
+        for (unsigned c = 0; c < cores; ++c) {
+            Emulator::Options opts;
+            opts.randSeed = w.seed + c;
+            opts.coreId = c;
+            emus.push_back(std::make_unique<Emulator>(prog, opts));
+            emu_ptrs.push_back(emus.back().get());
+        }
+        SysWarmState warm(rep.mem, rep.bpred, cores);
         obs::PhaseSpan phase("sample.capture");
         for (const std::size_t i : capture) {
-            warmStep(emu, warm, prep.windows[i].window.startInst);
-            prep.checkpoints[gi][i] = store.store(
-                w, prep.windows[i].window.startInst,
-                emu.checkpoint(), warm);
+            warmStepMulti(emu_ptrs, warm,
+                          windows[i].window.startInst);
+            std::vector<EmuCheckpoint> snaps;
+            snaps.reserve(cores);
+            for (const auto &emu : emus)
+                snaps.push_back(emu->checkpoint());
+            prep.checkpoints[gi][i] = store.storeMulti(
+                w, windows[i].window.startInst, std::move(snaps),
+                warm);
         }
-        phase.setInsts(emu.instCount());
+        std::uint64_t aggregate = 0;
+        for (const auto &emu : emus)
+            aggregate += emu->instCount();
+        phase.setInsts(aggregate);
     }
 }
 
@@ -172,11 +227,11 @@ runSampledCampaign(const std::vector<const Workload *> &workloads,
         fatal("sampled campaign needs a plan with intervals > 0 and "
               "measured insts > 0");
     for (const NamedConfig &cfg : configs) {
-        if (cfg.params.sys.numCores > 1)
-            fatal("sampled simulation is single-core only (config "
-                  "'%s' runs %u cores); run multi-core configs with "
-                  "reno-sweep instead", cfg.name.c_str(),
-                  cfg.params.sys.numCores);
+        if (cfg.params.sys.numCores < 1 ||
+            cfg.params.sys.numCores > SysParams::MaxCores)
+            fatal("sampled simulation supports 1..%u cores (config "
+                  "'%s' runs %u)", SysParams::MaxCores,
+                  cfg.name.c_str(), cfg.params.sys.numCores);
     }
 
     // One result cache spans the prep probe and the campaign run, and
@@ -220,14 +275,17 @@ runSampledCampaign(const std::vector<const Workload *> &workloads,
         pool.waitIdle();
     }
 
-    // One job per (workload, configuration, interval).
+    // One job per (workload, configuration, interval). A config's
+    // interval plan depends on its core count (aggregate stream).
     sweep::Campaign campaign;
     for (const WorkloadPrep &prep : preps) {
         for (std::size_t ci = 0; ci < configs.size(); ++ci) {
-            for (std::size_t i = 0; i < prep.windows.size(); ++i) {
+            const std::vector<PlannedInterval> &windows =
+                prep.windows.at(configs[ci].params.sys.numCores);
+            for (std::size_t i = 0; i < windows.size(); ++i) {
                 sweep::Job job =
                     intervalJob(*prep.workload, configs[ci],
-                                prep.windows[i].window,
+                                windows[i].window,
                                 static_cast<unsigned>(i));
                 job.checkpoint =
                     prep.checkpoints[config_group[ci]][i];
@@ -245,15 +303,20 @@ runSampledCampaign(const std::vector<const Workload *> &workloads,
     std::size_t cursor = 0;
     for (const WorkloadPrep &prep : preps) {
         for (const NamedConfig &cfg : configs) {
+            const unsigned cores = cfg.params.sys.numCores;
+            const std::vector<PlannedInterval> &plan_windows =
+                prep.windows.at(cores);
             std::vector<SimResult> windows;
-            windows.reserve(prep.windows.size());
-            for (std::size_t i = 0; i < prep.windows.size(); ++i)
+            windows.reserve(plan_windows.size());
+            for (std::size_t i = 0; i < plan_windows.size(); ++i)
                 windows.push_back(results.at(cursor++).sim);
             SampledRun run;
             run.workload = prep.workload;
             run.config = cfg.name;
-            run.est = aggregateIntervals(prep.profile.totalInsts,
-                                         prep.windows, windows);
+            run.numCores = cores;
+            run.est = aggregateIntervals(
+                prep.profiles.at(cores).totalInsts, plan_windows,
+                windows);
             out.runs.push_back(std::move(run));
         }
     }
@@ -299,6 +362,7 @@ validateSampling(const std::vector<const Workload *> &workloads,
             ValidationRow row;
             row.workload = run.workload;
             row.config = run.config;
+            row.numCores = run.numCores;
             row.totalInsts = run.est.totalInsts;
             row.sampledInsts = run.est.sum.retired;
             row.fullIpc = full_sim.ipc();
@@ -311,6 +375,21 @@ validateSampling(const std::vector<const Workload *> &workloads,
                     : 0.0;
             report.maxAbsErrorPct = std::max(
                 report.maxAbsErrorPct, std::fabs(row.errorPct));
+            if (run.numCores > 1) {
+                const unsigned slots = std::min<unsigned>(
+                    run.numCores, NumCoreStatSlots);
+                for (unsigned s = 0; s < slots; ++s) {
+                    const double full_core = full_sim.coreIpc(s);
+                    const double err =
+                        full_core > 0.0
+                            ? (run.est.coreIpcEst[s] - full_core) /
+                                  full_core * 100.0
+                            : 0.0;
+                    row.coreErrPct.push_back(err);
+                    report.maxAbsErrorPct = std::max(
+                        report.maxAbsErrorPct, std::fabs(err));
+                }
+            }
             report.rows.push_back(std::move(row));
         }
     }
@@ -341,6 +420,17 @@ std::string
 renderSampled(const SampledCampaign &campaign,
               sweep::ReportFormat format)
 {
+    // Per-core columns appear only when some run is multi-core, and
+    // then uniformly on every record: renderCsv requires a rectangular
+    // field set, so single-core rows pad the extra slots with zero.
+    unsigned core_slots = 0;
+    for (const SampledRun &run : campaign.runs) {
+        if (run.numCores > 1)
+            core_slots = std::max(
+                core_slots, std::min<unsigned>(run.numCores,
+                                               NumCoreStatSlots));
+    }
+
     std::vector<ReportRecord> records;
     records.reserve(campaign.runs.size());
     for (const SampledRun &run : campaign.runs) {
@@ -348,6 +438,8 @@ renderSampled(const SampledCampaign &campaign,
         addField(rec, "workload", run.workload->name);
         addField(rec, "suite", run.workload->suite);
         addField(rec, "config", run.config);
+        if (core_slots > 0)
+            addField(rec, "cores", std::uint64_t{run.numCores});
         addField(rec, "total_insts", run.est.totalInsts);
         addField(rec, "intervals",
                  std::uint64_t{run.est.intervals});
@@ -356,6 +448,11 @@ renderSampled(const SampledCampaign &campaign,
         addField(rec, "sampled_insts", run.est.sum.retired);
         addField(rec, "ipc_est", run.est.ipc, 4);
         addField(rec, "ipc_ci95", run.est.ipcCi95, 4);
+        for (unsigned s = 0; s < core_slots; ++s) {
+            addField(rec, strprintf("ipc_est_c%u", s),
+                     run.numCores > 1 ? run.est.coreIpcEst[s] : 0.0,
+                     4);
+        }
         addField(rec, "est_cycles", run.est.estCycles);
         addField(rec, "elim_total_pct",
                  run.est.sum.elimFraction() * 100, 2);
@@ -368,6 +465,13 @@ std::string
 renderValidation(const ValidationReport &report,
                  sweep::ReportFormat format)
 {
+    // Same rectangular-field rule as renderSampled: per-core error
+    // columns appear only when some row is multi-core, padded with
+    // zero on single-core rows.
+    std::size_t core_slots = 0;
+    for (const ValidationRow &row : report.rows)
+        core_slots = std::max(core_slots, row.coreErrPct.size());
+
     std::vector<ReportRecord> records;
     records.reserve(report.rows.size());
     for (const ValidationRow &row : report.rows) {
@@ -375,11 +479,19 @@ renderValidation(const ValidationReport &report,
         addField(rec, "workload", row.workload->name);
         addField(rec, "suite", row.workload->suite);
         addField(rec, "config", row.config);
+        if (core_slots > 0)
+            addField(rec, "cores", std::uint64_t{row.numCores});
         addField(rec, "total_insts", row.totalInsts);
         addField(rec, "sampled_insts", row.sampledInsts);
         addField(rec, "ipc_full", row.fullIpc, 4);
         addField(rec, "ipc_sampled", row.sampledIpc, 4);
         addField(rec, "ipc_err_pct", row.errorPct, 2);
+        for (std::size_t s = 0; s < core_slots; ++s) {
+            addField(rec, strprintf("ipc_err_c%zu", s),
+                     s < row.coreErrPct.size() ? row.coreErrPct[s]
+                                               : 0.0,
+                     2);
+        }
         addField(rec, "ipc_ci95", row.ipcCi95, 4);
         records.push_back(std::move(rec));
     }

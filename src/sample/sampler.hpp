@@ -41,6 +41,7 @@ struct SampleOptions {
 struct SampledRun {
     const Workload *workload = nullptr;
     std::string config;
+    unsigned numCores = 1;  //!< cores the configuration runs
     SampledEstimate est;
 };
 
@@ -63,12 +64,18 @@ runSampledCampaign(const std::vector<const Workload *> &workloads,
 struct ValidationRow {
     const Workload *workload = nullptr;
     std::string config;
+    unsigned numCores = 1;  //!< cores the configuration runs
     std::uint64_t totalInsts = 0;
     std::uint64_t sampledInsts = 0;  //!< detailed insts measured
     double fullIpc = 0.0;
     double sampledIpc = 0.0;
     double errorPct = 0.0;  //!< signed (sampled - full) / full * 100
     double ipcCi95 = 0.0;
+    /** Signed per-core IPC error (%) by CoreStatSlot, one entry per
+     *  occupied slot (min(numCores, NumCoreStatSlots)); empty on a
+     *  single core, where the whole-machine error is the per-core
+     *  error. Each entry folds into maxAbsErrorPct. */
+    std::vector<double> coreErrPct;
 };
 
 /** Sampled-vs-full comparison over a workload/configuration set. */

@@ -24,8 +24,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "bpred/predictor.hpp"
+#include "coherence/mesi.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"
 #include "uarch/params.hpp"
@@ -75,5 +78,96 @@ class WarmState
  */
 void warmStep(Emulator &emu, WarmState &warm,
               std::uint64_t inst_bound);
+
+/**
+ * Functionally warmed state of an N-core System: per-core private
+ * L1s and branch predictors over one shared L2/L3 stack, with a
+ * warming-mode CoherenceBus keeping the MESI directory and the L1
+ * tag arrays in lockstep. The shared stack is assembled with exactly
+ * the System's logic, and the per-core hierarchies attach to it the
+ * way the System's cores do -- so injecting this state into a System
+ * of the same geometry is a level-by-level copy.
+ *
+ * Warming is tag-pure: the bus's latency penalties are computed and
+ * discarded (tag fills are eager and cycle-independent), so the warm
+ * state depends only on the mem/bpred geometry and the core count,
+ * never on the snoop latencies or the RENO configuration.
+ */
+class SysWarmState
+{
+  public:
+    SysWarmState(const MemHierarchy::Params &mem_params,
+                 const BranchPredParams &bp_params,
+                 unsigned num_cores);
+
+    /** Deep clone (the hierarchy graph is not copyable). */
+    SysWarmState(const SysWarmState &other);
+    SysWarmState &operator=(const SysWarmState &) = delete;
+
+    unsigned numCores() const { return numCores_; }
+
+    MemHierarchy &coreMem(unsigned i) { return *coreMem_[i]; }
+    const MemHierarchy &coreMem(unsigned i) const
+    {
+        return *coreMem_[i];
+    }
+    BranchPredictor &coreBp(unsigned i) { return coreBps_[i]; }
+    const BranchPredictor &coreBp(unsigned i) const
+    {
+        return coreBps_[i];
+    }
+    /** Last I$ block fed per core (see WarmState::lastFetchBlock). */
+    Addr &lastFetchBlock(unsigned i) { return lastFetchBlock_[i]; }
+    Addr lastFetchBlock(unsigned i) const
+    {
+        return lastFetchBlock_[i];
+    }
+
+    std::size_t numSharedLevels() const { return shared_.size(); }
+    Cache &sharedLevel(std::size_t i) { return *shared_[i]; }
+    const Cache &sharedLevel(std::size_t i) const
+    {
+        return *shared_[i];
+    }
+
+    CoherenceBus &bus() { return *bus_; }
+    const CoherenceBus &bus() const { return *bus_; }
+
+    const MemHierarchy::Params &memParams() const { return memParams_; }
+    const BranchPredParams &bpParams() const { return bpParams_; }
+
+  private:
+    void build();
+
+    MemHierarchy::Params memParams_;
+    BranchPredParams bpParams_;
+    unsigned numCores_;
+
+    std::unique_ptr<MainMemory> memory_;
+    std::vector<std::unique_ptr<Cache>> shared_;  //!< L2 first
+    std::vector<const Cache *> sharedView_;
+    std::unique_ptr<CoherenceBus> bus_;
+    std::vector<std::unique_ptr<MemHierarchy>> coreMem_;
+    std::vector<BranchPredictor> coreBps_;
+    std::vector<Addr> lastFetchBlock_;
+};
+
+/**
+ * Interleaved functional warming of an N-core System: step the
+ * emulators until their aggregate executed-instruction count reaches
+ * @p aggregate_bound (or every program exits), feeding each core's
+ * fetch/branch/data streams into its slice of @p warm through the
+ * shared stack and the warming bus.
+ *
+ * The interleave rule is stateless -- always step the live emulator
+ * with the fewest executed instructions, ties to the lowest core id
+ * -- which produces the canonical one-instruction round-robin in
+ * core order and, crucially, resumes bit-exactly from a chop at ANY
+ * aggregate bound: warming composes across checkpoint boundaries
+ * exactly like the single-core warmStep.
+ */
+void warmStepMulti(const std::vector<Emulator *> &emus,
+                   SysWarmState &warm,
+                   std::uint64_t aggregate_bound);
 
 } // namespace reno::sample

@@ -103,6 +103,19 @@ System::tick()
 SimResult
 System::run()
 {
+    const SimResult r = runUntilRetired(~std::uint64_t{0});
+
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("sys.coh.invalidations").inc(bus_.invalidations());
+    metrics.counter("sys.coh.interventions").inc(bus_.interventions());
+    metrics.counter("sys.coh.upgradeMisses").inc(bus_.upgradeMisses());
+    metrics.counter("sys.coh.writebacks").inc(bus_.writebacks());
+    return r;
+}
+
+SimResult
+System::runUntilRetired(std::uint64_t retired_bound)
+{
     // Same liveness watchdog as Core::runUntilRetired, on aggregate
     // retirement: bus penalties only delay accesses, they cannot
     // deadlock, so a system-wide retirement gap is still a bug.
@@ -119,7 +132,8 @@ System::run()
             ? (now_ / sample_interval + 1) * sample_interval
             : 0;
 
-    while (!finished() && now_ < params_.maxCycles) {
+    while (!finished() && totalRetired() < retired_bound &&
+           now_ < params_.maxCycles) {
         tick();
         if (sample_interval && now_ >= next_sample) {
             // One sample per core per interval, each on its own
@@ -141,15 +155,9 @@ System::run()
                   static_cast<unsigned long long>(last_retired));
         }
     }
-    if (!finished())
+    if (!finished() && now_ >= params_.maxCycles)
         warn("multi-core simulation hit the cycle limit before every "
              "core exited");
-
-    auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("sys.coh.invalidations").inc(bus_.invalidations());
-    metrics.counter("sys.coh.interventions").inc(bus_.interventions());
-    metrics.counter("sys.coh.upgradeMisses").inc(bus_.upgradeMisses());
-    metrics.counter("sys.coh.writebacks").inc(bus_.writebacks());
     return result();
 }
 

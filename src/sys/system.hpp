@@ -51,6 +51,15 @@ class System
     /** Run to completion of every core (or the cycle limit). */
     SimResult run();
 
+    /**
+     * Run until the cores' aggregate retired-instruction count (the
+     * sum over every core, cumulative since construction) reaches
+     * @p retired_bound, every core finishes, or the cycle limit.
+     * Sampled simulation chops multi-core measurement windows at
+     * aggregate-retirement boundaries with this.
+     */
+    SimResult runUntilRetired(std::uint64_t retired_bound);
+
     /** Advance one system cycle: tick unfinished cores in order. */
     void tick();
 
@@ -64,6 +73,18 @@ class System
     Core &core(unsigned i) { return *cores_[i]; }
     const Core &core(unsigned i) const { return *cores_[i]; }
     const CoherenceBus &bus() const { return bus_; }
+    /** Mutable bus access (warm-state injection before a sampled
+     *  window; see src/sample/warmup.hpp). */
+    CoherenceBus &bus() { return bus_; }
+
+    /** The shared stack under the private L1s, nearest (L2) first;
+     *  mutable for warm-state injection. */
+    std::size_t numSharedLevels() const { return shared_.size(); }
+    Cache &sharedLevel(std::size_t i) { return *shared_[i]; }
+    const Cache &sharedLevel(std::size_t i) const
+    {
+        return *shared_[i];
+    }
 
     /**
      * Aggregate result: whole-machine counters are the sum over the

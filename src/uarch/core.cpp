@@ -24,6 +24,11 @@ Core::Core(const CoreParams &params, Emulator &emu,
     if (params.numPregs < NumLogRegs + 1)
         fatal("numPregs must exceed the number of logical registers");
     renamer_.initialize(emu.state().regs);
+    // An emulator that already ran to completion -- a sampled window
+    // whose start lies past this core's exit on a multi-core System
+    // -- has nothing left to fetch; freeze instead of spinning an
+    // empty pipeline forever.
+    state_.finished = emu.done();
 }
 
 void

@@ -18,6 +18,7 @@
 #include "mem/cache.hpp"
 #include "mem/main_memory.hpp"
 #include "sample/checkpoint.hpp"
+#include "sample/sampler.hpp"
 #include "sample/warmup.hpp"
 #include "sys/system.hpp"
 #include "uarch/params.hpp"
@@ -360,28 +361,39 @@ TEST(Checkpoint, RoundTripsAcrossCoreCounts)
     const CoreParams params = CoreParams::fourWide();
 
     for (const unsigned cores : {1u, 2u, 4u}) {
-        sample::SampleCheckpoint ckpt;
-        {
-            Emulator::Options opts;
-            opts.randSeed = w.seed;
-            opts.coreId = 0;
-            Emulator emu(prog, opts);
-            emu.runUntil(500);
-            ckpt.emu = std::make_shared<const EmuCheckpoint>(
-                emu.checkpoint());
-        }
-        for (unsigned i = 1; i < cores; ++i) {
+        // Warm through the real interleaved engine so the encoded
+        // state (L1s, shared stack, MESI directory) is non-trivial.
+        std::vector<std::unique_ptr<Emulator>> emus;
+        std::vector<Emulator *> emu_ptrs;
+        for (unsigned i = 0; i < cores; ++i) {
             Emulator::Options opts;
             opts.randSeed = w.seed + i;
             opts.coreId = i;
-            Emulator emu(prog, opts);
-            emu.runUntil(500 + 100 * i);
-            ckpt.extraEmus.push_back(
-                std::make_shared<const EmuCheckpoint>(
-                    emu.checkpoint()));
+            emus.push_back(std::make_unique<Emulator>(prog, opts));
+            emu_ptrs.push_back(emus.back().get());
         }
-        ckpt.warm = std::make_shared<const sample::WarmState>(
-            params.mem, params.bpred);
+
+        sample::SampleCheckpoint ckpt;
+        if (cores == 1) {
+            sample::WarmState warm(params.mem, params.bpred);
+            warmStep(*emus[0], warm, 500);
+            ckpt.emu = std::make_shared<const EmuCheckpoint>(
+                emus[0]->checkpoint());
+            ckpt.warm =
+                std::make_shared<const sample::WarmState>(warm);
+        } else {
+            sample::SysWarmState warm(params.mem, params.bpred,
+                                      cores);
+            warmStepMulti(emu_ptrs, warm, 500 * cores);
+            ckpt.emu = std::make_shared<const EmuCheckpoint>(
+                emus[0]->checkpoint());
+            for (unsigned i = 1; i < cores; ++i)
+                ckpt.extraEmus.push_back(
+                    std::make_shared<const EmuCheckpoint>(
+                        emus[i]->checkpoint()));
+            ckpt.sysWarm =
+                std::make_shared<const sample::SysWarmState>(warm);
+        }
         ASSERT_TRUE(ckpt.usable());
         ASSERT_EQ(ckpt.numCores(), cores);
 
@@ -398,10 +410,20 @@ TEST(Checkpoint, RoundTripsAcrossCoreCounts)
             EXPECT_EQ(back.extraEmus[i - 1]->instCount,
                       ckpt.extraEmus[i - 1]->instCount);
 
-        // A file snapshotting N cores never restores as N' cores.
+        // Bit-exact round trip: re-encoding the decoded state (MESI
+        // directory, cache tags, predictors and all) reproduces the
+        // file byte for byte.
+        EXPECT_EQ(sample::CheckpointStore::encode(back), text)
+            << cores << " cores";
+
+        // A file snapshotting N cores never restores as N' cores,
+        // and the rejection names both counts.
         sample::SampleCheckpoint wrong;
+        std::string why;
         EXPECT_FALSE(sample::CheckpointStore::decode(
-            text, params.mem, params.bpred, &wrong, cores + 1));
+            text, params.mem, params.bpred, &wrong, cores + 1,
+            &why));
+        EXPECT_NE(why.find("cores"), std::string::npos) << why;
     }
 }
 
@@ -422,10 +444,11 @@ TEST(Checkpoint, StoreKeysSeparateCoreCounts)
     Emulator emu1(prog, opts);
     emu1.runUntil(300);
 
-    sample::WarmState warm(params.mem, params.bpred);
-    std::vector<std::shared_ptr<const EmuCheckpoint>> extras = {
-        std::make_shared<const EmuCheckpoint>(emu1.checkpoint())};
-    store.store(w, 300, emu0.checkpoint(), warm, extras);
+    sample::SysWarmState warm(params.mem, params.bpred, 2);
+    std::vector<EmuCheckpoint> snaps;
+    snaps.push_back(emu0.checkpoint());
+    snaps.push_back(emu1.checkpoint());
+    store.storeMulti(w, 300, std::move(snaps), warm);
 
     EXPECT_TRUE(store
                     .lookup(w, 300, params.mem, params.bpred,
@@ -438,18 +461,21 @@ TEST(Checkpoint, StoreKeysSeparateCoreCounts)
         << "a 2-core checkpoint must never satisfy a 1-core lookup";
 }
 
-TEST(Sampling, MultiCoreConfigsAreRejected)
+TEST(Sampling, TooManyCoresRejectedByName)
 {
+    // Multi-core sampling is real now; what remains rejected is a
+    // core count past the bus's compile-time limit, and the error
+    // must name the offending configuration.
     const Workload w =
         testWorkload("t.sample", multiLockSource(4000));
-    CoreParams params = CoreParams::fourWide();
-    params.sys.numCores = 2;
-    sample::IntervalWindow window;
-    window.startInst = 0;
-    window.warmupInsts = 0;
-    window.measureInsts = 100;
-    EXPECT_DEATH(sample::runIntervalDetailed(w, params, window),
-                 "single-core only");
+    NamedConfig cfg;
+    cfg.name = "BASE/overwide";
+    cfg.params = CoreParams::fourWide();
+    cfg.params.sys.numCores = SysParams::MaxCores + 1;
+    sample::SampleOptions options;
+    EXPECT_DEATH(
+        sample::runSampledCampaign({&w}, {cfg}, options),
+        "supports 1\\.\\.8 cores \\(config 'BASE/overwide' runs 9\\)");
 }
 
 TEST(Emulator, CoreIdSyscallReturnsConfiguredId)

@@ -6,13 +6,21 @@
  * changes results, encode/decode and disk round-trips of combined
  * functional+warm checkpoints, campaign integration (parallel ==
  * serial, warm cache = zero simulations), and end-to-end estimate
- * accuracy against full detailed simulation.
+ * accuracy against full detailed simulation. Multi-core sampling is
+ * covered at the same depth: checkpoint chop/resume of the
+ * interleaved warming (shared stack + MESI directory) is bit-exact at
+ * 2 and 4 cores, multi-core checkpoints only accelerate, validation
+ * reports per-core errors, the single-core report format is
+ * untouched, and malformed checkpoint files die with a named reason.
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
+#include "common/digest.hpp"
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "sample/checkpoint.hpp"
 #include "sample/interval.hpp"
@@ -641,4 +649,296 @@ TEST(Warming, WarmConfigDigestTracksBpredVariants)
     CoreParams tournament = base;
     ASSERT_TRUE(applyBpredVariant("tournament", &tournament));
     EXPECT_EQ(warmConfigDigest(base), warmConfigDigest(tournament));
+}
+
+// ---- multi-core sampling --------------------------------------------
+
+namespace
+{
+
+/** N emulator streams the way the sampled campaign builds them:
+ *  per-core seed offset and core id over one assembled program. */
+std::vector<std::unique_ptr<Emulator>>
+makeEmus(const Program &prog, const Workload &w, unsigned cores)
+{
+    std::vector<std::unique_ptr<Emulator>> emus;
+    for (unsigned c = 0; c < cores; ++c) {
+        Emulator::Options opts;
+        opts.randSeed = w.seed + c;
+        opts.coreId = c;
+        emus.push_back(std::make_unique<Emulator>(prog, opts));
+    }
+    return emus;
+}
+
+std::vector<Emulator *>
+rawPtrs(const std::vector<std::unique_ptr<Emulator>> &emus)
+{
+    std::vector<Emulator *> ptrs;
+    for (const auto &e : emus)
+        ptrs.push_back(e.get());
+    return ptrs;
+}
+
+/** Snapshot N warmed emulators + the system warm state into one
+ *  checkpoint (the multi-core persistence unit). */
+SampleCheckpoint
+multiCkpt(const std::vector<std::unique_ptr<Emulator>> &emus,
+          const SysWarmState &warm)
+{
+    SampleCheckpoint ckpt;
+    ckpt.emu =
+        std::make_shared<const EmuCheckpoint>(emus[0]->checkpoint());
+    for (std::size_t i = 1; i < emus.size(); ++i)
+        ckpt.extraEmus.push_back(std::make_shared<const EmuCheckpoint>(
+            emus[i]->checkpoint()));
+    ckpt.sysWarm = std::make_shared<const SysWarmState>(warm);
+    return ckpt;
+}
+
+/** Recompute the trailing integrity digest after mutating the body,
+ *  so structural corruption reaches the structural checks instead of
+ *  tripping the digest check. */
+std::string
+redigest(const std::string &text)
+{
+    const std::size_t digest_pos = text.rfind("digest ");
+    std::string body = text.substr(0, digest_pos);
+    Fnv64 h;
+    h.update(body);
+    body += strprintf("digest %llu\n",
+                      static_cast<unsigned long long>(h.value()));
+    return body;
+}
+
+} // namespace
+
+TEST(MultiWarming, ChopResumeThroughSerializationIsBitExact)
+{
+    // The acceptance property of interleaved warming: chopping the
+    // N-core warm at an arbitrary AGGREGATE position -- including mid
+    // round-robin, so the emulators sit at uneven per-core counts --
+    // serializing, decoding, and resuming must reproduce the straight
+    // run's final state byte for byte: functional cursors, L1 tags,
+    // shared stack and the MESI directory all ride the encoding.
+    const Workload &w = workloadByName("gzip");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+
+    for (const unsigned cores : {2u, 4u}) {
+        const std::uint64_t final_bound = 900 * cores;
+        const std::uint64_t chop = 350 * cores + 1;  // mid-interleave
+
+        auto straight = makeEmus(prog, w, cores);
+        SysWarmState whole(params.mem, params.bpred, cores);
+        warmStepMulti(rawPtrs(straight), whole, final_bound);
+        const std::string want =
+            CheckpointStore::encode(multiCkpt(straight, whole));
+
+        auto chopped = makeEmus(prog, w, cores);
+        SysWarmState first(params.mem, params.bpred, cores);
+        warmStepMulti(rawPtrs(chopped), first, chop);
+        const std::string mid =
+            CheckpointStore::encode(multiCkpt(chopped, first));
+
+        SampleCheckpoint decoded;
+        ASSERT_TRUE(CheckpointStore::decode(mid, params.mem,
+                                            params.bpred, &decoded,
+                                            cores))
+            << cores << " cores";
+
+        auto resumed = makeEmus(prog, w, cores);
+        resumed[0]->restore(*decoded.emu);
+        for (unsigned c = 1; c < cores; ++c)
+            resumed[c]->restore(*decoded.extraEmus[c - 1]);
+        SysWarmState warm(*decoded.sysWarm);
+        warmStepMulti(rawPtrs(resumed), warm, final_bound);
+
+        EXPECT_EQ(CheckpointStore::encode(multiCkpt(resumed, warm)),
+                  want)
+            << cores << " cores: chop/resume diverged";
+    }
+}
+
+TEST(MultiWarming, CheckpointAcceleratesMultiWithoutChangingResults)
+{
+    // Same contract as the single-core interval engine: a multi-core
+    // checkpoint before the window start is a pure accelerator --
+    // every registry stat of the measured window is identical with
+    // and without it.
+    const Workload &w = workloadByName("adpcm.dec");
+    CoreParams params = baseParams();
+    params.sys.numCores = 2;
+    IntervalWindow win;
+    win.startInst = 40'000;  // aggregate position over both cores
+    win.warmupInsts = 1000;
+    win.measureInsts = 4000;
+
+    const SimResult plain = runIntervalDetailed(w, params, win);
+
+    CheckpointStore store;
+    {
+        const Program &prog = assembleWorkload(w);
+        auto emus = makeEmus(prog, w, 2);
+        SysWarmState warm(params.mem, params.bpred, 2);
+        warmStepMulti(rawPtrs(emus), warm, 30'000);
+        std::vector<EmuCheckpoint> snaps;
+        for (const auto &e : emus)
+            snaps.push_back(e->checkpoint());
+        store.storeMulti(w, 30'000, std::move(snaps), warm);
+    }
+    const SampleCheckpoint ckpt =
+        store.lookup(w, 30'000, params.mem, params.bpred, 2);
+    ASSERT_TRUE(ckpt.usable());
+    ASSERT_EQ(ckpt.numCores(), 2u);
+
+    const SimResult via_ckpt =
+        runIntervalDetailed(w, params, win, &ckpt);
+    for (const SimStatField &f : simResultFields()) {
+        EXPECT_EQ(statValue(via_ckpt, f), statValue(plain, f))
+            << "window stat '" << f.name
+            << "' changed under the checkpoint";
+    }
+}
+
+TEST(MultiSampling, ValidationReportsPerCoreErrors)
+{
+    // A 2-core validation row carries one signed error per occupied
+    // core slot, each folded into the whole-report worst case, and
+    // the rendered report grows per-core columns.
+    const auto workloads = oneWorkload("gzip");
+    NamedConfig cfg{"BASE/2c", baseParams()};
+    cfg.params.sys.numCores = 2;
+
+    SampleOptions options;
+    options.campaign.jobs = 1;
+    options.plan.intervals = 6;
+    options.plan.warmupInsts = 2000;
+    options.plan.measureInsts = 4000;
+    options.plan.coldInsts = 60'000;
+
+    const ValidationReport report =
+        validateSampling(workloads, {cfg}, options);
+    ASSERT_EQ(report.rows.size(), 1u);
+    const ValidationRow &row = report.rows[0];
+    EXPECT_EQ(row.numCores, 2u);
+    ASSERT_EQ(row.coreErrPct.size(), 2u);
+    for (const double err : row.coreErrPct)
+        EXPECT_LE(std::abs(err), report.maxAbsErrorPct + 1e-9);
+
+    const std::string csv =
+        renderValidation(report, sweep::ReportFormat::Csv);
+    EXPECT_NE(csv.find("cores"), std::string::npos);
+    EXPECT_NE(csv.find("ipc_err_c0"), std::string::npos);
+    EXPECT_NE(csv.find("ipc_err_c1"), std::string::npos);
+}
+
+TEST(MultiSampling, SingleCoreReportFormatIsUnchanged)
+{
+    // Multi-core support must not leak into single-core output: a
+    // campaign with only 1-core configs renders exactly the
+    // historical columns (no "cores", no per-core estimates).
+    const auto workloads = oneWorkload("g721.dec");
+    const std::vector<NamedConfig> configs = {{"BASE", baseParams()}};
+    SampleOptions options;
+    options.campaign.jobs = 1;
+
+    const SampledCampaign campaign =
+        runSampledCampaign(workloads, configs, options);
+    ASSERT_EQ(campaign.runs.size(), 1u);
+    EXPECT_EQ(campaign.runs[0].numCores, 1u);
+
+    for (const auto format :
+         {sweep::ReportFormat::Csv, sweep::ReportFormat::Json}) {
+        const std::string text = renderSampled(campaign, format);
+        EXPECT_EQ(text.find("cores"), std::string::npos);
+        EXPECT_EQ(text.find("ipc_est_c0"), std::string::npos);
+    }
+}
+
+// ---- checkpoint rejection diagnostics -------------------------------
+
+TEST(CheckpointRejection, TruncatedFileDiesWithReason)
+{
+    const Workload &w = workloadByName("epic");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+    auto emus = makeEmus(prog, w, 1);
+    WarmState warm(params.mem, params.bpred);
+    warmStep(*emus[0], warm, 20'000);
+    CheckpointStore store;
+    const std::string text = CheckpointStore::encode(
+        store.store(w, 20'000, emus[0]->checkpoint(), warm));
+
+    // Cut before any digest can be found: a truncated download/write.
+    const std::string truncated = text.substr(0, 10);
+    EXPECT_DEATH(CheckpointStore::decodeOrDie(truncated, params.mem,
+                                              params.bpred),
+                 "checkpoint decode failed: no integrity digest");
+
+    // A wrong header with a VALID digest (re-signed) is named too.
+    std::string bad_header = text;
+    bad_header.replace(0, bad_header.find('\n'), "reno-checkpoint v4");
+    bad_header = redigest(bad_header);
+    EXPECT_DEATH(
+        CheckpointStore::decodeOrDie(bad_header, params.mem,
+                                     params.bpred),
+        "checkpoint decode failed: bad or truncated header "
+        "\\(expected 'reno-checkpoint v5'\\)");
+}
+
+TEST(CheckpointRejection, WrongCoreCountDiesWithBothCounts)
+{
+    const Workload &w = workloadByName("epic");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+    auto emus = makeEmus(prog, w, 2);
+    SysWarmState warm(params.mem, params.bpred, 2);
+    warmStepMulti(rawPtrs(emus), warm, 1000);
+    const std::string text =
+        CheckpointStore::encode(multiCkpt(emus, warm));
+
+    EXPECT_DEATH(CheckpointStore::decodeOrDie(text, params.mem,
+                                              params.bpred, 1),
+                 "checkpoint decode failed: checkpoint snapshots 2 "
+                 "cores, expected 1");
+    EXPECT_DEATH(CheckpointStore::decodeOrDie(text, params.mem,
+                                              params.bpred, 4),
+                 "checkpoint decode failed: checkpoint snapshots 2 "
+                 "cores, expected 4");
+}
+
+TEST(CheckpointRejection, CorruptPerCoreBlocksDieNamingTheCore)
+{
+    const Workload &w = workloadByName("epic");
+    const CoreParams params = baseParams();
+    const Program &prog = assembleWorkload(w);
+    auto emus = makeEmus(prog, w, 2);
+    SysWarmState warm(params.mem, params.bpred, 2);
+    warmStepMulti(rawPtrs(emus), warm, 1000);
+    const std::string text =
+        CheckpointStore::encode(multiCkpt(emus, warm));
+
+    // Mangle core 1's warm-block header and re-sign, so the
+    // structural check (not the digest) must catch and name it.
+    std::string bad_warm = text;
+    const std::size_t warm_pos = bad_warm.find("corewarm 1\n");
+    ASSERT_NE(warm_pos, std::string::npos);
+    bad_warm.replace(warm_pos, 10, "corewarm 7");
+    bad_warm = redigest(bad_warm);
+    EXPECT_DEATH(CheckpointStore::decodeOrDie(bad_warm, params.mem,
+                                              params.bpred, 2),
+                 "checkpoint decode failed: corrupt per-core warm "
+                 "block \\(core 1\\)");
+
+    // Same for core 1's functional snapshot.
+    std::string bad_func = text;
+    const std::size_t func_pos = bad_func.find("\ncore 1\n");
+    ASSERT_NE(func_pos, std::string::npos);
+    bad_func.replace(func_pos, 8, "\ncore 5\n");
+    bad_func = redigest(bad_func);
+    EXPECT_DEATH(CheckpointStore::decodeOrDie(bad_func, params.mem,
+                                              params.bpred, 2),
+                 "checkpoint decode failed: corrupt functional block "
+                 "\\(core 1\\)");
 }

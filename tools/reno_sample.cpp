@@ -48,10 +48,10 @@ usage(const char *argv0)
         "  --config NAME            preset (repeatable; default BASE,"
         " RENO)\n"
         "  --width 4|6              machine width (default 4)\n"
-        "  --cores N                accepted for symmetry with\n"
-        "                           reno-sweep, but sampling is\n"
-        "                           single-core: N must be 1 (run\n"
-        "                           multi-core configs with reno-sweep)\n"
+        "  --cores N                sample every config on an N-core\n"
+        "                           System (1..%u; equivalent to a /Nc\n"
+        "                           suffix; interval boundaries are\n"
+        "                           aggregate retired instructions)\n"
         "  --emu interp|decoded     functional-emulator engine\n"
         "                           (default decoded superblocks;\n"
         "                           interp = per-step; bit-exact\n"
@@ -99,7 +99,8 @@ usage(const char *argv0)
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
-        "  --list-suites            list workload suites and exit\n");
+        "  --list-suites            list workload suites and exit\n",
+        argv0, SysParams::MaxCores);
     std::exit(0);
 }
 
@@ -140,6 +141,7 @@ main(int argc, char **argv)
     std::vector<std::string> workload_names;
     std::vector<std::string> config_names;
     unsigned width = 4;
+    unsigned cores = 1;
     bool validate = false;
     double max_error = 0.0;
     sample::SamplePlan plan;
@@ -201,15 +203,14 @@ main(int argc, char **argv)
                 fatal("--emu expects interp or decoded, got '%s'",
                       v.c_str());
         } else if (matches("--cores")) {
-            // Sampled simulation replays one functional stream; an
-            // N-core System has no sampled path. Accept the flag so
-            // reno-sweep command lines port over, but only at N = 1.
             const std::string v = value("--cores");
-            if (v != "1")
-                fatal("sampled simulation is single-core only "
-                      "(--cores %s); run multi-core configs with "
-                      "reno-sweep instead",
-                      v.c_str());
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || n == 0 ||
+                n > SysParams::MaxCores)
+                fatal("--cores expects 1..%u, got '%s'",
+                      SysParams::MaxCores, v.c_str());
+            cores = static_cast<unsigned>(n);
         } else if (matches("--sample")) {
             plan.intervals = parseCount("--sample", value("--sample"));
         } else if (matches("--warmup")) {
@@ -304,6 +305,18 @@ main(int argc, char **argv)
                   known.c_str());
         }
         configs.push_back(cfg);
+    }
+    if (cores > 1) {
+        // Equivalent to a /Nc suffix on every selected config; the
+        // suffix keeps multi-core rows distinguishable in reports.
+        for (NamedConfig &cfg : configs) {
+            if (cfg.params.sys.numCores > 1)
+                fatal("--cores conflicts with config '%s' (already "
+                      "runs %u cores)",
+                      cfg.name.c_str(), cfg.params.sys.numCores);
+            cfg.params.sys.numCores = cores;
+            cfg.name += strprintf("/%uc", cores);
+        }
     }
 
     sample::SampleOptions options;
