@@ -5,14 +5,122 @@
 #include <mutex>
 #include <string_view>
 
+#include <algorithm>
+
 #include "asm/assembler.hpp"
 #include "common/log.hpp"
 #include "emu/emulator.hpp"
 #include "obs/phase.hpp"
 #include "sys/system.hpp"
+#include "trace/pipetrace.hpp"
 
 namespace reno
 {
+
+namespace
+{
+
+/** Fan one retirement stream out to two listeners (CPA + pipetrace
+ *  share the Core's single listener slot). */
+struct RetireTee : RetireListener {
+    RetireListener *a = nullptr;
+    RetireListener *b = nullptr;
+
+    void
+    onRetire(const DynInst &inst) override
+    {
+        a->onRetire(inst);
+        b->onRetire(inst);
+    }
+};
+
+/** Merge per-core hotspot tables by pc, re-rank, keep the top N. */
+std::vector<obs::HotspotProfile::Entry>
+mergeHot(const std::vector<std::vector<obs::HotspotProfile::Entry>>
+             &per_core,
+         std::size_t n, bool by_stall)
+{
+    std::vector<obs::HotspotProfile::Entry> merged;
+    for (const auto &entries : per_core) {
+        for (const obs::HotspotProfile::Entry &e : entries) {
+            auto it = std::find_if(
+                merged.begin(), merged.end(),
+                [&](const auto &m) { return m.pc == e.pc; });
+            if (it == merged.end()) {
+                merged.push_back(e);
+            } else {
+                it->retired += e.retired;
+                it->stallCycles += e.stallCycles;
+            }
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [by_stall](const auto &a, const auto &b) {
+                  const std::uint64_t ka =
+                      by_stall ? a.stallCycles : a.retired;
+                  const std::uint64_t kb =
+                      by_stall ? b.stallCycles : b.retired;
+                  if (ka != kb)
+                      return ka > kb;
+                  return a.pc < b.pc;
+              });
+    if (merged.size() > n)
+        merged.resize(n);
+    return merged;
+}
+
+/** Harvest the CPI/hotspot side channel from one finished core. */
+obs::CpiReport
+harvestCpi(const Core &core)
+{
+    obs::CpiReport r;
+    const obs::CpiStack *stack = core.cpiStack();
+    const obs::HotspotProfile *hot = core.hotspots();
+    if (!stack && !hot)
+        return r;
+    r.valid = true;
+    if (stack) {
+        r.machine = *stack;
+        r.perCore.push_back(*stack);
+    }
+    if (hot) {
+        const std::size_t n =
+            obs::CpiAccounting::instance().hotspotTopN();
+        r.hotRetired = hot->topByRetired(n);
+        r.hotStall = hot->topByStall(n);
+        r.hotspotDropped = hot->dropped();
+    }
+    return r;
+}
+
+/** Harvest and aggregate the side channel across a System's cores. */
+obs::CpiReport
+harvestCpi(const System &sys)
+{
+    obs::CpiReport r;
+    std::vector<std::vector<obs::HotspotProfile::Entry>> hot_ret;
+    std::vector<std::vector<obs::HotspotProfile::Entry>> hot_stall;
+    const std::size_t n = obs::CpiAccounting::instance().hotspotTopN();
+    for (unsigned i = 0; i < sys.numCores(); ++i) {
+        const Core &core = sys.core(i);
+        if (const obs::CpiStack *stack = core.cpiStack()) {
+            r.valid = true;
+            r.machine.accumulate(*stack);
+            r.perCore.push_back(*stack);
+        }
+        if (const obs::HotspotProfile *hot = core.hotspots()) {
+            r.valid = true;
+            hot_ret.push_back(hot->topByRetired(n));
+            hot_stall.push_back(hot->topByStall(n));
+            r.hotspotDropped += hot->dropped();
+        }
+    }
+    r.hotRetired = mergeHot(hot_ret, n, false);
+    r.hotStall = mergeHot(hot_stall, n, true);
+    return r;
+}
+
+} // namespace
 
 CoreParams
 withReno(CoreParams params, const RenoConfig &reno)
@@ -329,8 +437,20 @@ runWorkload(const Workload &workload, const CoreParams &params,
     opts.randSeed = workload.seed;
     Emulator emu(prog, opts);
     Core core(params, emu);
-    if (cpa)
+    // --pipetrace: a bounded tracer shares the retire-listener slot
+    // with the CPA through a tee when both are requested.
+    PipeTracer ptrace;
+    RetireTee tee;
+    const bool want_ptrace = PipeTraceSink::instance().enabled();
+    if (cpa && want_ptrace) {
+        tee.a = cpa;
+        tee.b = &ptrace;
+        core.setRetireListener(&tee);
+    } else if (cpa) {
         core.setRetireListener(cpa);
+    } else if (want_ptrace) {
+        core.setRetireListener(&ptrace);
+    }
     RunOutput out;
     {
         obs::PhaseSpan phase("sim.detailed");
@@ -339,6 +459,10 @@ runWorkload(const Workload &workload, const CoreParams &params,
     }
     if (cpa)
         cpa->finish();
+    if (want_ptrace)
+        PipeTraceSink::instance().emit(workload.name,
+                                       ptrace.records());
+    out.cpi = harvestCpi(core);
     out.output = emu.output();
     out.memDigest = emu.memory().digest();
     out.emuInsts = emu.instCount();
@@ -367,12 +491,26 @@ runWorkloadMulti(const Workload &workload, const CoreParams &params,
     }
     System sys(params, emu_ptrs);
 
+    // --pipetrace: one bounded tracer per core, emitted per lane.
+    std::vector<PipeTracer> ptracers;
+    if (PipeTraceSink::instance().enabled()) {
+        ptracers.resize(params.sys.numCores);
+        for (unsigned i = 0; i < params.sys.numCores; ++i)
+            sys.core(i).setRetireListener(&ptracers[i]);
+    }
+
     RunOutput out;
     {
         obs::PhaseSpan phase("sim.detailed");
         out.sim = sys.run();
         phase.setInsts(out.sim.retired);
     }
+    for (std::size_t i = 0; i < ptracers.size(); ++i) {
+        PipeTraceSink::instance().emit(
+            strprintf("%s core%zu", workload.name.c_str(), i),
+            ptracers[i].records());
+    }
+    out.cpi = harvestCpi(sys);
     // Functional reference: outputs concatenate in core order; the
     // memory digests fold into one order-dependent FNV-style hash.
     // One core reports its digest raw, keeping the N=1 System

@@ -95,9 +95,12 @@ MemHierarchy::fetchAccess(Addr pc, Cycle now)
 Cycle
 MemHierarchy::dataAccess(Addr addr, Cycle now, bool is_write)
 {
-    if (attach_.bus)
-        now += attach_.bus->beforeDataAccess(attach_.coreId, addr,
-                                             is_write, now);
+    lastCohPenalty_ = 0;
+    if (attach_.bus) {
+        lastCohPenalty_ = attach_.bus->beforeDataAccess(
+            attach_.coreId, addr, is_write, now);
+        now += lastCohPenalty_;
+    }
     return dcache_->access(addr, now,
                            is_write ? MemAccessKind::Write
                                     : MemAccessKind::Read);

@@ -81,6 +81,10 @@ class MemHierarchy
      *  and its penalty delays the D$ lookup. */
     Cycle dataAccess(Addr addr, Cycle now, bool is_write);
 
+    /** Coherence-bus penalty the most recent dataAccess paid (cycles;
+     *  always 0 in single-core/owning mode). CPI-stack attribution. */
+    Cycle lastCohPenalty() const { return lastCohPenalty_; }
+
     /** Would a load of @p addr hit in the D$ right now? */
     bool dcacheProbe(Addr addr) const { return dcache_->probe(addr); }
     /** Would it hit in the first shared level (the L2)? */
@@ -160,6 +164,7 @@ class MemHierarchy
 
     Params params_;
     Attach attach_;
+    Cycle lastCohPenalty_ = 0;
     std::unique_ptr<MainMemory> memory_;
     std::vector<std::unique_ptr<Cache>> shared_;  //!< L2 first
     /** The shared stack as borrowed views: shared_ when owning,

@@ -1,0 +1,33 @@
+#include "obs/cpistack.hpp"
+
+namespace reno::obs
+{
+
+const char *
+cpiBucketName(CpiBucket b)
+{
+    switch (b) {
+      case CpiBucket::Base: return "base";
+      case CpiBucket::FrontIcache: return "frontend.icache";
+      case CpiBucket::FrontBpred: return "frontend.bpred";
+      case CpiBucket::BackRob: return "backend.rob";
+      case CpiBucket::BackIq: return "backend.iq";
+      case CpiBucket::BackPregs: return "backend.pregs";
+      case CpiBucket::BackLsq: return "backend.lsq";
+      case CpiBucket::BackDcacheL1: return "backend.dcache.l1";
+      case CpiBucket::BackDcacheL2: return "backend.dcache.l2";
+      case CpiBucket::BackDcacheMem: return "backend.dcache.mem";
+      case CpiBucket::BackCoherence: return "backend.coherence";
+      case CpiBucket::Drain: return "drain";
+    }
+    return "?";
+}
+
+CpiAccounting &
+CpiAccounting::instance()
+{
+    static CpiAccounting acc;
+    return acc;
+}
+
+} // namespace reno::obs

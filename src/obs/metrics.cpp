@@ -172,11 +172,11 @@ MetricsRegistry::renderJson() const
         out += strprintf(
             "%s\n    \"%s\": {\"count\": %llu, \"min\": %.6f, "
             "\"mean\": %.6f, \"p50\": %.6f, \"p95\": %.6f, "
-            "\"max\": %.6f}",
+            "\"p99\": %.6f, \"max\": %.6f}",
             i ? "," : "", jsonEscape(histograms[i].first).c_str(),
             static_cast<unsigned long long>(h.count()), h.min(),
             h.mean(), h.percentile(50.0), h.percentile(95.0),
-            h.max());
+            h.percentile(99.0), h.max());
     }
     out += histograms.empty() ? "}\n" : "\n  }\n";
     out += "}\n";

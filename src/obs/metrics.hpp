@@ -2,7 +2,7 @@
  * @file
  * Process-wide metrics registry: named counters (monotonic),
  * gauges (last-written value) and histograms (full-value reservoir
- * with count/min/mean/p50/p95/max), serialized as one JSON document
+ * with count/min/mean/p50/p95/p99/max), serialized as one JSON document
  * (reno-sweep / reno-sample --metrics-json).
  *
  * The registry complements StatSet (common/statset.hpp): StatSet

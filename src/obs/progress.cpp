@@ -75,29 +75,35 @@ ProgressMeter::emitLine(bool force)
 
     const double elapsed_s =
         static_cast<double>(now - startMicros_) / 1e6;
-    const double minstr_per_s =
-        elapsed_s > 0.0
-            ? static_cast<double>(simulatedInsts_) / 1e6 / elapsed_s
-            : 0.0;
-    // ETA from the mean pace so far; unknown (-1) until a job lands.
-    double eta_s = -1.0;
-    if (done_ > 0 && total_ >= done_)
-        eta_s = elapsed_s / static_cast<double>(done_) *
-                static_cast<double>(total_ - done_);
+    // Rate and ETA are undefined on the first heartbeat (no elapsed
+    // time, or no finished job to pace from). Emit JSON null, never
+    // a division artifact (inf/nan breaks strict NDJSON parsers).
+    char rate[32] = "null";
+    if (elapsed_s > 0.0) {
+        std::snprintf(rate, sizeof(rate), "%.3f",
+                      static_cast<double>(simulatedInsts_) / 1e6 /
+                          elapsed_s);
+    }
+    char eta[32] = "null";
+    if (done_ > 0 && total_ >= done_) {
+        std::snprintf(eta, sizeof(eta), "%.3f",
+                      elapsed_s / static_cast<double>(done_) *
+                          static_cast<double>(total_ - done_));
+    }
 
     char line[256];
     std::snprintf(
         line, sizeof(line),
         "{\"elapsed_s\": %.3f, \"done\": %llu, \"total\": %llu, "
         "\"failed\": %llu, \"cache_hits\": %llu, "
-        "\"simulated_insts\": %llu, \"minstr_per_s\": %.3f, "
-        "\"eta_s\": %.3f}\n",
+        "\"simulated_insts\": %llu, \"minstr_per_s\": %s, "
+        "\"eta_s\": %s}\n",
         elapsed_s, static_cast<unsigned long long>(done_),
         static_cast<unsigned long long>(total_),
         static_cast<unsigned long long>(failed_),
         static_cast<unsigned long long>(cacheHits_),
         static_cast<unsigned long long>(simulatedInsts_),
-        minstr_per_s, eta_s);
+        rate, eta);
     std::fputs(line, sink_);
     std::fflush(sink_);
 }

@@ -12,6 +12,10 @@
  *    "cache_hits": 12, "simulated_insts": 4000000,
  *    "minstr_per_s": 3.2, "eta_s": 27.5}
  *
+ * minstr_per_s and eta_s are JSON null while undefined (first
+ * heartbeat with no elapsed time, or no finished job to pace from),
+ * so every line is strictly parseable -- never inf/nan.
+ *
  * Lines are written under one mutex with a single fputs + fflush, so
  * concurrent pool workers never interleave partial lines. Disabled
  * (the default), jobDone() is one relaxed atomic load.

@@ -3,10 +3,12 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "obs/cpistack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "trace/pipetrace.hpp"
 
 namespace reno::obs
 {
@@ -53,6 +55,28 @@ parseObsArgs(int argc, char **argv)
                 arg.substr(std::string("--progress=").size());
             if (opts.progressPath.empty())
                 fatal("--progress= expects a file path");
+        } else if (arg == "--cpi-stack") {
+            opts.cpiStack = true;
+        } else if (arg == "--profile-hot") {
+            opts.profileHot = 20;
+        } else if (arg.rfind("--profile-hot=", 0) == 0) {
+            const std::string v =
+                arg.substr(std::string("--profile-hot=").size());
+            const long long n = std::strtoll(v.c_str(), nullptr, 10);
+            if (n >= 1)
+                opts.profileHot = static_cast<unsigned>(n);
+            else
+                fatal("--profile-hot= expects a positive top-N, "
+                      "got '%s'",
+                      v.c_str());
+        } else if (arg == "--pipetrace") {
+            opts.pipetrace = true;
+        } else if (arg.rfind("--pipetrace=", 0) == 0) {
+            opts.pipetrace = true;
+            opts.pipetracePath =
+                arg.substr(std::string("--pipetrace=").size());
+            if (opts.pipetracePath.empty())
+                fatal("--pipetrace= expects a file path");
         }
     }
     if (opts.traceSampleCycles && opts.traceOut.empty())
@@ -69,11 +93,14 @@ isObsFlag(const std::string &arg, bool *takes_value)
         *takes_value = true;
         return true;
     }
-    return arg == "--progress" ||
+    return arg == "--progress" || arg == "--cpi-stack" ||
+           arg == "--profile-hot" || arg == "--pipetrace" ||
            arg.rfind("--trace-out=", 0) == 0 ||
            arg.rfind("--trace-sample=", 0) == 0 ||
            arg.rfind("--metrics-json=", 0) == 0 ||
-           arg.rfind("--progress=", 0) == 0;
+           arg.rfind("--progress=", 0) == 0 ||
+           arg.rfind("--profile-hot=", 0) == 0 ||
+           arg.rfind("--pipetrace=", 0) == 0;
 }
 
 Session::Session(const ObsOptions &opts) : opts_(opts)
@@ -98,10 +125,35 @@ Session::Session(const ObsOptions &opts) : opts_(opts)
         }
         ProgressMeter::instance().enable(sink);
     }
+    if (opts_.cpiStack)
+        CpiAccounting::instance().setStackEnabled(true);
+    if (opts_.profileHot > 0)
+        CpiAccounting::instance().setHotspotTopN(opts_.profileHot);
+    if (opts_.pipetrace) {
+        std::FILE *sink = stderr;
+        if (!opts_.pipetracePath.empty()) {
+            pipetraceFile_ =
+                std::fopen(opts_.pipetracePath.c_str(), "w");
+            if (!pipetraceFile_)
+                fatal("--pipetrace: cannot write '%s'",
+                      opts_.pipetracePath.c_str());
+            sink = pipetraceFile_;
+        }
+        PipeTraceSink::instance().enable(sink);
+    }
 }
 
 Session::~Session()
 {
+    if (opts_.pipetrace) {
+        PipeTraceSink::instance().disable();
+        if (pipetraceFile_)
+            std::fclose(pipetraceFile_);
+    }
+    if (opts_.cpiStack)
+        CpiAccounting::instance().setStackEnabled(false);
+    if (opts_.profileHot > 0)
+        CpiAccounting::instance().setHotspotTopN(0);
     if (opts_.progress) {
         ProgressMeter::instance().finish();
         if (progressFile_)

@@ -9,6 +9,10 @@
  *   --trace-sample N     + sample pipeline counters every N cycles
  *   --metrics-json FILE  write the metrics registry as JSON at exit
  *   --progress[=FILE]    stream NDJSON heartbeats (default: stderr)
+ *   --cpi-stack          per-cycle CPI-stack accounting (obs/cpistack)
+ *   --profile-hot[=N]    per-PC hotspot profiling, top N (default 20)
+ *   --pipetrace[=FILE]   retired-instruction pipeline diagrams
+ *                        (default: stderr)
  *
  * Construction enables the requested facilities; destruction flushes
  * them (final progress heartbeat, phase gauges folded into the
@@ -31,6 +35,10 @@ struct ObsOptions {
     std::string metricsJson;  //!< --metrics-json FILE ("" = off)
     bool progress = false;    //!< --progress[=FILE]
     std::string progressPath; //!< "" = stderr
+    bool cpiStack = false;    //!< --cpi-stack
+    unsigned profileHot = 0;  //!< --profile-hot[=N] top-N (0 = off)
+    bool pipetrace = false;   //!< --pipetrace[=FILE]
+    std::string pipetracePath;  //!< "" = stderr
 };
 
 /** Parse the obs flags out of argv; unrecognized args are ignored. */
@@ -56,6 +64,7 @@ class Session
   private:
     ObsOptions opts_;
     std::FILE *progressFile_ = nullptr;  //!< owned when non-null
+    std::FILE *pipetraceFile_ = nullptr;  //!< owned when non-null
 };
 
 } // namespace reno::obs

@@ -14,6 +14,7 @@ CommitStage::tick()
         --s_.drainQueue;
 
     unsigned committed = 0;
+    bool retire_port_stall = false;
     while (committed < params_.commitWidth && !s_.rob.empty()) {
         DynInst &d = *s_.rob.front();
         if (!d.renamed || !d.completed(s_.now))
@@ -28,6 +29,7 @@ CommitStage::tick()
         if (d.isStoreInst() || elim_load) {
             if (s_.drainQueue >= params_.sqEntries) {
                 d.commitDom = CommitDom::RetirePort;
+                retire_port_stall = true;
                 break;
             }
             ++s_.drainQueue;
@@ -66,6 +68,8 @@ CommitStage::tick()
         if (isControl(d.inst().op))
             ++stats_.retiredBranches;
 
+        if (hot_)
+            hot_->retire(d.rec.pc);
         if (listener_)
             listener_->onRetire(d);
 
@@ -82,6 +86,89 @@ CommitStage::tick()
             break;
         }
     }
+
+    if (cpi_ || hot_)
+        account(committed, retire_port_stall);
+}
+
+/**
+ * One bucket per tick. Core::tick calls CommitStage::tick exactly once
+ * per cycle, so the buckets sum to the cycle count by construction;
+ * the tree below only decides WHICH bucket this cycle lands in.
+ *
+ * Priority (first match wins):
+ *   committed > 0                      -> base
+ *   retire-port back-pressure          -> drain (the "vortex")
+ *   ROB head pending                   -> a backend bucket from the
+ *                                         head's own state
+ *   ROB empty                          -> a frontend bucket from the
+ *                                         fetch-wait hint, else drain
+ */
+void
+CommitStage::account(unsigned committed, bool retire_port_stall)
+{
+    using obs::CpiBucket;
+
+    if (hot_ && committed == 0 && !s_.rob.empty())
+        hot_->stall(s_.rob.front()->rec.pc);
+    if (!cpi_)
+        return;
+
+    CpiBucket b = CpiBucket::Drain;
+    if (committed > 0) {
+        b = CpiBucket::Base;
+    } else if (retire_port_stall) {
+        b = CpiBucket::Drain;
+    } else if (!s_.rob.empty()) {
+        const DynInst &d = *s_.rob.front();
+        if (d.issued) {
+            // Executing: charge the head's own latency source.
+            if (d.isLoadInst()) {
+                if (d.cohDelayed)
+                    b = CpiBucket::BackCoherence;
+                else if (d.memLevel == MemHitLevel::Memory)
+                    b = CpiBucket::BackDcacheMem;
+                else if (d.memLevel == MemHitLevel::L2)
+                    b = CpiBucket::BackDcacheL2;
+                else
+                    b = CpiBucket::BackDcacheL1;
+            } else if (d.isStoreInst()) {
+                b = CpiBucket::BackLsq;
+            } else {
+                b = CpiBucket::BackRob;
+            }
+        } else if (d.issueDom == IssueDom::MemDep) {
+            // Store-set blocked load at the head.
+            b = CpiBucket::BackLsq;
+        } else if (s_.renameStall != RenameStall::None &&
+                   s_.renameStallCycle != InvalidCycle &&
+                   s_.renameStallCycle + 1 == s_.now) {
+            // Rename reported a structural stall LAST cycle (rename
+            // runs after commit within a tick): the machine is
+            // resource-bound, not latency-bound.
+            switch (s_.renameStall) {
+              case RenameStall::Rob: b = CpiBucket::BackRob; break;
+              case RenameStall::Iq: b = CpiBucket::BackIq; break;
+              case RenameStall::Lsq: b = CpiBucket::BackLsq; break;
+              case RenameStall::Pregs: b = CpiBucket::BackPregs; break;
+              case RenameStall::None: break;
+            }
+        } else {
+            // Head dispatched but not yet picked: scheduler latency.
+            b = CpiBucket::BackIq;
+        }
+    } else if (s_.fetchBlocked > 0) {
+        // Fetch is frozen behind an unresolved mispredicted branch.
+        b = CpiBucket::FrontBpred;
+    } else {
+        switch (s_.fetchWait) {
+          case FetchWait::Icache: b = CpiBucket::FrontIcache; break;
+          case FetchWait::Redirect: b = CpiBucket::FrontBpred; break;
+          case FetchWait::Squash:
+          case FetchWait::None: b = CpiBucket::Drain; break;
+        }
+    }
+    cpi_->inc(b);
 }
 
 } // namespace reno

@@ -10,6 +10,8 @@
 #pragma once
 
 #include "mem/hierarchy.hpp"
+#include "obs/cpistack.hpp"
+#include "obs/profiler.hpp"
 #include "pipeline/machine_state.hpp"
 #include "pipeline/pipeline_stats.hpp"
 #include "reno/renamer.hpp"
@@ -36,7 +38,20 @@ class CommitStage
     void setListener(RetireListener *listener) { listener_ = listener; }
     RetireListener *listener() const { return listener_; }
 
+    /** Attach CPI-stack / hotspot accounting (either may be null).
+     *  Core wires this once at construction when enabled. */
+    void
+    setCpi(obs::CpiStack *cpi, obs::HotspotProfile *hot)
+    {
+        cpi_ = cpi;
+        hot_ = hot;
+    }
+
   private:
+    /** Classify this tick into exactly one CPI bucket (and charge
+     *  the hotspot profiler). Called once per tick when attached. */
+    void account(unsigned committed, bool retire_port_stall);
+
     const CoreParams &params_;
     RenoRenamer &renamer_;
     StoreSets &ssets_;
@@ -44,6 +59,8 @@ class CommitStage
     MachineState &s_;
     PipelineStats &stats_;
     RetireListener *listener_ = nullptr;
+    obs::CpiStack *cpi_ = nullptr;
+    obs::HotspotProfile *hot_ = nullptr;
 };
 
 } // namespace reno

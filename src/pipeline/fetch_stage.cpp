@@ -24,6 +24,7 @@ FetchStage::tick()
             if (ready > s_.now + hit_lat) {
                 // I$ miss: fetch resumes when the fill completes.
                 s_.fetchResumeAt = ready - hit_lat;
+                s_.fetchWait = FetchWait::Icache;
                 break;
             }
         }

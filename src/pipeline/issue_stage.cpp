@@ -162,6 +162,7 @@ IssueStage::tick()
                     d.memLevel = MemHitLevel::Memory;
                 d.completeCycle =
                     mem_.dataAccess(d.rec.effAddr, agen, false);
+                d.cohDelayed = mem_.lastCohPenalty() > 0;
             }
         } else if (is_st) {
             // Address generation; data merges on the store-data path.
@@ -184,6 +185,7 @@ IssueStage::tick()
                 s_.fetchResumeAt,
                 d.completeCycle + params_.branchResolveExtra);
             s_.pendingRedirectSeq = d.seq;
+            s_.fetchWait = FetchWait::Redirect;
         }
 
         // A store's execution exposes memory-order violations: any

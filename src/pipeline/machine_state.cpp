@@ -87,6 +87,7 @@ MachineState::squashFrom(std::size_t idx, Cycle restart_cycle,
     fetchBuf.insert(fetchBuf.begin(),
                     rob.begin() + static_cast<long>(idx), rob.end());
     rob.erase(rob.begin() + static_cast<long>(idx), rob.end());
+    fetchWait = FetchWait::Squash;
 }
 
 } // namespace reno

@@ -35,6 +35,17 @@ namespace reno
 class RenoRenamer;
 class StoreSets;
 
+/** Why fetch last stopped delivering (CPI-stack attribution). */
+enum class FetchWait : std::uint8_t {
+    None,      //!< delivering normally (or never stalled yet)
+    Icache,    //!< waiting out an instruction-cache miss
+    Redirect,  //!< refilling behind a mispredict redirect
+    Squash,    //!< refilling after a pipeline squash
+};
+
+/** Which resource rename last stalled on (CPI-stack attribution). */
+enum class RenameStall : std::uint8_t { None, Rob, Iq, Lsq, Pregs };
+
 struct MachineState {
     explicit MachineState(const CoreParams &params);
 
@@ -71,6 +82,16 @@ struct MachineState {
     unsigned fetchBlocked = 0;  //!< unresolved mispredicted branches
     InstSeq pendingRedirectSeq = 0;  //!< branch behind the next fetch
     bool finished = false;
+
+    // --- CPI-stack attribution hints ----------------------------------
+    /** Why fetch last stopped (classifies empty-ROB cycles). */
+    FetchWait fetchWait = FetchWait::None;
+    /** Last rename stall reason and the cycle it was recorded; commit
+     *  consults it only when `renameStallCycle + 1 == now` (rename runs
+     *  after commit within a tick, so the fresh report is one cycle
+     *  old when commit sees it). */
+    RenameStall renameStall = RenameStall::None;
+    Cycle renameStallCycle = InvalidCycle;
 
     void issueListAppend(DynInst *d);
     void issueListRemove(DynInst *d);

@@ -17,24 +17,34 @@ RenameStage::tick()
 
         if (s_.rob.size() >= params_.robEntries) {
             ++stats_.stallRob;
+            s_.renameStall = RenameStall::Rob;
+            s_.renameStallCycle = s_.now;
             break;
         }
         if (sys && !s_.rob.empty())
             break;  // serialize
         if (!sys && s_.iqCount >= params_.iqEntries) {
             ++stats_.stallIq;
+            s_.renameStall = RenameStall::Iq;
+            s_.renameStallCycle = s_.now;
             break;
         }
         if (d.isLoadInst() && s_.lqCount >= params_.lqEntries) {
             ++stats_.stallLsq;
+            s_.renameStall = RenameStall::Lsq;
+            s_.renameStallCycle = s_.now;
             break;
         }
         if (d.isStoreInst() && s_.sqCount >= params_.sqEntries) {
             ++stats_.stallLsq;
+            s_.renameStall = RenameStall::Lsq;
+            s_.renameStallCycle = s_.now;
             break;
         }
         if (inst.hasDest() && !renamer_.ensureFreePreg()) {
             ++stats_.stallPregs;
+            s_.renameStall = RenameStall::Pregs;
+            s_.renameStallCycle = s_.now;
             break;
         }
 

@@ -100,14 +100,16 @@ accumulateResult(SimResult &into, const SimResult &add)
 SimResult
 runIntervalDetailed(const Workload &workload, const CoreParams &params,
                     const IntervalWindow &window,
-                    const SampleCheckpoint *ckpt)
+                    const SampleCheckpoint *ckpt,
+                    obs::CpiStack *cpi_out)
 {
     if (window.measureInsts == 0)
         fatal("runIntervalDetailed: window has no measured insts");
     // Multi-core configurations take the interleaved-warming engine;
     // one core keeps the historical path, byte-identical results.
     if (params.sys.numCores > 1)
-        return runIntervalMulti(workload, params, window, ckpt);
+        return runIntervalMulti(workload, params, window, ckpt,
+                                cpi_out);
 
     const Program &prog = assembleWorkload(workload);
     Emulator::Options opts;
@@ -162,6 +164,8 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
         phase.setInsts(core.result().retired);
     }
     const SimResult pre = core.result();
+    const obs::CpiStack pre_stack =
+        core.cpiStack() ? *core.cpiStack() : obs::CpiStack{};
     SimResult post;
     {
         obs::PhaseSpan phase("sample.detailed");
@@ -169,13 +173,16 @@ runIntervalDetailed(const Workload &workload, const CoreParams &params,
                                     window.measureInsts);
         phase.setInsts(post.retired - pre.retired);
     }
+    if (cpi_out && core.cpiStack())
+        *cpi_out = core.cpiStack()->delta(pre_stack);
     return deltaResult(post, pre);
 }
 
 SimResult
 runIntervalMulti(const Workload &workload, const CoreParams &params,
                  const IntervalWindow &window,
-                 const SampleCheckpoint *ckpt)
+                 const SampleCheckpoint *ckpt,
+                 obs::CpiStack *cpi_out)
 {
     if (window.measureInsts == 0)
         fatal("runIntervalMulti: window has no measured insts");
@@ -264,6 +271,11 @@ runIntervalMulti(const Workload &workload, const CoreParams &params,
         phase.setInsts(sys.result().retired);
     }
     const SimResult pre = sys.result();
+    std::vector<obs::CpiStack> pre_stacks(n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (sys.core(i).cpiStack())
+            pre_stacks[i] = *sys.core(i).cpiStack();
+    }
     SimResult post;
     {
         obs::PhaseSpan phase("sample.detailed");
@@ -271,18 +283,29 @@ runIntervalMulti(const Workload &workload, const CoreParams &params,
                                    window.measureInsts);
         phase.setInsts(post.retired - pre.retired);
     }
+    if (cpi_out) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (sys.core(i).cpiStack())
+                cpi_out->accumulate(
+                    sys.core(i).cpiStack()->delta(pre_stacks[i]));
+        }
+    }
     return deltaResult(post, pre);
 }
 
 SampledEstimate
 aggregateIntervals(std::uint64_t total_insts,
                    const std::vector<PlannedInterval> &plan,
-                   const std::vector<SimResult> &windows)
+                   const std::vector<SimResult> &windows,
+                   const std::vector<obs::CpiStack> *stacks)
 {
     if (plan.size() != windows.size())
         fatal("aggregateIntervals: %zu planned intervals but %zu "
               "window results",
               plan.size(), windows.size());
+    if (stacks && stacks->size() != windows.size())
+        fatal("aggregateIntervals: %zu windows but %zu CPI stacks",
+              windows.size(), stacks->size());
 
     SampledEstimate est;
     est.totalInsts = total_insts;
@@ -295,6 +318,7 @@ aggregateIntervals(std::uint64_t total_insts,
     double core_cycles[NumCoreStatSlots] = {};
     double core_retired[NumCoreStatSlots] = {};
     std::uint64_t observed_rep = 0;
+    bool all_stacked = stacks != nullptr;
     for (std::size_t i = 0; i < windows.size(); ++i) {
         const SimResult &w = windows[i];
         if (w.retired == 0 || w.cycles == 0)
@@ -313,12 +337,25 @@ aggregateIntervals(std::uint64_t total_insts,
             core_retired[s] +=
                 static_cast<double>(w.coreRetired[s]) * scale;
         }
+        // Window stacks extrapolate bucket-wise with the same scale;
+        // one measured window without a stack (e.g. a cache replay)
+        // poisons the whole-program stack, not just its stratum.
+        if (stacks) {
+            const obs::CpiStack &stk = (*stacks)[i];
+            if (stk.total() == 0)
+                all_stacked = false;
+            for (std::size_t b = 0; b < obs::NumCpiBuckets; ++b)
+                est.cpiEst[b] +=
+                    static_cast<double>(stk.cycles[b]) * scale;
+        }
         observed_rep += plan[i].repInsts;
         if (!plan[i].exact)
             est.intervalIpc.push_back(w.ipc());
     }
-    if (est_cycles <= 0.0 || observed_rep == 0)
+    if (est_cycles <= 0.0 || observed_rep == 0) {
+        est.cpiEst = {};
         return est;
+    }
     for (unsigned s = 0; s < NumCoreStatSlots; ++s) {
         if (core_cycles[s] > 0.0 && core_retired[s] > 0.0)
             est.coreIpcEst[s] = core_retired[s] / core_cycles[s];
@@ -326,11 +363,19 @@ aggregateIntervals(std::uint64_t total_insts,
 
     // Scale up for strata that measured nothing (program shorter than
     // planned -- rare, but keeps the estimate total-covering).
-    est_cycles *= static_cast<double>(total_insts) /
-                  static_cast<double>(observed_rep);
+    const double coverage = static_cast<double>(total_insts) /
+                            static_cast<double>(observed_rep);
+    est_cycles *= coverage;
     est.estCycles =
         static_cast<std::uint64_t>(std::llround(est_cycles));
     est.ipc = static_cast<double>(total_insts) / est_cycles;
+    if (all_stacked && est.measuredIntervals > 0) {
+        for (double &b : est.cpiEst)
+            b *= coverage;
+        est.hasCpi = true;
+    } else {
+        est.cpiEst = {};
+    }
 
     // 95% confidence half-width on the sampled windows' IPC mean.
     const std::size_t n = est.intervalIpc.size();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "emu/emulator.hpp"
+#include "obs/cpistack.hpp"
 #include "sample/warmup.hpp"
 #include "uarch/core.hpp"
 #include "uarch/params.hpp"
@@ -151,11 +152,16 @@ struct SampleCheckpoint {
  * the warming -- results are bit-identical with or without it.
  * Returns an all-zero SimResult when the program ends before the
  * measured window begins.
+ *
+ * When @p cpi_out is non-null and obs::CpiAccounting is enabled, it
+ * receives the measured window's CPI-stack delta (summed over cores
+ * on a multi-core config); otherwise it is left zeroed.
  */
 SimResult runIntervalDetailed(const Workload &workload,
                               const CoreParams &params,
                               const IntervalWindow &window,
-                              const SampleCheckpoint *ckpt = nullptr);
+                              const SampleCheckpoint *ckpt = nullptr,
+                              obs::CpiStack *cpi_out = nullptr);
 
 /**
  * The multi-core interval engine (runIntervalDetailed dispatches
@@ -171,7 +177,8 @@ SimResult runIntervalDetailed(const Workload &workload,
 SimResult runIntervalMulti(const Workload &workload,
                            const CoreParams &params,
                            const IntervalWindow &window,
-                           const SampleCheckpoint *ckpt = nullptr);
+                           const SampleCheckpoint *ckpt = nullptr,
+                           obs::CpiStack *cpi_out = nullptr);
 
 /** Whole-program estimate aggregated from measured windows. */
 struct SampledEstimate {
@@ -191,6 +198,12 @@ struct SampledEstimate {
     std::array<double, NumCoreStatSlots> coreIpcEst{};
 
     std::vector<double> intervalIpc;  //!< per sampled (non-exact) window
+
+    /** Extrapolated whole-program CPI stack (same stratified
+     *  estimator as estCycles), filled only when aggregateIntervals
+     *  was handed a window stack for every measured window. */
+    bool hasCpi = false;
+    std::array<double, obs::NumCpiBuckets> cpiEst{};
 };
 
 /**
@@ -200,9 +213,17 @@ struct SampledEstimate {
  * contributes its true cost and sampled strata extrapolate theirs.
  * @p windows must align one-to-one with @p plan (planIntervals
  * order).
+ *
+ * When @p stacks is non-null (aligned with @p windows), each window's
+ * CPI-stack buckets extrapolate with the same stratum scale into
+ * SampledEstimate::cpiEst. A measured window whose stack is empty
+ * (e.g. replayed from a result cache that predates accounting)
+ * invalidates the stack estimate: hasCpi stays false.
  */
 SampledEstimate aggregateIntervals(std::uint64_t total_insts,
                                    const std::vector<PlannedInterval> &plan,
-                                   const std::vector<SimResult> &windows);
+                                   const std::vector<SimResult> &windows,
+                                   const std::vector<obs::CpiStack>
+                                       *stacks = nullptr);
 
 } // namespace reno::sample

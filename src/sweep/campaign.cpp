@@ -119,21 +119,32 @@ executeJob(const Job &job)
         if (job.wantCpa)
             fatal("critical-path analysis is not supported for "
                   "sampled jobs");
+        obs::CpiStack window_stack;
         r.sim = sample::runIntervalDetailed(*job.workload,
                                             job.config.params,
                                             job.window,
-                                            &job.checkpoint);
+                                            &job.checkpoint,
+                                            &window_stack);
+        if (obs::CpiAccounting::instance().stackEnabled()) {
+            r.cpi.valid = true;
+            r.cpi.machine = window_stack;
+        }
         return r;
     }
     if (job.wantCpa) {
         CriticalPathAnalyzer cpa(job.cpaChunk,
                                  job.config.params.robEntries,
                                  job.config.params.iqEntries);
-        r.sim = runWorkload(*job.workload, job.config.params, &cpa).sim;
+        RunOutput run =
+            runWorkload(*job.workload, job.config.params, &cpa);
+        r.sim = run.sim;
+        r.cpi = std::move(run.cpi);
         r.hasCpa = true;
         r.cpaWeights = cpa.buckets();
     } else {
-        r.sim = runWorkload(*job.workload, job.config.params).sim;
+        RunOutput run = runWorkload(*job.workload, job.config.params);
+        r.sim = run.sim;
+        r.cpi = std::move(run.cpi);
     }
     return r;
 }
@@ -304,6 +315,16 @@ Campaign::run(const CampaignOptions &options) const
             static_cast<unsigned long long>(cache.diskHits()),
             static_cast<unsigned long long>(cache.misses()),
             static_cast<unsigned long long>(cache.stores()));
+        const auto &latency =
+            metrics.histogram("sweep.job.latency_ms");
+        if (latency.count() > 0) {
+            std::fprintf(stderr,
+                         "[sweep] job latency ms: p50 %.1f p95 %.1f "
+                         "p99 %.1f\n",
+                         latency.percentile(50.0),
+                         latency.percentile(95.0),
+                         latency.percentile(99.0));
+        }
     }
     return out;
 }

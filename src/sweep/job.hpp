@@ -63,6 +63,15 @@ struct JobResult {
     /** Raw critical-path bucket weights (exact, cache-stable). */
     std::array<std::uint64_t, NumCpBuckets> cpaWeights{};
 
+    /**
+     * CPI-stack / hotspot side channel, valid only when
+     * obs::CpiAccounting was enabled while this job simulated.
+     * Deliberately NOT serialized by the result cache (the cache
+     * format and job digests are profiling-agnostic), so a cache hit
+     * always comes back with cpi.valid == false.
+     */
+    obs::CpiReport cpi;
+
     /** Normalized critical-path breakdown (fractions summing to ~1). */
     std::array<double, NumCpBuckets>
     cpaBreakdown() const

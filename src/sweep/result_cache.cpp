@@ -58,9 +58,14 @@ ResultCache::lookup(std::uint64_t digest, JobResult *out)
 void
 ResultCache::store(std::uint64_t digest, const JobResult &result)
 {
+    // The CPI-stack side channel is never cached (the disk format
+    // predates it); dropping it from the memory tier too keeps the
+    // invariant uniform: a cache hit never carries a stack.
+    JobResult cached = result;
+    cached.cpi = obs::CpiReport{};
     {
         std::lock_guard<std::mutex> lock(mu_);
-        mem_[digest] = result;
+        mem_[digest] = std::move(cached);
         ++stores_;
     }
     if (!dir_.empty())

@@ -21,7 +21,10 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,5 +101,41 @@ std::string renderPipeLine(const PipeRecord &rec, Cycle origin,
  */
 std::string renderPipeTrace(const std::vector<PipeRecord> &records,
                             unsigned width = 64);
+
+/**
+ * Process-wide sink behind `--pipetrace[=FILE]` (obs::Session): when
+ * enabled, the harness attaches a bounded PipeTracer to every core it
+ * runs and emits the rendered diagram here after the run. Off by
+ * default; the sink never changes anything the simulation computes.
+ * Emission is serialized under one mutex so concurrent campaign
+ * workers never interleave diagrams.
+ */
+class PipeTraceSink
+{
+  public:
+    static PipeTraceSink &instance();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Start collecting to @p sink (not owned; stderr or a file). */
+    void enable(std::FILE *sink);
+    void disable();
+
+    /** Write "== <header> ==" plus the rendered trace. No-op when
+     *  disabled. */
+    void emit(const std::string &header,
+              const std::vector<PipeRecord> &records);
+
+  private:
+    PipeTraceSink() = default;
+
+    std::atomic<bool> enabled_{false};
+    std::mutex mu_;
+    std::FILE *sink_ = nullptr;
+};
 
 } // namespace reno

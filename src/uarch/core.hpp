@@ -26,11 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "bpred/predictor.hpp"
 #include "common/statset.hpp"
 #include "emu/emulator.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/cpistack.hpp"
+#include "obs/profiler.hpp"
 #include "pipeline/commit_stage.hpp"
 #include "pipeline/fetch_stage.hpp"
 #include "pipeline/issue_stage.hpp"
@@ -101,6 +104,12 @@ class Core
     /** The explicit machine state (tests, visualization). */
     const MachineState &machineState() const { return state_; }
 
+    /** CPI-stack accountant (null unless CpiAccounting enabled it at
+     *  construction). Sum of its buckets == now() by construction. */
+    const obs::CpiStack *cpiStack() const { return cpi_.get(); }
+    /** Hotspot profiler (null unless enabled at construction). */
+    const obs::HotspotProfile *hotspots() const { return hot_.get(); }
+
     /** Emit every pipeline counter as one trace counter sample on
      *  this core's lane ("core.stats", or "core<i>.stats" inside a
      *  System). run()/runUntilRetired() call it on the --trace-sample
@@ -118,6 +127,11 @@ class Core
     MachineState state_;
     StatSet statSet_;
     PipelineStats stats_;
+
+    /** CPI accounting, allocated only when CpiAccounting says so at
+     *  construction -- a disabled run never touches these. */
+    std::unique_ptr<obs::CpiStack> cpi_;
+    std::unique_ptr<obs::HotspotProfile> hot_;
 
     FetchStage fetch_;
     RenameStage rename_;

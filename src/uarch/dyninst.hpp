@@ -63,6 +63,7 @@ struct DynInst {
     Cycle issueCycle = InvalidCycle;
     Cycle completeCycle = InvalidCycle;
     MemHitLevel memLevel = MemHitLevel::None;
+    bool cohDelayed = false;  //!< load paid a MESI coherence penalty
     IssueDom issueDom = IssueDom::Dispatch;
     InstSeq domProducer = 0;
 
@@ -125,6 +126,7 @@ struct DynInst {
         issueCycle = InvalidCycle;
         completeCycle = InvalidCycle;
         memLevel = MemHitLevel::None;
+        cohDelayed = false;
         issueDom = IssueDom::Dispatch;
         domProducer = 0;
         retireCycle = InvalidCycle;

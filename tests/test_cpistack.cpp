@@ -1,0 +1,258 @@
+/**
+ * @file
+ * CPI-stack and hotspot-profiler tests. The load-bearing property is
+ * the accounting identity: every commit-stage cycle lands in exactly
+ * one bucket, so a stack sums to the core's cycle count by
+ * construction -- checked here on every workload of the synth, mem,
+ * branch and multi suites (single- and multi-core, detailed and
+ * sampled). Profiling is also proven inert: SimResult is field-wise
+ * identical with accounting on or off, so job digests, caching and
+ * goldens never depend on observability state.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/cpireport.hpp"
+#include "obs/cpistack.hpp"
+#include "obs/profiler.hpp"
+#include "sample/interval.hpp"
+#include "sample/sampler.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace reno;
+using namespace reno::obs;
+
+namespace
+{
+
+/** RAII accounting activation; never leaks into the next test. */
+struct CpiGuard {
+    explicit CpiGuard(bool stack, unsigned hot_top_n = 0)
+    {
+        CpiAccounting::instance().setStackEnabled(stack);
+        CpiAccounting::instance().setHotspotTopN(hot_top_n);
+    }
+    ~CpiGuard()
+    {
+        CpiAccounting::instance().setStackEnabled(false);
+        CpiAccounting::instance().setHotspotTopN(0);
+    }
+};
+
+NamedConfig
+renoConfig(const char *name = "RENO")
+{
+    NamedConfig cfg;
+    EXPECT_TRUE(configByName(name, CoreParams::fourWide(), &cfg));
+    return cfg;
+}
+
+} // namespace
+
+TEST(CpiStack, BucketArithmeticAndNames)
+{
+    CpiStack a;
+    EXPECT_EQ(a.total(), 0u);
+    a.inc(CpiBucket::Base);
+    a.inc(CpiBucket::Base);
+    a.inc(CpiBucket::BackDcacheMem);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.get(CpiBucket::Base), 2u);
+
+    CpiStack b = a;
+    b.inc(CpiBucket::FrontIcache);
+    const CpiStack d = b.delta(a);
+    EXPECT_EQ(d.total(), 1u);
+    EXPECT_EQ(d.get(CpiBucket::FrontIcache), 1u);
+
+    CpiStack sum;
+    sum.accumulate(a);
+    sum.accumulate(d);
+    EXPECT_EQ(sum.total(), b.total());
+
+    // Names are the JSON/report contract: present and distinct.
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < NumCpiBuckets; ++i) {
+        const char *n = cpiBucketName(static_cast<CpiBucket>(i));
+        ASSERT_NE(n, nullptr);
+        for (const std::string &prev : names)
+            EXPECT_NE(prev, n);
+        names.push_back(n);
+    }
+}
+
+TEST(HotspotProfile, CountsRanksAndDropsDeterministically)
+{
+    HotspotProfile prof(64);
+    for (int i = 0; i < 10; ++i)
+        prof.retire(0x1000);
+    for (int i = 0; i < 4; ++i)
+        prof.retire(0x2000);
+    prof.retire(0x3000);
+    prof.stall(0x2000);
+    prof.stall(0x2000);
+    prof.stall(0x3000);
+
+    const auto by_ret = prof.topByRetired(2);
+    ASSERT_EQ(by_ret.size(), 2u);
+    EXPECT_EQ(by_ret[0].pc, 0x1000u);
+    EXPECT_EQ(by_ret[0].retired, 10u);
+    EXPECT_EQ(by_ret[1].pc, 0x2000u);
+
+    const auto by_stall = prof.topByStall(8);
+    ASSERT_EQ(by_stall.size(), 2u);  // zero-stall PCs are filtered
+    EXPECT_EQ(by_stall[0].pc, 0x2000u);
+    EXPECT_EQ(by_stall[0].stallCycles, 2u);
+    EXPECT_EQ(prof.dropped(), 0u);
+
+    // A saturated table drops excess PCs instead of growing or
+    // evicting: the counts it does report stay exact.
+    HotspotProfile tiny(64);  // 64 slots is the construction floor
+    for (std::uint64_t pc = 0; pc < 4096; ++pc)
+        tiny.retire(0x4000 + 4 * pc);
+    EXPECT_GT(tiny.dropped(), 0u);
+    EXPECT_LE(tiny.occupied(), 64u);
+    for (const auto &e : tiny.topByRetired(64))
+        EXPECT_EQ(e.retired, 1u);
+}
+
+TEST(CpiStack, SumsExactlyToCyclesOnEverySuiteWorkload)
+{
+    const CpiGuard guard(true, 10);
+    const NamedConfig cfg = renoConfig();
+
+    // Single-core detailed: machine stack == cycles, exactly.
+    for (const char *suite : {"synth", "mem", "branch"}) {
+        for (const Workload *w : suiteWorkloads(suite)) {
+            const RunOutput out = runWorkload(*w, cfg.params);
+            ASSERT_TRUE(out.cpi.valid) << w->name;
+            EXPECT_EQ(out.cpi.machine.total(), out.sim.cycles)
+                << w->name;
+            ASSERT_EQ(out.cpi.perCore.size(), 1u) << w->name;
+            EXPECT_EQ(out.cpi.perCore[0].total(), out.sim.cycles)
+                << w->name;
+            // Retired instructions all passed through the profiler.
+            std::uint64_t profiled = 0;
+            for (const auto &e :
+                 out.cpi.hotRetired)
+                profiled += e.retired;
+            EXPECT_GT(profiled, 0u) << w->name;
+        }
+    }
+
+    // Multi-core detailed: each core's stack sums to that core's own
+    // cycle count (cores freeze independently), and the machine stack
+    // is their exact sum.
+    const NamedConfig cfg2 = renoConfig("RENO/2c");
+    for (const Workload *w : suiteWorkloads("multi")) {
+        const RunOutput out = runWorkload(*w, cfg2.params);
+        ASSERT_TRUE(out.cpi.valid) << w->name;
+        ASSERT_EQ(out.cpi.perCore.size(), 2u) << w->name;
+        std::uint64_t sum = 0;
+        for (unsigned c = 0; c < 2; ++c) {
+            EXPECT_EQ(out.cpi.perCore[c].total(),
+                      out.sim.coreCycles[c])
+                << w->name << " core " << c;
+            sum += out.cpi.perCore[c].total();
+        }
+        EXPECT_EQ(out.cpi.machine.total(), sum) << w->name;
+    }
+}
+
+TEST(CpiStack, SimResultIsByteIdenticalWithProfilingOnAndOff)
+{
+    const Workload &w = workloadByName("synth.mix");
+    const NamedConfig cfg = renoConfig();
+
+    const SimResult off = runWorkload(w, cfg.params).sim;
+    SimResult on;
+    {
+        const CpiGuard guard(true, 20);
+        const RunOutput out = runWorkload(w, cfg.params);
+        EXPECT_TRUE(out.cpi.valid);
+        on = out.sim;
+    }
+    const SimResult off_again = runWorkload(w, cfg.params).sim;
+
+    // Every canonical counter, not a hand-picked subset: accounting
+    // must never perturb simulation (digests and goldens depend on
+    // this).
+    for (const SimStatField &field : simResultFields()) {
+        EXPECT_EQ(statValue(on, field), statValue(off, field))
+            << field.name;
+        EXPECT_EQ(statValue(off_again, field), statValue(off, field))
+            << field.name;
+    }
+}
+
+TEST(CpiStack, SampledWindowStackMatchesWindowCycles)
+{
+    const CpiGuard guard(true);
+    const Workload &w = workloadByName("synth.plain");
+    const NamedConfig cfg = renoConfig();
+
+    sample::IntervalWindow win;
+    win.startInst = 50'000;
+    win.warmupInsts = 500;
+    win.measureInsts = 5000;
+    CpiStack stack;
+    const SimResult delta = sample::runIntervalDetailed(
+        w, cfg.params, win, nullptr, &stack);
+    EXPECT_EQ(stack.total(), delta.cycles);
+
+    // Multi-core window: the stack delta sums the per-core cycle
+    // deltas, matching SimResult's per-core counters exactly.
+    const NamedConfig cfg2 = renoConfig("RENO/2c");
+    const Workload &mw = workloadByName("multi.false");
+    CpiStack stack2;
+    const SimResult delta2 = sample::runIntervalDetailed(
+        mw, cfg2.params, win, nullptr, &stack2);
+    EXPECT_EQ(stack2.total(),
+              delta2.coreCycles[0] + delta2.coreCycles[1]);
+    EXPECT_GT(stack2.total(), 0u);
+}
+
+TEST(CpiStack, SampledExtrapolationTracksFullDetailWithinGate)
+{
+    const NamedConfig cfg = renoConfig();
+    std::vector<const Workload *> workloads =
+        suiteWorkloads("synth");
+
+    // Full-detail truth with accounting off: the baseline the sampled
+    // stack must track (same 5% gate as the IPC estimate -- the stack
+    // total IS the cycle estimate under the same estimator).
+    std::vector<std::uint64_t> full_cycles;
+    for (const Workload *w : workloads)
+        full_cycles.push_back(runWorkload(*w, cfg.params).sim.cycles);
+
+    const CpiGuard guard(true);
+    sample::SampleOptions options;
+    options.campaign.jobs = 1;
+    const sample::SampledCampaign sampled =
+        sample::runSampledCampaign(workloads, {cfg}, options);
+    ASSERT_EQ(sampled.runs.size(), workloads.size());
+
+    for (std::size_t i = 0; i < sampled.runs.size(); ++i) {
+        const sample::SampledEstimate &est = sampled.runs[i].est;
+        ASSERT_TRUE(est.hasCpi) << workloads[i]->name;
+        double stack_sum = 0.0;
+        for (const double b : est.cpiEst)
+            stack_sum += b;
+        // The extrapolated stack and estCycles use the identical
+        // stratified estimator; they differ only by llround.
+        EXPECT_NEAR(stack_sum,
+                    static_cast<double>(est.estCycles),
+                    1.0)
+            << workloads[i]->name;
+        const double err =
+            std::fabs(stack_sum -
+                      static_cast<double>(full_cycles[i])) /
+            static_cast<double>(full_cycles[i]) * 100.0;
+        EXPECT_LE(err, 5.0) << workloads[i]->name;
+    }
+}

@@ -339,6 +339,7 @@ TEST(Metrics, HistogramPercentilesAndJsonShape)
     EXPECT_DOUBLE_EQ(h.mean(), 50.5);
     EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
     EXPECT_DOUBLE_EQ(h.percentile(95.0), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 99.0);
     EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
 
     const std::string json = registry.renderJson();
@@ -347,6 +348,7 @@ TEST(Metrics, HistogramPercentilesAndJsonShape)
     EXPECT_NE(json.find("\"test.gauge\": 2.500000"),
               std::string::npos);
     EXPECT_NE(json.find("\"p95\": 95.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\": 99.000000"), std::string::npos);
 
     registry.reset();
 }
@@ -419,6 +421,52 @@ TEST(Progress, StreamsNdjsonHeartbeatsAndFinalTotals)
               std::string::npos);
     EXPECT_NE(last.find("\"minstr_per_s\": 0.001"),
               std::string::npos);
+}
+
+TEST(Progress, FirstHeartbeatEmitsNullRateNotInfOrNan)
+{
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+
+    // A job finishing in the same microsecond the meter was enabled
+    // (elapsed time zero) must not divide into inf/nan: strict NDJSON
+    // consumers reject both. The undefined rate is JSON null.
+    ManualClock clock;
+    auto &meter = ProgressMeter::instance();
+    meter.enable(sink, &clock, 0);
+    meter.addTotal(2);
+    meter.jobDone(1000, false);  // no clock advance: elapsed == 0
+    meter.finish();
+
+    const std::string text = slurp(sink);
+    std::fclose(sink);
+
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        ASSERT_NE(nl, std::string::npos) << "unterminated line";
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    ASSERT_EQ(lines.size(), 2u);  // the event + the final heartbeat
+    for (const std::string &line : lines) {
+        EXPECT_TRUE(JsonChecker(line).valid()) << line;
+        EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+        EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    }
+    EXPECT_NE(lines[0].find("\"minstr_per_s\": null"),
+              std::string::npos);
+
+    // An empty campaign's final heartbeat has no job to pace an ETA
+    // from: null again, never a division artifact.
+    std::FILE *sink2 = std::tmpfile();
+    ASSERT_NE(sink2, nullptr);
+    meter.enable(sink2, &clock, 0);
+    meter.finish();
+    const std::string text2 = slurp(sink2);
+    std::fclose(sink2);
+    EXPECT_NE(text2.find("\"eta_s\": null"), std::string::npos);
 }
 
 TEST(Log, ThresholdFiltersAndSinkRedirects)

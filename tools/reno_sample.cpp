@@ -86,6 +86,10 @@ usage(const char *argv0)
         "  --perf-json FILE         write wall-clock JSON with the\n"
         "                           per-phase breakdown (fast-forward\n"
         "                           vs warmup vs detailed)\n"
+        "  --cpi-json FILE          write extrapolated whole-program\n"
+        "                           CPI stacks (requires --cpi-stack;\n"
+        "                           the same stratified estimator as\n"
+        "                           the IPC estimate)\n"
         "\n"
         "observability (off by default; results are byte-identical\n"
         "either way):\n"
@@ -96,6 +100,8 @@ usage(const char *argv0)
         "  --metrics-json FILE      write engine metrics JSON\n"
         "  --progress[=FILE]        stream NDJSON progress heartbeats\n"
         "                           (default sink: stderr)\n"
+        "  --cpi-stack              per-cycle CPI-stack accounting on\n"
+        "                           every measured window\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
@@ -147,6 +153,7 @@ main(int argc, char **argv)
     sample::SamplePlan plan;
     sweep::ReportFormat format = sweep::ReportFormat::Table;
     std::string perf_json;
+    std::string cpi_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -246,6 +253,10 @@ main(int argc, char **argv)
             perf_json = value("--perf-json");
             if (perf_json.empty())
                 fatal("--perf-json expects a file path");
+        } else if (matches("--cpi-json")) {
+            cpi_json = value("--cpi-json");
+            if (cpi_json.empty())
+                fatal("--cpi-json expects a file path");
         } else if (bool takes_value;
                    sweep::isCampaignFlag(arg, &takes_value)) {
             // Engine flags; parsed by parseCampaignArgs below.
@@ -322,7 +333,12 @@ main(int argc, char **argv)
     sample::SampleOptions options;
     options.plan = plan;
     options.campaign = sweep::parseCampaignArgs(argc, argv);
-    const obs::Session obs_session(obs::parseObsArgs(argc, argv));
+    const obs::ObsOptions obs_opts = obs::parseObsArgs(argc, argv);
+    const obs::Session obs_session(obs_opts);
+    if (!cpi_json.empty() && !obs_opts.cpiStack)
+        fatal("--cpi-json requires --cpi-stack");
+    if (!cpi_json.empty() && validate)
+        fatal("--cpi-json cannot be combined with --validate");
     if (!perf_json.empty())
         obs::PhaseStats::instance().enable();
 
@@ -420,5 +436,33 @@ main(int argc, char **argv)
     const std::string rendered = sample::renderSampled(sampled, format);
     std::fwrite(rendered.data(), 1, rendered.size(), stdout);
     write_perf_json();
+
+    if (!cpi_json.empty()) {
+        // Extrapolated stacks; a run loses its stack when any of its
+        // measured windows replayed from a cache entry (the cache is
+        // profiling-agnostic), and such runs are skipped.
+        std::vector<obs::SampledCpiRow> rows;
+        for (const sample::SampledRun &run : sampled.runs) {
+            if (!run.est.hasCpi)
+                continue;
+            obs::SampledCpiRow row;
+            row.workload = run.workload->name;
+            row.config = run.config;
+            row.cores = run.numCores;
+            row.est = run.est.cpiEst;
+            rows.push_back(std::move(row));
+        }
+        if (rows.size() < sampled.runs.size())
+            std::fprintf(stderr,
+                         "[sample] cpi: %zu of %zu runs carry stacks "
+                         "(cache hits replay without profiling)\n",
+                         rows.size(), sampled.runs.size());
+        const std::string doc = obs::renderSampledCpiJson(rows);
+        std::FILE *f = std::fopen(cpi_json.c_str(), "w");
+        if (!f)
+            fatal("cannot write '%s'", cpi_json.c_str());
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+    }
     return 0;
 }

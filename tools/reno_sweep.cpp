@@ -15,6 +15,7 @@
 #include "common/log.hpp"
 #include "emu/emulator.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "sample/sampler.hpp"
 #include "sweep/campaign.hpp"
@@ -83,6 +84,13 @@ usage(const char *argv0)
         "  --multi-json FILE        write per-job coherence traffic\n"
         "                           (invalidations, interventions,\n"
         "                           upgrades) + per-core IPC JSON\n"
+        "  --cpi-json FILE          write per-job CPI stacks + the\n"
+        "                           campaign aggregate (requires\n"
+        "                           --cpi-stack; full simulations"
+        " only)\n"
+        "  --cpi-html FILE          write a self-contained HTML report\n"
+        "                           (stacked bars per job, hotspot\n"
+        "                           tables; requires --cpi-stack)\n"
         "\n"
         "observability (off by default; results are byte-identical\n"
         "either way):\n"
@@ -96,6 +104,13 @@ usage(const char *argv0)
         "                           cache hit ratio, phase rates)\n"
         "  --progress[=FILE]        stream NDJSON progress heartbeats\n"
         "                           (default sink: stderr)\n"
+        "  --cpi-stack              per-cycle CPI-stack accounting\n"
+        "                           (every commit-stage cycle lands in\n"
+        "                           exactly one bucket)\n"
+        "  --profile-hot[=N]        per-PC hotspot profiling, top N\n"
+        "                           (default 20)\n"
+        "  --pipetrace[=FILE]       retired-instruction pipeline\n"
+        "                           diagrams (default sink: stderr)\n"
         "  --list                   list workloads/configs and exit\n"
         "  --list-configs           list configuration presets and"
         " exit\n"
@@ -135,6 +150,8 @@ main(int argc, char **argv)
     std::string mem_json;
     std::string bpred_json;
     std::string multi_json;
+    std::string cpi_json;
+    std::string cpi_html;
     unsigned cores = 0;  //!< 0 = leave configs as parsed
 
     for (int i = 1; i < argc; ++i) {
@@ -180,6 +197,14 @@ main(int argc, char **argv)
             multi_json = value("--multi-json");
             if (multi_json.empty())
                 fatal("--multi-json expects a file path");
+        } else if (matches("--cpi-json")) {
+            cpi_json = value("--cpi-json");
+            if (cpi_json.empty())
+                fatal("--cpi-json expects a file path");
+        } else if (matches("--cpi-html")) {
+            cpi_html = value("--cpi-html");
+            if (cpi_html.empty())
+                fatal("--cpi-html expects a file path");
         } else if (matches("--cores")) {
             const std::string v = value("--cores");
             char *end = nullptr;
@@ -326,8 +351,11 @@ main(int argc, char **argv)
 
     const sweep::CampaignOptions opts =
         sweep::parseCampaignArgs(argc, argv);
-    const obs::Session obs_session(obs::parseObsArgs(argc, argv));
+    const obs::ObsOptions obs_opts = obs::parseObsArgs(argc, argv);
+    const obs::Session obs_session(obs_opts);
 
+    if ((!cpi_json.empty() || !cpi_html.empty()) && !obs_opts.cpiStack)
+        fatal("--cpi-json/--cpi-html require --cpi-stack");
     if (plan_tuned && sample_intervals == 0)
         fatal("--warmup/--measure require --sample");
     if (sample_intervals > 0) {
@@ -343,6 +371,10 @@ main(int argc, char **argv)
             fatal("--bpred-json applies to full simulations only");
         if (!multi_json.empty())
             fatal("--multi-json applies to full simulations only");
+        if (!cpi_json.empty() || !cpi_html.empty())
+            fatal("--cpi-json/--cpi-html apply to full simulations "
+                  "only (use reno-sample --cpi-json for sampled "
+                  "stacks)");
         sample::SampleOptions sample_opts;
         sample_opts.plan = plan;
         sample_opts.plan.intervals = sample_intervals;
@@ -599,6 +631,45 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(agg_upg),
             static_cast<unsigned long long>(agg_wb));
         std::fclose(f);
+    }
+
+    if (!cpi_json.empty() || !cpi_html.empty()) {
+        // Per-job CPI stacks + hotspots. Only jobs that actually
+        // simulated under accounting carry a stack; a cache-hit job
+        // (replayed from a profiling-agnostic cache entry) does not,
+        // and the report says so rather than inventing zeros.
+        std::vector<obs::CpiRow> rows;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results.at(i).cpi.valid)
+                continue;
+            const sweep::Job &job = results.job(i);
+            obs::CpiRow row;
+            row.workload = job.workload->name;
+            row.config = job.config.name;
+            row.cores = job.config.params.sys.numCores;
+            row.report = results.at(i).cpi;
+            rows.push_back(std::move(row));
+        }
+        obs::MetricsRegistry::instance()
+            .counter("cpi.jobs_with_stacks")
+            .inc(rows.size());
+        if (rows.size() < results.size())
+            std::fprintf(stderr,
+                         "[sweep] cpi: %zu of %zu jobs carry stacks "
+                         "(cache hits replay without profiling)\n",
+                         rows.size(), results.size());
+        auto write_file = [](const std::string &path,
+                             const std::string &content) {
+            std::FILE *f = std::fopen(path.c_str(), "w");
+            if (!f)
+                fatal("cannot write '%s'", path.c_str());
+            std::fwrite(content.data(), 1, content.size(), f);
+            std::fclose(f);
+        };
+        if (!cpi_json.empty())
+            write_file(cpi_json, obs::renderCpiJson(rows));
+        if (!cpi_html.empty())
+            write_file(cpi_html, obs::renderCpiHtml(rows));
     }
     return 0;
 }
